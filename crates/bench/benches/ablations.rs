@@ -1,0 +1,48 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **path sensitivity** (§2.1.1): without branch guards, the `head0`
+//!   family of programs stops verifying — we measure the time and assert
+//!   the expected verification outcome flips;
+//! * **qualifier pool size**: prelude-only vs prelude+mined qualifiers
+//!   changes fixpoint cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_bench::corpus;
+use rsc_core::CheckerOptions;
+
+fn options(path: bool, mine: bool) -> CheckerOptions {
+    CheckerOptions {
+        path_sensitivity: path,
+        prelude_qualifiers: true,
+        mine_qualifiers: mine,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let src = corpus::load_benchmark("d3-arrays").expect("benchmark source");
+
+    // Sanity: the ablated configuration changes the verdict, not just time.
+    let full = rsc_core::check_program(&src, options(true, true));
+    assert!(full.ok(), "full configuration verifies");
+    let no_path = rsc_core::check_program(&src, options(false, true));
+    assert!(
+        !no_path.ok(),
+        "without path sensitivity the guarded accesses must fail"
+    );
+
+    let mut group = c.benchmark_group("ablations_d3");
+    group.sample_size(10);
+    for (label, opts) in [
+        ("full", options(true, true)),
+        ("no_path_sensitivity", options(false, true)),
+        ("no_mined_qualifiers", options(true, false)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| rsc_core::check_program(std::hint::black_box(&src), opts).stats.smt_queries)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

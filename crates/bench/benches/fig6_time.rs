@@ -1,0 +1,28 @@
+//! Criterion benchmark behind the Time column of Figure 6: full-pipeline
+//! checking time (parse → SSA → constraints → Liquid fixpoint → SMT) per
+//! benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_bench::corpus;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_check_time");
+    group.sample_size(10);
+    for name in corpus::benchmark_names() {
+        let src = corpus::load_benchmark(name).expect("benchmark source");
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let r = rsc_core::check_program(
+                    std::hint::black_box(&src),
+                    rsc_core::CheckerOptions::default(),
+                );
+                assert!(r.ok(), "{name} must verify during benchmarking");
+                r.stats.smt_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the SMT substrate on the verification-condition
+//! shapes RSC emits: array bounds (LIA), reflection tags (EUF over
+//! strings), and interface-hierarchy masks (bit-vectors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_logic::{BinOp, CmpOp, Pred, Sort, SortEnv, Term};
+use rsc_smt::Solver;
+
+fn array_bounds_vc() -> (SortEnv, Vec<Pred>, Pred) {
+    let mut env = SortEnv::new();
+    env.bind("a", Sort::Ref);
+    env.bind("i", Sort::Int);
+    env.bind("v", Sort::Int);
+    let len_a = Term::len_of(Term::var("a"));
+    let hyps = vec![
+        Pred::cmp(CmpOp::Le, Term::int(0), len_a.clone()),
+        Pred::cmp(CmpOp::Le, Term::int(0), Term::var("i")),
+        Pred::cmp(CmpOp::Lt, Term::var("i"), len_a.clone()),
+        Pred::vv_eq(Term::var("i")),
+    ];
+    let goal = Pred::and(vec![
+        Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+        Pred::cmp(CmpOp::Lt, Term::vv(), len_a),
+    ]);
+    (env, hyps, goal)
+}
+
+fn reflection_vc() -> (SortEnv, Vec<Pred>, Pred) {
+    // The dead-part obligation the checker emits when narrowing
+    // `number + undefined` under a `typeof x === "number"` guard: the
+    // undefined part's tags contradict the guard, proving the part dead.
+    let mut env = SortEnv::new();
+    env.bind("x", Sort::Ref);
+    env.bind("v", Sort::Ref);
+    env.declare_fun("undefv", rsc_logic::FunSig::Fixed(vec![], Sort::Ref));
+    let hyps = vec![
+        Pred::eq(Term::ttag_of(Term::var("x")), Term::str("number")),
+        Pred::vv_eq(Term::var("x")),
+        Pred::and(vec![
+            Pred::eq(Term::ttag_of(Term::vv()), Term::str("undefined")),
+            Pred::eq(Term::vv(), Term::app("undefv", vec![])),
+        ]),
+    ];
+    (env, hyps, Pred::False)
+}
+
+fn bitvector_vc() -> (SortEnv, Vec<Pred>, Pred) {
+    let mut env = SortEnv::new();
+    env.bind("f", Sort::Bv32);
+    env.bind("t", Sort::Ref);
+    let masked = |m: u32| Term::bin(BinOp::BvAnd, Term::var("f"), Term::bv(m));
+    let hyps = vec![
+        Pred::imp(
+            Pred::cmp(CmpOp::Ne, masked(0x1c00), Term::bv(0)),
+            Pred::App(
+                rsc_logic::Sym::from("impl"),
+                vec![Term::var("t"), Term::str("ObjectType")],
+            ),
+        ),
+        Pred::cmp(CmpOp::Ne, masked(0x0400), Term::bv(0)),
+    ];
+    let goal = Pred::App(
+        rsc_logic::Sym::from("impl"),
+        vec![Term::var("t"), Term::str("ObjectType")],
+    );
+    (env, hyps, goal)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_vcs");
+    for (label, (env, hyps, goal)) in [
+        ("array_bounds", array_bounds_vc()),
+        ("reflection_tags", reflection_vc()),
+        ("bitvector_masks", bitvector_vc()),
+    ] {
+        // Validity must hold — the bench measures proof time.
+        assert!(Solver::new().is_valid(&env, &hyps, &goal), "{label}");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = Solver::new();
+                s.is_valid(
+                    std::hint::black_box(&env),
+                    std::hint::black_box(&hyps),
+                    std::hint::black_box(&goal),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

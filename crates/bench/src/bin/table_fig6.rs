@@ -1,0 +1,78 @@
+//! Regenerates **Figure 6** of the paper: per-benchmark LOC, the T/M/R
+//! annotation split, and checking time.
+//!
+//! ```text
+//! cargo run -p rsc-bench --bin table_fig6
+//! ```
+//!
+//! Absolute numbers differ from the paper (different port scale, different
+//! machine, in-tree SMT solver instead of Z3); the *shape* to compare is:
+//! most annotations are trivial, mutability annotations are a modest
+//! slice, refinements are the smallest class, and navier-stokes dominates
+//! checking time (nonlinear arithmetic through ghost lemmas).
+
+use rsc_bench::corpus;
+
+fn main() {
+    // Paper's Figure 6 for side-by-side comparison.
+    let paper: &[(&str, u32, u32, u32, u32, u32)] = &[
+        ("navier-stokes", 366, 3, 18, 39, 473),
+        ("splay", 206, 18, 2, 0, 6),
+        ("richards", 304, 61, 5, 17, 7),
+        ("raytrace", 576, 68, 14, 2, 15),
+        ("transducers", 588, 138, 13, 11, 12),
+        ("d3-arrays", 189, 36, 4, 10, 37),
+        ("tsc-checker", 293, 10, 48, 12, 62),
+    ];
+
+    println!("Figure 6 — benchmark table (measured | paper)");
+    println!();
+    println!(
+        "{:<15} {:>5} {:>4} {:>4} {:>4} {:>9}  ok | {:>5} {:>4} {:>4} {:>4} {:>8}",
+        "Benchmark", "LOC", "T", "M", "R", "Time(ms)", "LOC", "T", "M", "R", "Time(s)"
+    );
+    println!("{}", "-".repeat(92));
+    let mut tot = (0usize, 0usize, 0usize, 0usize);
+    for (name, p) in corpus::benchmark_names().iter().zip(paper) {
+        let row = corpus::run_benchmark(name);
+        println!(
+            "{:<15} {:>5} {:>4} {:>4} {:>4} {:>9}  {} | {:>5} {:>4} {:>4} {:>4} {:>8}",
+            row.name,
+            row.loc,
+            row.anns.trivial,
+            row.anns.mutability,
+            row.anns.refinement,
+            row.time_ms,
+            if row.verified { "✓" } else { "✗" },
+            p.1,
+            p.2,
+            p.3,
+            p.4,
+            p.5,
+        );
+        tot.0 += row.loc;
+        tot.1 += row.anns.trivial;
+        tot.2 += row.anns.mutability;
+        tot.3 += row.anns.refinement;
+    }
+    println!("{}", "-".repeat(92));
+    println!(
+        "{:<15} {:>5} {:>4} {:>4} {:>4}            | {:>5} {:>4} {:>4} {:>4}",
+        "TOTAL", tot.0, tot.1, tot.2, tot.3, 2522, 334, 104, 91
+    );
+    let total_anns = tot.1 + tot.2 + tot.3;
+    if total_anns > 0 {
+        println!();
+        println!(
+            "annotation mix: {:.0}% trivial, {:.0}% mutability, {:.0}% refinement \
+             (paper: 63% / 20% / 17%)",
+            100.0 * tot.1 as f64 / total_anns as f64,
+            100.0 * tot.2 as f64 / total_anns as f64,
+            100.0 * tot.3 as f64 / total_anns as f64,
+        );
+        println!(
+            "annotations per LOC: 1 per {:.1} lines (paper: 1 per ~5 lines)",
+            tot.0 as f64 / total_anns as f64
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Figure 7** of the paper: per-benchmark lines of code and
+//! the important/total code-change counts recorded while porting
+//! (`benchmarks/meta.toml`), next to the paper's numbers.
+//!
+//! ```text
+//! cargo run -p rsc-bench --bin table_fig7
+//! ```
+
+use rsc_bench::corpus;
+
+#[derive(Default, Clone, Copy)]
+struct Meta {
+    imp_diff: u32,
+    all_diff: u32,
+    paper_loc: u32,
+    paper_imp: u32,
+    paper_all: u32,
+}
+
+/// A minimal parser for the flat `[section] key = value` file we use
+/// (avoids a TOML dependency).
+fn parse_meta(src: &str) -> Vec<(String, Meta)> {
+    let mut out: Vec<(String, Meta)> = Vec::new();
+    for raw in src.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            out.push((name.to_string(), Meta::default()));
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            let Some((_, m)) = out.last_mut() else { continue };
+            let v: u32 = v.trim().parse().unwrap_or(0);
+            match k.trim() {
+                "imp_diff" => m.imp_diff = v,
+                "all_diff" => m.all_diff = v,
+                "paper_loc" => m.paper_loc = v,
+                "paper_imp" => m.paper_imp = v,
+                "paper_all" => m.paper_all = v,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let path = corpus::benchmarks_dir().join("meta.toml");
+    let src = std::fs::read_to_string(&path).expect("benchmarks/meta.toml");
+    let meta = parse_meta(&src);
+
+    println!("Figure 7 — code changes while porting (measured | paper)");
+    println!();
+    println!(
+        "{:<15} {:>5} {:>8} {:>8} | {:>5} {:>8} {:>8}",
+        "Benchmark", "LOC", "ImpDiff", "AllDiff", "LOC", "ImpDiff", "AllDiff"
+    );
+    println!("{}", "-".repeat(70));
+    let mut tot = (0usize, 0u32, 0u32);
+    let mut ptot = (0u32, 0u32, 0u32);
+    for (name, m) in &meta {
+        let loc = corpus::load_benchmark(name)
+            .map(|s| corpus::count_loc(&s))
+            .unwrap_or(0);
+        println!(
+            "{:<15} {:>5} {:>8} {:>8} | {:>5} {:>8} {:>8}",
+            name, loc, m.imp_diff, m.all_diff, m.paper_loc, m.paper_imp, m.paper_all
+        );
+        tot.0 += loc;
+        tot.1 += m.imp_diff;
+        tot.2 += m.all_diff;
+        ptot.0 += m.paper_loc;
+        ptot.1 += m.paper_imp;
+        ptot.2 += m.paper_all;
+    }
+    println!("{}", "-".repeat(70));
+    println!(
+        "{:<15} {:>5} {:>8} {:>8} | {:>5} {:>8} {:>8}",
+        "TOTAL", tot.0, tot.1, tot.2, ptot.0, ptot.1, ptot.2
+    );
+    println!();
+    println!(
+        "important changes per LOC: {:.1}% (paper: {:.1}%)",
+        100.0 * tot.1 as f64 / tot.0 as f64,
+        100.0 * ptot.1 as f64 / ptot.0 as f64
+    );
+}

@@ -1,0 +1,296 @@
+//! Corpus loading, LOC counting, and the T/M/R annotation taxonomy of
+//! Figure 6: **T**rivial annotations (plain TypeScript types), **M**
+//! annotations carrying mutability information, and **R** annotations that
+//! mention actual refinements.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use rsc_syntax::ast::{FieldMut, Item, Program};
+use rsc_syntax::types::{AnnArg, AnnTy, FunTy};
+use rsc_syntax::Mutability;
+
+/// The benchmarks of Figure 6, in the paper's order.
+pub fn benchmark_names() -> &'static [&'static str] {
+    &[
+        "navier-stokes",
+        "splay",
+        "richards",
+        "raytrace",
+        "transducers",
+        "d3-arrays",
+        "tsc-checker",
+    ]
+}
+
+/// The corpus directory (workspace-relative).
+pub fn benchmarks_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("benchmarks");
+    p
+}
+
+/// Reads a benchmark source by name.
+pub fn load_benchmark(name: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(benchmarks_dir().join(format!("{name}.rsc")))
+}
+
+/// Non-comment, non-blank lines of code (cloc-style, as in Figure 6).
+pub fn count_loc(src: &str) -> usize {
+    let mut in_block = false;
+    let mut n = 0;
+    for line in src.lines() {
+        let mut t = line.trim();
+        if in_block {
+            if let Some(end) = t.find("*/") {
+                in_block = false;
+                t = t[end + 2..].trim();
+            } else {
+                continue;
+            }
+        }
+        if let Some(start) = t.find("/*") {
+            in_block = !t[start..].contains("*/");
+            t = t[..start].trim();
+        }
+        if let Some(start) = t.find("//") {
+            t = t[..start].trim();
+        }
+        if !t.is_empty() {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Annotation counts in the taxonomy of Figure 6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnnotationCounts {
+    /// Trivial annotations (plain TypeScript-style types).
+    pub trivial: usize,
+    /// Annotations carrying mutability information.
+    pub mutability: usize,
+    /// Annotations mentioning refinements.
+    pub refinement: usize,
+}
+
+impl AnnotationCounts {
+    /// Total annotations.
+    pub fn total(&self) -> usize {
+        self.trivial + self.mutability + self.refinement
+    }
+}
+
+/// One row of the Figure 6 table.
+#[derive(Clone, Debug)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Lines of code.
+    pub loc: usize,
+    /// Annotation counts.
+    pub anns: AnnotationCounts,
+    /// Checking time in milliseconds.
+    pub time_ms: u128,
+    /// Whether verification succeeded.
+    pub verified: bool,
+    /// Checker statistics.
+    pub stats: rsc_core::CheckStats,
+}
+
+/// Classifies every annotation in the program. An annotation is **R** if
+/// it (transitively, through aliases defined in the same file) mentions a
+/// refinement predicate; otherwise **M** if it carries mutability
+/// information (explicit modifier, `immutable` field, non-default method
+/// receiver); otherwise **T**.
+pub fn classify_annotations(prog: &Program) -> AnnotationCounts {
+    // Aliases whose expansion is refined.
+    let mut refined_aliases: HashSet<String> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for item in &prog.items {
+            if let Item::TypeAlias(a) = item {
+                if !refined_aliases.contains(a.name.as_str())
+                    && is_refined(&a.body, &refined_aliases)
+                {
+                    refined_aliases.insert(a.name.to_string());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect (annotation, carries-extra-mutability) sites first, then
+    // classify.
+    let mut sites: Vec<(AnnTy, bool)> = Vec::new();
+    let mut extra_refinements = 0usize;
+    let mut extra_mutability = 0usize;
+    let add_funty = |ft: &FunTy, sites: &mut Vec<(AnnTy, bool)>| {
+        for (_, t) in &ft.params {
+            sites.push((t.clone(), false));
+        }
+        sites.push(((*ft.ret).clone(), false));
+    };
+    for item in &prog.items {
+        match item {
+            Item::TypeAlias(a) => sites.push((a.body.clone(), false)),
+            Item::Declare(d) => sites.push((d.ty.clone(), false)),
+            Item::Qualif(_) => extra_refinements += 1,
+            Item::Fun(f) => {
+                for sig in &f.sigs {
+                    add_funty(sig, &mut sites);
+                }
+            }
+            Item::Class(c) => {
+                for fd in &c.fields {
+                    sites.push((fd.ty.clone(), fd.mutability == FieldMut::Immutable));
+                }
+                if let Some(ctor) = &c.ctor {
+                    for (_, t) in &ctor.params {
+                        sites.push((t.clone(), false));
+                    }
+                }
+                for m in &c.methods {
+                    // A non-default receiver annotation is an M annotation.
+                    if m.recv != Mutability::Mutable {
+                        extra_mutability += 1;
+                    }
+                    add_funty(&m.sig, &mut sites);
+                }
+            }
+            Item::Interface(i) => {
+                for fd in &i.fields {
+                    sites.push((fd.ty.clone(), fd.mutability == FieldMut::Immutable));
+                }
+                for m in &i.methods {
+                    if m.recv != Mutability::Mutable {
+                        extra_mutability += 1;
+                    }
+                    add_funty(&m.sig, &mut sites);
+                }
+            }
+            Item::Enum(_) | Item::Stmt(_) => {}
+        }
+    }
+    let mut counts = AnnotationCounts {
+        refinement: extra_refinements,
+        mutability: extra_mutability,
+        ..Default::default()
+    };
+    for (t, extra_mut) in sites {
+        if is_refined(&t, &refined_aliases) {
+            counts.refinement += 1;
+        } else if extra_mut || has_mutability(&t) {
+            counts.mutability += 1;
+        } else {
+            counts.trivial += 1;
+        }
+    }
+    counts
+}
+
+fn is_refined(t: &AnnTy, refined_aliases: &HashSet<String>) -> bool {
+    match t {
+        AnnTy::Refined { .. } => true,
+        AnnTy::Name(n, args) => {
+            refined_aliases.contains(n.as_str())
+                || args.iter().any(|a| match a {
+                    AnnArg::Ty(t) => is_refined(t, refined_aliases),
+                    AnnArg::Term(_) => true, // dependent application
+                    AnnArg::Mut(_) => false,
+                })
+        }
+        AnnTy::Array { elem, nonempty, .. } => *nonempty || is_refined(elem, refined_aliases),
+        AnnTy::Union(ps) => ps.iter().any(|p| is_refined(p, refined_aliases)),
+        AnnTy::Arrow(ft) => {
+            ft.params.iter().any(|(_, t)| is_refined(t, refined_aliases))
+                || is_refined(&ft.ret, refined_aliases)
+        }
+    }
+}
+
+fn has_mutability(t: &AnnTy) -> bool {
+    match t {
+        AnnTy::Name(_, args) => args.iter().any(|a| match a {
+            AnnArg::Mut(_) => true,
+            AnnArg::Ty(t) => has_mutability(t),
+            AnnArg::Term(_) => false,
+        }),
+        // `T[]` is the default; only spelled-out Array<RO/IM/UQ,·> counts,
+        // which the parser normalizes — treat non-default element
+        // mutability as M.
+        AnnTy::Array { elem, mutability, .. } => {
+            *mutability != Mutability::Mutable || has_mutability(elem)
+        }
+        AnnTy::Refined { base, .. } => has_mutability(base),
+        AnnTy::Union(ps) => ps.iter().any(has_mutability),
+        AnnTy::Arrow(ft) => {
+            ft.params.iter().any(|(_, t)| has_mutability(t)) || has_mutability(&ft.ret)
+        }
+    }
+}
+
+/// Runs the checker on one benchmark and produces a Figure 6 row.
+pub fn run_benchmark(name: &'static str) -> BenchmarkRow {
+    let src = load_benchmark(name).expect("benchmark source");
+    let prog = rsc_syntax::parse_program(&src).expect("benchmark parses");
+    let loc = count_loc(&src);
+    let anns = classify_annotations(&prog);
+    let start = std::time::Instant::now();
+    let result = rsc_core::check_program(&src, rsc_core::CheckerOptions::default());
+    let time_ms = start.elapsed().as_millis();
+    BenchmarkRow {
+        name,
+        loc,
+        anns,
+        time_ms,
+        verified: result.ok(),
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counting() {
+        let src = "// comment\n\ncode();\n/* block\n comment */ more();\n";
+        assert_eq!(count_loc(src), 2);
+    }
+
+    #[test]
+    fn taxonomy_classification() {
+        let prog = rsc_syntax::parse_program(
+            r#"
+            type nat = {v: number | 0 <= v};
+            function f(x: number, y: nat): number { return x; }
+            class C {
+                immutable k : number;
+                constructor(k: number) { this.k = k; }
+                @ReadOnly peek(q: Array<RO, number>): number { return 0; }
+            }
+        "#,
+        )
+        .unwrap();
+        let c = classify_annotations(&prog);
+        // R: alias body, y: nat. T: x, f ret, ctor k, q?=M, peek ret.
+        assert_eq!(c.refinement, 2, "{c:?}");
+        assert!(c.mutability >= 3, "immutable field + @ReadOnly + RO array: {c:?}");
+        assert!(c.trivial >= 3, "{c:?}");
+    }
+
+    #[test]
+    fn corpus_files_exist_and_parse() {
+        for name in benchmark_names() {
+            let src = load_benchmark(name).unwrap_or_else(|_| panic!("missing {name}"));
+            rsc_syntax::parse_program(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(count_loc(&src) > 50, "{name} is too small");
+        }
+    }
+}

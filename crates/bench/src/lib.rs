@@ -1,0 +1,15 @@
+//! # rsc-bench
+//!
+//! The evaluation harness for the RSC reproduction: loads the benchmark
+//! corpus (the seven programs of Figure 6), counts lines and annotations
+//! with the paper's T/M/R taxonomy, runs the checker, and regenerates the
+//! evaluation tables (Figures 6 and 7 of §5).
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+
+pub use corpus::{
+    benchmark_names, benchmarks_dir, classify_annotations, count_loc, load_benchmark,
+    AnnotationCounts, BenchmarkRow,
+};

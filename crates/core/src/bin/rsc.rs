@@ -1,0 +1,77 @@
+//! The `rsc` command-line checker: verify `.rsc` files from the shell.
+//!
+//! ```text
+//! cargo run -p rsc-core --bin rsc -- benchmarks/navier-stokes.rsc
+//! cargo run -p rsc-core --bin rsc -- --no-path-sensitivity file.rsc
+//! ```
+//!
+//! Exit code 0 = verified, 1 = verification errors, 2 = usage/IO error.
+
+use rsc_core::{check_program, CheckerOptions};
+
+fn main() {
+    let mut opts = CheckerOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut quiet = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-path-sensitivity" => opts.path_sensitivity = false,
+            "--no-prelude-qualifiers" => opts.prelude_qualifiers = false,
+            "--no-mined-qualifiers" => opts.mine_qualifiers = false,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("rsc: unknown flag {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rsc: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let start = std::time::Instant::now();
+        let result = check_program(&src, opts);
+        let elapsed = start.elapsed();
+        if result.ok() {
+            if !quiet {
+                println!(
+                    "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, {:.0?})",
+                    result.stats.constraints,
+                    result.stats.kvars,
+                    result.stats.smt_queries,
+                    elapsed
+                );
+            }
+        } else {
+            failed = true;
+            println!("{file}: UNSAFE ({} errors, {:.0?})", result.diagnostics.len(), elapsed);
+            for d in &result.diagnostics {
+                println!("  {d}");
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
+         [--no-mined-qualifiers] [--quiet] <file.rsc>..."
+    );
+}

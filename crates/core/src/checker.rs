@@ -1,0 +1,1049 @@
+//! The RSC refinement checker: declarative typing of IRSC (Figure 5)
+//! implemented as constraint generation over Liquid templates, plus the
+//! TypeScript-scaling features of §4 — reflection tags, interface
+//! hierarchies with bit-vector flags, IGJ mutability, two-phase checking
+//! of overloads, and constructor cooking.
+
+use std::collections::{HashMap, HashSet};
+
+use rsc_liquid::{solve, CEnv, ConstraintSet};
+use rsc_logic::{CmpOp, Pred, Sort, Subst, Sym, Term};
+use rsc_ssa::{Body, IrClass, IrExpr, IrFun, IrProgram};
+use rsc_syntax::ast::{BinOpE, UnOp};
+use rsc_syntax::{Mutability, Span};
+
+use crate::diag::Diagnostic;
+use crate::rtype::{Base, Prim, RType};
+use crate::table::ClassTable;
+
+/// Checker options (used by the evaluation's ablation benchmarks).
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerOptions {
+    /// Add branch conditions to environments (§2.1.1 "path sensitivity").
+    pub path_sensitivity: bool,
+    /// Use the built-in qualifier prelude.
+    pub prelude_qualifiers: bool,
+    /// Mine additional qualifiers from the program's own annotations.
+    pub mine_qualifiers: bool,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            path_sensitivity: true,
+            prelude_qualifiers: true,
+            mine_qualifiers: true,
+        }
+    }
+}
+
+/// Statistics from one checker run (reported by the benchmark harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// κ-variables allocated.
+    pub kvars: usize,
+    /// Subtyping constraints generated.
+    pub constraints: usize,
+    /// SMT validity queries issued by the fixpoint.
+    pub smt_queries: u64,
+}
+
+/// The result of checking a program.
+#[derive(Debug)]
+pub struct CheckResult {
+    /// Verification errors (empty = the program is safe).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Statistics.
+    pub stats: CheckStats,
+}
+
+impl CheckResult {
+    /// True if verification succeeded.
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// A typing environment Γ: SSA bindings, guard predicates, rigid type
+/// variables, the expected return type, and the cooking state.
+#[derive(Clone, Debug)]
+pub struct Env {
+    pub(crate) binds: Vec<(Sym, RType)>,
+    pub(crate) guards: Vec<Pred>,
+    pub(crate) tparams: HashSet<Sym>,
+    pub(crate) ret: RType,
+    /// `Some(C)` while checking the constructor of `C` (§4.4 internal
+    /// initialization: field writes are deferred to `ctor_init` at exits).
+    pub(crate) in_ctor_of: Option<Sym>,
+}
+
+impl Env {
+    pub(crate) fn new() -> Env {
+        Env {
+            binds: Vec::new(),
+            guards: Vec::new(),
+            tparams: HashSet::new(),
+            ret: RType::void(),
+            in_ctor_of: None,
+        }
+    }
+
+    pub(crate) fn bind(&mut self, x: impl Into<Sym>, t: RType) {
+        self.binds.push((x.into(), t));
+    }
+
+    pub(crate) fn lookup(&self, x: &Sym) -> Option<&RType> {
+        self.binds.iter().rev().find(|(y, _)| y == x).map(|(_, t)| t)
+    }
+
+    pub(crate) fn guard(&mut self, p: Pred) {
+        if !matches!(p, Pred::True) {
+            self.guards.push(p);
+        }
+    }
+}
+
+/// The checker.
+pub struct Checker {
+    pub(crate) ct: ClassTable,
+    pub(crate) cs: ConstraintSet,
+    pub(crate) opts: CheckerOptions,
+    pub(crate) diags: Vec<Diagnostic>,
+    /// Unannotated nested functions, checked against expected arrow types
+    /// at their use sites (context-sensitive closure checking, §2.2.1).
+    pub(crate) deferred: HashMap<Sym, (IrFun, Env)>,
+    /// Top-level functions by name.
+    pub(crate) funs: HashMap<Sym, IrFun>,
+    /// Ambient `declare`d values.
+    pub(crate) declares: HashMap<Sym, RType>,
+    /// Constructor scans: class → (immutable field → ctor param index).
+    pub(crate) ctor_param_fields: HashMap<Sym, Vec<(Sym, usize)>>,
+    /// Inference placeholders (array element types).
+    pub(crate) infer: HashMap<u32, RType>,
+    pub(crate) next_infer: u32,
+    pub(crate) next_tmp: u32,
+    pub(crate) spans: Vec<Span>,
+}
+
+/// Checks a program from source, running the full pipeline:
+/// parse → SSA → constraint generation → Liquid fixpoint → SMT.
+pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
+    let mut diags = Vec::new();
+    let prog = match rsc_syntax::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            diags.push(Diagnostic::error(e.message, e.span));
+            return CheckResult {
+                diagnostics: diags,
+                stats: CheckStats::default(),
+            };
+        }
+    };
+    let ir = match rsc_ssa::transform_program(&prog) {
+        Ok(i) => i,
+        Err(e) => {
+            diags.push(Diagnostic::error(e.message, e.span));
+            return CheckResult {
+                diagnostics: diags,
+                stats: CheckStats::default(),
+            };
+        }
+    };
+    check_ir(&ir, opts)
+}
+
+/// Checks an already-SSA-translated program.
+pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
+    let mut diags = Vec::new();
+    let ct = match ClassTable::build(&ir.aliases, &ir.enums, &ir.interfaces, &classes_of(ir)) {
+        Ok(t) => t,
+        Err(e) => {
+            diags.push(Diagnostic::error(e.0, Span::dummy()));
+            return CheckResult {
+                diagnostics: diags,
+                stats: CheckStats::default(),
+            };
+        }
+    };
+    let mut cs = ConstraintSet::new();
+    if !opts.prelude_qualifiers {
+        cs.quals.clear();
+    }
+    ct.register_sorts(&mut cs.sort_env);
+    let checker = Checker {
+        ct,
+        cs,
+        opts,
+        diags,
+        deferred: HashMap::new(),
+        funs: HashMap::new(),
+        declares: HashMap::new(),
+        ctor_param_fields: HashMap::new(),
+        infer: HashMap::new(),
+        next_infer: 0,
+        next_tmp: 0,
+        spans: Vec::new(),
+    };
+    checker.run(ir)
+}
+
+fn classes_of(ir: &IrProgram) -> Vec<rsc_syntax::ast::ClassDecl> {
+    ir.classes.iter().map(|c| c.decl.clone()).collect()
+}
+
+impl Checker {
+    // ------------------------------------------------------------ driver ---
+
+    fn run(mut self, ir: &IrProgram) -> CheckResult {
+        // Ambient declarations.
+        for d in &ir.declares {
+            match self.ct.resolve(&d.ty) {
+                Ok(t) => {
+                    self.declares.insert(d.name.clone(), t);
+                }
+                Err(e) => self.diags.push(Diagnostic::error(e.0, d.span)),
+            }
+        }
+        // User qualifiers.
+        for q in &ir.quals {
+            self.add_user_qualifier(q);
+        }
+        // Top-level functions.
+        for f in &ir.funs {
+            self.funs.insert(f.name.clone(), f.clone());
+        }
+        // Constructor scans (which immutable fields get which ctor param).
+        for c in &ir.classes {
+            let map = scan_ctor_params(c);
+            self.ctor_param_fields.insert(c.decl.name.clone(), map);
+        }
+        if self.opts.mine_qualifiers {
+            self.mine_qualifiers(ir);
+        }
+
+        // Check everything. Unannotated top-level functions are deferred:
+        // they are checked at the call sites that receive them.
+        for f in &ir.funs {
+            if f.sigs.is_empty() {
+                self.deferred
+                    .insert(f.name.clone(), (f.clone(), Env::new()));
+            } else {
+                self.check_fun(f, &Env::new());
+            }
+        }
+        for c in &ir.classes {
+            self.check_class(c);
+        }
+        let mut env = Env::new();
+        env.ret = RType::trivial(Base::Union(vec![])); // top-level return: anything
+        self.check_body(&ir.top, &mut env);
+
+        // Solve.
+        let mut smt = rsc_smt::Solver::new();
+        let result = solve(&self.cs, &mut smt);
+        if std::env::var("RSC_DEBUG").is_ok() {
+            for (id, kv) in &self.cs.kvars {
+                let sol: Vec<String> =
+                    result.solution.of(*id).iter().map(|p| p.to_string()).collect();
+                eprintln!("[debug] {id} ({}) = {sol:?}", kv.origin);
+            }
+            for (ci, origin) in &result.failures {
+                let c = &self.cs.subs[*ci];
+                eprintln!("[debug] FAILED {origin}");
+                eprintln!("[debug]   lhs = {}", result.solution.apply(&c.lhs));
+                eprintln!("[debug]   rhs = {}", result.solution.apply(&c.rhs));
+                for h in c.env.embed() {
+                    eprintln!("[debug]   hyp {}", result.solution.apply(&h));
+                }
+            }
+        }
+        for (ci, origin) in &result.failures {
+            let span = self.spans.get(*ci).copied().unwrap_or_default();
+            self.diags.push(Diagnostic::error(origin.clone(), span));
+        }
+        let stats = CheckStats {
+            kvars: self.cs.num_kvars(),
+            constraints: self.cs.subs.len(),
+            smt_queries: result.smt_queries,
+        };
+        CheckResult {
+            diagnostics: self.diags,
+            stats,
+        }
+    }
+
+    fn add_user_qualifier(&mut self, q: &rsc_syntax::ast::QualifDecl) {
+        let mut params = Vec::new();
+        let mut vv_sort = Sort::Int;
+        for (i, (x, t)) in q.params.iter().enumerate() {
+            let sort = match t {
+                rsc_syntax::AnnTy::Name(n, _) => match n.as_str() {
+                    "number" => Sort::Int,
+                    "boolean" => Sort::Bool,
+                    "string" => Sort::Str,
+                    "ref" => Sort::Ref,
+                    n if self.ct.enums.contains_key(n) => Sort::Bv32,
+                    _ => Sort::Ref,
+                },
+                _ => Sort::Ref,
+            };
+            if i == 0 {
+                vv_sort = sort;
+            } else {
+                params.push((x.clone(), sort));
+            }
+        }
+        // Rename the first parameter to v.
+        let body = if let Some((x0, _)) = q.params.first() {
+            Subst::one(x0.clone(), Term::vv()).apply_pred(&self.resolve_pred(&q.body))
+        } else {
+            self.resolve_pred(&q.body)
+        };
+        self.cs.quals.push(rsc_logic::Qualifier::new(
+            q.name.to_string(),
+            vv_sort,
+            params,
+            body,
+        ));
+    }
+
+    /// Rewrites enum member references (`Flags.Object`) into bit-vector
+    /// literals inside a predicate.
+    pub(crate) fn resolve_pred(&self, p: &Pred) -> Pred {
+        fn go_term(ct: &ClassTable, t: &Term) -> Term {
+            match t {
+                Term::Field(b, f) => {
+                    if let Term::Var(e) = b.as_ref() {
+                        if let Some(members) = ct.enums.get(e) {
+                            if let Some(v) = members.get(f) {
+                                return Term::bv(*v);
+                            }
+                        }
+                    }
+                    Term::field(go_term(ct, b), f.clone())
+                }
+                Term::App(f, args) => {
+                    Term::app(f.clone(), args.iter().map(|a| go_term(ct, a)).collect())
+                }
+                Term::Bin(op, a, b) => Term::bin(*op, go_term(ct, a), go_term(ct, b)),
+                Term::Neg(a) => Term::neg(go_term(ct, a)),
+                other => other.clone(),
+            }
+        }
+        fn go(ct: &ClassTable, p: &Pred) -> Pred {
+            match p {
+                Pred::And(ps) => Pred::and(ps.iter().map(|q| go(ct, q)).collect()),
+                Pred::Or(ps) => Pred::or(ps.iter().map(|q| go(ct, q)).collect()),
+                Pred::Not(q) => Pred::not(go(ct, q)),
+                Pred::Imp(a, b) => Pred::imp(go(ct, a), go(ct, b)),
+                Pred::Iff(a, b) => Pred::iff(go(ct, a), go(ct, b)),
+                Pred::Cmp(op, a, b) => Pred::cmp(*op, go_term(ct, a), go_term(ct, b)),
+                Pred::App(f, args) => {
+                    Pred::App(f.clone(), args.iter().map(|a| go_term(ct, a)).collect())
+                }
+                Pred::TermPred(t) => Pred::TermPred(go_term(ct, t)),
+                other => other.clone(),
+            }
+        }
+        go(&self.ct, p)
+    }
+
+    /// Mines qualifiers from the atoms of resolved signature refinements.
+    fn mine_qualifiers(&mut self, ir: &IrProgram) {
+        let mut mined: Vec<rsc_logic::Qualifier> = Vec::new();
+        let mut tys: Vec<(RType, Vec<(Sym, Sort)>)> = Vec::new();
+        let harvest_fun = |ct: &ClassTable, ft: &rsc_syntax::FunTy, out: &mut Vec<_>| {
+            let tp: HashSet<Sym> = ft.tparams.iter().cloned().collect();
+            if let Ok(rf) = ct.resolve_funty(ft, &tp) {
+                let mut scope: Vec<(Sym, Sort)> =
+                    vec![(Sym::from("this"), Sort::Ref)];
+                for (x, t) in &rf.params {
+                    scope.push((x.clone(), t.sort()));
+                }
+                for (_, t) in &rf.params {
+                    out.push((t.clone(), scope.clone()));
+                }
+                out.push((rf.ret.clone(), scope));
+            }
+        };
+        for f in &ir.funs {
+            for sig in &f.sigs {
+                harvest_fun(&self.ct, sig, &mut tys);
+            }
+        }
+        for c in &ir.classes {
+            for m in &c.decl.methods {
+                harvest_fun(&self.ct, &m.sig, &mut tys);
+            }
+            for fd in &c.decl.fields {
+                if let Ok(t) = self.ct.resolve(&fd.ty) {
+                    tys.push((t, vec![(Sym::from("this"), Sort::Ref)]));
+                }
+            }
+        }
+        let mut seen: HashSet<String> = HashSet::new();
+        for (t, scope) in tys {
+            let pred = self.resolve_pred(&t.pred);
+            for atom in pred.conjuncts() {
+                if !atom.free_vars().contains("v") {
+                    continue;
+                }
+                // Generalize free variables to wildcard parameters.
+                let mut params: Vec<(Sym, Sort)> = Vec::new();
+                let mut subst = Subst::new();
+                let mut ok = true;
+                for fv in atom.free_vars() {
+                    if fv == "v" {
+                        continue;
+                    }
+                    let sort = if fv == "this" {
+                        Some(Sort::Ref)
+                    } else {
+                        scope.iter().find(|(x, _)| *x == fv).map(|(_, s)| *s)
+                    };
+                    match sort {
+                        Some(s) => {
+                            let p = Sym::from(format!("★{}", params.len()));
+                            params.push((p.clone(), s));
+                            subst.push(fv.clone(), Term::var(p));
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let body = subst.apply_pred(&atom);
+                let key = format!("{}|{:?}", body, t.sort());
+                if seen.insert(key) {
+                    mined.push(rsc_logic::Qualifier::new(
+                        format!("Mined{}", mined.len()),
+                        t.sort(),
+                        params,
+                        body,
+                    ));
+                }
+            }
+        }
+        mined.truncate(48);
+        self.cs.quals.extend(mined);
+    }
+
+    // ------------------------------------------------------- environment ---
+
+    pub(crate) fn fresh_tmp(&mut self) -> Sym {
+        self.next_tmp += 1;
+        Sym::from(format!("$t{}", self.next_tmp))
+    }
+
+    /// The implicit predicate carried by a type's structure: reflection
+    /// tags (§4.2), interface-inclusion facts (§4.3), null/undefined
+    /// identities — conjoined with the explicit refinement.
+    pub(crate) fn embed_pred(&self, t: &RType) -> Pred {
+        let tag = self.tag_pred(&t.base);
+        Pred::and(vec![tag, t.pred.clone()])
+    }
+
+    pub(crate) fn tag_pred(&self, b: &Base) -> Pred {
+        let tt = |s: &str| Pred::eq(Term::ttag_of(Term::vv()), Term::str(s));
+        match b {
+            Base::Prim(Prim::Num) => tt("number"),
+            Base::Prim(Prim::Bool) => tt("boolean"),
+            Base::Prim(Prim::Str) => tt("string"),
+            Base::Prim(Prim::Void) => Pred::True,
+            Base::Prim(Prim::Undef) => Pred::and(vec![
+                tt("undefined"),
+                Pred::eq(Term::vv(), Term::app("undefv", vec![])),
+            ]),
+            Base::Prim(Prim::Null) => Pred::eq(Term::vv(), Term::app("nullv", vec![])),
+            Base::Bv(_) => Pred::True,
+            Base::Arr(..) => tt("object"),
+            Base::Obj(c, _, _) => Pred::and(vec![tt("object"), self.ct.inv_pred(c, &Term::vv())]),
+            Base::Fun(_) => tt("function"),
+            Base::TVar(_) | Base::Infer(_) => Pred::True,
+            Base::Union(parts) => Pred::or(
+                parts
+                    .iter()
+                    .map(|p| Pred::and(vec![self.tag_pred(&p.base), p.pred.clone()]))
+                    .collect(),
+            ),
+        }
+    }
+
+    pub(crate) fn to_cenv(&self, env: &Env) -> CEnv {
+        let mut c = CEnv::new();
+        for (x, t) in &env.binds {
+            c.bind(x.clone(), t.sort(), self.embed_pred(t));
+        }
+        for g in &env.guards {
+            c.guard(g.clone());
+        }
+        c
+    }
+
+    // -------------------------------------------------------- constraints ---
+
+    pub(crate) fn push_sub_pred(
+        &mut self,
+        env: &Env,
+        lhs: Pred,
+        rhs: Pred,
+        vv_sort: Sort,
+        span: Span,
+        origin: &str,
+    ) {
+        let cenv = self.to_cenv(env);
+        let msg = format!("line {}: {}", span.line, origin);
+        let before = self.cs.subs.len();
+        self.cs.push_sub(cenv, lhs, rhs, vv_sort, &msg);
+        for _ in before..self.cs.subs.len() {
+            self.spans.push(span);
+        }
+    }
+
+    /// Reports a base-type mismatch as a dead-code obligation: valid only
+    /// if the environment is inconsistent — exactly the two-phase typing
+    /// treatment of overload conjuncts (§2.1.2).
+    pub(crate) fn base_error(&mut self, env: &Env, span: Span, msg: String) {
+        self.push_sub_pred(env, Pred::True, Pred::False, Sort::Int, span, &msg);
+    }
+
+    /// Immediate (kvar-free, pessimistic) refutation check used for union
+    /// narrowing decisions.
+    pub(crate) fn refuted(&self, env: &Env, extra: &[Pred]) -> bool {
+        let cenv = self.to_cenv(env);
+        let mut sorts = self.cs.sort_env.clone();
+        for (x, s) in cenv.scope() {
+            sorts.bind(x, s);
+        }
+        sorts.bind("v", Sort::Ref);
+        let mut hyps: Vec<Pred> = Vec::new();
+        for h in cenv.embed() {
+            hyps.extend(drop_kvars(h).conjuncts());
+        }
+        for e in extra {
+            hyps.extend(drop_kvars(e.clone()).conjuncts());
+        }
+        hyps.retain(|p| sorts.check_pred(p).is_ok());
+        let mut seeds: std::collections::BTreeSet<Sym> = std::collections::BTreeSet::new();
+        seeds.insert(Sym::from("v"));
+        for e in extra {
+            seeds.extend(e.free_vars());
+        }
+        let hyps = rsc_liquid::filter_relevant(hyps, seeds);
+        let mut smt = rsc_smt::Solver::new();
+        smt.is_valid(&sorts, &hyps, &Pred::False)
+    }
+
+    // ----------------------------------------------------------- subtyping ---
+
+    pub(crate) fn resolve_infer(&self, t: &RType) -> RType {
+        if let Base::Infer(u) = t.base {
+            if let Some(b) = self.infer.get(&u) {
+                return b.clone().strengthen(t.pred.clone());
+            }
+        }
+        t.clone()
+    }
+
+    /// `Γ ⊢ T1 ⊑ T2` — generates constraints; base mismatches become
+    /// dead-code obligations.
+    pub(crate) fn sub(&mut self, env: &Env, t1: &RType, t2: &RType, span: Span, origin: &str) {
+        let t1 = self.resolve_infer(t1);
+        let t2 = self.resolve_infer(t2);
+        // Inference placeholders: bind to the other side's structure.
+        if let Base::Infer(u) = t2.base {
+            self.infer.insert(u, RType::trivial(t1.base.clone()));
+            return self.sub(env, &t1, &self.resolve_infer(&t2), span, origin);
+        }
+        if let Base::Infer(u) = t1.base {
+            self.infer.insert(u, RType::trivial(t2.base.clone()));
+            return self.sub(env, &self.resolve_infer(&t1), &t2, span, origin);
+        }
+        // Empty unions act as ⊥ on the left (error recovery) and ⊤ on the
+        // right (e.g. the top-level "return anything" type).
+        if matches!(&t1.base, Base::Union(ps) if ps.is_empty())
+            || matches!(&t2.base, Base::Union(ps) if ps.is_empty())
+        {
+            return;
+        }
+        let vv_sort = t1.sort();
+        let lhs_pred = self.embed_pred(&t1);
+        let lhs = move || lhs_pred.clone();
+        match (&t1.base, &t2.base) {
+            (Base::Prim(p1), Base::Prim(p2)) if p1 == p2 => {
+                let l = lhs();
+                self.push_sub_pred(env, l, t2.pred.clone(), vv_sort, span, origin);
+            }
+            // Anything flows into void (statement position).
+            (_, Base::Prim(Prim::Void)) => {}
+            (Base::Bv(_), Base::Bv(_)) => {
+                let l = lhs();
+                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Bv32, span, origin);
+            }
+            (Base::TVar(a), Base::TVar(b)) if a == b => {
+                let l = lhs();
+                self.push_sub_pred(env, l, t2.pred.clone(), vv_sort, span, origin);
+            }
+            (Base::Arr(e1, m1), Base::Arr(e2, m2)) => {
+                if !m1.satisfies(*m2) {
+                    return self.base_error(
+                        env,
+                        span,
+                        format!(
+                            "{origin}: array mutability {} does not satisfy {}",
+                            m1.abbrev(),
+                            m2.abbrev()
+                        ),
+                    );
+                }
+                let e1c = (**e1).clone();
+                let e2c = (**e2).clone();
+                self.sub(env, &e1c, &e2c, span, origin);
+                if matches!(m2, Mutability::Mutable | Mutability::Unique) {
+                    self.sub(env, &e2c, &e1c, span, origin);
+                }
+                let l = lhs();
+                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Ref, span, origin);
+            }
+            (Base::Obj(c1, m1, a1), Base::Obj(c2, m2, a2)) => {
+                if !self.ct.is_subclass(c1, c2) {
+                    return self.base_error(
+                        env,
+                        span,
+                        format!("{origin}: {c1} is not a subtype of {c2}"),
+                    );
+                }
+                if !m1.satisfies(*m2) {
+                    return self.base_error(
+                        env,
+                        span,
+                        format!(
+                            "{origin}: mutability {} does not satisfy {}",
+                            m1.abbrev(),
+                            m2.abbrev()
+                        ),
+                    );
+                }
+                for (x, y) in a1.clone().iter().zip(a2.clone().iter()) {
+                    self.sub(env, x, y, span, origin);
+                    self.sub(env, y, x, span, origin);
+                }
+                let l = lhs();
+                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Ref, span, origin);
+            }
+            (Base::Fun(f1), Base::Fun(f2)) => {
+                let (f1, f2) = (f1.clone(), f2.clone());
+                if f1.params.len() > f2.params.len() {
+                    return self.base_error(
+                        env,
+                        span,
+                        format!(
+                            "{origin}: function takes {} parameters, expected at most {}",
+                            f1.params.len(),
+                            f2.params.len()
+                        ),
+                    );
+                }
+                // Rename f1's parameters to f2's names.
+                let mut rename = Subst::new();
+                for ((x1, _), (x2, _)) in f1.params.iter().zip(f2.params.iter()) {
+                    if x1 != x2 {
+                        rename.push(x1.clone(), Term::var(x2.clone()));
+                    }
+                }
+                let mut env2 = env.clone();
+                for (x2, t2p) in &f2.params {
+                    env2.bind(x2.clone(), t2p.clone());
+                }
+                for ((_, t1p), (_, t2p)) in f1.params.iter().zip(f2.params.iter()) {
+                    let t1r = t1p.subst(&rename);
+                    self.sub(&env2, t2p, &t1r, span, origin); // contravariant
+                }
+                let r1 = f1.ret.subst(&rename);
+                self.sub(&env2, &r1, &f2.ret, span, origin);
+            }
+            (Base::Union(parts), _) => {
+                let parts = parts.clone();
+                for part in &parts {
+                    let tagged = Pred::and(vec![
+                        t1.pred.clone(),
+                        self.tag_pred(&part.base),
+                        part.pred.clone(),
+                    ]);
+                    // Find a compatible target.
+                    let target: Option<RType> = match &t2.base {
+                        Base::Union(t2parts) => t2parts
+                            .iter()
+                            .find(|q| self.base_compat(&part.base, &q.base))
+                            .cloned()
+                            .map(|q| q.strengthen(t2.pred.clone())),
+                        b2 if self.base_compat(&part.base, b2) => Some(t2.clone()),
+                        _ => None,
+                    };
+                    match target {
+                        Some(tgt) => {
+                            // Skip parts immediately refutable from the
+                            // environment (cheap narrowing).
+                            if !self.refuted(env, &[tagged]) {
+                                let strong = part.clone().strengthen(t1.pred.clone());
+                                self.sub(env, &strong, &tgt, span, origin);
+                            }
+                        }
+                        None => {
+                            // No structural target: the part must be DEAD.
+                            // Defer the refutation so κ solutions (e.g.
+                            // `ttag(v) = "number"` on a Φ variable) can
+                            // participate (§4.2 narrowing).
+                            self.push_sub_pred(
+                                env,
+                                tagged,
+                                Pred::False,
+                                Sort::Ref,
+                                span,
+                                &format!(
+                                    "{origin}: union part {} does not fit {}",
+                                    part.base.describe(),
+                                    t2.base.describe()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            (_, Base::Union(parts)) => {
+                let target = parts
+                    .iter()
+                    .find(|q| self.base_compat(&t1.base, &q.base))
+                    .cloned();
+                match target {
+                    Some(tgt) => {
+                        let tgt = tgt.strengthen(t2.pred.clone());
+                        self.sub(env, &t1, &tgt, span, origin)
+                    }
+                    None => self.base_error(
+                        env,
+                        span,
+                        format!(
+                            "{origin}: {} is not part of union {}",
+                            t1.base.describe(),
+                            t2.base.describe()
+                        ),
+                    ),
+                }
+            }
+            (b1, b2) => self.base_error(
+                env,
+                span,
+                format!(
+                    "{origin}: base type mismatch, {} vs {}",
+                    b1.describe(),
+                    b2.describe()
+                ),
+            ),
+        }
+    }
+
+    pub(crate) fn base_compat(&self, b1: &Base, b2: &Base) -> bool {
+        match (b1, b2) {
+            (Base::Prim(a), Base::Prim(b)) => a == b,
+            (Base::Bv(_), Base::Bv(_)) => true,
+            (Base::Arr(..), Base::Arr(..)) => true,
+            (Base::Obj(c1, _, _), Base::Obj(c2, _, _)) => self.ct.is_subclass(c1, c2),
+            (Base::Fun(_), Base::Fun(_)) => true,
+            (Base::TVar(a), Base::TVar(b)) => a == b,
+            (Base::Infer(_), _) | (_, Base::Infer(_)) => true,
+            _ => false,
+        }
+    }
+
+    // ----------------------------------------------------------- guards ---
+
+    /// A predicate implied by `e` being truthy (conservatively `true`).
+    pub(crate) fn guard_pos(&self, e: &IrExpr, env: &Env) -> Pred {
+        match e {
+            IrExpr::Bool(b, _) => {
+                if *b {
+                    Pred::True
+                } else {
+                    Pred::False
+                }
+            }
+            IrExpr::Unary(UnOp::Not, x, _) => self.guard_neg(x, env),
+            IrExpr::Binary(BinOpE::And, a, b, _) => Pred::and(vec![
+                self.guard_pos(a, env),
+                self.guard_pos(b, env),
+            ]),
+            IrExpr::Binary(BinOpE::Or, a, b, _) => Pred::or(vec![
+                self.guard_pos(a, env),
+                self.guard_pos(b, env),
+            ]),
+            IrExpr::Binary(op, a, b, _) => {
+                let cmp = match op {
+                    BinOpE::Lt => Some(CmpOp::Lt),
+                    BinOpE::Le => Some(CmpOp::Le),
+                    BinOpE::Gt => Some(CmpOp::Gt),
+                    BinOpE::Ge => Some(CmpOp::Ge),
+                    BinOpE::Eq => Some(CmpOp::Eq),
+                    BinOpE::Ne => Some(CmpOp::Ne),
+                    _ => None,
+                };
+                match (cmp, self.term_of(a, env), self.term_of(b, env)) {
+                    (Some(op), Some(ta), Some(tb)) => Pred::cmp(op, ta, tb),
+                    _ => match (op, self.term_of(e, env)) {
+                        // A bit-vector test like `flags & MASK`.
+                        (BinOpE::BitAnd | BinOpE::BitOr, Some(t)) => {
+                            Pred::cmp(CmpOp::Ne, t, Term::bv(0))
+                        }
+                        _ => Pred::True,
+                    },
+                }
+            }
+            _ => match self.term_of(e, env) {
+                Some(t) => self.truthy_pred(e, t, env),
+                None => Pred::True,
+            },
+        }
+    }
+
+    /// A predicate implied by `e` being falsy.
+    pub(crate) fn guard_neg(&self, e: &IrExpr, env: &Env) -> Pred {
+        match e {
+            IrExpr::Bool(b, _) => {
+                if *b {
+                    Pred::False
+                } else {
+                    Pred::True
+                }
+            }
+            IrExpr::Unary(UnOp::Not, x, _) => self.guard_pos(x, env),
+            IrExpr::Binary(BinOpE::And, a, b, _) => Pred::or(vec![
+                self.guard_neg(a, env),
+                self.guard_neg(b, env),
+            ]),
+            IrExpr::Binary(BinOpE::Or, a, b, _) => Pred::and(vec![
+                self.guard_neg(a, env),
+                self.guard_neg(b, env),
+            ]),
+            IrExpr::Binary(op, a, b, _) => {
+                let cmp = match op {
+                    BinOpE::Lt => Some(CmpOp::Ge),
+                    BinOpE::Le => Some(CmpOp::Gt),
+                    BinOpE::Gt => Some(CmpOp::Le),
+                    BinOpE::Ge => Some(CmpOp::Lt),
+                    BinOpE::Eq => Some(CmpOp::Ne),
+                    BinOpE::Ne => Some(CmpOp::Eq),
+                    _ => None,
+                };
+                match (cmp, self.term_of(a, env), self.term_of(b, env)) {
+                    (Some(op), Some(ta), Some(tb)) => Pred::cmp(op, ta, tb),
+                    _ => match (op, self.term_of(e, env)) {
+                        (BinOpE::BitAnd | BinOpE::BitOr, Some(t)) => {
+                            Pred::cmp(CmpOp::Eq, t, Term::bv(0))
+                        }
+                        _ => Pred::True,
+                    },
+                }
+            }
+            _ => match self.term_of(e, env) {
+                Some(t) => Pred::not(self.truthy_pred(e, t, env)),
+                None => Pred::True,
+            },
+        }
+    }
+
+    /// Truthiness of a term, by the sort of the expression's type.
+    /// For reference sorts we only use `≠ null ∧ ≠ undefined` (weaker than
+    /// JS truthiness, hence sound as a guard hypothesis).
+    pub(crate) fn truthy_pred(&self, e: &IrExpr, t: Term, env: &Env) -> Pred {
+        let sort = self.quick_type(e, env).map(|ty| ty.sort());
+        match sort {
+            Some(Sort::Bool) => Pred::TermPred(t),
+            Some(Sort::Int) => Pred::cmp(CmpOp::Ne, t, Term::int(0)),
+            Some(Sort::Bv32) => Pred::cmp(CmpOp::Ne, t, Term::bv(0)),
+            Some(Sort::Ref) => Pred::and(vec![
+                Pred::cmp(CmpOp::Ne, t.clone(), Term::app("nullv", vec![])),
+                Pred::cmp(CmpOp::Ne, t, Term::app("undefv", vec![])),
+            ]),
+            _ => Pred::True,
+        }
+    }
+
+    /// A logic term denoting `e`, when one exists (variables, literals,
+    /// immutable field chains, `length`, arithmetic, `typeof`).
+    pub(crate) fn term_of(&self, e: &IrExpr, env: &Env) -> Option<Term> {
+        match e {
+            IrExpr::Num(n, _) => Some(Term::int(*n)),
+            IrExpr::Bv(n, _) => Some(Term::bv(*n)),
+            IrExpr::Str(s, _) => Some(Term::str(s.clone())),
+            IrExpr::Bool(b, _) => Some(Term::bool(*b)),
+            IrExpr::Null(_) => Some(Term::app("nullv", vec![])),
+            IrExpr::Undefined(_) => Some(Term::app("undefv", vec![])),
+            IrExpr::Var(x, _) => {
+                if env.lookup(x).is_some() {
+                    Some(Term::var(x.clone()))
+                } else {
+                    None
+                }
+            }
+            IrExpr::This(_) => {
+                env.lookup(&Sym::from("this")).map(|_| Term::this())
+            }
+            IrExpr::Field(b, f, _) => {
+                // Enum member?
+                if let IrExpr::Var(n, _) = b.as_ref() {
+                    if env.lookup(n).is_none() {
+                        if let Some(members) = self.ct.enums.get(n) {
+                            return members.get(f).map(|v| Term::bv(*v));
+                        }
+                    }
+                }
+                let bt = self.quick_type(b, env)?;
+                let tb = self.term_of(b, env)?;
+                match &bt.base {
+                    Base::Arr(..) if f.as_str() == "length" => Some(Term::len_of(tb)),
+                    Base::Prim(Prim::Str) if f.as_str() == "length" => Some(Term::len_of(tb)),
+                    Base::Obj(c, _, _) => {
+                        let fi = self.ct.lookup_field(c, f)?;
+                        if fi.imm {
+                            Some(Term::field(tb, f.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            IrExpr::Unary(UnOp::TypeOf, x, _) => Some(Term::ttag_of(self.term_of(x, env)?)),
+            IrExpr::Unary(UnOp::Neg, x, _) => Some(Term::neg(self.term_of(x, env)?)),
+            IrExpr::Binary(op, a, b, _) => {
+                let bop = match op {
+                    BinOpE::Add => rsc_logic::BinOp::Add,
+                    BinOpE::Sub => rsc_logic::BinOp::Sub,
+                    BinOpE::Mul => rsc_logic::BinOp::Mul,
+                    BinOpE::Div => rsc_logic::BinOp::Div,
+                    BinOpE::Mod => rsc_logic::BinOp::Mod,
+                    BinOpE::BitAnd => rsc_logic::BinOp::BvAnd,
+                    BinOpE::BitOr => rsc_logic::BinOp::BvOr,
+                    _ => return None,
+                };
+                let ta = self.coerce_bv_lit(op, self.term_of(a, env)?);
+                let tb = self.coerce_bv_lit(op, self.term_of(b, env)?);
+                Some(Term::bin(bop, ta, tb))
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn coerce_bv_lit(&self, op: &BinOpE, t: Term) -> Term {
+        if matches!(op, BinOpE::BitAnd | BinOpE::BitOr) {
+            if let Term::IntLit(n) = t {
+                if (0..=u32::MAX as i64).contains(&n) {
+                    return Term::bv(n as u32);
+                }
+            }
+        }
+        t
+    }
+
+    /// A cheap, constraint-free type lookup used by guards and `term_of`.
+    pub(crate) fn quick_type(&self, e: &IrExpr, env: &Env) -> Option<RType> {
+        match e {
+            IrExpr::Var(x, _) => env
+                .lookup(x)
+                .cloned()
+                .or_else(|| self.declares.get(x).cloned()),
+            IrExpr::This(_) => env.lookup(&Sym::from("this")).cloned(),
+            IrExpr::Num(..) => Some(RType::number()),
+            IrExpr::Bv(..) => Some(RType::trivial(Base::Bv(Sym::from("bitvector32")))),
+            IrExpr::Str(..) => Some(RType::string()),
+            IrExpr::Bool(..) => Some(RType::boolean()),
+            IrExpr::Null(_) => Some(RType::null()),
+            IrExpr::Undefined(_) => Some(RType::undefined()),
+            IrExpr::Field(b, f, _) => {
+                if let IrExpr::Var(n, _) = b.as_ref() {
+                    if env.lookup(n).is_none() && self.ct.enums.contains_key(n) {
+                        return Some(RType::trivial(Base::Bv(n.clone())));
+                    }
+                }
+                let bt = self.quick_type(b, env)?;
+                match &bt.base {
+                    Base::Arr(..) if f.as_str() == "length" => Some(RType::number()),
+                    Base::Obj(c, _, _) => {
+                        self.ct.lookup_field(c, f).map(|fi| fi.ty.clone())
+                    }
+                    Base::Union(parts) => parts.iter().find_map(|p| {
+                        if let Base::Obj(c, _, _) = &p.base {
+                            self.ct.lookup_field(c, f).map(|fi| fi.ty.clone())
+                        } else if matches!(p.base, Base::Arr(..)) && f.as_str() == "length" {
+                            Some(RType::number())
+                        } else {
+                            None
+                        }
+                    }),
+                    _ => None,
+                }
+            }
+            IrExpr::Unary(UnOp::TypeOf, _, _) => Some(RType::string()),
+            IrExpr::Unary(UnOp::Not, _, _) => Some(RType::boolean()),
+            IrExpr::Unary(UnOp::Neg, _, _) => Some(RType::number()),
+            IrExpr::Binary(op, a, _, _) => match op {
+                BinOpE::Add | BinOpE::Sub | BinOpE::Mul | BinOpE::Div | BinOpE::Mod => {
+                    Some(RType::number())
+                }
+                BinOpE::BitAnd | BinOpE::BitOr => self.quick_type(a, env),
+                _ => Some(RType::boolean()),
+            },
+            _ => None,
+        }
+    }
+}
+
+fn drop_kvars(p: Pred) -> Pred {
+    match p {
+        Pred::KVar(..) => Pred::True,
+        Pred::And(ps) => Pred::and(ps.into_iter().map(drop_kvars).collect()),
+        Pred::Or(ps) => Pred::or(ps.into_iter().map(drop_kvars).collect()),
+        Pred::Not(q) => match drop_kvars(*q) {
+            Pred::True => Pred::True, // ¬κ weakens to true, not false
+            q => Pred::not(q),
+        },
+        Pred::Imp(a, b) => Pred::imp(drop_kvars(*a), drop_kvars(*b)),
+        other => other,
+    }
+}
+
+/// Scans a constructor body for direct `this.f = p` assignments of
+/// unmodified constructor parameters, used to seed `new C(...)` result
+/// refinements (`ν.f = argᵢ`).
+fn scan_ctor_params(c: &IrClass) -> Vec<(Sym, usize)> {
+    let mut out = Vec::new();
+    let Some(ctor) = &c.ctor else {
+        return out;
+    };
+    let params: Vec<Sym> = ctor.params.iter().map(|(p, _)| p.clone()).collect();
+    fn walk(b: &Body, params: &[Sym], out: &mut Vec<(Sym, usize)>) {
+        match b {
+            Body::Effect { e, rest, .. } => {
+                if let IrExpr::FieldAssign(recv, f, val, _) = e {
+                    if matches!(recv.as_ref(), IrExpr::This(_)) {
+                        if let IrExpr::Var(x, _) = val.as_ref() {
+                            if let Some(i) = params.iter().position(|p| p == x) {
+                                out.push((f.clone(), i));
+                            }
+                        }
+                    }
+                }
+                walk(rest, params, out);
+            }
+            Body::Let { rest, .. } | Body::LetFun { rest, .. } => walk(rest, params, out),
+            Body::If { .. } | Body::Loop { .. } => {} // only the linear prefix
+            _ => {}
+        }
+    }
+    walk(&ctor.body, &params, &mut out);
+    out
+}

@@ -1,0 +1,46 @@
+//! Diagnostics reported by the checker.
+
+use std::fmt;
+
+use rsc_syntax::Span;
+
+/// The severity of a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// A verification failure (the program is rejected).
+    Error,
+    /// An informational note.
+    Note,
+}
+
+/// A checker diagnostic.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source location, when known.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// An error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Note => "note",
+        };
+        write!(f, "{sev} ({}): {}", self.span, self.message)
+    }
+}

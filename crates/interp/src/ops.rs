@@ -1,0 +1,154 @@
+//! Operator semantics shared by the FRSC and IRSC interpreters, so the
+//! consistency theorem (Thm 1) is tested against a single definition of
+//! the primitive operations.
+
+use rsc_syntax::ast::{BinOpE, UnOp};
+
+use crate::value::{Heap, RuntimeError, Value};
+
+/// Evaluates a strict binary operator on evaluated operands.
+/// (`&&`/`||` short-circuit and are handled by the interpreters.)
+pub fn binop(op: BinOpE, a: Value, b: Value) -> Result<Value, RuntimeError> {
+    use BinOpE::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => {
+            let (x, y) = both_nums(op, a, b)?;
+            let r = match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(RuntimeError::DivByZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                Mod => {
+                    if y == 0 {
+                        return Err(RuntimeError::DivByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Num(r))
+        }
+        Lt | Le | Gt | Ge => {
+            let (x, y) = both_nums(op, a, b)?;
+            let r = match op {
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(r))
+        }
+        Eq => Ok(Value::Bool(a.strict_eq(&b))),
+        Ne => Ok(Value::Bool(!a.strict_eq(&b))),
+        BitAnd | BitOr => {
+            let x = as_bv(&a)?;
+            let y = as_bv(&b)?;
+            Ok(Value::Bv(if op == BitAnd { x & y } else { x | y }))
+        }
+        And | Or => Err(RuntimeError::TypeError(
+            "short-circuit operator evaluated strictly".into(),
+        )),
+    }
+}
+
+fn both_nums(op: BinOpE, a: Value, b: Value) -> Result<(i64, i64), RuntimeError> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => Ok((x, y)),
+        (a, b) => Err(RuntimeError::TypeError(format!(
+            "{op:?} on non-numbers {a} and {b}"
+        ))),
+    }
+}
+
+fn as_bv(v: &Value) -> Result<u32, RuntimeError> {
+    match v {
+        Value::Bv(n) => Ok(*n),
+        Value::Num(n) if *n >= 0 && *n <= u32::MAX as i64 => Ok(*n as u32),
+        other => Err(RuntimeError::TypeError(format!(
+            "bit-vector operation on {other}"
+        ))),
+    }
+}
+
+/// Evaluates a unary operator.
+pub fn unop(op: UnOp, v: Value, heap: &Heap) -> Result<Value, RuntimeError> {
+    match op {
+        UnOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnOp::Neg => match v {
+            Value::Num(n) => Ok(Value::Num(n.wrapping_neg())),
+            other => Err(RuntimeError::TypeError(format!("negation of {other}"))),
+        },
+        UnOp::TypeOf => Ok(Value::Str(v.type_tag(heap).to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            binop(BinOpE::Add, Value::Num(2), Value::Num(3)).unwrap(),
+            Value::Num(5)
+        );
+        assert_eq!(
+            binop(BinOpE::Div, Value::Num(7), Value::Num(2)).unwrap(),
+            Value::Num(3)
+        );
+        assert_eq!(
+            binop(BinOpE::Div, Value::Num(1), Value::Num(0)),
+            Err(RuntimeError::DivByZero)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_equality() {
+        assert_eq!(
+            binop(BinOpE::Lt, Value::Num(1), Value::Num(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            binop(BinOpE::Eq, Value::Str("a".into()), Value::Str("a".into())).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            binop(BinOpE::Ne, Value::Undefined, Value::Null).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn bitvectors() {
+        assert_eq!(
+            binop(BinOpE::BitAnd, Value::Bv(0x0c00), Value::Bv(0x3c00)).unwrap(),
+            Value::Bv(0x0c00)
+        );
+    }
+
+    #[test]
+    fn typeof_tags() {
+        let h = Heap::new();
+        assert_eq!(
+            unop(UnOp::TypeOf, Value::Num(1), &h).unwrap(),
+            Value::Str("number".into())
+        );
+        assert_eq!(
+            unop(UnOp::TypeOf, Value::Undefined, &h).unwrap(),
+            Value::Str("undefined".into())
+        );
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(binop(BinOpE::Add, Value::Num(1), Value::Bool(true)).is_err());
+        let h = Heap::new();
+        assert!(unop(UnOp::Neg, Value::Str("x".into()), &h).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Runtime values and heaps shared by the FRSC and IRSC interpreters.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rsc_logic::Sym;
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A number (integers, per the paper's LIA refinement logic).
+    Num(i64),
+    /// A 32-bit bit-vector (enum flags).
+    Bv(u32),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// A heap reference.
+    Ref(usize),
+}
+
+impl Value {
+    /// JavaScript-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Num(n) => *n != 0,
+            Value::Bv(n) => *n != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bool(b) => *b,
+            Value::Null | Value::Undefined => false,
+            Value::Ref(_) => true,
+        }
+    }
+
+    /// The `typeof` tag (§4.2).
+    pub fn type_tag(&self, heap: &Heap) -> &'static str {
+        match self {
+            Value::Num(_) | Value::Bv(_) => "number",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "boolean",
+            Value::Undefined => "undefined",
+            Value::Null => "object",
+            Value::Ref(r) => match heap.get(*r) {
+                Some(Obj::Closure { .. }) => "function",
+                _ => "object",
+            },
+        }
+    }
+
+    /// Strict (`===`) equality.
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Bv(a), Value::Bv(b)) => a == b,
+            (Value::Num(a), Value::Bv(b)) | (Value::Bv(b), Value::Num(a)) => {
+                *a >= 0 && *a as u32 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            (Value::Undefined, Value::Undefined) => true,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bv(n) => write!(f, "{n:#x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "null"),
+            Value::Undefined => write!(f, "undefined"),
+            Value::Ref(r) => write!(f, "<ref {r}>"),
+        }
+    }
+}
+
+/// A heap object.
+#[derive(Clone, Debug)]
+pub enum Obj {
+    /// A fixed-length array.
+    Arr(Vec<Value>),
+    /// A class instance.
+    Instance {
+        /// Its class name.
+        class: Sym,
+        /// Its fields.
+        fields: HashMap<Sym, Value>,
+    },
+    /// A closure; the payload is interpreter-specific and indexed by id.
+    Closure {
+        /// Index into the interpreter's closure table.
+        fun: usize,
+    },
+}
+
+/// A growable heap of objects.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    objs: Vec<Obj>,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Allocates an object, returning its address.
+    pub fn alloc(&mut self, o: Obj) -> usize {
+        self.objs.push(o);
+        self.objs.len() - 1
+    }
+
+    /// The object at address `r`.
+    pub fn get(&self, r: usize) -> Option<&Obj> {
+        self.objs.get(r)
+    }
+
+    /// Mutable access to the object at `r`.
+    pub fn get_mut(&mut self, r: usize) -> Option<&mut Obj> {
+        self.objs.get_mut(r)
+    }
+
+    /// Number of live objects (monotone).
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// True when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+}
+
+/// A runtime error — exactly the outcomes type soundness (Theorems 2–5)
+/// rules out for verified programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Array access out of bounds.
+    OutOfBounds(String),
+    /// Read of a missing field or property on a non-object.
+    BadField(String),
+    /// Call of a non-function.
+    NotAFunction(String),
+    /// `assert(false)`.
+    AssertFailed(String),
+    /// Arithmetic on non-numbers, etc.
+    TypeError(String),
+    /// Integer division by zero.
+    DivByZero,
+    /// Fuel exhausted (divergence guard in tests).
+    OutOfFuel,
+    /// Unbound variable (interpreter-internal).
+    Unbound(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfBounds(m) => write!(f, "array index out of bounds: {m}"),
+            RuntimeError::BadField(m) => write!(f, "bad field access: {m}"),
+            RuntimeError::NotAFunction(m) => write!(f, "not a function: {m}"),
+            RuntimeError::AssertFailed(m) => write!(f, "assertion failed: {m}"),
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::DivByZero => write!(f, "division by zero"),
+            RuntimeError::OutOfFuel => write!(f, "out of fuel"),
+            RuntimeError::Unbound(m) => write!(f, "unbound variable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,194 @@
+//! Constraint environments and subtyping constraints over templates.
+
+use std::collections::HashMap;
+
+use rsc_logic::{KVar, KVarId, Pred, Qualifier, Sort, SortEnv, Subst, Sym};
+
+/// A constraint environment Γ: ordered bindings `x : {v:sort | pred}` plus
+/// path-sensitivity guard predicates.
+#[derive(Clone, Debug, Default)]
+pub struct CEnv {
+    /// Bindings in dependency order. The predicate is over the value
+    /// variable `v`.
+    pub binds: Vec<(Sym, Sort, Pred)>,
+    /// Guard predicates (branch conditions).
+    pub guards: Vec<Pred>,
+}
+
+impl CEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        CEnv::default()
+    }
+
+    /// Pushes a binding.
+    pub fn bind(&mut self, x: impl Into<Sym>, sort: Sort, pred: Pred) {
+        self.binds.push((x.into(), sort, pred));
+    }
+
+    /// Pushes a guard predicate.
+    pub fn guard(&mut self, p: Pred) {
+        self.guards.push(p);
+    }
+
+    /// The embedding ⟦Γ⟧ (§3.2): `[x/v]p` for every binding plus all
+    /// guards. Predicates may still contain κ-variables; the solver
+    /// substitutes the current assignment before calling the SMT solver.
+    pub fn embed(&self) -> Vec<Pred> {
+        let mut out = Vec::new();
+        for (x, _, p) in &self.binds {
+            if matches!(p, Pred::True) {
+                continue;
+            }
+            let s = Subst::one("v", rsc_logic::Term::var(x.clone()));
+            out.push(s.apply_pred(p));
+        }
+        out.extend(self.guards.iter().cloned());
+        out
+    }
+
+    /// The variables in scope with their sorts (for qualifier
+    /// instantiation and SMT sorting).
+    pub fn scope(&self) -> Vec<(Sym, Sort)> {
+        self.binds.iter().map(|(x, s, _)| (x.clone(), *s)).collect()
+    }
+
+    /// The embedding split into binding facts and guard predicates.
+    /// Guards carry path-sensitivity and are never relevance-filtered.
+    pub fn embed_split(&self) -> (Vec<Pred>, Vec<Pred>) {
+        let mut binds = Vec::new();
+        for (x, _, p) in &self.binds {
+            if matches!(p, Pred::True) {
+                continue;
+            }
+            let s = Subst::one("v", rsc_logic::Term::var(x.clone()));
+            binds.push(s.apply_pred(p));
+        }
+        (binds, self.guards.clone())
+    }
+}
+
+/// A subtyping constraint `Γ ⊢ {v | lhs} ⊑ {v | rhs}`.
+///
+/// After splitting, `rhs` is either concrete or a single κ application.
+#[derive(Clone, Debug)]
+pub struct SubC {
+    /// The environment.
+    pub env: CEnv,
+    /// Left refinement (over `v`), possibly containing κ-variables.
+    pub lhs: Pred,
+    /// Right refinement (over `v`).
+    pub rhs: Pred,
+    /// Sort of the value variable.
+    pub vv_sort: Sort,
+    /// Provenance for diagnostics (e.g. "call to head at line 12").
+    pub origin: String,
+}
+
+/// A full constraint problem: κ declarations, subtyping constraints and
+/// the qualifier pool.
+#[derive(Debug, Default)]
+pub struct ConstraintSet {
+    /// κ-variable metadata (scope for well-formedness).
+    pub kvars: HashMap<KVarId, KVar>,
+    /// Subtyping constraints.
+    pub subs: Vec<SubC>,
+    /// Qualifiers available to the fixpoint.
+    pub quals: Vec<Qualifier>,
+    /// The global sort environment: uninterpreted functions, field
+    /// selectors, measures. Variable sorts come from each constraint's
+    /// environment.
+    pub sort_env: SortEnv,
+    next_kvar: u32,
+}
+
+impl ConstraintSet {
+    /// A fresh constraint set with the default qualifier prelude.
+    pub fn new() -> Self {
+        ConstraintSet {
+            quals: rsc_logic::prelude_qualifiers(),
+            sort_env: SortEnv::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Allocates a fresh κ-variable with the given value-variable sort and
+    /// scope.
+    pub fn fresh_kvar(
+        &mut self,
+        vv_sort: Sort,
+        scope: Vec<(Sym, Sort)>,
+        origin: impl Into<String>,
+    ) -> KVarId {
+        let id = KVarId(self.next_kvar);
+        self.next_kvar += 1;
+        self.kvars.insert(id, KVar::new(id, vv_sort, scope, origin));
+        id
+    }
+
+    /// Adds a subtyping constraint, splitting conjunctive right-hand sides
+    /// so every stored constraint has either a concrete rhs or a single κ
+    /// application.
+    pub fn push_sub(&mut self, env: CEnv, lhs: Pred, rhs: Pred, vv_sort: Sort, origin: &str) {
+        match rhs {
+            Pred::True => {}
+            Pred::And(parts) => {
+                for p in parts {
+                    self.push_sub(env.clone(), lhs.clone(), p, vv_sort, origin);
+                }
+            }
+            rhs => self.subs.push(SubC {
+                env,
+                lhs,
+                rhs,
+                vv_sort,
+                origin: origin.to_string(),
+            }),
+        }
+    }
+
+    /// Number of κ variables allocated.
+    pub fn num_kvars(&self) -> usize {
+        self.kvars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_logic::{CmpOp, Term};
+
+    #[test]
+    fn embed_substitutes_vv() {
+        let mut env = CEnv::new();
+        env.bind(
+            "x",
+            Sort::Int,
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+        );
+        env.guard(Pred::cmp(CmpOp::Lt, Term::var("x"), Term::int(10)));
+        let h = env.embed();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].to_string(), "0 <= x");
+    }
+
+    #[test]
+    fn push_sub_splits_conjunctions() {
+        let mut cs = ConstraintSet::new();
+        let rhs = Pred::and(vec![
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+            Pred::cmp(CmpOp::Lt, Term::vv(), Term::int(10)),
+        ]);
+        cs.push_sub(CEnv::new(), Pred::True, rhs, Sort::Int, "t");
+        assert_eq!(cs.subs.len(), 2);
+    }
+
+    #[test]
+    fn fresh_kvars_are_distinct() {
+        let mut cs = ConstraintSet::new();
+        let a = cs.fresh_kvar(Sort::Int, vec![], "a");
+        let b = cs.fresh_kvar(Sort::Int, vec![], "b");
+        assert_ne!(a, b);
+        assert_eq!(cs.num_kvars(), 2);
+    }
+}

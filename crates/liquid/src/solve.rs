@@ -1,0 +1,322 @@
+//! The predicate-abstraction fixpoint (Step 3 of §2.2.1): initialize each
+//! κ to all well-sorted qualifier instantiations, iteratively weaken until
+//! every κ-headed constraint is valid, then check concrete constraints.
+
+use std::collections::HashMap;
+
+use rsc_logic::{KVarId, Pred, Sort, SortEnv, Term};
+use rsc_smt::Solver;
+
+use crate::constraint::{ConstraintSet, SubC};
+
+/// A solution: each κ maps to the conjunction of surviving qualifier
+/// instances.
+#[derive(Clone, Debug, Default)]
+pub struct Solution {
+    assignment: HashMap<KVarId, Vec<Pred>>,
+}
+
+impl Solution {
+    /// The predicates assigned to κ (empty slice = `true`).
+    pub fn of(&self, k: KVarId) -> &[Pred] {
+        self.assignment.get(&k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Substitutes the solution into a predicate: every `κ[θ]` becomes
+    /// `θ(⋀ A(κ))`.
+    pub fn apply(&self, p: &Pred) -> Pred {
+        match p {
+            Pred::KVar(k, theta) => {
+                let body = Pred::and(self.of(*k).to_vec());
+                theta.apply_pred(&body)
+            }
+            Pred::And(ps) => Pred::and(ps.iter().map(|q| self.apply(q)).collect()),
+            Pred::Or(ps) => Pred::or(ps.iter().map(|q| self.apply(q)).collect()),
+            Pred::Not(q) => Pred::not(self.apply(q)),
+            Pred::Imp(a, b) => Pred::imp(self.apply(a), self.apply(b)),
+            Pred::Iff(a, b) => Pred::iff(self.apply(a), self.apply(b)),
+            other => other.clone(),
+        }
+    }
+}
+
+/// The outcome of constraint solving.
+#[derive(Debug)]
+pub struct LiquidResult {
+    /// The inferred κ assignment.
+    pub solution: Solution,
+    /// Concrete constraints that failed under the solution (type errors):
+    /// indices into `ConstraintSet::subs` plus the origin string.
+    pub failures: Vec<(usize, String)>,
+    /// Number of SMT validity queries issued.
+    pub smt_queries: u64,
+}
+
+/// Solves the constraint set.
+pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
+    // --- Initial assignment -------------------------------------------------
+    let mut sol = Solution::default();
+    for (id, kv) in &cs.kvars {
+        let mut cands: Vec<Pred> = Vec::new();
+        for q in &cs.quals {
+            if q.vv_sort != kv.vv_sort {
+                continue;
+            }
+            for inst in q.instantiate(&kv.scope) {
+                // Keep only well-sorted instantiations.
+                let mut env = cs.sort_env.clone();
+                env.bind("v", kv.vv_sort);
+                for (x, s) in &kv.scope {
+                    env.bind(x.clone(), *s);
+                }
+                if env.check_pred(&inst).is_ok() && !cands.contains(&inst) {
+                    cands.push(inst);
+                }
+            }
+        }
+        sol.assignment.insert(*id, cands);
+    }
+
+    let mut queries = 0u64;
+
+    // --- Fixpoint: weaken κ-headed constraints ------------------------------
+    let kvar_headed: Vec<usize> = cs
+        .subs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c.rhs, Pred::KVar(..)))
+        .map(|(i, _)| i)
+        .collect();
+    loop {
+        let mut changed = false;
+        for &ci in &kvar_headed {
+            let c = &cs.subs[ci];
+            let Pred::KVar(k, theta) = &c.rhs else {
+                unreachable!()
+            };
+            let current = sol.of(*k).to_vec();
+            if current.is_empty() {
+                continue;
+            }
+            let (env_sorts, all_hyps, guards) = prepare_hyps(cs, c, &sol);
+            let mut kept = Vec::with_capacity(current.len());
+            for q in current {
+                let goal = theta.apply_pred(&q);
+                let mut seeds = goal.free_vars();
+                seeds.insert(rsc_logic::Sym::from("v"));
+                seeds.extend(sol.apply(&c.lhs).free_vars());
+                for g in &guards {
+                    seeds.extend(g.free_vars());
+                }
+                let mut hyps = filter_relevant(all_hyps.clone(), seeds);
+                hyps.extend(guards.iter().cloned());
+                queries += 1;
+                if smt.is_valid(&env_sorts, &hyps, &goal) {
+                    kept.push(q);
+                } else {
+                    if std::env::var("RSC_DEBUG").is_ok() {
+                        eprintln!(
+                            "[liquid] drop {q} from {k} at `{}`; hyps={:?}",
+                            c.origin,
+                            hyps.iter().map(|h| h.to_string()).collect::<Vec<_>>()
+                        );
+                    }
+                    changed = true;
+                }
+            }
+            sol.assignment.insert(*k, kept);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Validate concrete constraints --------------------------------------
+    let mut failures = Vec::new();
+    for (i, c) in cs.subs.iter().enumerate() {
+        if matches!(c.rhs, Pred::KVar(..)) {
+            continue;
+        }
+        let (env_sorts, all_hyps, guards) = prepare_hyps(cs, c, &sol);
+        let goal = sol.apply(&c.rhs);
+        // Dead-code obligations (`… ⊑ false`) need the whole environment
+        // to exhibit the inconsistency; everything else is filtered.
+        let mut hyps = if matches!(goal, Pred::False) {
+            all_hyps
+        } else {
+            let mut seeds = goal.free_vars();
+            seeds.insert(rsc_logic::Sym::from("v"));
+            seeds.extend(sol.apply(&c.lhs).free_vars());
+            for g in &guards {
+                seeds.extend(g.free_vars());
+            }
+            filter_relevant(all_hyps, seeds)
+        };
+        hyps.extend(guards.iter().cloned());
+        queries += 1;
+        if !smt.is_valid(&env_sorts, &hyps, &goal) {
+            failures.push((i, c.origin.clone()));
+        }
+    }
+
+    LiquidResult {
+        solution: sol,
+        failures,
+        smt_queries: queries,
+    }
+}
+
+/// Keeps only hypotheses transitively sharing variables with the seeds
+/// (goal + left-hand side). Dropping hypotheses is conservative, and the
+/// filter tames the model-enumeration cost of disjunction-heavy union
+/// embeddings.
+pub fn filter_relevant(hyps: Vec<Pred>, seeds: std::collections::BTreeSet<rsc_logic::Sym>) -> Vec<Pred> {
+    let fvs: Vec<std::collections::BTreeSet<rsc_logic::Sym>> =
+        hyps.iter().map(|h| h.free_vars()).collect();
+    let mut relevant = seeds;
+    let mut keep = vec![false; hyps.len()];
+    for _ in 0..3 {
+        let mut changed = false;
+        for (i, fv) in fvs.iter().enumerate() {
+            if keep[i] {
+                continue;
+            }
+            if fv.is_empty() || fv.iter().any(|x| relevant.contains(x)) {
+                keep[i] = true;
+                relevant.extend(fv.iter().cloned());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    hyps.into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(h, _)| h)
+        .collect()
+}
+
+/// Builds the sorted environment and hypothesis list for one constraint:
+/// ⟦Γ⟧ under the current solution, plus the (solved) left refinement.
+fn prepare_hyps(
+    cs: &ConstraintSet,
+    c: &SubC,
+    sol: &Solution,
+) -> (SortEnv, Vec<Pred>, Vec<Pred>) {
+    let mut env_sorts = cs.sort_env.clone();
+    for (x, s) in c.env.scope() {
+        env_sorts.bind(x, s);
+    }
+    env_sorts.bind("v", c.vv_sort);
+    let (bind_preds, guard_preds) = c.env.embed_split();
+    let mut guards: Vec<Pred> = Vec::new();
+    for g in guard_preds {
+        guards.extend(sol.apply(&g).conjuncts());
+    }
+    guards.retain(|p| env_sorts.check_pred(p).is_ok());
+    let mut hyps: Vec<Pred> = bind_preds.iter().map(|p| sol.apply(p)).collect();
+    hyps.push(sol.apply(&c.lhs));
+    // The `len` measure is a natural number: 0 ≤ len(x) for every
+    // reference in scope (and for ν itself when it is a reference).
+    for (x, s) in c.env.scope() {
+        if s == Sort::Ref {
+            hyps.push(Pred::cmp(
+                rsc_logic::CmpOp::Le,
+                Term::int(0),
+                Term::len_of(Term::var(x)),
+            ));
+        }
+    }
+    if c.vv_sort == Sort::Ref {
+        hyps.push(Pred::cmp(
+            rsc_logic::CmpOp::Le,
+            Term::int(0),
+            Term::len_of(Term::vv()),
+        ));
+    }
+    // Split into conjuncts, then drop ill-sorted ones (conservative:
+    // fewer hypotheses make validity harder, never easier). Splitting
+    // first keeps the well-sorted parts of mixed conjunctions — e.g. the
+    // `ttag(v) = "number"` next to a cross-sort `v = x` selfification.
+    let mut flat: Vec<Pred> = Vec::new();
+    for h in hyps {
+        flat.extend(h.conjuncts());
+    }
+    flat.retain(|p| env_sorts.check_pred(p).is_ok());
+    (env_sorts, flat, guards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::CEnv;
+    use rsc_logic::{CmpOp, Subst, Term};
+
+    /// The κ for a simple counter `i = 0; while (i < 10) i = i + 1`.
+    #[test]
+    fn counter_invariant() {
+        let mut cs = ConstraintSet::new();
+        let k = cs.fresh_kvar(Sort::Int, vec![], "phi i");
+        let kapp = Pred::KVar(k, Subst::new());
+
+        // init: ⊢ {v = 0} ⊑ κ
+        cs.push_sub(
+            CEnv::new(),
+            Pred::vv_eq(Term::int(0)),
+            kapp.clone(),
+            Sort::Int,
+            "init",
+        );
+        // step: i:κ, i < 10 ⊢ {v = i + 1} ⊑ κ
+        let mut env = CEnv::new();
+        env.bind("i", Sort::Int, kapp.clone());
+        env.guard(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::int(10)));
+        cs.push_sub(
+            env.clone(),
+            Pred::vv_eq(Term::add(Term::var("i"), Term::int(1))),
+            kapp.clone(),
+            Sort::Int,
+            "step",
+        );
+        // use: i:κ, ¬(i < 10) ⊢ {v = i} ⊑ {v = 10}  (exact exit value needs
+        // more than the prelude, so check a weaker concrete bound: 0 ≤ v).
+        let mut env2 = CEnv::new();
+        env2.bind("i", Sort::Int, kapp);
+        env2.guard(Pred::cmp(CmpOp::Ge, Term::var("i"), Term::int(10)));
+        cs.push_sub(
+            env2,
+            Pred::vv_eq(Term::var("i")),
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+            Sort::Int,
+            "use",
+        );
+
+        let mut smt = Solver::new();
+        let r = solve(&cs, &mut smt);
+        assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
+        let shown: Vec<String> = r.solution.of(k).iter().map(|p| p.to_string()).collect();
+        assert!(
+            shown.contains(&"0 <= v".to_string()),
+            "κ should keep Nat, got {shown:?}"
+        );
+    }
+
+    /// An unsatisfiable concrete constraint is reported as a failure.
+    #[test]
+    fn concrete_failure_detected() {
+        let mut cs = ConstraintSet::new();
+        cs.push_sub(
+            CEnv::new(),
+            Pred::vv_eq(Term::int(5)),
+            Pred::cmp(CmpOp::Lt, Term::vv(), Term::int(3)),
+            Sort::Int,
+            "bad bound",
+        );
+        let mut smt = Solver::new();
+        let r = solve(&cs, &mut smt);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].1, "bad bound");
+    }
+}

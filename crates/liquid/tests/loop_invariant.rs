@@ -1,0 +1,176 @@
+//! Reproduces the fixpoint run of §2.2.2: inferring the loop invariant of
+//! `reduce` — the Φ-variable `i2` gets `0 ≤ ν ∧ ν ≤ len(a)`, which under
+//! the loop guard `i2 < len(a)` proves the callback receives `idx<a>`.
+
+use rsc_liquid::{solve, CEnv, ConstraintSet};
+use rsc_logic::{CmpOp, Pred, Sort, Subst, Term};
+use rsc_smt::Solver;
+
+fn idx_of(array: &str) -> Pred {
+    Pred::and(vec![
+        Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+        Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var(array))),
+    ])
+}
+
+#[test]
+fn reduce_loop_invariant() {
+    let mut cs = ConstraintSet::new();
+    let scope = vec![(rsc_logic::Sym::from("a"), Sort::Ref)];
+    let k_i2 = cs.fresh_kvar(Sort::Int, scope.clone(), "phi i2");
+    let kapp = Pred::KVar(k_i2, Subst::new());
+
+    // Γ0 ⊢ {ν = i0} ⊑ κ_i2 with i0 = 0 (inlined).
+    let mut g0 = CEnv::new();
+    g0.bind("a", Sort::Ref, Pred::True);
+    cs.push_sub(
+        g0,
+        Pred::vv_eq(Term::int(0)),
+        kapp.clone(),
+        Sort::Int,
+        "phi init",
+    );
+
+    // Γ1 ⊢ {ν = i1} ⊑ κ_i2 where i1 = i2 + 1 under the loop guard.
+    let mut g1 = CEnv::new();
+    g1.bind("a", Sort::Ref, Pred::True);
+    g1.bind("i2", Sort::Int, kapp.clone());
+    g1.guard(Pred::cmp(
+        CmpOp::Lt,
+        Term::var("i2"),
+        Term::len_of(Term::var("a")),
+    ));
+    cs.push_sub(
+        g1.clone(),
+        Pred::vv_eq(Term::add(Term::var("i2"), Term::int(1))),
+        kapp.clone(),
+        Sort::Int,
+        "phi step",
+    );
+
+    // Concrete: under the guard, i2 must be a valid index (the callback
+    // argument of type idx<a>).
+    cs.push_sub(
+        g1,
+        Pred::vv_eq(Term::var("i2")),
+        idx_of("a"),
+        Sort::Int,
+        "callback index",
+    );
+
+    let mut smt = Solver::new();
+    let r = solve(&cs, &mut smt);
+    assert!(
+        r.failures.is_empty(),
+        "array safety of reduce should verify: {:?}",
+        r.failures
+    );
+    let shown: Vec<String> = r.solution.of(k_i2).iter().map(|p| p.to_string()).collect();
+    assert!(shown.contains(&"0 <= v".to_string()), "{shown:?}");
+    assert!(
+        shown.contains(&"v <= len(a)".to_string()),
+        "κ_i2 should include ν ≤ len(a): {shown:?}"
+    );
+    // The over-strong candidate ν < len(a) must have been weakened away.
+    assert!(
+        !shown.contains(&"v < len(a)".to_string()),
+        "ν < len(a) does not hold at the loop head after the last iteration: {shown:?}"
+    );
+}
+
+#[test]
+fn head_requires_nonempty_rejected_without_guard() {
+    // head(a) with a possibly-empty array must fail.
+    let mut cs = ConstraintSet::new();
+    let mut env = CEnv::new();
+    env.bind("a", Sort::Ref, Pred::True);
+    cs.push_sub(
+        env,
+        Pred::vv_eq(Term::int(0)),
+        Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
+        Sort::Int,
+        "head unguarded",
+    );
+    let mut smt = Solver::new();
+    let r = solve(&cs, &mut smt);
+    assert_eq!(r.failures.len(), 1);
+}
+
+#[test]
+fn head_accepted_with_branch_guard() {
+    // Path sensitivity: under 0 < len(a) the access verifies (§2.1.1).
+    let mut cs = ConstraintSet::new();
+    let mut env = CEnv::new();
+    env.bind("a", Sort::Ref, Pred::True);
+    env.guard(Pred::cmp(
+        CmpOp::Lt,
+        Term::int(0),
+        Term::len_of(Term::var("a")),
+    ));
+    cs.push_sub(
+        env,
+        Pred::vv_eq(Term::int(0)),
+        Pred::and(vec![
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+            Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
+        ]),
+        Sort::Int,
+        "head guarded",
+    );
+    let mut smt = Solver::new();
+    let r = solve(&cs, &mut smt);
+    assert!(r.failures.is_empty(), "{:?}", r.failures);
+}
+
+#[test]
+fn polymorphic_instantiation_flow() {
+    // §2.2.1: B ↦ κ_B with number base; the instantiation at the minIndex
+    // call site must solve to idx⟨a⟩.
+    let mut cs = ConstraintSet::new();
+    let scope = vec![(rsc_logic::Sym::from("a"), Sort::Ref)];
+    let k_b = cs.fresh_kvar(Sort::Int, scope, "B instantiation");
+    let kapp = Pred::KVar(k_b, Subst::new());
+
+    // Γ ⊢ {ν = 0} ⊑ κ_B under else-guard 0 < len(a).
+    let mut g = CEnv::new();
+    g.bind("a", Sort::Ref, Pred::True);
+    g.guard(Pred::cmp(
+        CmpOp::Lt,
+        Term::int(0),
+        Term::len_of(Term::var("a")),
+    ));
+    cs.push_sub(g, Pred::vv_eq(Term::int(0)), kapp.clone(), Sort::Int, "x=0 flows to B");
+
+    // Γ_step ⊢ idx⟨a⟩ ⊑ κ_B  (i flows to the output).
+    let mut gs = CEnv::new();
+    gs.bind("a", Sort::Ref, Pred::True);
+    cs.push_sub(
+        gs.clone(),
+        Pred::and(vec![
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+            Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
+        ]),
+        kapp.clone(),
+        Sort::Int,
+        "i flows to B",
+    );
+
+    // Γ_step ⊢ κ_B ⊑ idx⟨a⟩  (min indexes into a).
+    cs.push_sub(
+        gs,
+        kapp,
+        Pred::and(vec![
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+            Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
+        ]),
+        Sort::Int,
+        "min indexes a",
+    );
+
+    let mut smt = Solver::new();
+    let r = solve(&cs, &mut smt);
+    assert!(r.failures.is_empty(), "minIndex should verify: {:?}", r.failures);
+    let shown: Vec<String> = r.solution.of(k_b).iter().map(|p| p.to_string()).collect();
+    assert!(shown.contains(&"0 <= v".to_string()), "{shown:?}");
+    assert!(shown.contains(&"v < len(a)".to_string()), "{shown:?}");
+}

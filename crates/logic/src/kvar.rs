@@ -1,0 +1,62 @@
+use std::fmt;
+
+use crate::{Sort, Sym};
+
+/// The identifier of a κ-variable (an unknown refinement of Liquid
+/// inference, §2.2.1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct KVarId(pub u32);
+
+impl fmt::Display for KVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$k{}", self.0)
+    }
+}
+
+/// Metadata for a κ-variable: the sort of its value variable and the
+/// variables (with sorts) that may appear in its solution — i.e. the scope
+/// over which well-formedness is enforced.
+///
+/// A κ-variable stands for an unknown refinement `{v : b | κ}`; the Liquid
+/// fixpoint assigns it a conjunction of instantiated [`crate::Qualifier`]s.
+#[derive(Clone, Debug)]
+pub struct KVar {
+    /// The κ identifier.
+    pub id: KVarId,
+    /// The sort of the value variable `v` in this refinement.
+    pub vv_sort: Sort,
+    /// In-scope variables and their sorts, usable by qualifier
+    /// instantiation.
+    pub scope: Vec<(Sym, Sort)>,
+    /// A human-readable hint of where the κ came from (for diagnostics).
+    pub origin: String,
+}
+
+impl KVar {
+    /// Creates a new κ-variable description.
+    pub fn new(id: KVarId, vv_sort: Sort, scope: Vec<(Sym, Sort)>, origin: impl Into<String>) -> Self {
+        KVar {
+            id,
+            vv_sort,
+            scope,
+            origin: origin.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(KVarId(7).to_string(), "$k7");
+    }
+
+    #[test]
+    fn kvar_new() {
+        let k = KVar::new(KVarId(0), Sort::Int, vec![(Sym::from("a"), Sort::Ref)], "phi i2");
+        assert_eq!(k.scope.len(), 1);
+        assert_eq!(k.origin, "phi i2");
+    }
+}

@@ -1,0 +1,111 @@
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-ish symbol: a cheaply clonable, hashable string.
+///
+/// `Sym` is used for every identifier in the logic and throughout the
+/// checker pipeline (variables, field names, class names, uninterpreted
+/// function symbols).
+///
+/// ```
+/// use rsc_logic::Sym;
+/// let a = Sym::from("len");
+/// let b = Sym::from(String::from("len"));
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "len");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(Arc<str>);
+
+impl Sym {
+    /// Creates a new symbol from a string slice.
+    pub fn new(s: &str) -> Self {
+        Sym(Arc::from(s))
+    }
+
+    /// Returns the underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym(Arc::from(s.as_str()))
+    }
+}
+
+impl From<&Sym> for Sym {
+    fn from(s: &Sym) -> Self {
+        s.clone()
+    }
+}
+
+impl Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sym_equality_and_hash() {
+        let mut m: HashMap<Sym, i32> = HashMap::new();
+        m.insert(Sym::from("x"), 1);
+        assert_eq!(m.get("x"), Some(&1));
+        assert_eq!(Sym::from("x"), "x");
+    }
+
+    #[test]
+    fn sym_display() {
+        assert_eq!(Sym::from("len").to_string(), "len");
+    }
+
+    #[test]
+    fn sym_ordering() {
+        let mut v = vec![Sym::from("b"), Sym::from("a")];
+        v.sort();
+        assert_eq!(v[0], "a");
+    }
+}

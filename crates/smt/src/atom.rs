@@ -1,0 +1,211 @@
+//! Theory atoms and the propositional formula skeleton.
+
+use std::collections::BTreeMap;
+
+use crate::node::NodeId;
+
+/// Index of an atom in the encoder's atom table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AtomId(pub u32);
+
+/// A linear expression `Σ cᵢ·nᵢ + k` over arena nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct NLinExp {
+    /// Node coefficients (never zero).
+    pub coeffs: BTreeMap<NodeId, i128>,
+    /// Constant term.
+    pub konst: i128,
+}
+
+impl NLinExp {
+    /// The constant expression.
+    pub fn konst(k: i128) -> Self {
+        NLinExp {
+            coeffs: BTreeMap::new(),
+            konst: k,
+        }
+    }
+
+    /// The expression consisting of a single node.
+    pub fn node(n: NodeId) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(n, 1);
+        NLinExp { coeffs, konst: 0 }
+    }
+
+    /// Adds `c·n`.
+    pub fn add_term(&mut self, n: NodeId, c: i128) {
+        let e = self.coeffs.entry(n).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            self.coeffs.remove(&n);
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &NLinExp) -> NLinExp {
+        let mut out = self.clone();
+        for (&n, &c) in &other.coeffs {
+            out.add_term(n, c);
+        }
+        out.konst += other.konst;
+        out
+    }
+
+    /// `k·self`.
+    pub fn scale(&self, k: i128) -> NLinExp {
+        if k == 0 {
+            return NLinExp::konst(0);
+        }
+        NLinExp {
+            coeffs: self.coeffs.iter().map(|(&n, &c)| (n, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &NLinExp) -> NLinExp {
+        self.add(&other.scale(-1))
+    }
+
+    /// If the expression is exactly one node with coefficient 1 and no
+    /// constant, returns it.
+    pub fn as_single_node(&self) -> Option<NodeId> {
+        if self.konst == 0 && self.coeffs.len() == 1 {
+            let (&n, &c) = self.coeffs.iter().next().unwrap();
+            if c == 1 {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// True if there are no node terms.
+    pub fn is_const(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+/// A 32-bit bit-vector term, blasted to SAT by [`crate::bv`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BvTerm {
+    /// A constant.
+    Const(u32),
+    /// An opaque 32-bit slot attached to an arena node (variable or
+    /// uninterpreted application of bit-vector sort).
+    Node(NodeId),
+    /// Bitwise and.
+    And(Box<BvTerm>, Box<BvTerm>),
+    /// Bitwise or.
+    Or(Box<BvTerm>, Box<BvTerm>),
+    /// Bitwise not.
+    Not(Box<BvTerm>),
+}
+
+/// A theory atom. The propositional skeleton is built over these.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AtomData {
+    /// `e ≤ 0` over integers.
+    LinLe(NLinExp),
+    /// `e = 0` over integers; if both sides of the original equality were
+    /// single nodes, they are recorded for congruence-closure propagation.
+    IntEq(NLinExp, Option<(NodeId, NodeId)>),
+    /// Equality of two non-arithmetic nodes (references, strings).
+    EufEq(NodeId, NodeId),
+    /// Truthiness of a boolean-sorted node.
+    BoolNode(NodeId),
+    /// Equality of two bit-vector terms (bit-blasted eagerly).
+    BvEq(BvTerm, BvTerm),
+}
+
+/// A propositional formula over atoms in negation normal form (negation
+/// only on atom literals).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// Constant truth value.
+    Const(bool),
+    /// An atom with a polarity (`false` = negated).
+    Lit(AtomId, bool),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Simplifies constants away; afterwards `Const` can only appear at the
+    /// top level.
+    pub fn simplify(self) -> Formula {
+        match self {
+            Formula::And(fs) => {
+                let mut out = Vec::new();
+                for f in fs {
+                    match f.simplify() {
+                        Formula::Const(true) => {}
+                        Formula::Const(false) => return Formula::Const(false),
+                        Formula::And(gs) => out.extend(gs),
+                        g => out.push(g),
+                    }
+                }
+                match out.len() {
+                    0 => Formula::Const(true),
+                    1 => out.pop().unwrap(),
+                    _ => Formula::And(out),
+                }
+            }
+            Formula::Or(fs) => {
+                let mut out = Vec::new();
+                for f in fs {
+                    match f.simplify() {
+                        Formula::Const(false) => {}
+                        Formula::Const(true) => return Formula::Const(true),
+                        Formula::Or(gs) => out.extend(gs),
+                        g => out.push(g),
+                    }
+                }
+                match out.len() {
+                    0 => Formula::Const(false),
+                    1 => out.pop().unwrap(),
+                    _ => Formula::Or(out),
+                }
+            }
+            f => f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linexp_algebra() {
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        let mut a = NLinExp::node(n0);
+        a.add_term(n1, 2);
+        let b = a.scale(3);
+        assert_eq!(b.coeffs[&n0], 3);
+        assert_eq!(b.coeffs[&n1], 6);
+        let c = a.sub(&a);
+        assert!(c.is_const() && c.konst == 0);
+    }
+
+    #[test]
+    fn single_node_detection() {
+        let n0 = NodeId(0);
+        assert_eq!(NLinExp::node(n0).as_single_node(), Some(n0));
+        assert_eq!(NLinExp::node(n0).scale(2).as_single_node(), None);
+    }
+
+    #[test]
+    fn formula_simplify() {
+        let f = Formula::And(vec![
+            Formula::Const(true),
+            Formula::Or(vec![Formula::Const(false), Formula::Lit(AtomId(0), true)]),
+        ]);
+        assert_eq!(f.simplify(), Formula::Lit(AtomId(0), true));
+        let g = Formula::Or(vec![Formula::Const(true), Formula::Lit(AtomId(0), false)]);
+        assert_eq!(g.simplify(), Formula::Const(true));
+    }
+}

@@ -1,0 +1,498 @@
+//! Encoding of [`rsc_logic`] predicates into the solver's internal
+//! representation: a propositional [`Formula`] over theory [`AtomData`]s,
+//! with terms hash-consed into the [`Arena`].
+
+use std::collections::HashMap;
+
+use rsc_logic::{BinOp, CmpOp, Pred, Sort, SortEnv, Sym, Term};
+
+use crate::atom::{AtomData, AtomId, BvTerm, Formula, NLinExp};
+use crate::node::{Arena, Node, NodeId};
+
+/// An error during encoding (ill-sorted input, κ-variables, overflow).
+/// The driver maps encoding errors to [`crate::SatResult::Unknown`], which
+/// the checker treats conservatively.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodeError(pub String);
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "encode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encoder state: arena, atom table, and the defining equations of lifted
+/// nodes (compound integer expressions in uninterpreted argument position).
+pub struct Encoder<'a> {
+    /// Sorts of variables and signatures of uninterpreted functions.
+    pub sort_env: &'a SortEnv,
+    /// The term arena.
+    pub arena: Arena,
+    /// The atom table.
+    pub atoms: Vec<AtomData>,
+    atom_map: HashMap<AtomData, AtomId>,
+    /// Defining equations (`e = 0`) asserted in every theory check.
+    pub defs: Vec<NLinExp>,
+    lifted_cache: HashMap<NLinExp, NodeId>,
+    /// The arena node for `true`.
+    pub true_node: NodeId,
+    /// The arena node for `false`.
+    pub false_node: NodeId,
+}
+
+impl<'a> Encoder<'a> {
+    /// Creates an encoder over the given sort environment.
+    pub fn new(sort_env: &'a SortEnv) -> Self {
+        let mut arena = Arena::new();
+        let true_node = arena.intern(Node::True);
+        let false_node = arena.intern(Node::False);
+        Encoder {
+            sort_env,
+            arena,
+            atoms: Vec::new(),
+            atom_map: HashMap::new(),
+            defs: Vec::new(),
+            lifted_cache: HashMap::new(),
+            true_node,
+            false_node,
+        }
+    }
+
+    fn atom(&mut self, a: AtomData) -> AtomId {
+        if let Some(&id) = self.atom_map.get(&a) {
+            return id;
+        }
+        let id = AtomId(self.atoms.len() as u32);
+        self.atoms.push(a.clone());
+        self.atom_map.insert(a, id);
+        id
+    }
+
+    /// Encodes predicate `p` with polarity `pol` (`false` encodes `¬p`),
+    /// pushing negations down to atom literals.
+    pub fn encode_pred(&mut self, p: &Pred, pol: bool) -> Result<Formula, EncodeError> {
+        match p {
+            Pred::True => Ok(Formula::Const(pol)),
+            Pred::False => Ok(Formula::Const(!pol)),
+            Pred::And(ps) => {
+                let fs = ps
+                    .iter()
+                    .map(|q| self.encode_pred(q, pol))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(if pol { Formula::And(fs) } else { Formula::Or(fs) })
+            }
+            Pred::Or(ps) => {
+                let fs = ps
+                    .iter()
+                    .map(|q| self.encode_pred(q, pol))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(if pol { Formula::Or(fs) } else { Formula::And(fs) })
+            }
+            Pred::Not(q) => self.encode_pred(q, !pol),
+            Pred::Imp(a, b) => {
+                if pol {
+                    let na = self.encode_pred(a, false)?;
+                    let fb = self.encode_pred(b, true)?;
+                    Ok(Formula::Or(vec![na, fb]))
+                } else {
+                    let fa = self.encode_pred(a, true)?;
+                    let nb = self.encode_pred(b, false)?;
+                    Ok(Formula::And(vec![fa, nb]))
+                }
+            }
+            Pred::Iff(a, b) => {
+                let fa = self.encode_pred(a, true)?;
+                let na = self.encode_pred(a, false)?;
+                let fb = self.encode_pred(b, true)?;
+                let nb = self.encode_pred(b, false)?;
+                if pol {
+                    Ok(Formula::And(vec![
+                        Formula::Or(vec![na.clone(), fb.clone()]),
+                        Formula::Or(vec![nb, fa]),
+                    ]))
+                } else {
+                    Ok(Formula::Or(vec![
+                        Formula::And(vec![fa, nb]),
+                        Formula::And(vec![fb, na]),
+                    ]))
+                }
+            }
+            Pred::Cmp(op, a, b) => self.encode_cmp(*op, a, b, pol),
+            Pred::App(f, args) => {
+                let nargs = args
+                    .iter()
+                    .map(|t| self.node_of(t))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let n = self
+                    .arena
+                    .intern(Node::App(f.clone(), nargs, Sort::Bool));
+                let id = self.atom(AtomData::BoolNode(n));
+                Ok(Formula::Lit(id, pol))
+            }
+            Pred::TermPred(t) => self.bool_formula(t, pol),
+            Pred::KVar(k, _) => Err(EncodeError(format!(
+                "κ-variable {k} in a concrete verification condition"
+            ))),
+        }
+    }
+
+    fn encode_cmp(&mut self, op: CmpOp, a: &Term, b: &Term, pol: bool) -> Result<Formula, EncodeError> {
+        let sa = self
+            .sort_env
+            .sort_of(a)
+            .map_err(|e| EncodeError(e.to_string()))?;
+        let sb = self
+            .sort_env
+            .sort_of(b)
+            .map_err(|e| EncodeError(e.to_string()))?;
+        if sa != sb {
+            return Err(EncodeError(format!(
+                "comparison between sorts {sa} and {sb}: {a} {} {b}",
+                op.symbol()
+            )));
+        }
+        match sa {
+            Sort::Int => {
+                let la = self.lin(a)?;
+                let lb = self.lin(b)?;
+                let d = la.sub(&lb);
+                let atom_le = |enc: &mut Self, mut e: NLinExp, strict: bool| {
+                    if strict {
+                        e.konst += 1;
+                    }
+                    if e.is_const() {
+                        Formula::Const(e.konst <= 0)
+                    } else {
+                        let id = enc.atom(AtomData::LinLe(e));
+                        Formula::Lit(id, true)
+                    }
+                };
+                let lit = |f: Formula, pol: bool| match (f, pol) {
+                    (Formula::Const(c), p) => Formula::Const(c == p),
+                    (Formula::Lit(i, q), p) => Formula::Lit(i, q == p),
+                    _ => unreachable!(),
+                };
+                match op {
+                    CmpOp::Le => Ok(lit(atom_le(self, d, false), pol)),
+                    CmpOp::Lt => Ok(lit(atom_le(self, d, true), pol)),
+                    CmpOp::Ge => Ok(lit(atom_le(self, d.scale(-1), false), pol)),
+                    CmpOp::Gt => Ok(lit(atom_le(self, d.scale(-1), true), pol)),
+                    CmpOp::Eq | CmpOp::Ne => {
+                        if d.is_const() {
+                            let truth = d.konst == 0;
+                            let want_eq = op == CmpOp::Eq;
+                            return Ok(Formula::Const((truth == want_eq) == pol));
+                        }
+                        let pair = match (la.as_single_node(), lb.as_single_node()) {
+                            (Some(x), Some(y)) => Some((x.min(y), x.max(y))),
+                            _ => None,
+                        };
+                        let id = self.atom(AtomData::IntEq(d, pair));
+                        Ok(Formula::Lit(id, (op == CmpOp::Eq) == pol))
+                    }
+                }
+            }
+            Sort::Bool => {
+                let fa = self.bool_formula(a, true)?;
+                let na = self.bool_formula(a, false)?;
+                let fb = self.bool_formula(b, true)?;
+                let nb = self.bool_formula(b, false)?;
+                let want_eq = match op {
+                    CmpOp::Eq => true,
+                    CmpOp::Ne => false,
+                    _ => {
+                        return Err(EncodeError(format!(
+                            "ordering on booleans: {a} {} {b}",
+                            op.symbol()
+                        )))
+                    }
+                };
+                let iff_pol = want_eq == pol;
+                if iff_pol {
+                    Ok(Formula::And(vec![
+                        Formula::Or(vec![na, fb]),
+                        Formula::Or(vec![nb, fa]),
+                    ]))
+                } else {
+                    Ok(Formula::Or(vec![
+                        Formula::And(vec![fa, nb]),
+                        Formula::And(vec![fb, na]),
+                    ]))
+                }
+            }
+            Sort::Str | Sort::Ref => {
+                let want_eq = match op {
+                    CmpOp::Eq => true,
+                    CmpOp::Ne => false,
+                    _ => {
+                        return Err(EncodeError(format!(
+                            "ordering on sort {sa}: {a} {} {b}",
+                            op.symbol()
+                        )))
+                    }
+                };
+                let na = self.node_of(a)?;
+                let nb = self.node_of(b)?;
+                if na == nb {
+                    return Ok(Formula::Const(want_eq == pol));
+                }
+                let (x, y) = (na.min(nb), na.max(nb));
+                let id = self.atom(AtomData::EufEq(x, y));
+                Ok(Formula::Lit(id, want_eq == pol))
+            }
+            Sort::Bv32 => {
+                let want_eq = match op {
+                    CmpOp::Eq => true,
+                    CmpOp::Ne => false,
+                    _ => {
+                        return Err(EncodeError(format!(
+                            "ordering on bit-vectors: {a} {} {b}",
+                            op.symbol()
+                        )))
+                    }
+                };
+                let ba = self.bvterm(a)?;
+                let bb = self.bvterm(b)?;
+                let id = self.atom(AtomData::BvEq(ba, bb));
+                Ok(Formula::Lit(id, want_eq == pol))
+            }
+        }
+    }
+
+    fn bool_formula(&mut self, t: &Term, pol: bool) -> Result<Formula, EncodeError> {
+        match t {
+            Term::BoolLit(b) => Ok(Formula::Const(*b == pol)),
+            _ => {
+                let s = self
+                    .sort_env
+                    .sort_of(t)
+                    .map_err(|e| EncodeError(e.to_string()))?;
+                if s != Sort::Bool {
+                    return Err(EncodeError(format!("truthiness of non-boolean term {t}")));
+                }
+                let n = self.node_of(t)?;
+                let id = self.atom(AtomData::BoolNode(n));
+                Ok(Formula::Lit(id, pol))
+            }
+        }
+    }
+
+    /// A linear expression over arena nodes for an integer-sorted term.
+    pub fn lin(&mut self, t: &Term) -> Result<NLinExp, EncodeError> {
+        match t {
+            Term::IntLit(n) => Ok(NLinExp::konst(*n as i128)),
+            Term::Var(_) | Term::Field(..) | Term::App(..) => {
+                let n = self.node_of(t)?;
+                Ok(NLinExp::node(n))
+            }
+            Term::Neg(a) => Ok(self.lin(a)?.scale(-1)),
+            Term::Bin(op, a, b) => {
+                let la = self.lin(a)?;
+                let lb = self.lin(b)?;
+                match op {
+                    BinOp::Add => Ok(la.add(&lb)),
+                    BinOp::Sub => Ok(la.sub(&lb)),
+                    BinOp::Mul => {
+                        if la.is_const() {
+                            Ok(lb.scale(la.konst))
+                        } else if lb.is_const() {
+                            Ok(la.scale(lb.konst))
+                        } else {
+                            // Nonlinear: uninterpreted `mul`, commutatively
+                            // normalized.
+                            let na = self.node_of_lin(la)?;
+                            let nb = self.node_of_lin(lb)?;
+                            let (x, y) = (na.min(nb), na.max(nb));
+                            let n = self.arena.intern(Node::App(
+                                Sym::from("mul"),
+                                vec![x, y],
+                                Sort::Int,
+                            ));
+                            Ok(NLinExp::node(n))
+                        }
+                    }
+                    BinOp::Div | BinOp::Mod => {
+                        if la.is_const() && lb.is_const() && lb.konst != 0 {
+                            let v = if *op == BinOp::Div {
+                                la.konst / lb.konst
+                            } else {
+                                la.konst % lb.konst
+                            };
+                            return Ok(NLinExp::konst(v));
+                        }
+                        let na = self.node_of_lin(la)?;
+                        let nb = self.node_of_lin(lb)?;
+                        let f = if *op == BinOp::Div { "div" } else { "mod" };
+                        let n = self
+                            .arena
+                            .intern(Node::App(Sym::from(f), vec![na, nb], Sort::Int));
+                        Ok(NLinExp::node(n))
+                    }
+                    BinOp::BvAnd | BinOp::BvOr => Err(EncodeError(format!(
+                        "bit-vector operation {t} in integer position"
+                    ))),
+                }
+            }
+            _ => Err(EncodeError(format!("non-integer term {t} in arithmetic"))),
+        }
+    }
+
+    /// An arena node representing a whole linear expression: the node
+    /// itself for single-node expressions, an interned constant, or a fresh
+    /// lifted node with a defining equation.
+    pub fn node_of_lin(&mut self, l: NLinExp) -> Result<NodeId, EncodeError> {
+        if let Some(n) = l.as_single_node() {
+            return Ok(n);
+        }
+        if l.is_const() {
+            let v = i64::try_from(l.konst)
+                .map_err(|_| EncodeError("integer constant overflow".into()))?;
+            return Ok(self.arena.intern(Node::IntConst(v)));
+        }
+        // Structurally identical expressions share a lifted node so that
+        // congruence over nonlinear terms (e.g. `mul`) works directly.
+        if let Some(&n) = self.lifted_cache.get(&l) {
+            return Ok(n);
+        }
+        let fresh = self.arena.fresh_lifted();
+        let mut def = l.clone();
+        def.add_term(fresh, -1);
+        self.defs.push(def);
+        self.lifted_cache.insert(l, fresh);
+        Ok(fresh)
+    }
+
+    /// The arena node of a term of any sort (integers are lifted).
+    pub fn node_of(&mut self, t: &Term) -> Result<NodeId, EncodeError> {
+        let s = self
+            .sort_env
+            .sort_of(t)
+            .map_err(|e| EncodeError(e.to_string()))?;
+        match t {
+            Term::Var(x) => Ok(self.arena.intern(Node::Var(x.clone(), s))),
+            Term::IntLit(n) => Ok(self.arena.intern(Node::IntConst(*n))),
+            Term::BoolLit(b) => Ok(if *b { self.true_node } else { self.false_node }),
+            Term::StrLit(x) => Ok(self.arena.intern(Node::StrConst(x.clone()))),
+            Term::BvLit(_) => Err(EncodeError(format!(
+                "bit-vector literal {t} in uninterpreted position"
+            ))),
+            Term::Field(base, fld) => {
+                let nb = self.node_of(base)?;
+                Ok(self.arena.intern(Node::App(
+                    Sym::from(format!("field${fld}")),
+                    vec![nb],
+                    s,
+                )))
+            }
+            Term::App(f, args) => {
+                let nargs = args
+                    .iter()
+                    .map(|x| self.node_of(x))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.arena.intern(Node::App(f.clone(), nargs, s)))
+            }
+            Term::Bin(..) | Term::Neg(..) => {
+                if s == Sort::Int {
+                    let l = self.lin(t)?;
+                    self.node_of_lin(l)
+                } else {
+                    Err(EncodeError(format!(
+                        "compound term {t} of sort {s} in uninterpreted position"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn bvterm(&mut self, t: &Term) -> Result<BvTerm, EncodeError> {
+        match t {
+            Term::BvLit(c) => Ok(BvTerm::Const(*c)),
+            Term::Var(_) | Term::Field(..) | Term::App(..) => {
+                let n = self.node_of(t)?;
+                Ok(BvTerm::Node(n))
+            }
+            Term::Bin(BinOp::BvAnd, a, b) => Ok(BvTerm::And(
+                Box::new(self.bvterm(a)?),
+                Box::new(self.bvterm(b)?),
+            )),
+            Term::Bin(BinOp::BvOr, a, b) => Ok(BvTerm::Or(
+                Box::new(self.bvterm(a)?),
+                Box::new(self.bvterm(b)?),
+            )),
+            _ => Err(EncodeError(format!("not a bit-vector term: {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> SortEnv {
+        let mut e = SortEnv::new();
+        e.bind("x", Sort::Int);
+        e.bind("y", Sort::Int);
+        e.bind("a", Sort::Ref);
+        e.bind("v", Sort::Int);
+        e
+    }
+
+    #[test]
+    fn lin_flattening() {
+        let env = env();
+        let mut enc = Encoder::new(&env);
+        // 2*x + len(a) - 3
+        let t = Term::sub(
+            Term::add(
+                Term::mul(Term::int(2), Term::var("x")),
+                Term::len_of(Term::var("a")),
+            ),
+            Term::int(3),
+        );
+        let l = enc.lin(&t).unwrap();
+        assert_eq!(l.konst, -3);
+        assert_eq!(l.coeffs.len(), 2);
+    }
+
+    #[test]
+    fn nonlinear_becomes_uninterpreted() {
+        let env = env();
+        let mut enc = Encoder::new(&env);
+        let t1 = Term::mul(Term::var("x"), Term::var("y"));
+        let t2 = Term::mul(Term::var("y"), Term::var("x"));
+        let l1 = enc.lin(&t1).unwrap();
+        let l2 = enc.lin(&t2).unwrap();
+        // Commutative normalization: same node.
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn kvar_rejected() {
+        let env = env();
+        let mut enc = Encoder::new(&env);
+        let p = Pred::KVar(rsc_logic::KVarId(0), rsc_logic::Subst::new());
+        assert!(enc.encode_pred(&p, true).is_err());
+    }
+
+    #[test]
+    fn trivial_cmp_folds() {
+        let env = env();
+        let mut enc = Encoder::new(&env);
+        let p = Pred::Cmp(CmpOp::Le, Term::var("x"), Term::var("x"));
+        let f = enc.encode_pred(&p, true).unwrap().simplify();
+        assert_eq!(f, Formula::Const(true));
+    }
+
+    #[test]
+    fn lifted_node_defs() {
+        let env = env();
+        let mut enc = Encoder::new(&env);
+        // len applied to... an int term is ill-sorted; use mul(x+1, y) to
+        // force lifting of x+1.
+        let t = Term::mul(Term::add(Term::var("x"), Term::int(1)), Term::var("y"));
+        enc.lin(&t).unwrap();
+        assert_eq!(enc.defs.len(), 1);
+    }
+}

@@ -1,0 +1,476 @@
+//! Linear integer arithmetic: satisfiability of conjunctions of linear
+//! constraints via integer-tightened Fourier–Motzkin elimination, with
+//! Gaussian substitution for equalities and case splitting for
+//! disequalities.
+//!
+//! Soundness contract: [`LiaResult::Infeasible`] is only returned when the
+//! constraints genuinely have no **rational** solution or an integrality
+//! contradiction is explicit (GCD test). Because verification treats only
+//! UNSAT answers as proof, every shortcut in this module errs toward
+//! [`LiaResult::Feasible`].
+
+use std::collections::BTreeMap;
+
+/// A linear expression `Σ cᵢ·xᵢ + c` over variables indexed by `u32`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LinExp {
+    /// Variable coefficients (never zero).
+    pub coeffs: BTreeMap<u32, i128>,
+    /// The constant term.
+    pub konst: i128,
+}
+
+impl LinExp {
+    /// The constant expression `c`.
+    pub fn konst(c: i128) -> LinExp {
+        LinExp {
+            coeffs: BTreeMap::new(),
+            konst: c,
+        }
+    }
+
+    /// The expression `x`.
+    pub fn var(x: u32) -> LinExp {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(x, 1);
+        LinExp { coeffs, konst: 0 }
+    }
+
+    /// Adds `c·x` to the expression.
+    pub fn add_term(&mut self, x: u32, c: i128) {
+        let e = self.coeffs.entry(x).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            self.coeffs.remove(&x);
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExp) -> LinExp {
+        let mut out = self.clone();
+        for (&x, &c) in &other.coeffs {
+            out.add_term(x, c);
+        }
+        out.konst += other.konst;
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExp) -> LinExp {
+        self.add(&other.scale(-1))
+    }
+
+    /// `k · self`.
+    pub fn scale(&self, k: i128) -> LinExp {
+        if k == 0 {
+            return LinExp::konst(0);
+        }
+        LinExp {
+            coeffs: self.coeffs.iter().map(|(&x, &c)| (x, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// True if the expression has no variables.
+    pub fn is_const(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The coefficient of `x` (0 if absent).
+    pub fn coeff(&self, x: u32) -> i128 {
+        self.coeffs.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Integer tightening for `self ≤ 0`: divides by the GCD of the
+    /// variable coefficients and rounds the constant up (`Σcᵢxᵢ ≤ -c`
+    /// becomes `Σ(cᵢ/g)xᵢ ≤ ⌊-c/g⌋`).
+    pub fn tighten_le(&self) -> LinExp {
+        if self.coeffs.is_empty() {
+            return self.clone();
+        }
+        let g = self.coeffs.values().fold(0i128, |g, &c| gcd(g, c.abs()));
+        if g <= 1 {
+            return self.clone();
+        }
+        LinExp {
+            coeffs: self.coeffs.iter().map(|(&x, &c)| (x, c / g)).collect(),
+            konst: ceil_div(self.konst, g),
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        (a + b - 1) / b
+    } else {
+        -((-a) / b)
+    }
+}
+
+/// The answer of the LIA feasibility check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiaResult {
+    /// A rational solution exists (and no explicit integrality conflict was
+    /// found); treated as satisfiable.
+    Feasible,
+    /// No solution exists.
+    Infeasible,
+}
+
+/// A conjunction of linear constraints.
+#[derive(Clone, Debug, Default)]
+pub struct LiaProblem {
+    /// Constraints `e ≤ 0`.
+    pub les: Vec<LinExp>,
+    /// Constraints `e = 0`.
+    pub eqs: Vec<LinExp>,
+    /// Constraints `e ≠ 0`.
+    pub diseqs: Vec<LinExp>,
+}
+
+/// Resource caps keeping Fourier–Motzkin elimination bounded; exceeding a
+/// cap returns [`LiaResult::Feasible`] (the conservative direction).
+const MAX_ROWS: usize = 6000;
+const MAX_DISEQ_SPLITS: usize = 14;
+const MAX_ABS_COEFF: i128 = i64::MAX as i128;
+
+impl LiaProblem {
+    /// Checks feasibility of the conjunction.
+    pub fn feasible(&self) -> LiaResult {
+        self.feasible_depth(0)
+    }
+
+    fn feasible_depth(&self, depth: usize) -> LiaResult {
+        // Disequality case splitting: e ≠ 0 ⇔ e ≤ -1 ∨ -e ≤ -1.
+        if let Some((d, rest)) = self.diseqs.split_first() {
+            if depth >= MAX_DISEQ_SPLITS {
+                return LiaResult::Feasible;
+            }
+            if d.is_const() {
+                if d.konst == 0 {
+                    return LiaResult::Infeasible;
+                }
+                let sub = LiaProblem {
+                    les: self.les.clone(),
+                    eqs: self.eqs.clone(),
+                    diseqs: rest.to_vec(),
+                };
+                return sub.feasible_depth(depth);
+            }
+            for signed in [d.clone(), d.scale(-1)] {
+                let mut sub = LiaProblem {
+                    les: self.les.clone(),
+                    eqs: self.eqs.clone(),
+                    diseqs: rest.to_vec(),
+                };
+                let mut e = signed;
+                e.konst += 1; // e + 1 ≤ 0  i.e.  e ≤ -1
+                sub.les.push(e);
+                if sub.feasible_depth(depth + 1) == LiaResult::Feasible {
+                    return LiaResult::Feasible;
+                }
+            }
+            return LiaResult::Infeasible;
+        }
+        self.feasible_no_diseqs()
+    }
+
+    fn feasible_no_diseqs(&self) -> LiaResult {
+        let mut les: Vec<LinExp> = self.les.iter().map(LinExp::tighten_le).collect();
+        let mut eqs: Vec<LinExp> = self.eqs.clone();
+
+        // Gaussian substitution using equalities.
+        while let Some(pos) = eqs.iter().position(|e| !e.is_const()) {
+            let e = eqs.swap_remove(pos);
+            let g = e.coeffs.values().fold(0i128, |g, &c| gcd(g, c.abs()));
+            if g > 1 && e.konst % g != 0 {
+                return LiaResult::Infeasible; // e.g. 2x = 1
+            }
+            let e = if g > 1 {
+                LinExp {
+                    coeffs: e.coeffs.iter().map(|(&x, &c)| (x, c / g)).collect(),
+                    konst: e.konst / g,
+                }
+            } else {
+                e
+            };
+            // Find a ±1 coefficient to substitute on.
+            let unit = e.coeffs.iter().find(|(_, &c)| c == 1 || c == -1);
+            match unit {
+                Some((&x, &c)) => {
+                    // c·x + rest = 0  =>  x = -rest/c
+                    let mut rest = e.clone();
+                    rest.coeffs.remove(&x);
+                    let image = rest.scale(-c); // c in {1,-1}: x = -c·rest
+                    substitute(&mut les, x, &image);
+                    substitute(&mut eqs, x, &image);
+                }
+                None => {
+                    // No unit coefficient: fall back to a pair of inequalities.
+                    les.push(e.clone());
+                    les.push(e.scale(-1));
+                }
+            }
+        }
+        for e in &eqs {
+            if e.konst != 0 {
+                return LiaResult::Infeasible;
+            }
+        }
+
+        // Fourier–Motzkin elimination on the inequalities.
+        loop {
+            // Constant rows first.
+            les.retain(|e| {
+                if e.is_const() {
+                    true
+                } else {
+                    true
+                }
+            });
+            for e in &les {
+                if e.is_const() && e.konst > 0 {
+                    return LiaResult::Infeasible;
+                }
+            }
+            les.retain(|e| !e.is_const());
+            if les.is_empty() {
+                return LiaResult::Feasible;
+            }
+            if les.len() > MAX_ROWS {
+                return LiaResult::Feasible; // resource cap: conservative
+            }
+            // Pick the variable minimizing |pos|·|neg| fill-in.
+            let mut counts: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+            for e in &les {
+                for (&x, &c) in &e.coeffs {
+                    let ent = counts.entry(x).or_insert((0, 0));
+                    if c > 0 {
+                        ent.0 += 1;
+                    } else {
+                        ent.1 += 1;
+                    }
+                }
+            }
+            let (&x, _) = counts
+                .iter()
+                .min_by_key(|(_, (p, n))| p * n)
+                .expect("nonempty");
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            let mut rest = Vec::new();
+            for e in les.drain(..) {
+                let c = e.coeff(x);
+                if c > 0 {
+                    pos.push(e);
+                } else if c < 0 {
+                    neg.push(e);
+                } else {
+                    rest.push(e);
+                }
+            }
+            for p in &pos {
+                for n in &neg {
+                    let a = p.coeff(x); // > 0
+                    let b = -n.coeff(x); // > 0
+                    if a.abs() > MAX_ABS_COEFF / (b.abs().max(1)) {
+                        return LiaResult::Feasible; // overflow guard
+                    }
+                    let combo = p.scale(b).add(&n.scale(a));
+                    debug_assert_eq!(combo.coeff(x), 0);
+                    rest.push(combo.tighten_le());
+                }
+            }
+            if rest.len() > MAX_ROWS {
+                return LiaResult::Feasible;
+            }
+            les = rest;
+        }
+    }
+
+    /// True if the constraints entail `x = y` (both strict separations are
+    /// infeasible). Used for Nelson–Oppen equality propagation.
+    pub fn entails_eq(&self, x: u32, y: u32) -> bool {
+        for (lo, hi) in [(x, y), (y, x)] {
+            // lo < hi  i.e.  lo - hi + 1 ≤ 0
+            let mut e = LinExp::var(lo);
+            e.add_term(hi, -1);
+            e.konst += 1;
+            let mut sub = self.clone();
+            sub.les.push(e);
+            if sub.feasible() == LiaResult::Feasible {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn substitute(rows: &mut [LinExp], x: u32, image: &LinExp) {
+    for e in rows.iter_mut() {
+        let c = e.coeff(x);
+        if c != 0 {
+            e.coeffs.remove(&x);
+            *e = e.add(&image.scale(c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(pairs: &[(u32, i128)], k: i128) -> LinExp {
+        let mut e = LinExp::konst(k);
+        for &(x, c) in pairs {
+            e.add_term(x, c);
+        }
+        e
+    }
+
+    #[test]
+    fn simple_infeasible() {
+        // x ≤ 0 ∧ -x + 1 ≤ 0 (x ≥ 1)
+        let p = LiaProblem {
+            les: vec![le(&[(0, 1)], 0), le(&[(0, -1)], 1)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn simple_feasible() {
+        // 0 ≤ x ∧ x ≤ 10
+        let p = LiaProblem {
+            les: vec![le(&[(0, -1)], 0), le(&[(0, 1)], -10)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Feasible);
+    }
+
+    #[test]
+    fn array_bounds_vc() {
+        // 0 < len ∧ v = 0 ∧ ¬(0 ≤ v ∧ v < len) — the head example, negated.
+        // Branch 1: v < 0; branch 2: v ≥ len. Vars: v=0, len=1.
+        let base_eq = le(&[(0, 1)], 0); // v = 0
+        let len_pos = le(&[(1, -1)], 1); // 1 - len ≤ 0
+        let p1 = LiaProblem {
+            les: vec![len_pos.clone(), le(&[(0, 1)], 1)], // v + 1 ≤ 0
+            eqs: vec![base_eq.clone()],
+            ..Default::default()
+        };
+        assert_eq!(p1.feasible(), LiaResult::Infeasible);
+        let p2 = LiaProblem {
+            les: vec![len_pos, le(&[(0, -1), (1, 1)], 0)], // len - v ≤ 0
+            eqs: vec![base_eq],
+            ..Default::default()
+        };
+        assert_eq!(p2.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn gcd_integrality() {
+        // 2x = 1 infeasible over Z.
+        let p = LiaProblem {
+            eqs: vec![le(&[(0, 2)], -1)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn tightening_catches_strict_bounds() {
+        // 2x ≤ 1 ∧ x ≥ 1: tightened 2x ≤ 1 becomes x ≤ 0.
+        let p = LiaProblem {
+            les: vec![le(&[(0, 2)], -1), le(&[(0, -1)], 1)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn diseq_split() {
+        // 0 ≤ x ≤ 1 ∧ x ≠ 0 ∧ x ≠ 1 infeasible over Z.
+        let p = LiaProblem {
+            les: vec![le(&[(0, -1)], 0), le(&[(0, 1)], -1)],
+            diseqs: vec![le(&[(0, 1)], 0), le(&[(0, 1)], -1)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn diseq_feasible() {
+        // 0 ≤ x ≤ 2 ∧ x ≠ 1 feasible (x = 0).
+        let p = LiaProblem {
+            les: vec![le(&[(0, -1)], 0), le(&[(0, 1)], -2)],
+            diseqs: vec![le(&[(0, 1)], -1)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Feasible);
+    }
+
+    #[test]
+    fn equality_substitution() {
+        // x = y + 1 ∧ y = 3 ∧ x ≤ 3 infeasible.
+        let p = LiaProblem {
+            eqs: vec![le(&[(0, 1), (1, -1)], -1), le(&[(1, 1)], -3)],
+            les: vec![le(&[(0, 1)], -3)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn entailed_equality() {
+        // x ≤ y ∧ y ≤ x entails x = y.
+        let p = LiaProblem {
+            les: vec![le(&[(0, 1), (1, -1)], 0), le(&[(0, -1), (1, 1)], 0)],
+            ..Default::default()
+        };
+        assert!(p.entails_eq(0, 1));
+        let q = LiaProblem {
+            les: vec![le(&[(0, 1), (1, -1)], 0)],
+            ..Default::default()
+        };
+        assert!(!q.entails_eq(0, 1));
+    }
+
+    #[test]
+    fn three_var_chain() {
+        // a ≤ b ∧ b ≤ c ∧ c ≤ a - 1 infeasible.
+        let p = LiaProblem {
+            les: vec![
+                le(&[(0, 1), (1, -1)], 0),
+                le(&[(1, 1), (2, -1)], 0),
+                le(&[(2, 1), (0, -1)], 1),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+
+    #[test]
+    fn nonunit_equality_fallback() {
+        // 2x + 3y = 7 ∧ x ≥ 0 ∧ y ≥ 0 ∧ x + y ≤ 1: rationally infeasible?
+        // x=2,y=1 solves ineqs? x+y=3 > 1. x=0.5? not integral but rationally:
+        // 2x+3y=7, x,y≥0, x+y≤1 → max 2x+3y at x+y≤1 is 3 (<7): infeasible.
+        let p = LiaProblem {
+            eqs: vec![le(&[(0, 2), (1, 3)], -7)],
+            les: vec![le(&[(0, -1)], 0), le(&[(1, -1)], 0), le(&[(0, 1), (1, 1)], -1)],
+            ..Default::default()
+        };
+        assert_eq!(p.feasible(), LiaResult::Infeasible);
+    }
+}

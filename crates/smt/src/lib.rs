@@ -1,0 +1,39 @@
+//! # rsc-smt
+//!
+//! An SMT solver for the decidable logic used by Refined TypeScript
+//! (*Refinement Types for TypeScript*, PLDI 2016): quantifier-free linear
+//! integer arithmetic, equality with uninterpreted functions, 32-bit
+//! bit-vectors (interface-hierarchy flags, §4.3) and distinct string
+//! constants (`ttag` reflection tags, §4.2).
+//!
+//! The paper discharges verification conditions with Z3 [Nelson 1981 /
+//! de Moura–Bjørner]; this crate is a from-scratch replacement covering
+//! exactly the fragment RSC emits:
+//!
+//! * [`sat`] — a CDCL SAT core (watched literals, 1UIP learning),
+//! * [`euf`] — congruence closure,
+//! * [`lia`] — integer-tightened Fourier–Motzkin with equality
+//!   substitution and disequality splitting,
+//! * [`bv`] — eager bit-blasting of 32-bit vector operations,
+//! * [`theory`] — EUF+LIA combination with bounded Nelson–Oppen equality
+//!   propagation,
+//! * [`solver`] — the lazy DPLL(T) driver exposing [`Solver::is_valid`].
+//!
+//! Soundness contract: the only answer verification relies on is
+//! [`SatResult::Unsat`], and every resource cap or incompleteness in the
+//! solver errs toward `Sat`/`Unknown`, i.e. toward *rejecting* programs.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod bv;
+pub mod cnf;
+pub mod encode;
+pub mod euf;
+pub mod lia;
+pub mod node;
+pub mod sat;
+pub mod solver;
+pub mod theory;
+
+pub use solver::{SatResult, Solver, SolverStats};

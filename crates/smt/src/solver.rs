@@ -1,0 +1,228 @@
+//! The DPLL(T) driver: lazy SMT by CDCL enumeration of propositional
+//! models with theory-conflict blocking clauses.
+
+use rsc_logic::{Pred, SortEnv};
+
+use crate::atom::{AtomData, Formula};
+use crate::bv::Blaster;
+use crate::cnf::{tseitin, CnfStore};
+use crate::encode::Encoder;
+use crate::sat::{Lit, SatOutcome, Var};
+use crate::theory::{self, TheoryVerdict};
+
+/// The answer of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A theory-consistent model exists.
+    Sat,
+    /// No model exists.
+    Unsat,
+    /// The solver gave up (resource caps or unencodable input). Validity
+    /// checking treats this as "not proven".
+    Unknown,
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of satisfiability queries.
+    pub queries: u64,
+    /// Number of validity queries answered "valid".
+    pub valid: u64,
+    /// Total SAT rounds across all queries.
+    pub sat_rounds: u64,
+    /// Total theory conflicts (blocking clauses added).
+    pub theory_conflicts: u64,
+}
+
+/// An SMT solver for the RSC refinement logic.
+///
+/// Validity of a verification condition `⟦Γ⟧ ⇒ p ⇒ q` is checked by
+/// refuting `⟦Γ⟧ ∧ p ∧ ¬q` (§2.1.1 of the paper).
+///
+/// ```
+/// use rsc_logic::{CmpOp, Pred, Sort, SortEnv, Term};
+/// use rsc_smt::Solver;
+///
+/// let mut env = SortEnv::new();
+/// env.bind("a", Sort::Ref);
+/// env.bind("v", Sort::Int);
+/// // 0 < len(a) ⊢ v = 0 ⇒ 0 ≤ v ∧ v < len(a)   (the `head` example VC)
+/// let len_a = Term::len_of(Term::var("a"));
+/// let hyp = Pred::cmp(CmpOp::Lt, Term::int(0), len_a.clone());
+/// let lhs = Pred::vv_eq(Term::int(0));
+/// let rhs = Pred::and(vec![
+///     Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+///     Pred::cmp(CmpOp::Lt, Term::vv(), len_a),
+/// ]);
+/// let mut solver = Solver::new();
+/// assert!(solver.is_valid(&env, &[hyp, lhs], &rhs));
+/// ```
+pub struct Solver {
+    /// Statistics, cumulative over the solver's lifetime.
+    pub stats: SolverStats,
+    max_rounds: usize,
+}
+
+impl Solver {
+    /// Creates a solver with default resource limits.
+    pub fn new() -> Self {
+        Solver {
+            stats: SolverStats::default(),
+            max_rounds: 600,
+        }
+    }
+
+    /// Checks satisfiability of the conjunction of `preds` under `env`.
+    pub fn is_sat(&mut self, env: &SortEnv, preds: &[Pred]) -> SatResult {
+        self.stats.queries += 1;
+        let mut enc = Encoder::new(env);
+        let mut formulas = Vec::new();
+        for p in preds {
+            match enc.encode_pred(p, true) {
+                Ok(f) => match f.simplify() {
+                    Formula::Const(true) => {}
+                    Formula::Const(false) => return SatResult::Unsat,
+                    g => formulas.push(g),
+                },
+                Err(_) => return SatResult::Unknown,
+            }
+        }
+        if formulas.is_empty() && enc.defs.is_empty() {
+            return SatResult::Sat;
+        }
+
+        let mut cnf = CnfStore::new();
+        let mut blaster = Blaster::new();
+        let atoms = enc.atoms.clone();
+        let mut atom_lits: Vec<Lit> = Vec::with_capacity(atoms.len());
+        for a in &atoms {
+            match a {
+                AtomData::BvEq(x, y) => {
+                    let l = blaster.eq_lit(x, y, &mut cnf);
+                    atom_lits.push(l);
+                }
+                _ => {
+                    let v: Var = cnf.new_var();
+                    atom_lits.push(Lit::pos(v));
+                }
+            }
+        }
+        let lookup = |a: crate::atom::AtomId, pol: bool| {
+            let l = atom_lits[a.0 as usize];
+            if pol {
+                l
+            } else {
+                l.negate()
+            }
+        };
+        for f in &formulas {
+            let root = tseitin(f, &lookup, &mut cnf);
+            cnf.add_clause(vec![root]);
+        }
+
+        for _round in 0..self.max_rounds {
+            self.stats.sat_rounds += 1;
+            match cnf.solve() {
+                SatOutcome::Unsat => return SatResult::Unsat,
+                SatOutcome::Sat(model) => {
+                    let assign: Vec<Option<bool>> = atoms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| match a {
+                            AtomData::BvEq(..) => None,
+                            _ => {
+                                let l = atom_lits[i];
+                                let val = model[l.var() as usize];
+                                Some(if l.is_neg() { !val } else { val })
+                            }
+                        })
+                        .collect();
+                    match theory::check(
+                        &enc.arena,
+                        &atoms,
+                        &enc.defs,
+                        &assign,
+                        enc.true_node,
+                        enc.false_node,
+                    ) {
+                        TheoryVerdict::Consistent => return SatResult::Sat,
+                        TheoryVerdict::Conflict(ids) => {
+                            self.stats.theory_conflicts += 1;
+                            // Greedy core minimization: a short blocking
+                            // clause prunes exponentially more models than
+                            // negating the whole assignment.
+                            let restrict = |core: &[crate::atom::AtomId]| {
+                                let mut a: Vec<Option<bool>> = vec![None; assign.len()];
+                                for id in core {
+                                    a[id.0 as usize] = assign[id.0 as usize];
+                                }
+                                a
+                            };
+                            let mut core = ids.clone();
+                            let check_core = |core: &[crate::atom::AtomId]| {
+                                matches!(
+                                    theory::check(
+                                        &enc.arena,
+                                        &atoms,
+                                        &enc.defs,
+                                        &restrict(core),
+                                        enc.true_node,
+                                        enc.false_node,
+                                    ),
+                                    TheoryVerdict::Conflict(_)
+                                )
+                            };
+                            if check_core(&core) {
+                                let mut i = 0;
+                                while i < core.len() && core.len() > 1 {
+                                    let mut trial = core.clone();
+                                    trial.remove(i);
+                                    if check_core(&trial) {
+                                        core = trial;
+                                    } else {
+                                        i += 1;
+                                    }
+                                }
+                            }
+                            let clause: Vec<Lit> = core
+                                .iter()
+                                .map(|id| {
+                                    let l = atom_lits[id.0 as usize];
+                                    match assign[id.0 as usize] {
+                                        Some(true) => l.negate(),
+                                        _ => l,
+                                    }
+                                })
+                                .collect();
+                            if clause.is_empty() {
+                                return SatResult::Unsat;
+                            }
+                            cnf.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+        SatResult::Unknown
+    }
+
+    /// Checks validity of `hyps ⇒ goal`: true only when the negation is
+    /// proven unsatisfiable (Unknown answers count as *not valid*, the
+    /// conservative direction for verification).
+    pub fn is_valid(&mut self, env: &SortEnv, hyps: &[Pred], goal: &Pred) -> bool {
+        let mut preds: Vec<Pred> = hyps.to_vec();
+        preds.push(Pred::not(goal.clone()));
+        let r = self.is_sat(env, &preds) == SatResult::Unsat;
+        if r {
+            self.stats.valid += 1;
+        }
+        r
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}

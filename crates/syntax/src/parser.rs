@@ -1,0 +1,1588 @@
+//! A recursive-descent parser with token-level backtracking for the RSC
+//! input language.
+
+use std::collections::HashMap;
+
+use rsc_logic::{BinOp, CmpOp, Pred, Sym, Term};
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Tok, Token};
+use crate::types::{AnnArg, AnnTy, FunTy, Mutability};
+
+/// A parse error with position information.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parses a complete RSC program.
+pub fn parse_program(src: &str) -> PResult<Program> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        span: e.span,
+    })?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        pending_sigs: HashMap::new(),
+    };
+    p.program()
+}
+
+/// Parses a type annotation in isolation (used by tests and tools).
+pub fn parse_type(src: &str) -> PResult<AnnTy> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        span: e.span,
+    })?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        pending_sigs: HashMap::new(),
+    };
+    let t = p.ty()?;
+    p.expect(Tok::Eof)?;
+    Ok(t)
+}
+
+/// Parses a predicate in isolation.
+pub fn parse_pred(src: &str) -> PResult<Pred> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        span: e.span,
+    })?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        pending_sigs: HashMap::new(),
+    };
+    let q = p.pred()?;
+    p.expect(Tok::Eof)?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    pending_sigs: HashMap<Sym, Vec<FunTy>>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, k: usize) -> &Tok {
+        let i = (self.pos + k).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> PResult<Span> {
+        if *self.peek() == t {
+            let s = self.span();
+            self.bump();
+            Ok(s)
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            span: self.span(),
+        }
+    }
+
+    fn ident(&mut self) -> PResult<Sym> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Sym::from(s))
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---------------------------------------------------------- program ---
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut items = Vec::new();
+        while *self.peek() != Tok::Eof {
+            if let Some(item) = self.item()? {
+                items.push(item);
+            }
+        }
+        if !self.pending_sigs.is_empty() {
+            let name = self.pending_sigs.keys().next().unwrap().clone();
+            return Err(self.err(format!("sig for `{name}` has no matching function")));
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> PResult<Option<Item>> {
+        match self.peek() {
+            Tok::Type => Ok(Some(Item::TypeAlias(self.type_alias()?))),
+            Tok::Qualif => Ok(Some(Item::Qualif(self.qualif_decl()?))),
+            Tok::Class => Ok(Some(Item::Class(self.class_decl()?))),
+            Tok::Interface => Ok(Some(Item::Interface(self.interface_decl()?))),
+            Tok::Enum => Ok(Some(Item::Enum(self.enum_decl()?))),
+            Tok::Declare => Ok(Some(Item::Declare(self.declare_decl()?))),
+            Tok::Sig => {
+                self.sig_decl()?;
+                Ok(None)
+            }
+            Tok::Function => Ok(Some(Item::Fun(self.fun_decl()?))),
+            _ => Ok(Some(Item::Stmt(self.stmt()?))),
+        }
+    }
+
+    fn type_alias(&mut self) -> PResult<TypeAlias> {
+        let lo = self.expect(Tok::Type)?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(Tok::Lt) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        self.expect(Tok::Assign)?;
+        let body = self.ty()?;
+        let hi = self.expect(Tok::Semi)?;
+        Ok(TypeAlias {
+            name,
+            params,
+            body,
+            span: lo.to(hi),
+        })
+    }
+
+    fn qualif_decl(&mut self) -> PResult<QualifDecl> {
+        let lo = self.expect(Tok::Qualif)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Tok::RParen {
+            let x = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let t = self.ty()?;
+            params.push((x, t));
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Colon)?;
+        let body = self.pred()?;
+        let hi = self.expect(Tok::Semi)?;
+        Ok(QualifDecl {
+            name,
+            params,
+            body,
+            span: lo.to(hi),
+        })
+    }
+
+    fn enum_decl(&mut self) -> PResult<EnumDecl> {
+        let lo = self.expect(Tok::Enum)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut members = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let m = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let v = self.enum_value()?;
+            members.push((m, v));
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        let hi = self.expect(Tok::RBrace)?;
+        Ok(EnumDecl {
+            name,
+            members,
+            span: lo.to(hi),
+        })
+    }
+
+    /// Enum member values: hex/int literals possibly or-ed together, and
+    /// references to earlier members (`Object = Class | Interface`).
+    fn enum_value(&mut self) -> PResult<u32> {
+        // We parse a small constant expression over | of literals and
+        // previously unknown idents resolved later — for simplicity only
+        // literals and `|` of literals are supported here; ports
+        // pre-compute combined flags.
+        let mut v = self.enum_atom()?;
+        while self.eat(Tok::Pipe) {
+            v |= self.enum_atom()?;
+        }
+        Ok(v)
+    }
+
+    fn enum_atom(&mut self) -> PResult<u32> {
+        match self.peek().clone() {
+            Tok::Hex(v) => {
+                self.bump();
+                Ok(v)
+            }
+            Tok::Int(v) => {
+                self.bump();
+                u32::try_from(v).map_err(|_| self.err("enum value out of range".into()))
+            }
+            other => Err(self.err(format!("expected enum constant, found `{other}`"))),
+        }
+    }
+
+    fn declare_decl(&mut self) -> PResult<DeclareDecl> {
+        let lo = self.expect(Tok::Declare)?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        let hi = self.expect(Tok::Semi)?;
+        Ok(DeclareDecl {
+            name,
+            ty,
+            span: lo.to(hi),
+        })
+    }
+
+    fn sig_decl(&mut self) -> PResult<()> {
+        self.expect(Tok::Sig)?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let t = self.ty()?;
+        self.expect(Tok::Semi)?;
+        match t {
+            AnnTy::Arrow(ft) => {
+                self.pending_sigs.entry(name).or_default().push(ft);
+                Ok(())
+            }
+            _ => Err(self.err(format!("sig for `{name}` must be a function type"))),
+        }
+    }
+
+    fn fun_decl(&mut self) -> PResult<FunDecl> {
+        let lo = self.expect(Tok::Function)?;
+        let name = self.ident()?;
+        let mut tparams = Vec::new();
+        if self.eat(Tok::Lt) {
+            loop {
+                tparams.push(self.ident()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        self.expect(Tok::LParen)?;
+        let mut params: Vec<Sym> = Vec::new();
+        let mut anns: Vec<Option<AnnTy>> = Vec::new();
+        while *self.peek() != Tok::RParen {
+            let x = self.ident()?;
+            let ann = if self.eat(Tok::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            params.push(x);
+            anns.push(ann);
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret_ann = if self.eat(Tok::Colon) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        let span = lo.to(self.prev_span());
+
+        let mut sigs = self.pending_sigs.remove(&name).unwrap_or_default();
+        if sigs.is_empty() && anns.iter().all(Option::is_some) && !anns.is_empty() {
+            // Build one signature from inline annotations.
+            let ft = FunTy {
+                tparams,
+                params: params
+                    .iter()
+                    .cloned()
+                    .zip(anns.into_iter().map(Option::unwrap))
+                    .collect(),
+                ret: Box::new(ret_ann.unwrap_or_else(|| AnnTy::name("void"))),
+            };
+            sigs.push(ft);
+        } else if sigs.is_empty() && params.is_empty() {
+            sigs.push(FunTy {
+                tparams,
+                params: Vec::new(),
+                ret: Box::new(ret_ann.unwrap_or_else(|| AnnTy::name("void"))),
+            });
+        }
+        // Otherwise the function is unannotated: its signature is inferred
+        // from the call-site template it is passed to (§2.2.1).
+        let _ = span;
+        // Note: an overload signature may bind *fewer* parameters than the
+        // function declares (the extra parameters are `undefined` in that
+        // overload) — exactly the `$reduce` idiom from §2.1.2.
+        Ok(FunDecl {
+            name,
+            sigs,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let lo = self.expect(Tok::Class)?;
+        let name = self.ident()?;
+        let mut tparams = Vec::new();
+        if self.eat(Tok::Lt) {
+            loop {
+                let p = self.ident()?;
+                // Allow and ignore `extends RO`-style bounds on mutability params.
+                if self.eat(Tok::Extends) {
+                    self.ident()?;
+                }
+                tparams.push(p);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        let extends = if self.eat(Tok::Extends) {
+            let s = self.ident()?;
+            // Ignore type arguments on the superclass for now.
+            if self.eat(Tok::Lt) {
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.bump() {
+                        Tok::Lt => depth += 1,
+                        Tok::Gt => depth -= 1,
+                        Tok::Eof => return Err(self.err("unterminated type arguments".into())),
+                        _ => {}
+                    }
+                }
+            }
+            Some(s)
+        } else {
+            None
+        };
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        let mut ctor = None;
+        let mut invariant = None;
+        while *self.peek() != Tok::RBrace {
+            match self.peek().clone() {
+                Tok::Invariant => {
+                    self.bump();
+                    invariant = Some(self.pred()?);
+                    self.expect(Tok::Semi)?;
+                }
+                Tok::Constructor => {
+                    let clo = self.span();
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let mut params = Vec::new();
+                    while *self.peek() != Tok::RParen {
+                        let x = self.ident()?;
+                        self.expect(Tok::Colon)?;
+                        let t = self.ty()?;
+                        params.push((x, t));
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    let body = self.block()?;
+                    ctor = Some(CtorDecl {
+                        params,
+                        body,
+                        span: clo.to(self.prev_span()),
+                    });
+                }
+                Tok::Immutable | Tok::Mutable => {
+                    let m = if self.bump() == Tok::Immutable {
+                        FieldMut::Immutable
+                    } else {
+                        FieldMut::Mutable
+                    };
+                    fields.push(self.field_decl(m)?);
+                }
+                Tok::At => {
+                    methods.push(self.method_decl()?);
+                }
+                Tok::Ident(_) => {
+                    // field `f : T;` or method `m(...) ... { ... }`
+                    if *self.peek_at(1) == Tok::Colon {
+                        fields.push(self.field_decl(FieldMut::Mutable)?);
+                    } else {
+                        methods.push(self.method_decl()?);
+                    }
+                }
+                other => return Err(self.err(format!("unexpected `{other}` in class body"))),
+            }
+        }
+        let hi = self.expect(Tok::RBrace)?;
+        Ok(ClassDecl {
+            name,
+            tparams,
+            extends,
+            invariant,
+            fields,
+            ctor,
+            methods,
+            span: lo.to(hi),
+        })
+    }
+
+    fn field_decl(&mut self, m: FieldMut) -> PResult<FieldDecl> {
+        let lo = self.span();
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        let hi = self.expect(Tok::Semi)?;
+        Ok(FieldDecl {
+            name,
+            mutability: m,
+            ty,
+            span: lo.to(hi),
+        })
+    }
+
+    fn method_decl(&mut self) -> PResult<MethodDecl> {
+        let lo = self.span();
+        let recv = if self.eat(Tok::At) {
+            let m = self.ident()?;
+            Mutability::from_abbrev(m.as_str())
+                .ok_or_else(|| self.err(format!("unknown method annotation @{m}")))?
+        } else {
+            Mutability::Mutable
+        };
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Tok::RParen {
+            let x = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let t = self.ty()?;
+            params.push((x, t));
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret = if self.eat(Tok::Colon) {
+            self.ty()?
+        } else {
+            AnnTy::name("void")
+        };
+        let body = if *self.peek() == Tok::LBrace {
+            Some(self.block()?)
+        } else {
+            self.expect(Tok::Semi)?;
+            None
+        };
+        Ok(MethodDecl {
+            name,
+            recv,
+            sig: FunTy {
+                tparams: Vec::new(),
+                params,
+                ret: Box::new(ret),
+            },
+            body,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn interface_decl(&mut self) -> PResult<InterfaceDecl> {
+        let lo = self.expect(Tok::Interface)?;
+        let name = self.ident()?;
+        let mut tparams = Vec::new();
+        if self.eat(Tok::Lt) {
+            loop {
+                tparams.push(self.ident()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        let mut extends = Vec::new();
+        if self.eat(Tok::Extends) {
+            loop {
+                extends.push(self.ident()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            match self.peek().clone() {
+                Tok::Immutable | Tok::Mutable => {
+                    let m = if self.bump() == Tok::Immutable {
+                        FieldMut::Immutable
+                    } else {
+                        FieldMut::Mutable
+                    };
+                    fields.push(self.field_decl(m)?);
+                }
+                Tok::At | Tok::Ident(_)
+                    if *self.peek_at(1) == Tok::LParen || *self.peek() == Tok::At =>
+                {
+                    methods.push(self.method_decl()?);
+                }
+                Tok::Ident(_) => {
+                    fields.push(self.field_decl(FieldMut::Mutable)?);
+                }
+                other => return Err(self.err(format!("unexpected `{other}` in interface body"))),
+            }
+        }
+        let hi = self.expect(Tok::RBrace)?;
+        Ok(InterfaceDecl {
+            name,
+            tparams,
+            extends,
+            fields,
+            methods,
+            span: lo.to(hi),
+        })
+    }
+
+    // ------------------------------------------------------- statements ---
+
+    fn block(&mut self) -> PResult<Block> {
+        let lo = self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        let hi = self.expect(Tok::RBrace)?;
+        Ok(Block {
+            stmts,
+            span: lo.to(hi),
+        })
+    }
+
+    fn block_or_stmt(&mut self) -> PResult<Block> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            let span = s.span();
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        match self.peek().clone() {
+            Tok::Var | Tok::Let => self.var_decl_stmt(),
+            Tok::If => self.if_stmt(),
+            Tok::While => self.while_stmt(),
+            Tok::For => self.for_stmt(),
+            Tok::Return => {
+                let lo = self.span();
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let hi = self.expect(Tok::Semi)?;
+                Ok(Stmt::Return {
+                    value,
+                    span: lo.to(hi),
+                })
+            }
+            Tok::Function => Ok(Stmt::Fun(self.fun_decl()?)),
+            Tok::Sig => {
+                self.sig_decl()?;
+                // A sig is not itself a statement; parse the next one.
+                self.stmt()
+            }
+            Tok::Break => Err(self.err(
+                "`break` is not supported; restructure the loop (the paper's ports did the same)"
+                    .into(),
+            )),
+            Tok::Semi => {
+                let s = self.span();
+                self.bump();
+                Ok(Stmt::Skip(s))
+            }
+            Tok::LBrace => {
+                // Braced group: `var` is function-scoped, so a bare block
+                // is just a scope-transparent sequence.
+                let blk = self.block()?;
+                let span = blk.span;
+                Ok(Stmt::Seq(blk.stmts, span))
+            }
+            _ => self.expr_or_assign_stmt(true),
+        }
+    }
+
+    fn var_decl_stmt(&mut self) -> PResult<Stmt> {
+        let lo = self.span();
+        self.bump(); // var | let
+        let mut decls: Vec<Stmt> = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ann = if self.eat(Tok::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            let init = if self.eat(Tok::Assign) {
+                self.expr()?
+            } else {
+                Expr::Undefined(self.prev_span())
+            };
+            decls.push(Stmt::VarDecl {
+                name,
+                ann,
+                init,
+                span: lo.to(self.prev_span()),
+            });
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        let hi = self.expect(Tok::Semi)?;
+        if decls.len() == 1 {
+            Ok(decls.pop().unwrap())
+        } else {
+            Ok(Stmt::Seq(decls, lo.to(hi)))
+        }
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        let lo = self.expect(Tok::If)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_blk = self.block_or_stmt()?;
+        let else_blk = if self.eat(Tok::Else) {
+            if *self.peek() == Tok::If {
+                let s = self.if_stmt()?;
+                let span = s.span();
+                Block {
+                    stmts: vec![s],
+                    span,
+                }
+            } else {
+                self.block_or_stmt()?
+            }
+        } else {
+            Block::default()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn while_stmt(&mut self) -> PResult<Stmt> {
+        let lo = self.expect(Tok::While)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt::While {
+            cond,
+            body,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    /// `for (init; cond; step) body` desugars to
+    /// `{ init; while (cond) { body; step } }`.
+    fn for_stmt(&mut self) -> PResult<Stmt> {
+        let lo = self.expect(Tok::For)?;
+        self.expect(Tok::LParen)?;
+        let init = if *self.peek() == Tok::Semi {
+            self.bump();
+            Stmt::Skip(lo)
+        } else if matches!(self.peek(), Tok::Var | Tok::Let) {
+            self.var_decl_stmt()?
+        } else {
+            self.expr_or_assign_stmt(true)?
+        };
+        let cond = if *self.peek() == Tok::Semi {
+            Expr::Bool(true, self.span())
+        } else {
+            self.expr()?
+        };
+        self.expect(Tok::Semi)?;
+        let step = if *self.peek() == Tok::RParen {
+            Stmt::Skip(self.span())
+        } else {
+            self.expr_or_assign_stmt(false)?
+        };
+        self.expect(Tok::RParen)?;
+        let mut body = self.block_or_stmt()?;
+        body.stmts.push(step);
+        let span = lo.to(self.prev_span());
+        let whl = Stmt::While { cond, body, span };
+        Ok(Stmt::Seq(vec![init, whl], span))
+    }
+
+    /// Expression statements and the assignment sugar family:
+    /// `x = e`, `e.f = e`, `a[i] = e`, `x++`, `x--`, `x += e`, `x -= e`.
+    fn expr_or_assign_stmt(&mut self, want_semi: bool) -> PResult<Stmt> {
+        let lo = self.span();
+        let e = self.expr()?;
+        let stmt = match self.peek().clone() {
+            Tok::Assign => {
+                self.bump();
+                let rhs = self.expr()?;
+                let target = self.lvalue(e)?;
+                Stmt::Assign {
+                    target,
+                    value: rhs,
+                    span: lo.to(self.prev_span()),
+                }
+            }
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let op = if self.bump() == Tok::PlusPlus {
+                    BinOpE::Add
+                } else {
+                    BinOpE::Sub
+                };
+                let span = lo.to(self.prev_span());
+                let target = self.lvalue(e.clone())?;
+                Stmt::Assign {
+                    target,
+                    value: Expr::Binary(op, Box::new(e), Box::new(Expr::Num(1, span)), span),
+                    span,
+                }
+            }
+            Tok::PlusEq | Tok::MinusEq => {
+                let op = if self.bump() == Tok::PlusEq {
+                    BinOpE::Add
+                } else {
+                    BinOpE::Sub
+                };
+                let rhs = self.expr()?;
+                let span = lo.to(self.prev_span());
+                let target = self.lvalue(e.clone())?;
+                Stmt::Assign {
+                    target,
+                    value: Expr::Binary(op, Box::new(e), Box::new(rhs), span),
+                    span,
+                }
+            }
+            _ => Stmt::ExprStmt {
+                expr: e,
+                span: lo.to(self.prev_span()),
+            },
+        };
+        if want_semi {
+            self.expect(Tok::Semi)?;
+        }
+        Ok(stmt)
+    }
+
+    fn lvalue(&self, e: Expr) -> PResult<LValue> {
+        match e {
+            Expr::Var(x, s) => Ok(LValue::Var(x, s)),
+            Expr::Field(b, f, s) => Ok(LValue::Field(*b, f, s)),
+            Expr::Index(a, i, s) => Ok(LValue::Index(*a, *i, s)),
+            other => Err(ParseError {
+                message: "invalid assignment target".into(),
+                span: other.span(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------ expressions ---
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let c = self.or_expr()?;
+        if self.eat(Tok::Question) {
+            let t = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let e = self.expr()?;
+            let span = c.span().to(e.span());
+            Ok(Expr::Ternary(Box::new(c), Box::new(t), Box::new(e), span))
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.and_expr()?;
+        while self.eat(Tok::OrOr) {
+            let r = self.and_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(BinOpE::Or, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.bitor_expr()?;
+        while self.eat(Tok::AndAnd) {
+            let r = self.bitor_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(BinOpE::And, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn bitor_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.bitand_expr()?;
+        while self.eat(Tok::Pipe) {
+            let r = self.bitand_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(BinOpE::BitOr, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn bitand_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.equality_expr()?;
+        while self.eat(Tok::Amp) {
+            let r = self.equality_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(BinOpE::BitAnd, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn equality_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq | Tok::EqEqEq => BinOpE::Eq,
+                Tok::NotEq | Tok::NotEqEq => BinOpE::Ne,
+                _ => break,
+            };
+            self.bump();
+            let r = self.relational_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(op, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn relational_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOpE::Lt,
+                Tok::Le => BinOpE::Le,
+                Tok::Gt => BinOpE::Gt,
+                Tok::Ge => BinOpE::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.additive_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(op, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn additive_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOpE::Add,
+                Tok::Minus => BinOpE::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(op, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn multiplicative_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOpE::Mul,
+                Tok::Slash => BinOpE::Div,
+                Tok::Percent => BinOpE::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary(op, Box::new(l), Box::new(r), span);
+        }
+        Ok(l)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let lo = self.span();
+        match self.peek().clone() {
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = lo.to(e.span());
+                Ok(Expr::Unary(UnOp::Not, Box::new(e), span))
+            }
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = lo.to(e.span());
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e), span))
+            }
+            Tok::Typeof => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = lo.to(e.span());
+                Ok(Expr::Unary(UnOp::TypeOf, Box::new(e), span))
+            }
+            Tok::Lt => {
+                // `<T> e` — static cast.
+                self.bump();
+                let t = self.ty()?;
+                self.expect(Tok::Gt)?;
+                let e = self.unary_expr()?;
+                let span = lo.to(e.span());
+                Ok(Expr::Cast(t, Box::new(e), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek().clone() {
+                Tok::Dot => {
+                    self.bump();
+                    let f = self.ident_or_keyword()?;
+                    let span = e.span().to(self.prev_span());
+                    e = Expr::Field(Box::new(e), f, span);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let i = self.expr()?;
+                    let hi = self.expect(Tok::RBracket)?;
+                    let span = e.span().to(hi);
+                    e = Expr::Index(Box::new(e), Box::new(i), span);
+                }
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while *self.peek() != Tok::RParen {
+                        args.push(self.expr()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    let hi = self.expect(Tok::RParen)?;
+                    let span = e.span().to(hi);
+                    e = Expr::Call(Box::new(e), args, span);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// Identifiers in member position may collide with keywords
+    /// (`x.length` is fine, but also `x.type` etc.).
+    fn ident_or_keyword(&mut self) -> PResult<Sym> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Sym::from(s))
+            }
+            Tok::Type => {
+                self.bump();
+                Ok(Sym::from("type"))
+            }
+            other => Err(self.err(format!("expected member name, found `{other}`"))),
+        }
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let lo = self.span();
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Num(n, lo))
+            }
+            Tok::Hex(n) => {
+                self.bump();
+                Ok(Expr::Bv(n, lo))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, lo))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Bool(true, lo))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Bool(false, lo))
+            }
+            Tok::Null => {
+                self.bump();
+                Ok(Expr::Null(lo))
+            }
+            Tok::Undefined => {
+                self.bump();
+                Ok(Expr::Undefined(lo))
+            }
+            Tok::This => {
+                self.bump();
+                Ok(Expr::This(lo))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Expr::Var(Sym::from(s), lo))
+            }
+            Tok::New => {
+                self.bump();
+                let name = self.ident()?;
+                let mut targs = Vec::new();
+                if self.eat(Tok::Lt) {
+                    loop {
+                        targs.push(self.ty()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::Gt)?;
+                }
+                self.expect(Tok::LParen)?;
+                let mut args = Vec::new();
+                while *self.peek() != Tok::RParen {
+                    args.push(self.expr()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                let hi = self.expect(Tok::RParen)?;
+                Ok(Expr::New(name, targs, args, lo.to(hi)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                while *self.peek() != Tok::RBracket {
+                    elems.push(self.expr()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                let hi = self.expect(Tok::RBracket)?;
+                Ok(Expr::ArrayLit(elems, lo.to(hi)))
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+
+    // ------------------------------------------------------------ types ---
+
+    fn ty(&mut self) -> PResult<AnnTy> {
+        let first = self.postfix_ty()?;
+        if *self.peek() == Tok::Plus {
+            let mut parts = vec![first];
+            while self.eat(Tok::Plus) {
+                parts.push(self.postfix_ty()?);
+            }
+            Ok(AnnTy::Union(parts))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn postfix_ty(&mut self) -> PResult<AnnTy> {
+        let mut t = self.atom_ty()?;
+        loop {
+            if *self.peek() == Tok::LBracket && *self.peek_at(1) == Tok::RBracket {
+                self.bump();
+                self.bump();
+                // `T[]+` non-empty sugar: consume `+` only when it cannot
+                // start another union member.
+                let nonempty = if *self.peek() == Tok::Plus
+                    && !matches!(
+                        self.peek_at(1),
+                        Tok::Ident(_) | Tok::LBrace | Tok::LParen | Tok::Lt
+                    ) {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                // `T[]` defaults to Mutable: in this model array length is
+                // fixed at allocation, so `len` refinements stay sound for
+                // mutable arrays and element writes just need MU.
+                t = AnnTy::Array {
+                    elem: Box::new(t),
+                    mutability: Mutability::Mutable,
+                    nonempty,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    fn atom_ty(&mut self) -> PResult<AnnTy> {
+        match self.peek().clone() {
+            Tok::LBrace => {
+                // {v: T | p}
+                self.bump();
+                let vv = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let base = self.postfix_ty()?;
+                self.expect(Tok::Pipe)?;
+                let pred = self.pred()?;
+                self.expect(Tok::RBrace)?;
+                Ok(AnnTy::Refined {
+                    vv,
+                    base: Box::new(base),
+                    pred,
+                })
+            }
+            Tok::Lt => {
+                // <A, B>(params) => R
+                self.bump();
+                let mut tparams = Vec::new();
+                loop {
+                    tparams.push(self.ident()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::Gt)?;
+                self.arrow_ty(tparams)
+            }
+            Tok::LParen => self.arrow_ty(Vec::new()),
+            Tok::Undefined => {
+                self.bump();
+                Ok(AnnTy::name("undefined"))
+            }
+            Tok::Null => {
+                self.bump();
+                Ok(AnnTy::name("null"))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let mut args = Vec::new();
+                if *self.peek() == Tok::Lt {
+                    self.bump();
+                    loop {
+                        args.push(self.ann_arg()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::Gt)?;
+                }
+                // Normalize Array<M, T> sugar.
+                if name == "Array" {
+                    let (mut m, mut elem) = (Mutability::Mutable, None);
+                    let mut plain = Vec::new();
+                    for a in &args {
+                        match a {
+                            AnnArg::Mut(mm) => m = *mm,
+                            AnnArg::Ty(t) => elem = Some(t.clone()),
+                            AnnArg::Term(_) => plain.push(()),
+                        }
+                    }
+                    if let (Some(elem), true) = (elem, plain.is_empty()) {
+                        return Ok(AnnTy::Array {
+                            elem: Box::new(elem),
+                            mutability: m,
+                            nonempty: false,
+                        });
+                    }
+                }
+                Ok(AnnTy::Name(Sym::from(name), args))
+            }
+            other => Err(self.err(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    fn arrow_ty(&mut self, tparams: Vec<Sym>) -> PResult<AnnTy> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        let mut anon = 0usize;
+        while *self.peek() != Tok::RParen {
+            // Either `x: T` or a bare type (anonymous parameter).
+            let named = matches!(self.peek(), Tok::Ident(_) | Tok::This)
+                && *self.peek_at(1) == Tok::Colon;
+            if named {
+                let x = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let t = self.ty()?;
+                params.push((x, t));
+            } else {
+                let t = self.ty()?;
+                anon += 1;
+                params.push((Sym::from(format!("$arg{anon}")), t));
+            }
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::FatArrow)?;
+        let ret = self.ty()?;
+        Ok(AnnTy::Arrow(FunTy {
+            tparams,
+            params,
+            ret: Box::new(ret),
+        }))
+    }
+
+    /// A named-type argument: a mutability modifier, a type, or a logical
+    /// term — tried in that order with backtracking.
+    fn ann_arg(&mut self) -> PResult<AnnArg> {
+        if let Tok::Ident(s) = self.peek() {
+            if let Some(m) = Mutability::from_abbrev(s) {
+                self.bump();
+                return Ok(AnnArg::Mut(m));
+            }
+        }
+        let save = self.pos;
+        if let Ok(t) = self.ty() {
+            if matches!(self.peek(), Tok::Comma | Tok::Gt) {
+                return Ok(AnnArg::Ty(t));
+            }
+        }
+        self.pos = save;
+        let t = self.term()?;
+        Ok(AnnArg::Term(t))
+    }
+
+    // ------------------------------------------------------- predicates ---
+
+    /// Parses a refinement predicate. Predicates share the expression
+    /// grammar (so `&&`, `||`, `!`, comparisons work as expected) extended
+    /// with `=>` (implication), `<=>` (iff) and `=` as equality.
+    fn pred(&mut self) -> PResult<Pred> {
+        let p = self.pred_or()?;
+        if self.eat(Tok::FatArrow) {
+            let q = self.pred()?;
+            return Ok(Pred::imp(p, q));
+        }
+        if self.eat(Tok::Iff) {
+            let q = self.pred()?;
+            return Ok(Pred::iff(p, q));
+        }
+        Ok(p)
+    }
+
+    fn pred_or(&mut self) -> PResult<Pred> {
+        let mut l = self.pred_and()?;
+        while self.eat(Tok::OrOr) {
+            let r = self.pred_and()?;
+            l = Pred::or(vec![l, r]);
+        }
+        Ok(l)
+    }
+
+    fn pred_and(&mut self) -> PResult<Pred> {
+        let mut l = self.pred_atom()?;
+        while self.eat(Tok::AndAnd) {
+            let r = self.pred_atom()?;
+            l = Pred::and(vec![l, r]);
+        }
+        Ok(l)
+    }
+
+    fn pred_atom(&mut self) -> PResult<Pred> {
+        if self.eat(Tok::Bang) {
+            let p = self.pred_atom()?;
+            return Ok(Pred::not(p));
+        }
+        // Parenthesized predicate vs parenthesized term: try predicate.
+        if *self.peek() == Tok::LParen {
+            let save = self.pos;
+            self.bump();
+            if let Ok(p) = self.pred() {
+                if self.eat(Tok::RParen) {
+                    // If a comparison operator follows, the parens belonged
+                    // to a term — re-parse.
+                    if !matches!(
+                        self.peek(),
+                        Tok::Lt
+                            | Tok::Le
+                            | Tok::Gt
+                            | Tok::Ge
+                            | Tok::Assign
+                            | Tok::EqEq
+                            | Tok::EqEqEq
+                            | Tok::NotEq
+                            | Tok::NotEqEq
+                            | Tok::Plus
+                            | Tok::Minus
+                            | Tok::Star
+                            | Tok::Amp
+                            | Tok::Pipe
+                    ) {
+                        return Ok(p);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let l = self.term()?;
+        let op = match self.peek() {
+            Tok::Assign | Tok::EqEq | Tok::EqEqEq => Some(CmpOp::Eq),
+            Tok::NotEq | Tok::NotEqEq => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let r = self.term()?;
+                Ok(Pred::cmp(op, l, r))
+            }
+            None => {
+                // Bare term: an uninterpreted predicate application or a
+                // boolean-valued term.
+                match &l {
+                    Term::App(f, args)
+                        if f == &Sym::from("impl")
+                            || f == &Sym::from("instanceof")
+                            || f == &Sym::from("mask") =>
+                    {
+                        if f == &Sym::from("mask") {
+                            // mask(t, m) ≡ (t & m) != 0
+                            if args.len() != 2 {
+                                return Err(self.err("mask expects two arguments".into()));
+                            }
+                            return Ok(Pred::cmp(
+                                CmpOp::Ne,
+                                Term::bin(BinOp::BvAnd, args[0].clone(), args[1].clone()),
+                                Term::bv(0),
+                            ));
+                        }
+                        Ok(Pred::App(Sym::from("impl"), args.clone()))
+                    }
+                    _ => Ok(Pred::TermPred(l)),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------ logic terms ---
+
+    fn term(&mut self) -> PResult<Term> {
+        self.term_bitor()
+    }
+
+    fn term_bitor(&mut self) -> PResult<Term> {
+        let mut l = self.term_bitand()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            let r = self.term_bitand()?;
+            l = Term::bin(BinOp::BvOr, l, r);
+        }
+        Ok(l)
+    }
+
+    fn term_bitand(&mut self) -> PResult<Term> {
+        let mut l = self.term_add()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            let r = self.term_add()?;
+            l = Term::bin(BinOp::BvAnd, l, r);
+        }
+        Ok(l)
+    }
+
+    fn term_add(&mut self) -> PResult<Term> {
+        let mut l = self.term_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.term_mul()?;
+            l = Term::bin(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn term_mul(&mut self) -> PResult<Term> {
+        let mut l = self.term_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.term_unary()?;
+            l = Term::bin(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn term_unary(&mut self) -> PResult<Term> {
+        if self.eat(Tok::Minus) {
+            let t = self.term_unary()?;
+            return Ok(Term::neg(t));
+        }
+        self.term_postfix()
+    }
+
+    fn term_postfix(&mut self) -> PResult<Term> {
+        let mut t = self.term_primary()?;
+        while self.eat(Tok::Dot) {
+            let f = self.ident_or_keyword()?;
+            t = Term::field(t, f);
+        }
+        Ok(t)
+    }
+
+    fn term_primary(&mut self) -> PResult<Term> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Term::int(n))
+            }
+            Tok::Hex(n) => {
+                self.bump();
+                Ok(Term::bv(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Term::str(s))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Term::bool(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Term::bool(false))
+            }
+            Tok::This => {
+                self.bump();
+                Ok(Term::this())
+            }
+            Tok::Null => {
+                self.bump();
+                Ok(Term::app("nullv", vec![]))
+            }
+            Tok::Undefined => {
+                self.bump();
+                Ok(Term::app("undefv", vec![]))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.term()?;
+                self.expect(Tok::RParen)?;
+                Ok(t)
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while *self.peek() != Tok::RParen {
+                        // In `impl(x, C)` / `instanceof(x, C)` the second
+                        // argument is a type name — encode as a string.
+                        let is_tag_pos = (s == "impl" || s == "instanceof") && args.len() == 1;
+                        if is_tag_pos {
+                            if let Tok::Ident(cname) = self.peek().clone() {
+                                if *self.peek_at(1) == Tok::RParen {
+                                    self.bump();
+                                    args.push(Term::str(cname));
+                                    continue;
+                                }
+                            }
+                        }
+                        args.push(self.term()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Term::app(Sym::from(s), args))
+                } else {
+                    Ok(Term::var(Sym::from(s)))
+                }
+            }
+            other => Err(self.err(format!("expected logical term, found `{other}`"))),
+        }
+    }
+}

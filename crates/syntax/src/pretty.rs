@@ -1,0 +1,361 @@
+//! A pretty printer for RSC programs — used by diagnostics, debugging
+//! dumps and the parser round-trip tests.
+
+use std::fmt::Write;
+
+use crate::ast::*;
+use crate::types::AnnTy;
+
+/// Renders a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        item_str(item, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn item_str(item: &Item, out: &mut String) {
+    match item {
+        Item::TypeAlias(a) => {
+            let _ = write!(out, "type {}", a.name);
+            params(&a.params, out);
+            let _ = writeln!(out, " = {};", a.body);
+        }
+        Item::Qualif(q) => {
+            let _ = write!(out, "qualif {}(", q.name);
+            for (i, (x, t)) in q.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{x}: {t}");
+            }
+            let _ = writeln!(out, "): {};", q.body);
+        }
+        Item::Enum(e) => {
+            let _ = writeln!(out, "enum {} {{", e.name);
+            for (m, v) in &e.members {
+                let _ = writeln!(out, "    {m} = {v:#010x},");
+            }
+            out.push_str("}\n");
+        }
+        Item::Class(c) => {
+            let _ = write!(out, "class {}", c.name);
+            params(&c.tparams, out);
+            if let Some(sup) = &c.extends {
+                let _ = write!(out, " extends {sup}");
+            }
+            out.push_str(" {\n");
+            for f in &c.fields {
+                field(f, out);
+            }
+            if let Some(ct) = &c.ctor {
+                out.push_str("    constructor(");
+                typed_params(&ct.params, out);
+                out.push_str(") ");
+                block(&ct.body, 1, out);
+            }
+            for m in &c.methods {
+                method(m, out);
+            }
+            out.push_str("}\n");
+        }
+        Item::Interface(i) => {
+            let _ = write!(out, "interface {}", i.name);
+            params(&i.tparams, out);
+            if !i.extends.is_empty() {
+                out.push_str(" extends ");
+                for (k, e) in i.extends.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{e}");
+                }
+            }
+            out.push_str(" {\n");
+            for f in &i.fields {
+                field(f, out);
+            }
+            for m in &i.methods {
+                method(m, out);
+            }
+            out.push_str("}\n");
+        }
+        Item::Fun(f) => fun(f, 0, out),
+        Item::Declare(d) => {
+            let _ = writeln!(out, "declare {} : {};", d.name, d.ty);
+        }
+        Item::Stmt(s) => stmt(s, 0, out),
+    }
+}
+
+fn params(ps: &[rsc_logic::Sym], out: &mut String) {
+    if ps.is_empty() {
+        return;
+    }
+    out.push('<');
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{p}");
+    }
+    out.push('>');
+}
+
+fn typed_params(ps: &[(rsc_logic::Sym, AnnTy)], out: &mut String) {
+    for (i, (x, t)) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{x}: {t}");
+    }
+}
+
+fn field(f: &FieldDecl, out: &mut String) {
+    let m = if f.mutability == FieldMut::Immutable {
+        "immutable "
+    } else {
+        ""
+    };
+    let _ = writeln!(out, "    {m}{} : {};", f.name, f.ty);
+}
+
+fn method(m: &MethodDecl, out: &mut String) {
+    let ann = match m.recv {
+        crate::Mutability::Mutable => "",
+        crate::Mutability::ReadOnly => "@ReadOnly ",
+        crate::Mutability::Immutable => "@Immutable ",
+        crate::Mutability::Unique => "@Unique ",
+    };
+    let _ = write!(out, "    {ann}{}(", m.name);
+    typed_params(&m.sig.params, out);
+    let _ = write!(out, "): {}", m.sig.ret);
+    match &m.body {
+        Some(b) => {
+            out.push(' ');
+            block(b, 1, out);
+        }
+        None => out.push_str(";\n"),
+    }
+}
+
+fn fun(f: &FunDecl, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    // Single signatures with matching arity print inline; everything else
+    // (overloads, partial-arity signatures) prints as `sig` lines with an
+    // unannotated function, which round-trips exactly.
+    let inline = f.sigs.len() == 1 && f.sigs[0].params.len() == f.params.len();
+    if !inline {
+        for sig in &f.sigs {
+            let _ = writeln!(out, "{pad}sig {} : {};", f.name, AnnTy::Arrow(sig.clone()));
+        }
+    }
+    let _ = write!(out, "{pad}function {}", f.name);
+    if inline && !f.sigs[0].tparams.is_empty() {
+        params(&f.sigs[0].tparams, out);
+    }
+    out.push('(');
+    if inline {
+        let sig = &f.sigs[0];
+        for (i, x) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{x}: {}", sig.params[i].1);
+        }
+        let _ = write!(out, "): {} ", sig.ret);
+    } else {
+        for (i, x) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{x}");
+        }
+        out.push_str(") ");
+    }
+    block(&f.body, indent, out);
+}
+
+fn block(b: &Block, indent: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(s, indent + 1, out);
+    }
+    let _ = writeln!(out, "{}}}", "    ".repeat(indent));
+}
+
+fn stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::VarDecl { name, ann, init, .. } => {
+            let _ = write!(out, "{pad}var {name}");
+            if let Some(a) = ann {
+                let _ = write!(out, ": {a}");
+            }
+            let _ = writeln!(out, " = {};", expr(init));
+        }
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                LValue::Var(x, _) => x.to_string(),
+                LValue::Field(e, f, _) => format!("{}.{f}", expr(e)),
+                LValue::Index(a, i, _) => format!("{}[{}]", expr(a), expr(i)),
+            };
+            let _ = writeln!(out, "{pad}{t} = {};", expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            let _ = write!(out, "{pad}if ({}) ", expr(cond));
+            block(then_blk, indent, out);
+            if !else_blk.stmts.is_empty() {
+                let _ = write!(out, "{pad}else ");
+                block(else_blk, indent, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "{pad}while ({}) ", expr(cond));
+            block(body, indent, out);
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "{pad}return {};", expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+        },
+        Stmt::ExprStmt { expr: e, .. } => {
+            let _ = writeln!(out, "{pad}{};", expr(e));
+        }
+        Stmt::Fun(f) => fun(f, indent, out),
+        Stmt::Seq(ss, _) => {
+            for s in ss {
+                stmt(s, indent, out);
+            }
+        }
+        Stmt::Skip(_) => {
+            let _ = writeln!(out, "{pad};");
+        }
+    }
+}
+
+/// Renders an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n, _) => n.to_string(),
+        Expr::Bv(n, _) => format!("{n:#010x}"),
+        Expr::Str(s, _) => format!("{s:?}"),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Null(_) => "null".into(),
+        Expr::Undefined(_) => "undefined".into(),
+        Expr::Var(x, _) => x.to_string(),
+        Expr::This(_) => "this".into(),
+        Expr::Field(b, f, _) => format!("{}.{f}", expr(b)),
+        Expr::Index(a, i, _) => format!("{}[{}]", expr(a), expr(i)),
+        Expr::Call(f, args, _) => {
+            let a: Vec<String> = args.iter().map(expr).collect();
+            format!("{}({})", expr(f), a.join(", "))
+        }
+        Expr::New(c, targs, args, _) => {
+            let a: Vec<String> = args.iter().map(expr).collect();
+            if targs.is_empty() {
+                format!("new {c}({})", a.join(", "))
+            } else {
+                let t: Vec<String> = targs.iter().map(|t| t.to_string()).collect();
+                format!("new {c}<{}>({})", t.join(", "), a.join(", "))
+            }
+        }
+        Expr::Cast(t, e, _) => format!("<{t}> {}", expr(e)),
+        Expr::Unary(op, e, _) => match op {
+            UnOp::Not => format!("!{}", expr(e)),
+            UnOp::Neg => format!("-{}", expr(e)),
+            UnOp::TypeOf => format!("typeof {}", expr(e)),
+        },
+        Expr::Binary(op, a, b, _) => {
+            let sym = match op {
+                BinOpE::Add => "+",
+                BinOpE::Sub => "-",
+                BinOpE::Mul => "*",
+                BinOpE::Div => "/",
+                BinOpE::Mod => "%",
+                BinOpE::Lt => "<",
+                BinOpE::Le => "<=",
+                BinOpE::Gt => ">",
+                BinOpE::Ge => ">=",
+                BinOpE::Eq => "===",
+                BinOpE::Ne => "!==",
+                BinOpE::And => "&&",
+                BinOpE::Or => "||",
+                BinOpE::BitAnd => "&",
+                BinOpE::BitOr => "|",
+            };
+            format!("({} {sym} {})", expr(a), expr(b))
+        }
+        Expr::Ternary(c, t, f, _) => format!("({} ? {} : {})", expr(c), expr(t), expr(f)),
+        Expr::ArrayLit(es, _) => {
+            let a: Vec<String> = es.iter().map(expr).collect();
+            format!("[{}]", a.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_program;
+
+    /// Pretty-printing then re-parsing yields a program that pretty-prints
+    /// identically (print ∘ parse is idempotent).
+    #[test]
+    fn roundtrip_idempotent() {
+        let src = r#"
+            type nat = {v: number | 0 <= v};
+            enum F { A = 0x1, B = 0x2, }
+            class C {
+                immutable k : nat;
+                constructor(k: nat) { this.k = k; }
+                @ReadOnly get(i: number): number { return i < this.k ? i : 0; }
+            }
+            sig g : (x: number) => number;
+            sig g : (x: number, y: number) => number;
+            function g(x, y) {
+                if (arguments.length === 2) { return x + y; }
+                return x;
+            }
+            function f(a: number[]): number {
+                var s = 0;
+                for (var i = 0; i < a.length; i++) { s = s + a[i]; }
+                return s;
+            }
+            var z = new C(3);
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed1 = super::program(&p1);
+        let p2 = parse_program(&printed1)
+            .unwrap_or_else(|e| panic!("pretty output must re-parse: {e}\n{printed1}"));
+        let printed2 = super::program(&p2);
+        assert_eq!(printed1, printed2);
+    }
+
+    #[test]
+    fn corpus_pretty_reparses() {
+        // Every benchmark pretty-prints to something that parses again.
+        let dir = format!("{}/../../benchmarks", env!("CARGO_MANIFEST_DIR"));
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rsc") {
+                continue;
+            }
+            let src = std::fs::read_to_string(&path).unwrap();
+            let p = parse_program(&src).unwrap();
+            let printed = super::program(&p);
+            parse_program(&printed).unwrap_or_else(|e| {
+                panic!("{}: pretty output must re-parse: {e}", path.display())
+            });
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Source spans.
+
+use std::fmt;
+
+/// A source region: byte offsets plus the 1-based line of the start.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+    /// 1-based line number of `lo`.
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering both inputs.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            line: self.line.min(other.line),
+        }
+    }
+
+    /// A zero-width dummy span.
+    pub fn dummy() -> Span {
+        Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}

@@ -1,0 +1,249 @@
+//! Lexical tokens.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier (or contextual keyword).
+    Ident(String),
+    /// Decimal integer literal.
+    Int(i64),
+    /// Hexadecimal literal (bit-vector constant).
+    Hex(u32),
+    /// String literal (contents, unescaped).
+    Str(String),
+
+    // Keywords
+    /// `function`
+    Function,
+    /// `var`
+    Var,
+    /// `let`
+    Let,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `new`
+    New,
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `interface`
+    Interface,
+    /// `enum`
+    Enum,
+    /// `type`
+    Type,
+    /// `sig`
+    Sig,
+    /// `declare`
+    Declare,
+    /// `qualif`
+    Qualif,
+    /// `invariant`
+    Invariant,
+    /// `constructor`
+    Constructor,
+    /// `immutable`
+    Immutable,
+    /// `mutable`
+    Mutable,
+    /// `this`
+    This,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `undefined`
+    Undefined,
+    /// `typeof`
+    Typeof,
+    /// `instanceof`
+    Instanceof,
+    /// `break`
+    Break,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `=>`
+    FatArrow,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `===`
+    EqEqEq,
+    /// `!=`
+    NotEq,
+    /// `!==`
+    NotEqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `<=>` (iff, in qualifier predicates)
+    Iff,
+    /// `@` (method mutability annotations)
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Hex(n) => write!(f, "{n:#x}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            other => {
+                let s = match other {
+                    Tok::Function => "function",
+                    Tok::Var => "var",
+                    Tok::Let => "let",
+                    Tok::Return => "return",
+                    Tok::If => "if",
+                    Tok::Else => "else",
+                    Tok::While => "while",
+                    Tok::For => "for",
+                    Tok::New => "new",
+                    Tok::Class => "class",
+                    Tok::Extends => "extends",
+                    Tok::Interface => "interface",
+                    Tok::Enum => "enum",
+                    Tok::Type => "type",
+                    Tok::Sig => "sig",
+                    Tok::Declare => "declare",
+                    Tok::Qualif => "qualif",
+                    Tok::Invariant => "invariant",
+                    Tok::Constructor => "constructor",
+                    Tok::Immutable => "immutable",
+                    Tok::Mutable => "mutable",
+                    Tok::This => "this",
+                    Tok::True => "true",
+                    Tok::False => "false",
+                    Tok::Null => "null",
+                    Tok::Undefined => "undefined",
+                    Tok::Typeof => "typeof",
+                    Tok::Instanceof => "instanceof",
+                    Tok::Break => "break",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::Le => "<=",
+                    Tok::Ge => ">=",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Dot => ".",
+                    Tok::Question => "?",
+                    Tok::FatArrow => "=>",
+                    Tok::Assign => "=",
+                    Tok::EqEq => "==",
+                    Tok::EqEqEq => "===",
+                    Tok::NotEq => "!=",
+                    Tok::NotEqEq => "!==",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Bang => "!",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::PlusPlus => "++",
+                    Tok::MinusMinus => "--",
+                    Tok::PlusEq => "+=",
+                    Tok::MinusEq => "-=",
+                    Tok::Iff => "<=>",
+                    Tok::At => "@",
+                    Tok::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub tok: Tok,
+    /// Source region.
+    pub span: Span,
+}

@@ -1,0 +1,63 @@
+//! Array-bounds verification (§2.1.1 of the paper): `head`, `head0`,
+//! and the polymorphic `reduce`/`minIndex` pair from Figure 1, with the
+//! loop invariant and the callback's index type inferred by the Liquid
+//! fixpoint — no loop annotations anywhere.
+//!
+//! ```text
+//! cargo run -p rsc-core --example array_bounds
+//! ```
+
+use rsc_core::{check_program, CheckerOptions};
+
+const PROGRAM: &str = r#"
+    type nat = {v: number | 0 <= v};
+    type idx<a> = {v: nat | v < len(a)};
+    type NEArray<T> = {v: T[] | 0 < len(v)};
+
+    function head(arr: NEArray<number>): number {
+        return arr[0];
+    }
+
+    function head0(a: number[]): number {
+        if (0 < a.length) { return head(a); }
+        return 0;
+    }
+
+    function reduce<A, B>(a: A[], f: (acc: B, cur: A, i: idx<a>) => B, x: B): B {
+        var res = x, i;
+        for (i = 0; i < a.length; i++) {
+            res = f(res, a[i], i);
+        }
+        return res;
+    }
+
+    function minIndex(a: number[]): number {
+        if (a.length <= 0) { return -1; }
+        function step(min, cur, i) {
+            return cur < a[min] ? i : min;
+        }
+        return reduce(a, step, 0);
+    }
+"#;
+
+fn main() {
+    let r = check_program(PROGRAM, CheckerOptions::default());
+    println!("Figure 1 (reduce/minIndex) verifies: {}", r.ok());
+    for d in &r.diagnostics {
+        println!("  {d}");
+    }
+
+    // The paper's point: without the branch guard, `head(a)` is unsafe.
+    let bad = PROGRAM.replace(
+        "if (0 < a.length) { return head(a); }\n        return 0;",
+        "return head(a);",
+    );
+    let r = check_program(&bad, CheckerOptions::default());
+    println!("unguarded head(a) rejected: {}", !r.ok());
+
+    // And the classic off-by-one: `i <= a.length` breaks the callback's
+    // index contract.
+    let bad = PROGRAM.replace("i < a.length", "i <= a.length");
+    let r = check_program(&bad, CheckerOptions::default());
+    println!("off-by-one loop rejected: {}", !r.ok());
+}

@@ -1,0 +1,91 @@
+//! Class invariants over immutable fields (§2.2.3, Figure 2): the `Field`
+//! class's grid is sized by its immutable width/height; the constructor
+//! establishes the invariant atomically and methods rely on it. The
+//! paper's OK/BAD call pairs behave exactly as in §2.2.3.
+//!
+//! ```text
+//! cargo run -p rsc-core --example class_invariants
+//! ```
+
+use rsc_core::{check_program, CheckerOptions};
+
+const CLASS: &str = r#"
+    type nat = {v: number | 0 <= v};
+    type pos = {v: number | 0 < v};
+    type ArrayN<T, n> = {v: T[] | len(v) = n};
+    type grid<w, h> = ArrayN<number, (w + 2) * (h + 2)>;
+    type okW = {v: nat | v <= this.w};
+    type okH = {v: nat | v <= this.h};
+
+    declare gridIdxThm : (x: nat, y: nat, w: {v: number | x <= v}, h: {v: number | y <= v})
+        => {v: boolean | 0 <= x + 1 + (y + 1) * (w + 2)
+                      && x + 1 + (y + 1) * (w + 2) < (w + 2) * (h + 2)};
+
+    class Field {
+        immutable w : pos;
+        immutable h : pos;
+        dens : grid<this.w, this.h>;
+
+        constructor(w: pos, h: pos, d: grid<w, h>) {
+            this.h = h; this.w = w; this.dens = d;
+        }
+
+        setDensity(x: okW, y: okH, d: number) {
+            var t = gridIdxThm(x, y, this.w, this.h);
+            var rowS = this.w + 2;
+            this.dens[x + 1 + (y + 1) * rowS] = d;
+        }
+
+        reset(d: grid<this.w, this.h>) {
+            this.dens = d;
+        }
+    }
+"#;
+
+fn check(tail: &str) -> bool {
+    check_program(&format!("{CLASS}{tail}"), CheckerOptions::default()).ok()
+}
+
+fn main() {
+    // The paper's OK/BAD pairs, in order.
+    let cases = [
+        (
+            "new Field(3,7,new Array(45))",
+            "var z = new Field(3, 7, new Array(45));",
+            true,
+        ),
+        (
+            "new Field(3,7,new Array(44))",
+            "var q = new Field(3, 7, new Array(44));",
+            false,
+        ),
+        (
+            "z.setDensity(2,5,-5)",
+            "var z = new Field(3, 7, new Array(45)); z.setDensity(2, 5, 0 - 5);",
+            true,
+        ),
+        (
+            "z.setDensity(5,2,..) -- x exceeds width",
+            "var z = new Field(3, 7, new Array(45)); z.setDensity(5, 2, 0);",
+            false,
+        ),
+        (
+            "z.reset(new Array(45))",
+            "var z = new Field(3, 7, new Array(45)); z.reset(new Array(45));",
+            true,
+        ),
+        (
+            "z.reset(new Array(5))",
+            "var z = new Field(3, 7, new Array(45)); z.reset(new Array(5));",
+            false,
+        ),
+    ];
+    for (label, tail, expect_ok) in cases {
+        let got = check(tail);
+        let verdict = if got == expect_ok { "as expected" } else { "UNEXPECTED" };
+        println!(
+            "{label:<45} -> {} ({verdict})",
+            if got { "verified" } else { "rejected" }
+        );
+    }
+}

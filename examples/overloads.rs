@@ -1,0 +1,47 @@
+//! Value-based overloading via two-phase typing (§2.1.2): `$reduce`
+//! dispatches on `arguments.length`; each conjunct of the intersection is
+//! checked separately with the other conjunct's branch proven dead.
+//!
+//! ```text
+//! cargo run -p rsc-core --example overloads
+//! ```
+
+use rsc_core::{check_program, CheckerOptions};
+
+const PROGRAM: &str = r#"
+    type nat = {v: number | 0 <= v};
+    type idx<a> = {v: nat | v < len(a)};
+    type NEArray<T> = {v: T[] | 0 < len(v)};
+
+    function reduce<A, B>(a: A[], f: (acc: B, cur: A, i: idx<a>) => B, x: B): B {
+        var res = x, i;
+        for (i = 0; i < a.length; i++) {
+            res = f(res, a[i], i);
+        }
+        return res;
+    }
+
+    sig $reduce : <A>(a: NEArray<A>, f: (A, A, idx<a>) => A) => A;
+    sig $reduce : <A, B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+    function $reduce(a, f, x) {
+        if (arguments.length === 3) { return reduce(a, f, x); }
+        return reduce(a, f, a[0]);
+    }
+"#;
+
+fn main() {
+    let r = check_program(PROGRAM, CheckerOptions::default());
+    println!("$reduce (2 overloads) verifies: {}", r.ok());
+    for d in &r.diagnostics {
+        println!("  {d}");
+    }
+
+    // Remove the arity dispatch: the `a[0]` in the 3-argument overload is
+    // no longer dead, and `a` may be empty there.
+    let bad = PROGRAM.replace(
+        "if (arguments.length === 3) { return reduce(a, f, x); }\n        return reduce(a, f, a[0]);",
+        "return reduce(a, f, a[0]);",
+    );
+    let r = check_program(&bad, CheckerOptions::default());
+    println!("without the arguments.length test: rejected = {}", !r.ok());
+}

@@ -1,0 +1,43 @@
+//! Quickstart: verify a tiny refined program and inspect the result.
+//!
+//! ```text
+//! cargo run -p rsc-core --example quickstart
+//! ```
+
+use rsc_core::{check_program, CheckerOptions};
+
+fn main() {
+    let src = r#"
+        type nat = {v: number | 0 <= v};
+
+        function abs(x: number): nat {
+            if (x < 0) { return 0 - x; }
+            return x;
+        }
+
+        function clamp(x: number, lo: number, hi: {v: number | lo <= v}): {v: number | lo <= v && v <= hi} {
+            if (x < lo) { return lo; }
+            if (x > hi) { return hi; }
+            return x;
+        }
+    "#;
+
+    let result = check_program(src, CheckerOptions::default());
+    println!("verified: {}", result.ok());
+    println!(
+        "κ-variables: {}, constraints: {}, SMT queries: {}",
+        result.stats.kvars, result.stats.constraints, result.stats.smt_queries
+    );
+    for d in &result.diagnostics {
+        println!("  {d}");
+    }
+
+    // A broken variant: the negation is missing, so `abs` can return a
+    // negative number.
+    let broken = src.replace("return 0 - x;", "return x;");
+    let result = check_program(&broken, CheckerOptions::default());
+    println!("\nbroken variant rejected: {}", !result.ok());
+    for d in &result.diagnostics {
+        println!("  {d}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Reflection and interface hierarchies (§4.2–§4.3): `typeof` tests
+//! narrow unions through the `ttag` measure, and bit-vector flag masks
+//! prove downcasts over the TypeScript compiler's own `TypeFlags`
+//! hierarchy safe.
+//!
+//! ```text
+//! cargo run -p rsc-core --example reflection
+//! ```
+
+use rsc_core::{check_program, CheckerOptions};
+
+fn main() {
+    // §4.2: typeof narrows number + undefined.
+    let typeof_prog = r#"
+        function incr(x: number + undefined): number {
+            var r = 1;
+            if (typeof x === "number") { r = r + x; }
+            return r;
+        }
+    "#;
+    let r = check_program(typeof_prog, CheckerOptions::default());
+    println!("typeof narrowing verifies: {}", r.ok());
+
+    let unguarded = r#"
+        function bad(x: number + undefined): number { return x + 1; }
+    "#;
+    let r = check_program(unguarded, CheckerOptions::default());
+    println!(
+        "unguarded arithmetic on number+undefined rejected: {}",
+        !r.ok()
+    );
+
+    // §4.3: the tsc TypeFlags hierarchy with mask-based downcasts.
+    let hierarchy = r#"
+        enum TypeFlags {
+            Any = 0x00000001,
+            String = 0x00000002,
+            Class = 0x00000400,
+            Interface = 0x00000800,
+            Reference = 0x00001000,
+            Object = 0x00001C00,
+        }
+        type flagsTy = {v: TypeFlags |
+            (mask(v, 0x00001C00) => impl(this, ObjectType)) };
+
+        interface Type {
+            immutable flags : flagsTy;
+            id : number;
+        }
+        interface ObjectType extends Type {
+            memberCount : number;
+        }
+
+        function getPropertiesOfType(t: Type): number {
+            if (t.flags & TypeFlags.Object) {
+                var o = <ObjectType> t;
+                return o.memberCount;
+            }
+            return 0;
+        }
+
+        function classOnly(t: Type): number {
+            if (t.flags & TypeFlags.Class) {
+                var o = <ObjectType> t;
+                return o.memberCount;
+            }
+            return 0;
+        }
+    "#;
+    let r = check_program(hierarchy, CheckerOptions::default());
+    println!("flag-guarded downcasts verify: {}", r.ok());
+    for d in &r.diagnostics {
+        println!("  {d}");
+    }
+
+    // Wrong mask: String does not witness ObjectType membership.
+    let bad = hierarchy.replace("t.flags & TypeFlags.Class", "t.flags & TypeFlags.String");
+    let r = check_program(&bad, CheckerOptions::default());
+    println!("wrong-mask downcast rejected: {}", !r.ok());
+}

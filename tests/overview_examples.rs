@@ -1,0 +1,385 @@
+//! End-to-end checks of every worked example in §2 of the paper: the
+//! positive programs must verify; the paper's "BAD" variants must be
+//! rejected.
+
+use rsc_core::{check_program, CheckerOptions};
+
+const PRELUDE: &str = r#"
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type natN<n> = {v: nat | v = n};
+type idx<a> = {v: nat | v < len(a)};
+type NEArray<T> = {v: T[] | 0 < len(v)};
+"#;
+
+fn check(src: &str) -> rsc_core::CheckResult {
+    check_program(&format!("{PRELUDE}{src}"), CheckerOptions::default())
+}
+
+fn assert_safe(src: &str) {
+    let r = check(src);
+    assert!(
+        r.ok(),
+        "expected the program to verify, got:\n{}",
+        r.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn assert_rejected(src: &str) {
+    let r = check(src);
+    assert!(
+        !r.ok(),
+        "expected a verification error but the program was accepted"
+    );
+}
+
+// -------------------------------------------------------------- §2.1.1 ---
+
+#[test]
+fn head_requires_nonempty() {
+    assert_safe(
+        r#"
+        function head(arr: NEArray<number>): number { return arr[0]; }
+        function head0(a: number[]): number {
+            if (0 < a.length) { return head(a); }
+            return 0;
+        }
+    "#,
+    );
+}
+
+#[test]
+fn head_without_guard_rejected() {
+    assert_rejected(
+        r#"
+        function head(arr: NEArray<number>): number { return arr[0]; }
+        function bad(a: number[]): number {
+            return head(a);
+        }
+    "#,
+    );
+}
+
+#[test]
+fn direct_out_of_bounds_rejected() {
+    assert_rejected(
+        r#"
+        function bad(a: number[]): number { return a[0]; }
+    "#,
+    );
+}
+
+#[test]
+fn guarded_access_verifies() {
+    assert_safe(
+        r#"
+        function get3(a: number[]): number {
+            if (3 < a.length) { return a[3]; }
+            return 0;
+        }
+    "#,
+    );
+}
+
+#[test]
+fn reduce_min_index_verifies() {
+    assert_safe(
+        r#"
+        function reduce<A, B>(a: A[], f: (acc: B, cur: A, i: idx<a>) => B, x: B): B {
+            var res = x, i;
+            for (i = 0; i < a.length; i++) {
+                res = f(res, a[i], i);
+            }
+            return res;
+        }
+        function minIndex(a: number[]): number {
+            if (a.length <= 0) { return -1; }
+            function step(min, cur, i) {
+                return cur < a[min] ? i : min;
+            }
+            return reduce(a, step, 0);
+        }
+    "#,
+    );
+}
+
+#[test]
+fn reduce_body_off_by_one_rejected() {
+    // i <= a.length lets the callback see i = a.length: unsafe.
+    assert_rejected(
+        r#"
+        function reduce<A, B>(a: A[], f: (acc: B, cur: A, i: idx<a>) => B, x: B): B {
+            var res = x, i;
+            for (i = 0; i <= a.length; i++) {
+                res = f(res, a[i], i);
+            }
+            return res;
+        }
+    "#,
+    );
+}
+
+// -------------------------------------------------------------- §2.1.2 ---
+
+#[test]
+fn value_based_overloading_verifies() {
+    assert_safe(
+        r#"
+        function reduce<A, B>(a: A[], f: (acc: B, cur: A, i: idx<a>) => B, x: B): B {
+            var res = x, i;
+            for (i = 0; i < a.length; i++) {
+                res = f(res, a[i], i);
+            }
+            return res;
+        }
+        sig $reduce : <A>(a: NEArray<A>, f: (A, A, idx<a>) => A) => A;
+        sig $reduce : <A, B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+        function $reduce(a, f, x) {
+            if (arguments.length === 3) { return reduce(a, f, x); }
+            return reduce(a, f, a[0]);
+        }
+    "#,
+    );
+}
+
+#[test]
+fn overload_without_arity_test_rejected() {
+    // Accessing a[0] without the arguments.length dispatch must fail for
+    // the 3-argument (possibly-empty array) overload.
+    assert_rejected(
+        r#"
+        sig $bad : <A>(a: NEArray<A>, f: (A, A, idx<a>) => A) => A;
+        sig $bad : <A, B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+        function $bad(a, f, x) {
+            return a[0];
+        }
+    "#,
+    );
+}
+
+// -------------------------------------------------------------- §2.2.3 ---
+
+// The grid arithmetic is nonlinear; like the paper's navier-stokes port
+// (§5 "Ghost Functions") we factor the nonlinear facts into a trusted
+// lemma instantiated at each access site.
+const FIELD_CLASS: &str = r#"
+type ArrayN<T, n> = {v: T[] | len(v) = n};
+type grid<w, h> = ArrayN<number, (w + 2) * (h + 2)>;
+type okW = {v: nat | v <= this.w};
+type okH = {v: nat | v <= this.h};
+
+declare gridIdxThm : (x: nat, y: nat, w: {v: number | x <= v}, h: {v: number | y <= v})
+    => {v: boolean | 0 <= x + 1 + (y + 1) * (w + 2)
+                  && x + 1 + (y + 1) * (w + 2) < (w + 2) * (h + 2)};
+
+class Field {
+    immutable w : pos;
+    immutable h : pos;
+    dens : grid<this.w, this.h>;
+
+    constructor(w: pos, h: pos, d: grid<w, h>) {
+        this.h = h; this.w = w; this.dens = d;
+    }
+
+    setDensity(x: okW, y: okH, d: number) {
+        var t = gridIdxThm(x, y, this.w, this.h);
+        var rowS = this.w + 2;
+        var i = x + 1 + (y + 1) * rowS;
+        this.dens[i] = d;
+    }
+
+    @ReadOnly getDensity(x: okW, y: okH): number {
+        var t = gridIdxThm(x, y, this.w, this.h);
+        var rowS = this.w + 2;
+        var i = x + 1 + (y + 1) * rowS;
+        return this.dens[i];
+    }
+
+    reset(d: grid<this.w, this.h>) {
+        this.dens = d;
+    }
+}
+"#;
+
+#[test]
+fn field_class_ok_construction() {
+    assert_safe(&format!(
+        "{FIELD_CLASS}
+        var z = new Field(3, 7, new Array(45));
+        z.setDensity(2, 5, 0 - 5);
+        var d = z.getDensity(2, 5);
+        z.reset(new Array(45));
+        "
+    ));
+}
+
+#[test]
+fn field_class_bad_grid_size_rejected() {
+    assert_rejected(&format!(
+        "{FIELD_CLASS}
+        var q = new Field(3, 7, new Array(44));
+        "
+    ));
+}
+
+#[test]
+fn field_class_bad_coordinate_rejected() {
+    assert_rejected(&format!(
+        "{FIELD_CLASS}
+        var z = new Field(3, 7, new Array(45));
+        var d = z.getDensity(5, 2);
+        "
+    ));
+}
+
+#[test]
+fn field_class_bad_reset_rejected() {
+    assert_rejected(&format!(
+        "{FIELD_CLASS}
+        var z = new Field(3, 7, new Array(45));
+        z.reset(new Array(5));
+        "
+    ));
+}
+
+// ---------------------------------------------------------------- §4.2 ---
+
+#[test]
+fn typeof_reflection_verifies() {
+    assert_safe(
+        r#"
+        function incr(x: number + undefined): number {
+            var r = 1;
+            if (typeof x === "number") { r = r + x; }
+            return r;
+        }
+    "#,
+    );
+}
+
+#[test]
+fn arithmetic_on_possibly_undefined_rejected() {
+    // var x = undefined; var y = x + 1; — rejected by rsc (§4.1).
+    assert_rejected(
+        r#"
+        function bad(x: number + undefined): number {
+            return x + 1;
+        }
+    "#,
+    );
+}
+
+// ---------------------------------------------------------------- §4.3 ---
+
+const HIERARCHY: &str = r#"
+enum TypeFlags {
+    Any = 0x00000001,
+    String = 0x00000002,
+    Class = 0x00000400,
+    Interface = 0x00000800,
+    Reference = 0x00001000,
+    Object = 0x00001C00,
+}
+type flagsTy = {v: TypeFlags |
+       (mask(v, 0x00000001) => impl(this, AnyType))
+    && (mask(v, 0x00001C00) => impl(this, ObjectType)) };
+
+interface Type {
+    immutable flags : flagsTy;
+    id : number;
+}
+interface AnyType extends Type { }
+interface ObjectType extends Type {
+    otMembers : number;
+}
+interface InterfaceType extends ObjectType { }
+"#;
+
+#[test]
+fn guarded_downcast_verifies() {
+    assert_safe(&format!(
+        "{HIERARCHY}
+        function getProps(t: Type): number {{
+            if (t.flags & TypeFlags.Object) {{
+                var o = <ObjectType> t;
+                return o.otMembers;
+            }}
+            return 0;
+        }}
+        "
+    ));
+}
+
+#[test]
+fn unguarded_downcast_rejected() {
+    assert_rejected(&format!(
+        "{HIERARCHY}
+        function bad(t: Type): number {{
+            var o = <ObjectType> t;
+            return o.otMembers;
+        }}
+        "
+    ));
+}
+
+#[test]
+fn wrong_mask_downcast_rejected() {
+    assert_rejected(&format!(
+        "{HIERARCHY}
+        function bad(t: Type): number {{
+            if (t.flags & TypeFlags.String) {{
+                var o = <ObjectType> t;
+                return o.otMembers;
+            }}
+            return 0;
+        }}
+        "
+    ));
+}
+
+#[test]
+fn subset_mask_downcast_verifies() {
+    // Class ⊆ Object: testing the Class bit alone implies the Object mask.
+    assert_safe(&format!(
+        "{HIERARCHY}
+        function getProps(t: Type): number {{
+            if (t.flags & TypeFlags.Class) {{
+                var o = <ObjectType> t;
+                return o.otMembers;
+            }}
+            return 0;
+        }}
+        "
+    ));
+}
+
+// ------------------------------------------------------------ mutation ---
+
+#[test]
+fn immutable_field_write_rejected() {
+    assert_rejected(&format!(
+        "{FIELD_CLASS}
+        var z = new Field(3, 7, new Array(45));
+        z.w = 10;
+        "
+    ));
+}
+
+#[test]
+fn ghost_function_axiom() {
+    // The navier-stokes idiom: a trusted nonlinear lemma instantiated at
+    // the call site (§5 "Ghost Functions").
+    assert_safe(
+        r#"
+        declare mulThm1 : (a: nat, b: {v: number | 2 <= v}) => {v: boolean | a + a <= a * b};
+        function double_bound(x: nat, y: {v: number | 2 <= v}): {v: number | v <= x * y} {
+            var t = mulThm1(x, y);
+            return x + x;
+        }
+    "#,
+    );
+}
