@@ -1,0 +1,100 @@
+/*
+ * d3-arrays — bounds-verified ports of the d3-array kernels checked in
+ * the paper's evaluation (§5, Fig. 6): min, max, extent, scan (argmin),
+ * sum, cumsum and range. Every array access is proved in bounds; the
+ * nonempty precondition that d3 documents informally becomes the
+ * NEArray refinement.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type NEArray<T> = {v: T[] | 0 < len(v)};
+type ArrayN<T, n> = {v: T[] | len(v) = n};
+type sameLen<a> = {v: number[] | len(v) = len(a)};
+
+/* d3.min: smallest element; requires a nonempty input. */
+function min(a: NEArray<number>): number {
+    var best = a[0];
+    var i;
+    for (i = 1; i < a.length; i++) {
+        if (a[i] < best) { best = a[i]; }
+    }
+    return best;
+}
+
+/* d3.max: largest element; requires a nonempty input. */
+function max(a: NEArray<number>): number {
+    var top = a[0];
+    var i;
+    for (i = 1; i < a.length; i++) {
+        if (top < a[i]) { top = a[i]; }
+    }
+    return top;
+}
+
+/* d3.extent, collapsed to the width of the [min, max] interval. */
+function extentWidth(a: NEArray<number>): number {
+    return max(a) - min(a);
+}
+
+/* d3.scan: index of the smallest element. */
+function scan(a: NEArray<number>): idx<a> {
+    var k = 0;
+    var i;
+    for (i = 1; i < a.length; i++) {
+        if (a[i] < a[k]) { k = i; }
+    }
+    return k;
+}
+
+/* d3.sum over an arbitrary (possibly empty) array. */
+function sum(a: number[]): number {
+    var s = 0;
+    var i;
+    for (i = 0; i < a.length; i++) {
+        s = s + a[i];
+    }
+    return s;
+}
+
+/* d3.cumsum: running totals, same length as the input. */
+function cumsum(a: number[]): sameLen<a> {
+    var out = new Array(a.length);
+    var s = 0;
+    var i;
+    for (i = 0; i < a.length; i++) {
+        s = s + a[i];
+        out[i] = s;
+    }
+    return out;
+}
+
+/* d3.range(n): [0, 1, …, n - 1]. */
+function range(n: nat): ArrayN<number, n> {
+    var out = new Array(n);
+    var i;
+    for (i = 0; i < n; i++) {
+        out[i] = i;
+    }
+    return out;
+}
+
+/* Exercises every kernel on a small deterministic dataset. */
+function demo(): number {
+    var data = range(6);
+    var i;
+    for (i = 0; i < data.length; i++) {
+        data[i] = data[i] * 3 - 7;
+    }
+    var lo = min(data);
+    var hi = max(data);
+    var width = extentWidth(data);
+    var total = sum(data);
+    var c = cumsum(data);
+    var last = 0;
+    if (0 < c.length) {
+        last = c[c.length - 1];
+    }
+    return lo + hi + width + total + scan(data) + last;
+}

@@ -1,0 +1,103 @@
+/*
+ * navier-stokes — the Octane fluid-solver kernel as RSC (§2.2.3 of the
+ * paper). The simulation state is a (w+2)×(h+2) grid stored flat; the
+ * nonlinear index arithmetic is discharged by a trusted ghost lemma
+ * (§5 "Ghost Functions"), and the 1-D relaxation stencil proves its
+ * neighbour accesses from the loop guard alone.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type ArrayN<T, n> = {v: T[] | len(v) = n};
+type grid<w, h> = ArrayN<number, (w + 2) * (h + 2)>;
+type okW = {v: nat | v <= this.w};
+type okH = {v: nat | v <= this.h};
+
+/* Trusted nonlinear fact: interior coordinates index into the grid. */
+declare gridIdxThm : (x: nat, y: nat, w: {v: number | x <= v}, h: {v: number | y <= v})
+    => {v: boolean | 0 <= x + 1 + (y + 1) * (w + 2)
+                  && x + 1 + (y + 1) * (w + 2) < (w + 2) * (h + 2)};
+
+/* The fluid field: densities on a padded w×h grid. */
+class FluidField {
+    immutable w : pos;
+    immutable h : pos;
+    dens : grid<this.w, this.h>;
+
+    constructor(w: pos, h: pos, d: grid<w, h>) {
+        this.h = h;
+        this.w = w;
+        this.dens = d;
+    }
+
+    addDensity(x: okW, y: okH, d: number) {
+        var t = gridIdxThm(x, y, this.w, this.h);
+        var rowS = this.w + 2;
+        var i = x + 1 + (y + 1) * rowS;
+        this.dens[i] = this.dens[i] + d;
+    }
+
+    @ReadOnly density(x: okW, y: okH): number {
+        var t = gridIdxThm(x, y, this.w, this.h);
+        var rowS = this.w + 2;
+        var i = x + 1 + (y + 1) * rowS;
+        return this.dens[i];
+    }
+
+    swap(d: grid<this.w, this.h>) {
+        this.dens = d;
+    }
+}
+
+/*
+ * One Gauss–Seidel relaxation sweep over a single row: each cell mixes
+ * with its right neighbour. The guard proves both accesses in bounds.
+ */
+function relaxRow(row: number[], k: number): number {
+    var acc = 0;
+    var i;
+    for (i = 0; i + 1 < row.length; i++) {
+        acc = acc + row[i] * k + row[i + 1];
+        row[i] = row[i] + row[i + 1] * k;
+    }
+    return acc;
+}
+
+/* Dissipates every cell of a row toward zero. */
+function dissipate(row: number[], k: number): number {
+    var total = 0;
+    var i;
+    for (i = 0; i < row.length; i++) {
+        row[i] = row[i] * k;
+        total = total + row[i];
+    }
+    return total;
+}
+
+/* A bounded solver loop: relax, dissipate, accumulate a checksum. */
+function linSolve(row: number[], k: number, iters: nat): number {
+    var checksum = 0;
+    var it;
+    for (it = 0; it < iters; it++) {
+        checksum = checksum + relaxRow(row, k);
+        checksum = checksum + dissipate(row, 1);
+    }
+    return checksum;
+}
+
+/* Seeds a 3×7 field, stirs it, and reports a checksum. */
+function demo(): number {
+    var f = new FluidField(3, 7, new Array(45));
+    f.addDensity(2, 5, 40);
+    f.addDensity(1, 1, 2);
+    var probe = f.density(2, 5) + f.density(1, 1);
+    var row = new Array(8);
+    var i;
+    for (i = 0; i < row.length; i++) {
+        row[i] = i + 1;
+    }
+    var checksum = linSolve(row, 2, 3);
+    f.swap(new Array(45));
+    return probe + checksum + f.density(2, 5);
+}

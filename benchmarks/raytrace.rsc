@@ -1,0 +1,106 @@
+/*
+ * raytrace — the vector kernel of the Octane/V8 raytracer as RSC: all
+ * vectors are length-3 arrays (the vec3 refinement), so every component
+ * access and every destination write is proved in bounds, and the scene
+ * is a structure-of-arrays whose columns are proved the same length.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type ArrayN<T, n> = {v: T[] | len(v) = n};
+type vec3 = ArrayN<number, 3>;
+type col<a> = {v: number[] | len(v) = len(a)};
+
+/* Allocates a fresh vector. */
+function mkvec(x: number, y: number, z: number): vec3 {
+    var out = new Array(3);
+    out[0] = x;
+    out[1] = y;
+    out[2] = z;
+    return out;
+}
+
+/* Component-wise sum into a caller-provided destination. */
+function add3(a: vec3, b: vec3, out: vec3): vec3 {
+    out[0] = a[0] + b[0];
+    out[1] = a[1] + b[1];
+    out[2] = a[2] + b[2];
+    return out;
+}
+
+/* Component-wise difference. */
+function sub3(a: vec3, b: vec3, out: vec3): vec3 {
+    out[0] = a[0] - b[0];
+    out[1] = a[1] - b[1];
+    out[2] = a[2] - b[2];
+    return out;
+}
+
+/* Scalar multiply. */
+function scale3(a: vec3, k: number, out: vec3): vec3 {
+    out[0] = a[0] * k;
+    out[1] = a[1] * k;
+    out[2] = a[2] * k;
+    return out;
+}
+
+/* Dot product. */
+function dot3(a: vec3, b: vec3): number {
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+/* Squared norm — what the hit tests compare against radii. */
+function norm2(a: vec3): number {
+    return dot3(a, a);
+}
+
+/*
+ * Sphere-hit predicate on squared distances: a ray from `orig` along
+ * `dir` (sampled at t = 1) is "near" the sphere at center c with squared
+ * radius r2 when |orig + dir - c|² ≤ r2.
+ */
+function nearHit(orig: vec3, dir: vec3, c: vec3, r2: number): boolean {
+    var p = add3(orig, dir, mkvec(0, 0, 0));
+    var d = sub3(p, c, mkvec(0, 0, 0));
+    return norm2(d) <= r2;
+}
+
+/*
+ * The scene is a structure of arrays: cx/cy/cz hold sphere centers and
+ * r2 the squared radii. The column refinements tie every length to cx.
+ */
+function castRay(cx: number[], cy: col<cx>, cz: col<cx>, r2: col<cx>,
+                 orig: vec3, dir: vec3): number {
+    var hits = 0;
+    var i;
+    for (i = 0; i < cx.length; i++) {
+        if (nearHit(orig, dir, mkvec(cx[i], cy[i], cz[i]), r2[i])) {
+            hits = hits + 1;
+        }
+    }
+    return hits;
+}
+
+/* Renders a tiny deterministic scene. */
+function demo(): number {
+    var cx = new Array(4);
+    var cy = new Array(4);
+    var cz = new Array(4);
+    var r2 = new Array(4);
+    var i;
+    for (i = 0; i < cx.length; i++) {
+        cx[i] = i * 2 - 3;
+        cy[i] = i - 1;
+        cz[i] = 2;
+        r2[i] = 9 + i;
+    }
+    var orig = mkvec(0, 0, 0);
+    var dir = mkvec(0, 0, 1);
+    var sum = 0;
+    var steps;
+    for (steps = 0; steps < 3; steps++) {
+        sum = sum + castRay(cx, cy, cz, r2, orig, scale3(dir, steps, mkvec(0, 0, 0)));
+    }
+    return sum;
+}

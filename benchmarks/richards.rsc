@@ -1,0 +1,95 @@
+/*
+ * richards — the Octane OS-scheduler kernel as RSC. Task control blocks
+ * live in fixed-size parallel arrays indexed by task id; the id
+ * refinement (idx over the state table) makes every queue operation and
+ * every handler dispatch provably in bounds.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type col<a> = {v: number[] | len(v) = len(a)};
+
+/* Task states. */
+declare IDLE : {v: number | v = 0};
+declare RUNNABLE : {v: number | v = 1};
+declare BLOCKED : {v: number | v = 2};
+
+/* Looks up the handler routine for a task — the hot dispatch site. */
+function dispatch(handlers: number[], id: idx<handlers>): number {
+    return handlers[id];
+}
+
+/* Index of the first RUNNABLE task, or -1 when all are idle/blocked. */
+function nextRunnable(state: number[]): number {
+    var i;
+    for (i = 0; i < state.length; i++) {
+        if (state[i] === 1) { return i; }
+    }
+    return 0 - 1;
+}
+
+/*
+ * One scheduler step: pick a runnable task, "run" its handler (here a
+ * small arithmetic stand-in), update its packet count, then rotate its
+ * state. Returns the handler value that ran, or -1 when idle.
+ */
+function schedulerStep(state: number[], handlers: col<state>,
+                       packets: col<state>): number {
+    var id = nextRunnable(state);
+    if (id < 0) { return 0 - 1; }
+    if (state.length <= id) { return 0 - 1; }
+    var h = dispatch(handlers, id);
+    if (0 < packets[id]) {
+        packets[id] = packets[id] - 1;
+        state[id] = 2;
+    } else {
+        state[id] = 0;
+    }
+    return h;
+}
+
+/* Unblocks every BLOCKED task (device interrupt sweep). */
+function unblockAll(state: number[]): number {
+    var woken = 0;
+    var i;
+    for (i = 0; i < state.length; i++) {
+        if (state[i] === 2) {
+            state[i] = 1;
+            woken = woken + 1;
+        }
+    }
+    return woken;
+}
+
+/* Runs the scheduler for a bounded number of rounds. */
+function runScheduler(state: number[], handlers: col<state>,
+                      packets: col<state>, rounds: nat): number {
+    var total = 0;
+    var r;
+    for (r = 0; r < rounds; r++) {
+        var h = schedulerStep(state, handlers, packets);
+        if (h < 0) {
+            var woken = unblockAll(state);
+            if (woken === 0) { return total; }
+        } else {
+            total = total + h;
+        }
+    }
+    return total;
+}
+
+/* Builds the classic 6-task Richards configuration and runs it. */
+function demo(): number {
+    var n = 6;
+    var state = new Array(6);
+    var handlers = new Array(6);
+    var packets = new Array(6);
+    var i;
+    for (i = 0; i < state.length; i++) {
+        state[i] = 1;
+        handlers[i] = 10 + i;
+        packets[i] = 2;
+    }
+    return runScheduler(state, handlers, packets, 40);
+}

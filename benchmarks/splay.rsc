@@ -1,0 +1,103 @@
+/*
+ * splay — the Octane splay-tree workload as RSC, over the flattened
+ * representation the paper's port uses: keys live in a fixed-capacity
+ * array ordered by recency, and "splaying" is the move-to-front
+ * rotation. The class invariant ties the live size to the capacity, so
+ * every rotation index is proved in bounds.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type ArrayN<T, n> = {v: T[] | len(v) = n};
+
+qualif UpTo(v: number, j: number): v <= j;
+
+/* Rotates keys[0..j] right by one, moving keys[j] to the front. */
+function splayToFront(keys: number[], j: idx<keys>): number {
+    var key = keys[j];
+    var i;
+    for (i = j; 0 < i; i = i - 1) {
+        keys[i] = keys[i - 1];
+    }
+    keys[0] = key;
+    return key;
+}
+
+/* Linear probe for a key; returns its index, or -1 when absent. */
+function findKey(keys: number[], size: number, key: number): number {
+    var i;
+    for (i = 0; i < keys.length; i++) {
+        if (i < size) {
+            if (keys[i] === key) { return i; }
+        }
+    }
+    return 0 - 1;
+}
+
+/* The splay cache: a bounded recency-ordered key store. */
+class SplayCache {
+    immutable capacity : pos;
+    keys : ArrayN<number, this.capacity>;
+    size : {v: nat | v <= this.capacity};
+    hits : nat;
+    misses : nat;
+
+    constructor(capacity: pos, backing: ArrayN<number, capacity>) {
+        this.capacity = capacity;
+        this.keys = backing;
+        this.size = 0;
+        this.hits = 0;
+        this.misses = 0;
+    }
+
+    /* Lookup with splaying: hits move to the front. */
+    access(key: number): number {
+        var ks = this.keys;
+        var at = findKey(ks, this.size, key);
+        if (0 <= at) {
+            if (at < ks.length) {
+                this.hits = this.hits + 1;
+                return splayToFront(ks, at);
+            }
+        }
+        this.misses = this.misses + 1;
+        return this.insert(key);
+    }
+
+    /* Inserts at the front, evicting the least recent on overflow. */
+    insert(key: number): number {
+        var s = this.size;
+        if (s < this.capacity) {
+            this.size = s + 1;
+            s = s + 1;
+        }
+        var ks = this.keys;
+        if (0 < s) {
+            var last = s - 1;
+            if (last < ks.length) {
+                var t = splayToFront(ks, last);
+                ks[0] = key;
+            }
+        }
+        return key;
+    }
+
+    @ReadOnly score(): number {
+        return this.hits * 10 - this.misses;
+    }
+}
+
+/* The Octane access pattern in miniature: skewed repeated lookups. */
+function demo(): number {
+    var cache = new SplayCache(8, new Array(8));
+    var round;
+    for (round = 0; round < 5; round++) {
+        var k;
+        for (k = 0; k < 12; k++) {
+            var key = k * k - k * 3 + 1;
+            var got = cache.access(key);
+        }
+    }
+    return cache.score() + cache.access(7);
+}

@@ -1,0 +1,92 @@
+/*
+ * transducers — the reduce-centric kernel of the transducers library as
+ * RSC (§2.1 of the paper). Everything is built on one verified `reduce`
+ * whose callback receives a proven-in-bounds index, plus the
+ * value-based overloading idiom (§2.1.2): the seedless variant demands
+ * a nonempty input, dispatched on arguments.length.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type NEArray<T> = {v: T[] | 0 < len(v)};
+type sameLen<a> = {v: number[] | len(v) = len(a)};
+
+/* The one true fold: f also receives the (in-bounds) element index. */
+function reduce<A, B>(a: A[], f: (acc: B, cur: A, i: idx<a>) => B, x: B): B {
+    var res = x;
+    var i;
+    for (i = 0; i < a.length; i++) {
+        res = f(res, a[i], i);
+    }
+    return res;
+}
+
+/* Value-overloaded reduce: without a seed the array must be nonempty. */
+sig $reduce : <A>(a: NEArray<A>, f: (A, A, idx<a>) => A) => A;
+sig $reduce : <A, B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function $reduce(a, f, x) {
+    if (arguments.length === 3) { return reduce(a, f, x); }
+    return reduce(a, f, a[0]);
+}
+
+/* map as a transducer over the fold: out[i] = base + cur * scale. */
+function mapAffine(a: number[], scale: number, base: number): sameLen<a> {
+    var out = new Array(a.length);
+    var i;
+    for (i = 0; i < a.length; i++) {
+        out[i] = base + a[i] * scale;
+    }
+    return out;
+}
+
+/* filter (keep positives), compacted in place; returns the kept count. */
+function keepPositives(a: number[], out: sameLen<a>): nat {
+    var kept = 0;
+    var i;
+    for (i = 0; i < a.length; i++) {
+        if (0 < a[i]) {
+            if (kept < out.length) {
+                out[kept] = a[i];
+                kept = kept + 1;
+            }
+        }
+    }
+    return kept;
+}
+
+/* Reducing steps fed to reduce / $reduce. */
+function addStep(acc: number, cur: number, i: number): number {
+    return acc + cur;
+}
+
+function maxStep(acc: number, cur: number, i: number): number {
+    return acc < cur ? cur : acc;
+}
+
+/* take(n): folds only the first n elements via an index guard. */
+function takeSum(a: number[], n: number): number {
+    var total = 0;
+    var i;
+    for (i = 0; i < a.length; i++) {
+        if (i < n) {
+            total = total + a[i];
+        }
+    }
+    return total;
+}
+
+/* Composes the pipeline: map → filter → fold, both overload arities. */
+function demo(): number {
+    var src = new Array(8);
+    var i;
+    for (i = 0; i < src.length; i++) {
+        src[i] = i * 5 - 14;
+    }
+    var mapped = mapAffine(src, 3, 1);
+    var kept = new Array(8);
+    var n = keepPositives(mapped, kept);
+    var total = $reduce(mapped, addStep, 100);
+    var top = $reduce(mapped, maxStep);
+    return total + top + n + takeSum(kept, n);
+}

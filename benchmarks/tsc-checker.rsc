@@ -1,0 +1,115 @@
+/*
+ * tsc-checker — the TypeScript-compiler fragment of the paper's corpus
+ * (§4.3): the TypeFlags hierarchy is encoded as bit-vector masks, the
+ * flags field carries the invariant linking each mask to the interface
+ * it witnesses, and downcasts are proved safe from `flags & mask`
+ * guards alone. The demo classifies a numeric worklist the way the
+ * checker's scanner buckets token codes.
+ */
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: nat | v < len(a)};
+type NEArray<T> = {v: T[] | 0 < len(v)};
+
+enum TypeFlags {
+    Any = 0x00000001,
+    String = 0x00000002,
+    Number = 0x00000004,
+    Class = 0x00000400,
+    Interface = 0x00000800,
+    Reference = 0x00001000,
+    Object = 0x00001C00,
+}
+
+/* The §4.3 invariant: each mask bit witnesses a hierarchy membership. */
+type flagsTy = {v: TypeFlags |
+       (mask(v, 0x00000001) => impl(this, AnyType))
+    && (mask(v, 0x00001C00) => impl(this, ObjectType)) };
+
+interface Type {
+    immutable flags : flagsTy;
+    id : number;
+}
+interface AnyType extends Type { }
+interface ObjectType extends Type {
+    otMembers : number;
+}
+interface InterfaceType extends ObjectType {
+    baseCount : number;
+}
+
+/* The guarded downcast the paper's Figure 9 walks through. */
+function getProperties(t: Type): number {
+    if (t.flags & TypeFlags.Object) {
+        var o = <ObjectType> t;
+        return o.otMembers;
+    }
+    return 0;
+}
+
+/* Class bit ⊆ Object mask: the subset test also justifies the cast. */
+function getClassMembers(t: Type): number {
+    if (t.flags & TypeFlags.Class) {
+        var o = <ObjectType> t;
+        return o.otMembers;
+    }
+    return 0 - 1;
+}
+
+/* Interface types refine object types: two-step narrowing. */
+function countBases(t: Type): number {
+    if (t.flags & TypeFlags.Interface) {
+        var o = <ObjectType> t;
+        return o.otMembers;
+    }
+    return 0;
+}
+
+/* ---- The scanner-flavored numeric part driven by demo(). ---- */
+
+/* Buckets a token code the way the scanner switches on char classes. */
+function bucket(code: number): number {
+    if (code < 0) { return 0; }
+    if (code < 10) { return 1; }
+    if (code < 100) { return 2; }
+    return 3;
+}
+
+/* Counts codes falling in each of the four buckets. */
+function histogram(codes: number[]): number {
+    var counts = new Array(4);
+    var i;
+    for (i = 0; i < codes.length; i++) {
+        var b = bucket(codes[i]);
+        if (0 <= b) {
+            if (b < counts.length) {
+                counts[b] = counts[b] + 1;
+            }
+        }
+    }
+    return counts[0] * 1000 + counts[1] * 100 + counts[2] * 10 + counts[3];
+}
+
+/* Scans for the first negative code — a malformed token. */
+function firstBad(codes: number[]): number {
+    var i;
+    for (i = 0; i < codes.length; i++) {
+        if (codes[i] < 0) { return i; }
+    }
+    return 0 - 1;
+}
+
+/* Checks the worklist and folds everything into one checksum. */
+function demo(codes: number[]): number {
+    var h = histogram(codes);
+    var bad = firstBad(codes);
+    var total = 0;
+    var i;
+    for (i = 0; i < codes.length; i++) {
+        if (0 <= codes[i]) {
+            total = total + codes[i];
+        }
+    }
+    return h + bad + total;
+}

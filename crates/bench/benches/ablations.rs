@@ -38,7 +38,11 @@ fn bench_ablations(c: &mut Criterion) {
         ("no_mined_qualifiers", options(true, false)),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| rsc_core::check_program(std::hint::black_box(&src), opts).stats.smt_queries)
+            b.iter(|| {
+                rsc_core::check_program(std::hint::black_box(&src), opts)
+                    .stats
+                    .smt_queries
+            })
         });
     }
     group.finish();

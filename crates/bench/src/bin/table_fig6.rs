@@ -2,7 +2,7 @@
 //! annotation split, and checking time.
 //!
 //! ```text
-//! cargo run -p rsc-bench --bin table_fig6
+//! cargo run -p rsc_bench --bin table_fig6
 //! ```
 //!
 //! Absolute numbers differ from the paper (different port scale, different

@@ -3,7 +3,7 @@
 //! (`benchmarks/meta.toml`), next to the paper's numbers.
 //!
 //! ```text
-//! cargo run -p rsc-bench --bin table_fig7
+//! cargo run -p rsc_bench --bin table_fig7
 //! ```
 
 use rsc_bench::corpus;
@@ -31,7 +31,9 @@ fn parse_meta(src: &str) -> Vec<(String, Meta)> {
             continue;
         }
         if let Some((k, v)) = line.split_once('=') {
-            let Some((_, m)) = out.last_mut() else { continue };
+            let Some((_, m)) = out.last_mut() else {
+                continue;
+            };
             let v: u32 = v.trim().parse().unwrap_or(0);
             match k.trim() {
                 "imp_diff" => m.imp_diff = v,

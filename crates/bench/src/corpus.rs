@@ -43,22 +43,41 @@ pub fn count_loc(src: &str) -> usize {
     let mut n = 0;
     for line in src.lines() {
         let mut t = line.trim();
-        if in_block {
-            if let Some(end) = t.find("*/") {
-                in_block = false;
-                t = t[end + 2..].trim();
-            } else {
-                continue;
+        let mut has_code = false;
+        loop {
+            if in_block {
+                match t.find("*/") {
+                    Some(end) => {
+                        in_block = false;
+                        t = t[end + 2..].trim();
+                    }
+                    None => {
+                        t = "";
+                        break;
+                    }
+                }
+            }
+            match (t.find("//"), t.find("/*")) {
+                // A line comment before any block open ends the line.
+                (Some(l), Some(b)) if l < b => {
+                    t = t[..l].trim();
+                    break;
+                }
+                (Some(l), None) => {
+                    t = t[..l].trim();
+                    break;
+                }
+                (_, Some(b)) => {
+                    if !t[..b].trim().is_empty() {
+                        has_code = true;
+                    }
+                    in_block = true;
+                    t = &t[b + 2..];
+                }
+                (None, None) => break,
             }
         }
-        if let Some(start) = t.find("/*") {
-            in_block = !t[start..].contains("*/");
-            t = t[..start].trim();
-        }
-        if let Some(start) = t.find("//") {
-            t = t[..start].trim();
-        }
-        if !t.is_empty() {
+        if has_code || !t.is_empty() {
             n += 1;
         }
     }
@@ -208,7 +227,9 @@ fn is_refined(t: &AnnTy, refined_aliases: &HashSet<String>) -> bool {
         AnnTy::Array { elem, nonempty, .. } => *nonempty || is_refined(elem, refined_aliases),
         AnnTy::Union(ps) => ps.iter().any(|p| is_refined(p, refined_aliases)),
         AnnTy::Arrow(ft) => {
-            ft.params.iter().any(|(_, t)| is_refined(t, refined_aliases))
+            ft.params
+                .iter()
+                .any(|(_, t)| is_refined(t, refined_aliases))
                 || is_refined(&ft.ret, refined_aliases)
         }
     }
@@ -224,9 +245,9 @@ fn has_mutability(t: &AnnTy) -> bool {
         // `T[]` is the default; only spelled-out Array<RO/IM/UQ,·> counts,
         // which the parser normalizes — treat non-default element
         // mutability as M.
-        AnnTy::Array { elem, mutability, .. } => {
-            *mutability != Mutability::Mutable || has_mutability(elem)
-        }
+        AnnTy::Array {
+            elem, mutability, ..
+        } => *mutability != Mutability::Mutable || has_mutability(elem),
         AnnTy::Refined { base, .. } => has_mutability(base),
         AnnTy::Union(ps) => ps.iter().any(has_mutability),
         AnnTy::Arrow(ft) => {
@@ -262,6 +283,12 @@ mod tests {
     fn loc_counting() {
         let src = "// comment\n\ncode();\n/* block\n comment */ more();\n";
         assert_eq!(count_loc(src), 2);
+        // Code on either side of a same-line block comment still counts,
+        // and `//` disables a later `/*` on the same line.
+        assert_eq!(count_loc("/* ghost */ var x = 1;\n"), 1);
+        assert_eq!(count_loc("var x = 1; /* tail */\n"), 1);
+        assert_eq!(count_loc("/* a */ /* b */\n"), 0);
+        assert_eq!(count_loc("// no /* block\ncode();\n"), 1);
     }
 
     #[test]
@@ -281,7 +308,10 @@ mod tests {
         let c = classify_annotations(&prog);
         // R: alias body, y: nat. T: x, f ret, ctor k, q?=M, peek ret.
         assert_eq!(c.refinement, 2, "{c:?}");
-        assert!(c.mutability >= 3, "immutable field + @ReadOnly + RO array: {c:?}");
+        assert!(
+            c.mutability >= 3,
+            "immutable field + @ReadOnly + RO array: {c:?}"
+        );
         assert!(c.trivial >= 3, "{c:?}");
     }
 

@@ -1,8 +1,8 @@
 //! The `rsc` command-line checker: verify `.rsc` files from the shell.
 //!
 //! ```text
-//! cargo run -p rsc-core --bin rsc -- benchmarks/navier-stokes.rsc
-//! cargo run -p rsc-core --bin rsc -- --no-path-sensitivity file.rsc
+//! cargo run -p rsc_core --bin rsc -- benchmarks/navier-stokes.rsc
+//! cargo run -p rsc_core --bin rsc -- --no-path-sensitivity file.rsc
 //! ```
 //!
 //! Exit code 0 = verified, 1 = verification errors, 2 = usage/IO error.
@@ -52,15 +52,16 @@ fn main() {
             if !quiet {
                 println!(
                     "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, {:.0?})",
-                    result.stats.constraints,
-                    result.stats.kvars,
-                    result.stats.smt_queries,
-                    elapsed
+                    result.stats.constraints, result.stats.kvars, result.stats.smt_queries, elapsed
                 );
             }
         } else {
             failed = true;
-            println!("{file}: UNSAFE ({} errors, {:.0?})", result.diagnostics.len(), elapsed);
+            println!(
+                "{file}: UNSAFE ({} errors, {:.0?})",
+                result.diagnostics.len(),
+                elapsed
+            );
             for d in &result.diagnostics {
                 println!("  {d}");
             }

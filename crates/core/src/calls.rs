@@ -120,7 +120,11 @@ impl Checker {
                 match &t.base {
                     Base::Fun(f) => vec![(**f).clone()],
                     b => {
-                        self.base_error(env, span, format!("calling non-function {}", b.describe()));
+                        self.base_error(
+                            env,
+                            span,
+                            format!("calling non-function {}", b.describe()),
+                        );
                         return RType::undefined();
                     }
                 }
@@ -149,15 +153,13 @@ impl Checker {
                 if let Some(at) = self.quick_type(a, env) {
                     let compat = match (&pt.base, &at.base) {
                         (Base::TVar(_), _) | (_, Base::TVar(_)) => true,
-                        (Base::Union(ps), b) => {
-                            ps.iter().any(|p| self.base_compat(b, &p.base))
-                        }
+                        (Base::Union(ps), b) => ps.iter().any(|p| self.base_compat(b, &p.base)),
                         (pb, ab) => self.base_compat(ab, pb),
                     };
                     score += if compat { 10 } else { -10 };
                 }
             }
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((i, score));
             }
         }
@@ -180,25 +182,23 @@ impl Checker {
         let tr = self.resolve_infer(&tr);
         let recv_term = self.term_of_or_tmp_pub(obj, &tr, env);
         match &tr.base {
-            Base::Arr(..) => {
-                match m.as_str() {
-                    "push" | "pop" | "shift" | "unshift" | "splice" => {
-                        self.diags.push(Diagnostic::error(
-                            format!(
-                                "Array.{m} changes the array length and is outside the verified \
+            Base::Arr(..) => match m.as_str() {
+                "push" | "pop" | "shift" | "unshift" | "splice" => {
+                    self.diags.push(Diagnostic::error(
+                        format!(
+                            "Array.{m} changes the array length and is outside the verified \
                                  fragment (cf. §5.3 of the paper); restructure with fixed-size \
                                  arrays"
-                            ),
-                            span,
-                        ));
-                        RType::number()
-                    }
-                    other => {
-                        self.base_error(env, span, format!("array has no method {other}"));
-                        RType::undefined()
-                    }
+                        ),
+                        span,
+                    ));
+                    RType::number()
                 }
-            }
+                other => {
+                    self.base_error(env, span, format!("array has no method {other}"));
+                    RType::undefined()
+                }
+            },
             Base::Obj(c, recv_mut, targs) => {
                 let Some(mi) = self.ct.lookup_method(c, m).cloned() else {
                     self.base_error(env, span, format!("{c} has no method {m}"));
@@ -409,7 +409,9 @@ impl Checker {
                     None => {
                         // Deferred closure: check its body against the
                         // instantiated expected arrow type.
-                        let IrExpr::Var(name, _) = a else { unreachable!() };
+                        let IrExpr::Var(name, _) = a else {
+                            unreachable!()
+                        };
                         match &self.resolve_infer(&expected).base {
                             Base::Fun(ef) => {
                                 let ef = (**ef).clone();
@@ -418,8 +420,11 @@ impl Checker {
                             _ => self.base_error(
                                 env,
                                 span,
-                                format!("argument {} is a function, expected {}", i + 1,
-                                    expected.base.describe()),
+                                format!(
+                                    "argument {} is a function, expected {}",
+                                    i + 1,
+                                    expected.base.describe()
+                                ),
                             ),
                         }
                     }
@@ -428,7 +433,6 @@ impl Checker {
         }
         apply_tvars(&rf.ret, &tvar_map).subst(&theta)
     }
-
 
     fn synth_ite(&mut self, args: &[IrExpr], span: Span, env: &mut Env) -> RType {
         let _ = self.synth(&args[0], env);
@@ -454,9 +458,11 @@ impl Checker {
             .iter()
             .map(|(x, t)| (x.clone(), t.sort()))
             .collect();
-        let k = self
-            .cs
-            .fresh_kvar(joined.sort(), scope, format!("ternary at line {}", span.line));
+        let k = self.cs.fresh_kvar(
+            joined.sort(),
+            scope,
+            format!("ternary at line {}", span.line),
+        );
         let template = RType {
             base: joined.base,
             pred: Pred::KVar(k, Subst::new()),
@@ -529,9 +535,13 @@ impl Checker {
             if let Some(at) = arg_tys.get(i) {
                 let expected = pt.subst(&theta);
                 let lhs = at.clone().selfify(arg_terms[i].clone());
-                self.sub(env, &lhs, &expected, span, &format!(
-                    "constructor argument {} of new {cname}", i + 1
-                ));
+                self.sub(
+                    env,
+                    &lhs,
+                    &expected,
+                    span,
+                    &format!("constructor argument {} of new {cname}", i + 1),
+                );
             }
         }
         // Result type (T-NEW): class inclusion + invariants + equalities
@@ -651,10 +661,7 @@ impl Checker {
                     self.sub(env, &lhs, &tgt, span, "upcast");
                 } else {
                     // Downcast: Γ must prove the target's invariants.
-                    let lhs = Pred::and(vec![
-                        self.embed_pred(&te),
-                        Pred::vv_eq(term.clone()),
-                    ]);
+                    let lhs = Pred::and(vec![self.embed_pred(&te), Pred::vv_eq(term.clone())]);
                     let rhs = self.ct.inv_pred(c2, &Term::vv());
                     self.push_sub_pred(
                         env,
@@ -681,7 +688,6 @@ impl Checker {
             }
         }
     }
-
 }
 
 /// First-order unification of base skeletons: type variables in the

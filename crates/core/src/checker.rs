@@ -93,7 +93,11 @@ impl Env {
     }
 
     pub(crate) fn lookup(&self, x: &Sym) -> Option<&RType> {
-        self.binds.iter().rev().find(|(y, _)| y == x).map(|(_, t)| t)
+        self.binds
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t)
     }
 
     pub(crate) fn guard(&mut self, p: Pred) {
@@ -243,8 +247,12 @@ impl Checker {
         let result = solve(&self.cs, &mut smt);
         if std::env::var("RSC_DEBUG").is_ok() {
             for (id, kv) in &self.cs.kvars {
-                let sol: Vec<String> =
-                    result.solution.of(*id).iter().map(|p| p.to_string()).collect();
+                let sol: Vec<String> = result
+                    .solution
+                    .of(*id)
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect();
                 eprintln!("[debug] {id} ({}) = {sol:?}", kv.origin);
             }
             for (ci, origin) in &result.failures {
@@ -355,8 +363,7 @@ impl Checker {
         let harvest_fun = |ct: &ClassTable, ft: &rsc_syntax::FunTy, out: &mut Vec<_>| {
             let tp: HashSet<Sym> = ft.tparams.iter().cloned().collect();
             if let Ok(rf) = ct.resolve_funty(ft, &tp) {
-                let mut scope: Vec<(Sym, Sort)> =
-                    vec![(Sym::from("this"), Sort::Ref)];
+                let mut scope: Vec<(Sym, Sort)> = vec![(Sym::from("this"), Sort::Ref)];
                 for (x, t) in &rf.params {
                     scope.push((x.clone(), t.sort()));
                 }
@@ -773,14 +780,12 @@ impl Checker {
                 }
             }
             IrExpr::Unary(UnOp::Not, x, _) => self.guard_neg(x, env),
-            IrExpr::Binary(BinOpE::And, a, b, _) => Pred::and(vec![
-                self.guard_pos(a, env),
-                self.guard_pos(b, env),
-            ]),
-            IrExpr::Binary(BinOpE::Or, a, b, _) => Pred::or(vec![
-                self.guard_pos(a, env),
-                self.guard_pos(b, env),
-            ]),
+            IrExpr::Binary(BinOpE::And, a, b, _) => {
+                Pred::and(vec![self.guard_pos(a, env), self.guard_pos(b, env)])
+            }
+            IrExpr::Binary(BinOpE::Or, a, b, _) => {
+                Pred::or(vec![self.guard_pos(a, env), self.guard_pos(b, env)])
+            }
             IrExpr::Binary(op, a, b, _) => {
                 let cmp = match op {
                     BinOpE::Lt => Some(CmpOp::Lt),
@@ -820,14 +825,12 @@ impl Checker {
                 }
             }
             IrExpr::Unary(UnOp::Not, x, _) => self.guard_pos(x, env),
-            IrExpr::Binary(BinOpE::And, a, b, _) => Pred::or(vec![
-                self.guard_neg(a, env),
-                self.guard_neg(b, env),
-            ]),
-            IrExpr::Binary(BinOpE::Or, a, b, _) => Pred::and(vec![
-                self.guard_neg(a, env),
-                self.guard_neg(b, env),
-            ]),
+            IrExpr::Binary(BinOpE::And, a, b, _) => {
+                Pred::or(vec![self.guard_neg(a, env), self.guard_neg(b, env)])
+            }
+            IrExpr::Binary(BinOpE::Or, a, b, _) => {
+                Pred::and(vec![self.guard_neg(a, env), self.guard_neg(b, env)])
+            }
             IrExpr::Binary(op, a, b, _) => {
                 let cmp = match op {
                     BinOpE::Lt => Some(CmpOp::Ge),
@@ -889,9 +892,7 @@ impl Checker {
                     None
                 }
             }
-            IrExpr::This(_) => {
-                env.lookup(&Sym::from("this")).map(|_| Term::this())
-            }
+            IrExpr::This(_) => env.lookup(&Sym::from("this")).map(|_| Term::this()),
             IrExpr::Field(b, f, _) => {
                 // Enum member?
                 if let IrExpr::Var(n, _) = b.as_ref() {
@@ -972,9 +973,7 @@ impl Checker {
                 let bt = self.quick_type(b, env)?;
                 match &bt.base {
                     Base::Arr(..) if f.as_str() == "length" => Some(RType::number()),
-                    Base::Obj(c, _, _) => {
-                        self.ct.lookup_field(c, f).map(|fi| fi.ty.clone())
-                    }
+                    Base::Obj(c, _, _) => self.ct.lookup_field(c, f).map(|fi| fi.ty.clone()),
                     Base::Union(parts) => parts.iter().find_map(|p| {
                         if let Base::Obj(c, _, _) = &p.base {
                             self.ct.lookup_field(c, f).map(|fi| fi.ty.clone())

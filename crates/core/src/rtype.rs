@@ -154,7 +154,11 @@ impl RType {
             Base::Prim(Prim::Void) => Sort::Int,
             Base::Prim(Prim::Undef) | Base::Prim(Prim::Null) => Sort::Ref,
             Base::Bv(_) => Sort::Bv32,
-            Base::Arr(..) | Base::Obj(..) | Base::Fun(_) | Base::TVar(_) | Base::Union(_)
+            Base::Arr(..)
+            | Base::Obj(..)
+            | Base::Fun(_)
+            | Base::TVar(_)
+            | Base::Union(_)
             | Base::Infer(_) => Sort::Ref,
         }
     }

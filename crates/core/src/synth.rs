@@ -68,7 +68,6 @@ impl Checker {
                 },
             );
             env.ret = rf.ret.subst(&rename);
-            let mut env = env;
             self.check_body(&f.body, &mut env);
         }
     }
@@ -121,7 +120,6 @@ impl Checker {
                 }
             }
             env.ret = RType::void();
-            let mut env = env;
             self.check_body(&ctor.body, &mut env);
             // A constructor body that falls off the end is an implicit
             // return: check_body emits the exit check at Ret nodes; the SSA
@@ -149,7 +147,6 @@ impl Checker {
                 env.bind(x.clone(), t.clone());
             }
             env.ret = mi.fun.ret.clone();
-            let mut env = env;
             self.check_body(body, &mut env);
         }
     }
@@ -319,9 +316,7 @@ impl Checker {
                     templates.push((phi.new.clone(), template));
                 }
                 // Entry: init values flow into the invariants.
-                for ((phi, ti), (_, template)) in
-                    phis.iter().zip(&inits).zip(&templates)
-                {
+                for ((phi, ti), (_, template)) in phis.iter().zip(&inits).zip(&templates) {
                     let lhs = ti.clone().selfify(Term::var(phi.init_src.clone()));
                     let t = template.clone();
                     self.sub(env, &lhs, &t, *span, "loop entry");
@@ -406,19 +401,17 @@ impl Checker {
             (x, y) if self.base_compat(x, y) => a.base.clone(),
             _ => {
                 let mut parts: Vec<RType> = Vec::new();
-                let add = |t: &RType, parts: &mut Vec<RType>, me: &Checker| {
-                    match &t.base {
-                        Base::Union(ps) => {
-                            for p in ps {
-                                if !parts.iter().any(|q| me.base_compat(&q.base, &p.base)) {
-                                    parts.push(RType::trivial(p.base.clone()));
-                                }
+                let add = |t: &RType, parts: &mut Vec<RType>, me: &Checker| match &t.base {
+                    Base::Union(ps) => {
+                        for p in ps {
+                            if !parts.iter().any(|q| me.base_compat(&q.base, &p.base)) {
+                                parts.push(RType::trivial(p.base.clone()));
                             }
                         }
-                        other => {
-                            if !parts.iter().any(|q| me.base_compat(&q.base, other)) {
-                                parts.push(RType::trivial(other.clone()));
-                            }
+                    }
+                    other => {
+                        if !parts.iter().any(|q| me.base_compat(&q.base, other)) {
+                            parts.push(RType::trivial(other.clone()));
                         }
                     }
                 };
@@ -527,9 +520,7 @@ impl Checker {
                 self.synth_field_assign(recv, f, val, *span, env)
             }
             IrExpr::Call(callee, args, span) => self.synth_call(callee, args, *span, env),
-            IrExpr::New(cname, targs, args, span) => {
-                self.synth_new(cname, targs, args, *span, env)
-            }
+            IrExpr::New(cname, targs, args, span) => self.synth_new(cname, targs, args, *span, env),
             IrExpr::Cast(ann, inner, span) => self.synth_cast(ann, inner, *span, env),
             IrExpr::Unary(op, x, span) => match op {
                 UnOp::TypeOf => {
@@ -711,7 +702,11 @@ impl Checker {
                         return ((**elem).clone(), *m, term);
                     }
                 }
-                self.base_error(env, span, format!("indexing non-array {}", ta.base.describe()));
+                self.base_error(
+                    env,
+                    span,
+                    format!("indexing non-array {}", ta.base.describe()),
+                );
                 (RType::undefined(), Mutability::ReadOnly, term)
             }
             Base::Prim(Prim::Str) => {
@@ -719,7 +714,11 @@ impl Checker {
                 (RType::string(), Mutability::ReadOnly, term)
             }
             other => {
-                self.base_error(env, span, format!("indexing non-array {}", other.describe()));
+                self.base_error(
+                    env,
+                    span,
+                    format!("indexing non-array {}", other.describe()),
+                );
                 (RType::undefined(), Mutability::ReadOnly, term)
             }
         }
@@ -876,7 +875,13 @@ impl Checker {
                 }
                 let tv = self.synth(val, env);
                 let expected = fi.ty.subst(&Subst::one("this", recv_term));
-                self.sub(env, &tv, &expected, span, &format!("assignment to field {f}"));
+                self.sub(
+                    env,
+                    &tv,
+                    &expected,
+                    span,
+                    &format!("assignment to field {f}"),
+                );
                 tv
             }
             other => {
@@ -896,7 +901,10 @@ impl Checker {
             let pseudo = Sym::from(format!("$field${}", fi.name));
             if env.lookup(&pseudo).is_none() {
                 self.diags.push(Diagnostic::error(
-                    format!("constructor of {cname} does not initialize field {}", fi.name),
+                    format!(
+                        "constructor of {cname} does not initialize field {}",
+                        fi.name
+                    ),
                     span,
                 ));
                 continue;
@@ -984,7 +992,7 @@ fn map_pred_terms(p: &Pred, f: &dyn Fn(&Term) -> Term) -> Pred {
         Pred::Imp(a, b) => Pred::imp(map_pred_terms(a, f), map_pred_terms(b, f)),
         Pred::Iff(a, b) => Pred::iff(map_pred_terms(a, f), map_pred_terms(b, f)),
         Pred::Cmp(op, a, b) => Pred::cmp(*op, f(a), f(b)),
-        Pred::App(g, args) => Pred::App(g.clone(), args.iter().map(|a| f(a)).collect()),
+        Pred::App(g, args) => Pred::App(g.clone(), args.iter().map(f).collect()),
         Pred::TermPred(t) => Pred::TermPred(f(t)),
         other => other.clone(),
     }

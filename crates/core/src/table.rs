@@ -7,9 +7,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use rsc_logic::{FunSig, Pred, Sort, Subst, Sym, Term};
-use rsc_syntax::ast::{
-    ClassDecl, EnumDecl, FieldMut, InterfaceDecl, TypeAlias,
-};
+use rsc_syntax::ast::{ClassDecl, EnumDecl, FieldMut, InterfaceDecl, TypeAlias};
 use rsc_syntax::types::{AnnArg, AnnTy, FunTy};
 use rsc_syntax::Mutability;
 
@@ -280,10 +278,7 @@ impl ClassTable {
             vec![t.clone(), Term::str(class.clone())],
         )];
         for a in self.ancestors(class) {
-            parts.push(Pred::App(
-                Sym::from("impl"),
-                vec![t.clone(), Term::str(a)],
-            ));
+            parts.push(Pred::App(Sym::from("impl"), vec![t.clone(), Term::str(a)]));
         }
         let self_subst = Subst::one("v", t.clone());
         let mut names = vec![class.clone()];
@@ -323,10 +318,7 @@ impl ClassTable {
             }
         }
         for (f, s) in seen {
-            env.declare_fun(
-                format!("field${f}"),
-                FunSig::Fixed(vec![Sort::Ref], s),
-            );
+            env.declare_fun(format!("field${f}"), FunSig::Fixed(vec![Sort::Ref], s));
         }
     }
 
@@ -523,8 +515,7 @@ fn ann_uses_as_type(t: &AnnTy, p: &Sym) -> bool {
         AnnTy::Array { elem, .. } => ann_uses_as_type(elem, p),
         AnnTy::Union(ps) => ps.iter().any(|t| ann_uses_as_type(t, p)),
         AnnTy::Arrow(ft) => {
-            ft.params.iter().any(|(_, t)| ann_uses_as_type(t, p))
-                || ann_uses_as_type(&ft.ret, p)
+            ft.params.iter().any(|(_, t)| ann_uses_as_type(t, p)) || ann_uses_as_type(&ft.ret, p)
         }
     }
 }
@@ -624,7 +615,9 @@ mod tests {
     #[test]
     fn unknown_type_is_error() {
         let ct = table_of("");
-        assert!(ct.resolve(&rsc_syntax::parse_type("Mystery").unwrap()).is_err());
+        assert!(ct
+            .resolve(&rsc_syntax::parse_type("Mystery").unwrap())
+            .is_err());
     }
 
     #[test]

@@ -137,9 +137,7 @@ impl FrscInterp {
                         let o = self.eval(obj, env)?;
                         let v = self.eval(value, env)?;
                         let Value::Ref(r) = o else {
-                            return Err(RuntimeError::BadField(format!(
-                                "field write on {o}"
-                            )));
+                            return Err(RuntimeError::BadField(format!("field write on {o}")));
                         };
                         match self.heap.get_mut(r) {
                             Some(Obj::Instance { fields, .. }) => {
@@ -344,9 +342,7 @@ impl FrscInterp {
                 Some(Obj::Instance { fields, class }) => fields.get(f).cloned().ok_or_else(|| {
                     RuntimeError::BadField(format!("{class} instance has no field {f}"))
                 }),
-                Some(Obj::Closure { .. }) => {
-                    Err(RuntimeError::BadField(format!("closure .{f}")))
-                }
+                Some(Obj::Closure { .. }) => Err(RuntimeError::BadField(format!("closure .{f}"))),
                 None => Err(RuntimeError::BadField("dangling reference".into())),
             },
             Value::Str(s) if f == &Sym::from("length") => Ok(Value::Num(s.len() as i64)),
@@ -472,11 +468,15 @@ impl FrscInterp {
                 }
                 class.clone()
             }
-            _ => return Err(RuntimeError::BadField(format!("method {m} on non-instance"))),
+            _ => {
+                return Err(RuntimeError::BadField(format!(
+                    "method {m} on non-instance"
+                )))
+            }
         };
-        let method = self.lookup_method(&class, m).ok_or_else(|| {
-            RuntimeError::BadField(format!("class {class} has no method {m}"))
-        })?;
+        let method = self
+            .lookup_method(&class, m)
+            .ok_or_else(|| RuntimeError::BadField(format!("class {class} has no method {m}")))?;
         let Some(body) = method.body.clone() else {
             return Err(RuntimeError::NotAFunction(format!("abstract method {m}")));
         };

@@ -138,9 +138,10 @@ impl IrscInterp {
                                     phi.new
                                 )));
                             };
-                            let v = benv.get(src).cloned().ok_or_else(|| {
-                                RuntimeError::Unbound(src.to_string())
-                            })?;
+                            let v = benv
+                                .get(src)
+                                .cloned()
+                                .ok_or_else(|| RuntimeError::Unbound(src.to_string()))?;
                             env.insert(phi.new.clone(), v);
                         }
                         self.body(rest, env)
@@ -174,9 +175,10 @@ impl IrscInterp {
                         None => {
                             for phi in phis {
                                 if let Some(src) = &phi.body_src {
-                                    let v = benv.get(src).cloned().ok_or_else(|| {
-                                        RuntimeError::Unbound(src.to_string())
-                                    })?;
+                                    let v = benv
+                                        .get(src)
+                                        .cloned()
+                                        .ok_or_else(|| RuntimeError::Unbound(src.to_string()))?;
                                     env.insert(phi.new.clone(), v);
                                 }
                             }
@@ -470,14 +472,19 @@ impl IrscInterp {
                 };
                 if let Some(md) = c.methods.iter().find(|md| &md.name == m) {
                     found = Some((
-                        md.sig.params.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>(),
+                        md.sig
+                            .params
+                            .iter()
+                            .map(|(p, _)| p.clone())
+                            .collect::<Vec<_>>(),
                         md.body.clone(),
                     ));
                     break;
                 }
                 cur = c.decl.extends.clone();
             }
-            found.ok_or_else(|| RuntimeError::BadField(format!("class {class} has no method {m}")))?
+            found
+                .ok_or_else(|| RuntimeError::BadField(format!("class {class} has no method {m}")))?
         };
         let Some(body) = body else {
             return Err(RuntimeError::NotAFunction(format!("abstract method {m}")));
@@ -517,7 +524,9 @@ impl IrscInterp {
         if let Some(t) = this {
             frame.insert(Sym::from("this"), t);
         }
-        Ok(self.body(&decl.body, &mut frame)?.unwrap_or(Value::Undefined))
+        Ok(self
+            .body(&decl.body, &mut frame)?
+            .unwrap_or(Value::Undefined))
     }
 
     fn construct(&mut self, cname: &Sym, argv: Vec<Value>) -> Result<Value, RuntimeError> {

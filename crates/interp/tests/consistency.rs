@@ -270,13 +270,14 @@ fn program_of(stmts: &[GStmt]) -> String {
 }
 
 fn arb_gexpr() -> impl Strategy<Value = GExpr> {
-    let leaf = prop_oneof![(-9i8..=9).prop_map(GExpr::Lit), (0u8..4).prop_map(GExpr::Var)];
+    let leaf = prop_oneof![
+        (-9i8..=9).prop_map(GExpr::Lit),
+        (0u8..4).prop_map(GExpr::Var)
+    ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Sub(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
         ]
     })

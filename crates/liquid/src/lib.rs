@@ -23,4 +23,4 @@ mod constraint;
 mod solve;
 
 pub use constraint::{CEnv, ConstraintSet, SubC};
-pub use solve::{filter_relevant, LiquidResult, Solution, solve};
+pub use solve::{filter_relevant, solve, LiquidResult, Solution};

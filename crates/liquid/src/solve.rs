@@ -170,7 +170,10 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
 /// (goal + left-hand side). Dropping hypotheses is conservative, and the
 /// filter tames the model-enumeration cost of disjunction-heavy union
 /// embeddings.
-pub fn filter_relevant(hyps: Vec<Pred>, seeds: std::collections::BTreeSet<rsc_logic::Sym>) -> Vec<Pred> {
+pub fn filter_relevant(
+    hyps: Vec<Pred>,
+    seeds: std::collections::BTreeSet<rsc_logic::Sym>,
+) -> Vec<Pred> {
     let fvs: Vec<std::collections::BTreeSet<rsc_logic::Sym>> =
         hyps.iter().map(|h| h.free_vars()).collect();
     let mut relevant = seeds;
@@ -200,11 +203,7 @@ pub fn filter_relevant(hyps: Vec<Pred>, seeds: std::collections::BTreeSet<rsc_lo
 
 /// Builds the sorted environment and hypothesis list for one constraint:
 /// ⟦Γ⟧ under the current solution, plus the (solved) left refinement.
-fn prepare_hyps(
-    cs: &ConstraintSet,
-    c: &SubC,
-    sol: &Solution,
-) -> (SortEnv, Vec<Pred>, Vec<Pred>) {
+fn prepare_hyps(cs: &ConstraintSet, c: &SubC, sol: &Solution) -> (SortEnv, Vec<Pred>, Vec<Pred>) {
     let mut env_sorts = cs.sort_env.clone();
     for (x, s) in c.env.scope() {
         env_sorts.bind(x, s);

@@ -139,7 +139,13 @@ fn polymorphic_instantiation_flow() {
         Term::int(0),
         Term::len_of(Term::var("a")),
     ));
-    cs.push_sub(g, Pred::vv_eq(Term::int(0)), kapp.clone(), Sort::Int, "x=0 flows to B");
+    cs.push_sub(
+        g,
+        Pred::vv_eq(Term::int(0)),
+        kapp.clone(),
+        Sort::Int,
+        "x=0 flows to B",
+    );
 
     // Γ_step ⊢ idx⟨a⟩ ⊑ κ_B  (i flows to the output).
     let mut gs = CEnv::new();
@@ -169,7 +175,11 @@ fn polymorphic_instantiation_flow() {
 
     let mut smt = Solver::new();
     let r = solve(&cs, &mut smt);
-    assert!(r.failures.is_empty(), "minIndex should verify: {:?}", r.failures);
+    assert!(
+        r.failures.is_empty(),
+        "minIndex should verify: {:?}",
+        r.failures
+    );
     let shown: Vec<String> = r.solution.of(k_b).iter().map(|p| p.to_string()).collect();
     assert!(shown.contains(&"0 <= v".to_string()), "{shown:?}");
     assert!(shown.contains(&"v < len(a)".to_string()), "{shown:?}");

@@ -34,7 +34,12 @@ pub struct KVar {
 
 impl KVar {
     /// Creates a new κ-variable description.
-    pub fn new(id: KVarId, vv_sort: Sort, scope: Vec<(Sym, Sort)>, origin: impl Into<String>) -> Self {
+    pub fn new(
+        id: KVarId,
+        vv_sort: Sort,
+        scope: Vec<(Sym, Sort)>,
+        origin: impl Into<String>,
+    ) -> Self {
         KVar {
             id,
             vv_sort,
@@ -55,7 +60,12 @@ mod tests {
 
     #[test]
     fn kvar_new() {
-        let k = KVar::new(KVarId(0), Sort::Int, vec![(Sym::from("a"), Sort::Ref)], "phi i2");
+        let k = KVar::new(
+            KVarId(0),
+            Sort::Int,
+            vec![(Sym::from("a"), Sort::Ref)],
+            "phi i2",
+        );
         assert_eq!(k.scope.len(), 1);
         assert_eq!(k.origin, "phi i2");
     }

@@ -160,6 +160,7 @@ impl Pred {
     }
 
     /// Smart negation: pushes through literals and double negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(p: Pred) -> Pred {
         match p {
             Pred::True => Pred::False,
@@ -326,16 +327,16 @@ mod tests {
     #[test]
     fn cmp_constant_folds() {
         assert_eq!(Pred::cmp(CmpOp::Lt, Term::int(1), Term::int(2)), Pred::True);
-        assert_eq!(Pred::cmp(CmpOp::Ge, Term::int(1), Term::int(2)), Pred::False);
+        assert_eq!(
+            Pred::cmp(CmpOp::Ge, Term::int(1), Term::int(2)),
+            Pred::False
+        );
     }
 
     #[test]
     fn not_pushes_through_cmp() {
         let p = Pred::not(Pred::cmp(CmpOp::Lt, Term::var("x"), Term::var("y")));
-        assert_eq!(
-            p,
-            Pred::Cmp(CmpOp::Ge, Term::var("x"), Term::var("y"))
-        );
+        assert_eq!(p, Pred::Cmp(CmpOp::Ge, Term::var("x"), Term::var("y")));
     }
 
     #[test]

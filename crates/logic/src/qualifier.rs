@@ -135,10 +135,7 @@ pub fn prelude_qualifiers() -> Vec<Qualifier> {
             Pred::cmp(op, v(), Term::len_of(a())),
         ));
     }
-    for (name, op) in [
-        ("LtLenS", CmpOp::Lt),
-        ("LeLenS", CmpOp::Le),
-    ] {
+    for (name, op) in [("LtLenS", CmpOp::Lt), ("LeLenS", CmpOp::Le)] {
         qs.push(Qualifier::new(
             name,
             Sort::Int,
@@ -165,7 +162,14 @@ pub fn prelude_qualifiers() -> Vec<Qualifier> {
         Pred::cmp(CmpOp::Eq, v(), p()),
     ));
     // Reflection-tag qualifiers (§4.2): discriminate union members.
-    for tag in ["number", "string", "boolean", "undefined", "object", "function"] {
+    for tag in [
+        "number",
+        "string",
+        "boolean",
+        "undefined",
+        "object",
+        "function",
+    ] {
         qs.push(Qualifier::new(
             format!("Tag_{tag}"),
             Sort::Ref,

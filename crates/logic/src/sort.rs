@@ -97,7 +97,10 @@ impl SortEnv {
         let mut env = SortEnv::default();
         env.declare_fun("len", FunSig::AnyArgs(1, Sort::Int));
         env.declare_fun("ttag", FunSig::AnyArgs(1, Sort::Str));
-        env.declare_fun("impl", FunSig::Fixed(vec![Sort::Ref, Sort::Str], Sort::Bool));
+        env.declare_fun(
+            "impl",
+            FunSig::Fixed(vec![Sort::Ref, Sort::Str], Sort::Bool),
+        );
         env.declare_fun("mul", FunSig::Fixed(vec![Sort::Int, Sort::Int], Sort::Int));
         env
     }
@@ -192,18 +195,14 @@ impl SortEnv {
                         if sa == Sort::Int && sb == Sort::Int {
                             Ok(Sort::Int)
                         } else {
-                            Err(SortError(format!(
-                                "arithmetic {t} on sorts {sa}, {sb}"
-                            )))
+                            Err(SortError(format!("arithmetic {t} on sorts {sa}, {sb}")))
                         }
                     }
                     BinOp::BvAnd | BinOp::BvOr => {
                         if sa == Sort::Bv32 && sb == Sort::Bv32 {
                             Ok(Sort::Bv32)
                         } else {
-                            Err(SortError(format!(
-                                "bit-vector op {t} on sorts {sa}, {sb}"
-                            )))
+                            Err(SortError(format!("bit-vector op {t} on sorts {sa}, {sb}")))
                         }
                     }
                 }

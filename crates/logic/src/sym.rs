@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn sym_ordering() {
-        let mut v = vec![Sym::from("b"), Sym::from("a")];
+        let mut v = [Sym::from("b"), Sym::from("a")];
         v.sort();
         assert_eq!(v[0], "a");
     }

@@ -154,21 +154,25 @@ impl Term {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Term, b: Term) -> Term {
         Term::bin(BinOp::Add, a, b)
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Term, b: Term) -> Term {
         Term::bin(BinOp::Sub, a, b)
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Term, b: Term) -> Term {
         Term::bin(BinOp::Mul, a, b)
     }
 
     /// Integer negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(a: Term) -> Term {
         match a {
             Term::IntLit(n) => Term::IntLit(-n),

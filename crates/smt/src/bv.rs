@@ -40,7 +40,11 @@ impl Blaster {
     fn slot_bits(&mut self, n: NodeId, cnf: &mut CnfStore) -> Vec<Bit> {
         self.slots
             .entry(n)
-            .or_insert_with(|| (0..WIDTH).map(|_| Bit::L(Lit::pos(cnf.new_var()))).collect())
+            .or_insert_with(|| {
+                (0..WIDTH)
+                    .map(|_| Bit::L(Lit::pos(cnf.new_var())))
+                    .collect()
+            })
             .clone()
     }
 
@@ -135,7 +139,7 @@ fn xnor_bit(a: Bit, b: Bit, cnf: &mut CnfStore) -> Bit {
 }
 
 fn and_all(bits: &[Bit], cnf: &mut CnfStore) -> Lit {
-    if bits.iter().any(|b| *b == Bit::Const(false)) {
+    if bits.contains(&Bit::Const(false)) {
         // Represent constant false with a fresh var forced false.
         let v = Lit::pos(cnf.new_var());
         cnf.add_clause(vec![v.negate()]);

@@ -57,11 +57,7 @@ impl CnfStore {
 /// [`Formula::simplify`]) and returns a literal equivalent to `f`.
 ///
 /// `atom_lit` maps an atom with polarity to its SAT literal.
-pub fn tseitin(
-    f: &Formula,
-    atom_lit: &impl Fn(AtomId, bool) -> Lit,
-    cnf: &mut CnfStore,
-) -> Lit {
+pub fn tseitin(f: &Formula, atom_lit: &impl Fn(AtomId, bool) -> Lit, cnf: &mut CnfStore) -> Lit {
     match f {
         Formula::Const(_) => panic!("tseitin: simplify the formula first"),
         Formula::Lit(a, pol) => atom_lit(*a, *pol),

@@ -81,14 +81,22 @@ impl<'a> Encoder<'a> {
                     .iter()
                     .map(|q| self.encode_pred(q, pol))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(if pol { Formula::And(fs) } else { Formula::Or(fs) })
+                Ok(if pol {
+                    Formula::And(fs)
+                } else {
+                    Formula::Or(fs)
+                })
             }
             Pred::Or(ps) => {
                 let fs = ps
                     .iter()
                     .map(|q| self.encode_pred(q, pol))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(if pol { Formula::Or(fs) } else { Formula::And(fs) })
+                Ok(if pol {
+                    Formula::Or(fs)
+                } else {
+                    Formula::And(fs)
+                })
             }
             Pred::Not(q) => self.encode_pred(q, !pol),
             Pred::Imp(a, b) => {
@@ -125,9 +133,7 @@ impl<'a> Encoder<'a> {
                     .iter()
                     .map(|t| self.node_of(t))
                     .collect::<Result<Vec<_>, _>>()?;
-                let n = self
-                    .arena
-                    .intern(Node::App(f.clone(), nargs, Sort::Bool));
+                let n = self.arena.intern(Node::App(f.clone(), nargs, Sort::Bool));
                 let id = self.atom(AtomData::BoolNode(n));
                 Ok(Formula::Lit(id, pol))
             }
@@ -138,7 +144,13 @@ impl<'a> Encoder<'a> {
         }
     }
 
-    fn encode_cmp(&mut self, op: CmpOp, a: &Term, b: &Term, pol: bool) -> Result<Formula, EncodeError> {
+    fn encode_cmp(
+        &mut self,
+        op: CmpOp,
+        a: &Term,
+        b: &Term,
+        pol: bool,
+    ) -> Result<Formula, EncodeError> {
         let sa = self
             .sort_env
             .sort_of(a)
@@ -380,11 +392,9 @@ impl<'a> Encoder<'a> {
             ))),
             Term::Field(base, fld) => {
                 let nb = self.node_of(base)?;
-                Ok(self.arena.intern(Node::App(
-                    Sym::from(format!("field${fld}")),
-                    vec![nb],
-                    s,
-                )))
+                Ok(self
+                    .arena
+                    .intern(Node::App(Sym::from(format!("field${fld}")), vec![nb], s)))
             }
             Term::App(f, args) => {
                 let nargs = args

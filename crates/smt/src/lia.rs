@@ -232,13 +232,6 @@ impl LiaProblem {
         // Fourier–Motzkin elimination on the inequalities.
         loop {
             // Constant rows first.
-            les.retain(|e| {
-                if e.is_const() {
-                    true
-                } else {
-                    true
-                }
-            });
             for e in &les {
                 if e.is_const() && e.konst > 0 {
                     return LiaResult::Infeasible;
@@ -468,7 +461,11 @@ mod tests {
         // 2x+3y=7, x,y≥0, x+y≤1 → max 2x+3y at x+y≤1 is 3 (<7): infeasible.
         let p = LiaProblem {
             eqs: vec![le(&[(0, 2), (1, 3)], -7)],
-            les: vec![le(&[(0, -1)], 0), le(&[(1, -1)], 0), le(&[(0, 1), (1, 1)], -1)],
+            les: vec![
+                le(&[(0, -1)], 0),
+                le(&[(1, -1)], 0),
+                le(&[(0, 1), (1, 1)], -1),
+            ],
             ..Default::default()
         };
         assert_eq!(p.feasible(), LiaResult::Infeasible);

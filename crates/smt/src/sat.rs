@@ -158,7 +158,10 @@ impl SatSolver {
         }
         // Remove literals already false at level 0; satisfied clause is dropped.
         lits.retain(|&l| self.value(l) != Some(false) || self.level[l.var() as usize] != 0);
-        if lits.iter().any(|&l| self.value(l) == Some(true) && self.level[l.var() as usize] == 0) {
+        if lits
+            .iter()
+            .any(|&l| self.value(l) == Some(true) && self.level[l.var() as usize] == 0)
+        {
             return;
         }
         match lits.len() {
@@ -361,7 +364,7 @@ impl SatSolver {
         let mut best: Option<Var> = None;
         for v in 0..self.num_vars {
             if self.assign[v as usize].is_none()
-                && best.map_or(true, |b| self.activity[v as usize] > self.activity[b as usize])
+                && best.is_none_or(|b| self.activity[v as usize] > self.activity[b as usize])
             {
                 best = Some(v);
             }
@@ -402,11 +405,7 @@ impl SatSolver {
                 }
                 None => match self.decide() {
                     None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|a| a.unwrap_or(false))
-                            .collect();
+                        let model = self.assign.iter().map(|a| a.unwrap_or(false)).collect();
                         self.backtrack(0);
                         return SatOutcome::Sat(model);
                     }
@@ -489,13 +488,7 @@ mod tests {
     #[test]
     fn xor_chain_sat() {
         // (a xor b) and (b xor c) and a  => c = a
-        let clauses = vec![
-            vec![1, 2],
-            vec![-1, -2],
-            vec![2, 3],
-            vec![-2, -3],
-            vec![1],
-        ];
+        let clauses = vec![vec![1, 2], vec![-1, -2], vec![2, 3], vec![-2, -3], vec![1]];
         match solve(3, &clauses) {
             SatOutcome::Sat(m) => {
                 assert!(m[0]);
@@ -517,7 +510,10 @@ mod tests {
 
     #[test]
     fn unit_conflict_at_level_zero() {
-        assert_eq!(solve(2, &[vec![1], vec![-1, 2], vec![-2, -1]]), SatOutcome::Unsat);
+        assert_eq!(
+            solve(2, &[vec![1], vec![-1, 2], vec![-2, -1]]),
+            SatOutcome::Unsat
+        );
     }
 
     /// Brute-force reference solver.

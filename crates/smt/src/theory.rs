@@ -330,7 +330,7 @@ mod tests {
         let mut e = NLinExp::node(x);
         e.konst = -10; // x <= 10
         let atoms = vec![AtomData::LinLe(e)];
-        let v = check(&arena, &atoms, &[], &vec![Some(true)], tn, fnode);
+        let v = check(&arena, &atoms, &[], &[Some(true)], tn, fnode);
         assert_eq!(v, TheoryVerdict::Consistent);
     }
 
@@ -346,7 +346,7 @@ mod tests {
         let atoms = vec![AtomData::BoolNode(p)];
         // Atom asserted both ways cannot happen with one atom id; check that
         // a single positive assertion is consistent.
-        let v = check(&arena, &atoms, &[], &vec![Some(true)], tn, fnode);
+        let v = check(&arena, &atoms, &[], &[Some(true)], tn, fnode);
         assert_eq!(v, TheoryVerdict::Consistent);
     }
 }

@@ -127,7 +127,10 @@ fn hierarchy_mask_vcs() {
     // Class bit set: implication fires.
     assert!(s.is_valid(
         &env,
-        &[inv.clone(), Pred::cmp(CmpOp::Ne, masked(0x0400), Term::bv(0))],
+        &[
+            inv.clone(),
+            Pred::cmp(CmpOp::Ne, masked(0x0400), Term::bv(0))
+        ],
         &impl_obj,
     ));
     // String bit set: it does not.

@@ -269,8 +269,7 @@ impl Ssa {
                     let a = self.expr(arr, delta);
                     let i = self.expr(idx, delta);
                     let v = self.expr(value, delta);
-                    let e =
-                        IrExpr::IndexAssign(Box::new(a), Box::new(i), Box::new(v), *span);
+                    let e = IrExpr::IndexAssign(Box::new(a), Box::new(i), Box::new(v), *span);
                     let k = self.stmts(rest, delta, join)?;
                     Ok(Translated {
                         body: Body::Effect {
@@ -437,9 +436,7 @@ impl Ssa {
             Expr::Undefined(s) => IrExpr::Undefined(*s),
             Expr::This(s) => IrExpr::This(*s),
             Expr::Var(x, s) => IrExpr::Var(delta.lookup(x), *s),
-            Expr::Field(b, f, s) => {
-                IrExpr::Field(Box::new(self.expr(b, delta)), f.clone(), *s)
-            }
+            Expr::Field(b, f, s) => IrExpr::Field(Box::new(self.expr(b, delta)), f.clone(), *s),
             Expr::Index(a, i, s) => IrExpr::Index(
                 Box::new(self.expr(a, delta)),
                 Box::new(self.expr(i, delta)),
@@ -508,10 +505,8 @@ fn collect_assigned_inner(stmts: &[Stmt], out: &mut BTreeSet<Sym>, declared: &mu
             Stmt::Assign {
                 target: LValue::Var(x, _),
                 ..
-            } => {
-                if !declared.contains(x) {
-                    out.insert(x.clone());
-                }
+            } if !declared.contains(x) => {
+                out.insert(x.clone());
             }
             Stmt::If {
                 then_blk, else_blk, ..
@@ -620,9 +615,9 @@ mod tests {
         fn find_loop(b: &Body) -> Option<&Body> {
             match b {
                 Body::Loop { .. } => Some(b),
-                Body::Let { rest, .. }
-                | Body::Effect { rest, .. }
-                | Body::LetFun { rest, .. } => find_loop(rest),
+                Body::Let { rest, .. } | Body::Effect { rest, .. } | Body::LetFun { rest, .. } => {
+                    find_loop(rest)
+                }
                 Body::If {
                     then_br,
                     else_br,
@@ -668,9 +663,7 @@ mod tests {
                     IrExpr::Var(y, _) => y == x,
                     IrExpr::Field(b, _, _) => in_expr(b, x),
                     IrExpr::Index(a, i, _) => in_expr(a, x) || in_expr(i, x),
-                    IrExpr::Call(f, args, _) => {
-                        in_expr(f, x) || args.iter().any(|a| in_expr(a, x))
-                    }
+                    IrExpr::Call(f, args, _) => in_expr(f, x) || args.iter().any(|a| in_expr(a, x)),
                     IrExpr::Binary(_, a, b, _) => in_expr(a, x) || in_expr(b, x),
                     IrExpr::Unary(_, a, _) => in_expr(a, x),
                     _ => false,

@@ -1277,8 +1277,8 @@ impl Parser {
         let mut anon = 0usize;
         while *self.peek() != Tok::RParen {
             // Either `x: T` or a bare type (anonymous parameter).
-            let named = matches!(self.peek(), Tok::Ident(_) | Tok::This)
-                && *self.peek_at(1) == Tok::Colon;
+            let named =
+                matches!(self.peek(), Tok::Ident(_) | Tok::This) && *self.peek_at(1) == Tok::Colon;
             if named {
                 let x = self.ident()?;
                 self.expect(Tok::Colon)?;

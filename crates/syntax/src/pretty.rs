@@ -189,7 +189,9 @@ fn block(b: &Block, indent: usize, out: &mut String) {
 fn stmt(s: &Stmt, indent: usize, out: &mut String) {
     let pad = "    ".repeat(indent);
     match s {
-        Stmt::VarDecl { name, ann, init, .. } => {
+        Stmt::VarDecl {
+            name, ann, init, ..
+        } => {
             let _ = write!(out, "{pad}var {name}");
             if let Some(a) = ann {
                 let _ = write!(out, ": {a}");
@@ -353,9 +355,8 @@ mod tests {
             let src = std::fs::read_to_string(&path).unwrap();
             let p = parse_program(&src).unwrap();
             let printed = super::program(&p);
-            parse_program(&printed).unwrap_or_else(|e| {
-                panic!("{}: pretty output must re-parse: {e}", path.display())
-            });
+            parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{}: pretty output must re-parse: {e}", path.display()));
         }
     }
 }

@@ -229,6 +229,7 @@ fn parse_dependent_alias_args() {
 }
 
 #[test]
+#[allow(non_snake_case)]
 fn parse_isMask_style_predicates() {
     let p = parse_pred("mask(v, 0x00003C00) => impl(this, ObjectType)").unwrap();
     let s = p.to_string();

@@ -82,7 +82,11 @@ fn main() {
     ];
     for (label, tail, expect_ok) in cases {
         let got = check(tail);
-        let verdict = if got == expect_ok { "as expected" } else { "UNEXPECTED" };
+        let verdict = if got == expect_ok {
+            "as expected"
+        } else {
+            "UNEXPECTED"
+        };
         println!(
             "{label:<45} -> {} ({verdict})",
             if got { "verified" } else { "rejected" }

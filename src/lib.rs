@@ -1,0 +1,12 @@
+//! Umbrella crate for the RSC workspace.
+//!
+//! This package exists to own the repository-level integration suites in
+//! `tests/` (the §2 overview examples, negative cases, the Fig. 6
+//! benchmark corpus, and dynamic soundness) plus the runnable
+//! `examples/`. The implementation lives in the `crates/` workspace; see
+//! `ARCHITECTURE.md` for the crate map. For programmatic use, depend on
+//! [`rsc_core`] directly — this crate simply re-exports it.
+
+#![warn(missing_docs)]
+
+pub use rsc_core::*;

@@ -2,14 +2,11 @@
 //! (property accesses, array bounds, overloads, downcasts), and seeded
 //! errors are rejected.
 
+use rsc_bench::load_benchmark;
 use rsc_core::{check_program, CheckerOptions};
 
-fn corpus_path(name: &str) -> String {
-    format!("{}/../../benchmarks/{name}.rsc", env!("CARGO_MANIFEST_DIR"))
-}
-
 fn check_benchmark(name: &str) {
-    let src = std::fs::read_to_string(corpus_path(name)).expect("benchmark file");
+    let src = load_benchmark(name).expect("benchmark file");
     let r = check_program(&src, CheckerOptions::default());
     assert!(
         r.ok(),
@@ -64,13 +61,20 @@ fn seeded_bugs_rejected() {
     let mutations = [
         ("navier-stokes", "i + 1 < row.length", "i + 1 <= row.length"),
         ("raytrace", "out[2] = a[2] + b[2];", "out[3] = a[2] + b[2];"),
-        ("tsc-checker", "t.flags & TypeFlags.Object", "t.flags & TypeFlags.String"),
+        (
+            "tsc-checker",
+            "t.flags & TypeFlags.Object",
+            "t.flags & TypeFlags.String",
+        ),
         ("richards", "handlers[id]", "handlers[id + 1]"),
         ("d3-arrays", "var best = a[0];", "var best = a[1];"),
     ];
     for (name, from, to) in mutations {
-        let src = std::fs::read_to_string(corpus_path(name)).expect("benchmark file");
-        assert!(src.contains(from), "{name}: mutation site `{from}` not found");
+        let src = load_benchmark(name).expect("benchmark file");
+        assert!(
+            src.contains(from),
+            "{name}: mutation site `{from}` not found"
+        );
         let mutated = src.replacen(from, to, 1);
         if rsc_syntax::parse_program(&mutated).is_err() {
             continue; // mutation broke the syntax: fine, still "rejected"

@@ -13,7 +13,10 @@ fn accepted(src: &str) {
     assert!(
         r.ok(),
         "program should verify, got {:?}:\n{src}",
-        r.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        r.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
     );
 }
 

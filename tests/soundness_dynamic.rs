@@ -15,7 +15,10 @@ fn verified_and_safe(src: &str) -> Value {
     assert!(
         r.ok(),
         "program should verify: {:?}",
-        r.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        r.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
     );
     let prog = rsc_syntax::parse_program(src).unwrap();
     let ir = rsc_ssa::transform_program(&prog).unwrap();
@@ -149,8 +152,7 @@ fn corpus_demos_run_safely() {
         ("d3-arrays", "return demo();"),
         ("tsc-checker", "return demo([3, 42, 0 - 1, 7]);"),
     ] {
-        let path = format!("{}/../../benchmarks/{name}.rsc", env!("CARGO_MANIFEST_DIR"));
-        let src = format!("{}\n{call}", std::fs::read_to_string(path).unwrap());
+        let src = format!("{}\n{call}", rsc_bench::load_benchmark(name).unwrap());
         let prog = rsc_syntax::parse_program(&src).unwrap();
         let ir = rsc_ssa::transform_program(&prog).unwrap();
         let a = run_frsc(&prog, FUEL);

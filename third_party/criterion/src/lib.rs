@@ -1,0 +1,122 @@
+//! A minimal, dependency-free shim for the slice of the
+//! [`criterion`](https://docs.rs/criterion) API used by the RSC benches.
+//!
+//! The build environment for this repository cannot fetch crates from a
+//! registry, so the workspace vendors this shim as a path dependency named
+//! `criterion`. It supports `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}` and `Bencher::iter`. Timing is a simple
+//! mean/min over the configured sample count, printed to stdout — enough
+//! to compare runs by hand, with none of criterion's statistics.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` and print mean/min per-iteration wall-clock times.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // One warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {}/{}: mean {:>10.3} µs   min {:>10.3} µs   ({} samples)",
+            self.name,
+            id,
+            mean / 1e3,
+            min / 1e3,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time one sample of `f`, keeping its result live via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        std::hint::black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

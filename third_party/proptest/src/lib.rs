@@ -1,0 +1,117 @@
+//! A minimal, dependency-free re-implementation of the slice of the
+//! [`proptest`](https://docs.rs/proptest) API that the RSC test suites use.
+//!
+//! The build environment for this repository cannot fetch crates from a
+//! registry, so the workspace vendors this shim as a path dependency named
+//! `proptest`. It supports:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   attribute and `arg in strategy` bindings),
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_recursive` and `boxed`,
+//! * integer range strategies (`0u8..4`, `-6i32..=6`, …), tuple
+//!   strategies up to arity 6, [`strategy::Just`] and
+//!   [`strategy::Union`] (behind [`prop_oneof!`]),
+//! * [`collection::vec`] with `Range`/`RangeInclusive`/exact sizes,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Generation is a deterministic splitmix64 stream (seeded per test from
+//! the test-function name), so failures reproduce across runs. There is no
+//! shrinking: a failing case panics with the usual assertion message.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the `prop` namespace re-exported by proptest's prelude
+    /// (`prop::collection::vec(..)` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the same shapes the real crate does for the suites in this
+/// repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn roundtrip(x in 0i32..100, ys in prop::collection::vec(0u8..4, 1..6)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])+
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let __strats = ($($strat,)+);
+                for _case in 0..config.cases {
+                    let ($($arg,)+) = {
+                        let ($(ref $arg,)+) = __strats;
+                        ($($crate::strategy::Strategy::generate($arg, &mut rng),)+)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])+
+       fn $name:ident($($args:tt)*) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])+ fn $name($($args)*) $body)*
+        }
+    };
+}
+
+/// Builds a [`strategy::Union`] choosing uniformly among the given
+/// strategies (all must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assertion inside a `proptest!` body; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
