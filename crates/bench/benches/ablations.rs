@@ -4,7 +4,9 @@
 //!   family of programs stops verifying — we measure the time and assert
 //!   the expected verification outcome flips;
 //! * **qualifier pool size**: prelude-only vs prelude+mined qualifiers
-//!   changes fixpoint cost.
+//!   changes fixpoint cost;
+//! * **worker count**: the parallel solve step at `jobs` 1 vs 4 (same
+//!   verdict and diagnostics by construction, different wall clock).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsc_bench::corpus;
@@ -15,6 +17,14 @@ fn options(path: bool, mine: bool) -> CheckerOptions {
         path_sensitivity: path,
         prelude_qualifiers: true,
         mine_qualifiers: mine,
+        ..CheckerOptions::default()
+    }
+}
+
+fn with_jobs(jobs: usize) -> CheckerOptions {
+    CheckerOptions {
+        jobs,
+        ..CheckerOptions::default()
     }
 }
 
@@ -36,6 +46,15 @@ fn bench_ablations(c: &mut Criterion) {
         ("full", options(true, true)),
         ("no_path_sensitivity", options(false, true)),
         ("no_mined_qualifiers", options(true, false)),
+        ("jobs1", with_jobs(1)),
+        ("jobs4", with_jobs(4)),
+        (
+            "no_vc_cache",
+            CheckerOptions {
+                vc_cache: false,
+                ..CheckerOptions::default()
+            },
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {

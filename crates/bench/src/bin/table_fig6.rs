@@ -28,21 +28,36 @@ fn main() {
     println!("Figure 6 — benchmark table (measured | paper)");
     println!();
     println!(
-        "{:<15} {:>5} {:>4} {:>4} {:>4} {:>9}  ok | {:>5} {:>4} {:>4} {:>4} {:>8}",
-        "Benchmark", "LOC", "T", "M", "R", "Time(ms)", "LOC", "T", "M", "R", "Time(s)"
+        "{:<15} {:>5} {:>4} {:>4} {:>4} {:>9} {:>4} {:>6}  ok | {:>5} {:>4} {:>4} {:>4} {:>8}",
+        "Benchmark",
+        "LOC",
+        "T",
+        "M",
+        "R",
+        "Time(ms)",
+        "Bnd",
+        "Cache",
+        "LOC",
+        "T",
+        "M",
+        "R",
+        "Time(s)"
     );
-    println!("{}", "-".repeat(92));
+    println!("{}", "-".repeat(104));
     let mut tot = (0usize, 0usize, 0usize, 0usize);
+    let mut cache_tot = (0u64, 0u64);
     for (name, p) in corpus::benchmark_names().iter().zip(paper) {
         let row = corpus::run_benchmark(name);
         println!(
-            "{:<15} {:>5} {:>4} {:>4} {:>4} {:>9}  {} | {:>5} {:>4} {:>4} {:>4} {:>8}",
+            "{:<15} {:>5} {:>4} {:>4} {:>4} {:>9} {:>4} {:>5.0}%  {} | {:>5} {:>4} {:>4} {:>4} {:>8}",
             row.name,
             row.loc,
             row.anns.trivial,
             row.anns.mutability,
             row.anns.refinement,
             row.time_ms,
+            row.stats.bundles,
+            100.0 * row.stats.cache_hit_rate(),
             if row.verified { "✓" } else { "✗" },
             p.1,
             p.2,
@@ -54,8 +69,10 @@ fn main() {
         tot.1 += row.anns.trivial;
         tot.2 += row.anns.mutability;
         tot.3 += row.anns.refinement;
+        cache_tot.0 += row.stats.cache_hits;
+        cache_tot.1 += row.stats.cache_misses;
     }
-    println!("{}", "-".repeat(92));
+    println!("{}", "-".repeat(104));
     println!(
         "{:<15} {:>5} {:>4} {:>4} {:>4}            | {:>5} {:>4} {:>4} {:>4}",
         "TOTAL", tot.0, tot.1, tot.2, tot.3, 2522, 334, 104, 91
@@ -74,5 +91,15 @@ fn main() {
             "annotations per LOC: 1 per {:.1} lines (paper: 1 per ~5 lines)",
             tot.0 as f64 / total_anns as f64
         );
+        let lookups = cache_tot.0 + cache_tot.1;
+        if lookups > 0 {
+            println!(
+                "VC cache: {} hits / {} lookups ({:.0}%) — Bnd = constraint \
+                 bundles solved in parallel (RSC_JOBS / --jobs)",
+                cache_tot.0,
+                lookups,
+                100.0 * cache_tot.0 as f64 / lookups as f64
+            );
+        }
     }
 }

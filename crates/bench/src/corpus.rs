@@ -37,6 +37,24 @@ pub fn load_benchmark(name: &str) -> std::io::Result<String> {
     std::fs::read_to_string(benchmarks_dir().join(format!("{name}.rsc")))
 }
 
+/// The seeded-bug mutations `(benchmark, original snippet, buggy
+/// replacement)` shared by the rejection suite (golden diagnostics in
+/// `tests/benchmarks_verify.rs`) and the parallel-determinism suite —
+/// one table so both stay pinned to the same bugs by construction.
+pub fn seeded_mutations() -> &'static [(&'static str, &'static str, &'static str)] {
+    &[
+        ("navier-stokes", "i + 1 < row.length", "i + 1 <= row.length"),
+        ("raytrace", "out[2] = a[2] + b[2];", "out[3] = a[2] + b[2];"),
+        (
+            "tsc-checker",
+            "t.flags & TypeFlags.Object",
+            "t.flags & TypeFlags.String",
+        ),
+        ("richards", "handlers[id]", "handlers[id + 1]"),
+        ("d3-arrays", "var best = a[0];", "var best = a[1];"),
+    ]
+}
+
 /// Non-comment, non-blank lines of code (cloc-style, as in Figure 6).
 pub fn count_loc(src: &str) -> usize {
     let mut in_block = false;
@@ -256,14 +274,21 @@ fn has_mutability(t: &AnnTy) -> bool {
     }
 }
 
-/// Runs the checker on one benchmark and produces a Figure 6 row.
+/// Runs the checker on one benchmark and produces a Figure 6 row
+/// (default options: parallel solve with auto worker count / `RSC_JOBS`).
 pub fn run_benchmark(name: &'static str) -> BenchmarkRow {
+    run_benchmark_with(name, rsc_core::CheckerOptions::default())
+}
+
+/// Runs the checker on one benchmark with explicit options — the
+/// `--jobs` speedup curve uses this with `opts.jobs` swept over 1..N.
+pub fn run_benchmark_with(name: &'static str, opts: rsc_core::CheckerOptions) -> BenchmarkRow {
     let src = load_benchmark(name).expect("benchmark source");
     let prog = rsc_syntax::parse_program(&src).expect("benchmark parses");
     let loc = count_loc(&src);
     let anns = classify_annotations(&prog);
     let start = std::time::Instant::now();
-    let result = rsc_core::check_program(&src, rsc_core::CheckerOptions::default());
+    let result = rsc_core::check_program(&src, opts);
     let time_ms = start.elapsed().as_millis();
     BenchmarkRow {
         name,

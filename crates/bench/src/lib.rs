@@ -11,5 +11,5 @@ pub mod corpus;
 
 pub use corpus::{
     benchmark_names, benchmarks_dir, classify_annotations, count_loc, load_benchmark,
-    AnnotationCounts, BenchmarkRow,
+    run_benchmark, run_benchmark_with, seeded_mutations, AnnotationCounts, BenchmarkRow,
 };

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p rsc_core --bin rsc -- benchmarks/navier-stokes.rsc
 //! cargo run -p rsc_core --bin rsc -- --no-path-sensitivity file.rsc
+//! cargo run -p rsc_core --bin rsc -- --jobs 4 benchmarks/*.rsc
 //! ```
 //!
 //! Exit code 0 = verified, 1 = verification errors, 2 = usage/IO error.
@@ -13,23 +14,39 @@ fn main() {
     let mut opts = CheckerOptions::default();
     let mut files: Vec<String> = Vec::new();
     let mut quiet = false;
+    let mut want_jobs = false;
     for arg in std::env::args().skip(1) {
+        if want_jobs {
+            want_jobs = false;
+            opts.jobs = parse_jobs(&arg);
+            continue;
+        }
         match arg.as_str() {
             "--no-path-sensitivity" => opts.path_sensitivity = false,
             "--no-prelude-qualifiers" => opts.prelude_qualifiers = false,
             "--no-mined-qualifiers" => opts.mine_qualifiers = false,
+            "--no-vc-cache" => opts.vc_cache = false,
+            "--jobs" | "-j" => want_jobs = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
             }
             f if !f.starts_with('-') => files.push(f.to_string()),
-            other => {
-                eprintln!("rsc: unknown flag {other}");
-                print_usage();
-                std::process::exit(2);
-            }
+            other => match other.strip_prefix("--jobs=") {
+                Some(n) => opts.jobs = parse_jobs(n),
+                None => {
+                    eprintln!("rsc: unknown flag {other}");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            },
         }
+    }
+    if want_jobs {
+        eprintln!("rsc: --jobs expects a worker count");
+        print_usage();
+        std::process::exit(2);
     }
     if files.is_empty() {
         print_usage();
@@ -51,8 +68,14 @@ fn main() {
         if result.ok() {
             if !quiet {
                 println!(
-                    "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, {:.0?})",
-                    result.stats.constraints, result.stats.kvars, result.stats.smt_queries, elapsed
+                    "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, \
+                     {} bundles, {:.0}% VC-cache hits, {:.0?})",
+                    result.stats.constraints,
+                    result.stats.kvars,
+                    result.stats.smt_queries,
+                    result.stats.bundles,
+                    100.0 * result.stats.cache_hit_rate(),
+                    elapsed
                 );
             }
         } else {
@@ -70,9 +93,22 @@ fn main() {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+fn parse_jobs(s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("rsc: --jobs expects a positive integer, got {s:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
-         [--no-mined-qualifiers] [--quiet] <file.rsc>..."
+         [--no-mined-qualifiers] [--no-vc-cache] [--jobs N] [--quiet] <file.rsc>...\n\
+         \n\
+         --jobs N  solve constraint bundles on N worker threads\n\
+         \u{20}         (default: RSC_JOBS env var, else available cores, max 8)"
     );
 }

@@ -5,9 +5,11 @@
 //! of overloads, and constructor cooking.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use rsc_liquid::{solve, CEnv, ConstraintSet};
+use rsc_liquid::{partition, solve, CEnv, ConstraintBundle, ConstraintSet, LiquidResult};
 use rsc_logic::{CmpOp, Pred, Sort, Subst, Sym, Term};
+use rsc_smt::{SolverStats, VcCache};
 use rsc_ssa::{Body, IrClass, IrExpr, IrFun, IrProgram};
 use rsc_syntax::ast::{BinOpE, UnOp};
 use rsc_syntax::{Mutability, Span};
@@ -25,6 +27,14 @@ pub struct CheckerOptions {
     pub prelude_qualifiers: bool,
     /// Mine additional qualifiers from the program's own annotations.
     pub mine_qualifiers: bool,
+    /// Worker threads for the parallel solve step. `0` means auto: the
+    /// `RSC_JOBS` environment variable if set, otherwise the machine's
+    /// available parallelism (capped at 8). Diagnostics are byte-identical
+    /// for every value — see `rsc_liquid::partition` and the VC cache.
+    pub jobs: usize,
+    /// Share a canonicalizing VC cache across narrowing checks and all
+    /// bundle solvers (the `no_vc_cache` ablation turns this off).
+    pub vc_cache: bool,
 }
 
 impl Default for CheckerOptions {
@@ -33,7 +43,35 @@ impl Default for CheckerOptions {
             path_sensitivity: true,
             prelude_qualifiers: true,
             mine_qualifiers: true,
+            jobs: 0,
+            vc_cache: true,
         }
+    }
+}
+
+impl CheckerOptions {
+    /// Resolves `jobs` to a concrete worker count (`RSC_DEBUG` forces 1
+    /// so the fixpoint trace stays readable).
+    pub fn effective_jobs(&self) -> usize {
+        if std::env::var("RSC_DEBUG").is_ok() {
+            return 1;
+        }
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        if let Ok(v) = std::env::var("RSC_JOBS") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => eprintln!(
+                    "rsc: ignoring invalid RSC_JOBS={v:?} (expected a positive \
+                     integer); using auto worker count"
+                ),
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
     }
 }
 
@@ -46,6 +84,37 @@ pub struct CheckStats {
     pub constraints: usize,
     /// SMT validity queries issued by the fixpoint.
     pub smt_queries: u64,
+    /// Independent constraint bundles solved (≥ 1 for non-empty programs).
+    pub bundles: usize,
+    /// VC-cache hits across the whole run (narrowing + all bundles).
+    pub cache_hits: u64,
+    /// VC-cache misses across the whole run.
+    pub cache_misses: u64,
+}
+
+impl CheckStats {
+    /// VC-cache hit rate in `[0, 1]` (0 when the cache saw no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-bundle solver report (one entry per solved [`ConstraintBundle`],
+/// in deterministic source order).
+#[derive(Clone, Debug)]
+pub struct BundleReport {
+    /// Constraints in the bundle.
+    pub constraints: usize,
+    /// κ-variables owned by the bundle.
+    pub kvars: usize,
+    /// Solver counters for exactly this bundle (each bundle's solver
+    /// stats are taken fresh, not accumulated across bundles).
+    pub smt: SolverStats,
 }
 
 /// The result of checking a program.
@@ -55,6 +124,9 @@ pub struct CheckResult {
     pub diagnostics: Vec<Diagnostic>,
     /// Statistics.
     pub stats: CheckStats,
+    /// Per-bundle solver statistics (empty when checking aborted before
+    /// the solve step, e.g. on parse errors).
+    pub bundle_reports: Vec<BundleReport>,
 }
 
 impl CheckResult {
@@ -127,6 +199,15 @@ pub struct Checker {
     pub(crate) next_infer: u32,
     pub(crate) next_tmp: u32,
     pub(crate) spans: Vec<Span>,
+    /// The generating unit (function / class member / top level) of each
+    /// constraint, parallel to `cs.subs` — the partition key for the
+    /// parallel solve step.
+    pub(crate) units: Vec<usize>,
+    pub(crate) current_unit: usize,
+    pub(crate) next_unit: usize,
+    /// The run-wide VC cache, shared by narrowing refutation checks and
+    /// every bundle solver.
+    pub(crate) vc_cache: Arc<VcCache>,
 }
 
 /// Checks a program from source, running the full pipeline:
@@ -140,6 +221,7 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
             return CheckResult {
                 diagnostics: diags,
                 stats: CheckStats::default(),
+                bundle_reports: Vec::new(),
             };
         }
     };
@@ -150,6 +232,7 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
             return CheckResult {
                 diagnostics: diags,
                 stats: CheckStats::default(),
+                bundle_reports: Vec::new(),
             };
         }
     };
@@ -166,6 +249,7 @@ pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
             return CheckResult {
                 diagnostics: diags,
                 stats: CheckStats::default(),
+                bundle_reports: Vec::new(),
             };
         }
     };
@@ -187,6 +271,10 @@ pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
         next_infer: 0,
         next_tmp: 0,
         spans: Vec::new(),
+        units: Vec::new(),
+        current_unit: 0,
+        next_unit: 1,
+        vc_cache: VcCache::shared(),
     };
     checker.run(ir)
 }
@@ -226,58 +314,110 @@ impl Checker {
         }
 
         // Check everything. Unannotated top-level functions are deferred:
-        // they are checked at the call sites that receive them.
+        // they are checked at the call sites that receive them — their
+        // constraints land in the calling unit. Every annotated function,
+        // class member, and the top level opens its own unit; the
+        // partitioner below merges units that share a κ-variable.
         for f in &ir.funs {
             if f.sigs.is_empty() {
                 self.deferred
                     .insert(f.name.clone(), (f.clone(), Env::new()));
             } else {
+                self.begin_unit();
                 self.check_fun(f, &Env::new());
             }
         }
         for c in &ir.classes {
             self.check_class(c);
         }
+        self.begin_unit();
         let mut env = Env::new();
         env.ret = RType::trivial(Base::Union(vec![])); // top-level return: anything
         self.check_body(&ir.top, &mut env);
 
-        // Solve.
-        let mut smt = rsc_smt::Solver::new();
-        let result = solve(&self.cs, &mut smt);
+        // Partition: one closed constraint problem per function-level unit.
+        let total_kvars = self.cs.num_kvars();
+        let total_constraints = self.cs.subs.len();
+        let spans = std::mem::take(&mut self.spans);
+        let units = std::mem::take(&mut self.units);
+        let cs = std::mem::replace(&mut self.cs, ConstraintSet::new());
+        let bundles = partition(cs, &units);
+
+        // Solve: bundles run on a scoped work-stealing pool, one solver
+        // per bundle, all sharing the run-wide VC cache. With a cache
+        // attached each validity verdict is a pure function of the
+        // canonical VC, so scheduling cannot change any answer and the
+        // merged output is byte-identical for every worker count.
+        let jobs = self.opts.effective_jobs();
+        let cache = &self.vc_cache;
+        let use_cache = self.opts.vc_cache;
+        let outcomes: Vec<(LiquidResult, SolverStats)> = threadpool::Pool::new(jobs).run(
+            bundles
+                .iter()
+                .map(|b| {
+                    move || {
+                        let mut smt = if use_cache {
+                            rsc_smt::Solver::with_cache(Arc::clone(cache))
+                        } else {
+                            rsc_smt::Solver::new()
+                        };
+                        let result = solve(&b.cs, &mut smt);
+                        // Per-bundle counters: take (and thereby reset)
+                        // rather than reading cumulative totals.
+                        (result, smt.stats.take())
+                    }
+                })
+                .collect(),
+        );
+
+        // Merge deterministically: failures are reported in the source
+        // order of their constraints, exactly as the sequential solver
+        // did before partitioning.
         if std::env::var("RSC_DEBUG").is_ok() {
-            for (id, kv) in &self.cs.kvars {
-                let sol: Vec<String> = result
-                    .solution
-                    .of(*id)
-                    .iter()
-                    .map(|p| p.to_string())
-                    .collect();
-                eprintln!("[debug] {id} ({}) = {sol:?}", kv.origin);
-            }
-            for (ci, origin) in &result.failures {
-                let c = &self.cs.subs[*ci];
-                eprintln!("[debug] FAILED {origin}");
-                eprintln!("[debug]   lhs = {}", result.solution.apply(&c.lhs));
-                eprintln!("[debug]   rhs = {}", result.solution.apply(&c.rhs));
-                for h in c.env.embed() {
-                    eprintln!("[debug]   hyp {}", result.solution.apply(&h));
-                }
+            for (b, (result, _)) in bundles.iter().zip(&outcomes) {
+                debug_dump(b, result);
             }
         }
-        for (ci, origin) in &result.failures {
-            let span = self.spans.get(*ci).copied().unwrap_or_default();
-            self.diags.push(Diagnostic::error(origin.clone(), span));
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut smt_queries = 0u64;
+        let mut bundle_reports = Vec::with_capacity(bundles.len());
+        for (b, (result, smt)) in bundles.iter().zip(&outcomes) {
+            smt_queries += result.smt_queries;
+            for (local, origin) in &result.failures {
+                failures.push((b.members[*local], origin.clone()));
+            }
+            bundle_reports.push(BundleReport {
+                constraints: b.cs.subs.len(),
+                kvars: b.cs.num_kvars(),
+                smt: *smt,
+            });
         }
+        failures.sort_by_key(|f| f.0);
+        for (ci, origin) in failures {
+            let span = spans.get(ci).copied().unwrap_or_default();
+            self.diags.push(Diagnostic::error(origin, span));
+        }
+        let counters = self.vc_cache.counters();
         let stats = CheckStats {
-            kvars: self.cs.num_kvars(),
-            constraints: self.cs.subs.len(),
-            smt_queries: result.smt_queries,
+            kvars: total_kvars,
+            constraints: total_constraints,
+            smt_queries,
+            bundles: bundles.len(),
+            cache_hits: counters.hits,
+            cache_misses: counters.misses,
         };
         CheckResult {
             diagnostics: self.diags,
             stats,
+            bundle_reports,
         }
+    }
+
+    /// Opens a fresh constraint-generation unit; constraints pushed until
+    /// the next call are partitioned (and solved) together.
+    pub(crate) fn begin_unit(&mut self) {
+        self.current_unit = self.next_unit;
+        self.next_unit += 1;
     }
 
     fn add_user_qualifier(&mut self, q: &rsc_syntax::ast::QualifDecl) {
@@ -508,6 +648,7 @@ impl Checker {
         self.cs.push_sub(cenv, lhs, rhs, vv_sort, &msg);
         for _ in before..self.cs.subs.len() {
             self.spans.push(span);
+            self.units.push(self.current_unit);
         }
     }
 
@@ -541,7 +682,14 @@ impl Checker {
             seeds.extend(e.free_vars());
         }
         let hyps = rsc_liquid::filter_relevant(hyps, seeds);
-        let mut smt = rsc_smt::Solver::new();
+        // Narrowing refutations run during (single-threaded) generation
+        // but share the run-wide VC cache: overload arms and union parts
+        // re-refute near-identical environments constantly.
+        let mut smt = if self.opts.vc_cache {
+            rsc_smt::Solver::with_cache(Arc::clone(&self.vc_cache))
+        } else {
+            rsc_smt::Solver::new()
+        };
         smt.is_valid(&sorts, &hyps, &Pred::False)
     }
 
@@ -997,6 +1145,29 @@ impl Checker {
                 _ => Some(RType::boolean()),
             },
             _ => None,
+        }
+    }
+}
+
+/// `RSC_DEBUG` dump of one solved bundle: κ solutions and failed
+/// constraints under the solution.
+fn debug_dump(b: &ConstraintBundle, result: &LiquidResult) {
+    for (id, kv) in &b.cs.kvars {
+        let sol: Vec<String> = result
+            .solution
+            .of(*id)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        eprintln!("[debug] {id} ({}) = {sol:?}", kv.origin);
+    }
+    for (ci, origin) in &result.failures {
+        let c = &b.cs.subs[*ci];
+        eprintln!("[debug] FAILED {origin}");
+        eprintln!("[debug]   lhs = {}", result.solution.apply(&c.lhs));
+        eprintln!("[debug]   rhs = {}", result.solution.apply(&c.rhs));
+        for h in c.env.embed() {
+            eprintln!("[debug]   hyp {}", result.solution.apply(&h));
         }
     }
 }

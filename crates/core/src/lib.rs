@@ -38,7 +38,9 @@ mod rtype;
 mod synth;
 mod table;
 
-pub use checker::{check_ir, check_program, CheckResult, CheckStats, Checker, CheckerOptions, Env};
+pub use checker::{
+    check_ir, check_program, BundleReport, CheckResult, CheckStats, Checker, CheckerOptions, Env,
+};
 pub use diag::{Diagnostic, Severity};
 pub use rtype::{Base, Prim, RFun, RType};
 pub use table::{ClassTable, FieldInfo, MethodInfo, ObjInfo, ResolveError};

@@ -109,6 +109,8 @@ impl Checker {
         let cname = c.decl.name.clone();
         let tp: std::collections::HashSet<Sym> = c.decl.tparams.iter().cloned().collect();
         if let Some(ctor) = &c.ctor {
+            // Each constructor and method is its own parallel-solve unit.
+            self.begin_unit();
             let mut env = Env::new();
             env.tparams = tp.clone();
             env.in_ctor_of = Some(cname.clone());
@@ -131,6 +133,7 @@ impl Checker {
                 Some(mi) => mi.clone(),
                 None => continue,
             };
+            self.begin_unit();
             let mut env = Env::new();
             env.tparams = tp.clone();
             let targs: Vec<RType> = c

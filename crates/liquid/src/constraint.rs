@@ -112,6 +112,18 @@ impl ConstraintSet {
         }
     }
 
+    /// A constraint set with no constraints and no κ-variables, but the
+    /// given qualifier pool and sort environment — the shell the
+    /// partitioner ([`crate::partition`]) fills per bundle. κ allocation
+    /// starts at 0; bundles never allocate, they inherit κ metadata.
+    pub fn empty(quals: Vec<Qualifier>, sort_env: SortEnv) -> Self {
+        ConstraintSet {
+            quals,
+            sort_env,
+            ..Default::default()
+        }
+    }
+
     /// Allocates a fresh κ-variable with the given value-variable sort and
     /// scope.
     pub fn fresh_kvar(

@@ -19,8 +19,10 @@
 
 #![warn(missing_docs)]
 
+mod bundle;
 mod constraint;
 mod solve;
 
+pub use bundle::{partition, ConstraintBundle};
 pub use constraint::{CEnv, ConstraintSet, SubC};
 pub use solve::{filter_relevant, solve, LiquidResult, Solution};

@@ -1,0 +1,275 @@
+//! A shared verification-condition cache.
+//!
+//! The Liquid fixpoint re-proves the same implication many times: every
+//! outer iteration re-validates each kept qualifier of every unchanged
+//! constraint, overload conjuncts duplicate whole environments, and loop
+//! bodies re-check the same invariant obligations. The parallel checking
+//! driver therefore shares one [`VcCache`] across all per-function solver
+//! instances.
+//!
+//! # Canonical fingerprints
+//!
+//! Two queries that differ only in variable names (SSA temporaries,
+//! overload parameter copies) or in hypothesis order are the same VC. A
+//! query `is_sat(Γ, p₁ ∧ … ∧ pₙ)` is canonicalized before lookup:
+//!
+//! 1. the conjuncts are sorted by their rendering (a name-stable order),
+//! 2. variables are alpha-renamed via [`Subst`] to `#0, #1, …` in order
+//!    of first occurrence over the sorted sequence,
+//! 3. the key is the renamed conjuncts plus the sorts of `#0, #1, …`.
+//!
+//! Key equality therefore implies the queries are alpha-variants of the
+//! same conjunction under the same sort assignment, so they are
+//! equisatisfiable. Uninterpreted function symbols are *not* renamed: a
+//! cache must only be shared within one checker run, where their
+//! signatures are fixed by the program's class table.
+//!
+//! # Soundness contract: only Unsat is memoized
+//!
+//! Only **Unsat** answers (= proven-valid VCs) are stored. An Unsat
+//! answer is a proof and remains correct wherever the same canonical
+//! query reappears. Sat and Unknown answers are *not* cached: Unknown
+//! depends on resource caps, and a cached Sat could mask a later
+//! refutation if the solver's encoding is ever extended — caching either
+//! could only ever turn a rejected program into an accepted one, which is
+//! the unsound direction. A false cache *miss* merely re-runs the solver.
+//!
+//! # Determinism
+//!
+//! When a cache is attached, [`crate::Solver::is_valid`] solves the
+//! *canonical* form of the query (the exact conjunct sequence hashed into
+//! the key), so the verdict is a pure function of the canonical key. Hit
+//! or miss, first thread or last, the answer is identical — this is what
+//! makes parallel checking produce byte-identical diagnostics for any
+//! worker count. (A cached solver may differ from an *uncached* one on
+//! queries cut off by the round cap — conjunct order steers the search —
+//! but only between `Unsat` and `Unknown`, i.e. in the conservative
+//! reject-more direction, and deterministically so for a given mode.)
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::fmt::Write;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rsc_logic::{Pred, Sort, SortEnv, Subst, Sym, Term};
+
+/// Number of independently locked shards. Contention is low (queries are
+/// long compared to a hash lookup), 16 keeps it negligible.
+const SHARDS: usize = 16;
+
+/// Cache counters at one point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the solver.
+    pub misses: u64,
+    /// Canonical VCs currently stored.
+    pub entries: u64,
+}
+
+impl CacheCounters {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe set of canonical VC fingerprints proven Unsat, sharded
+/// to keep lock contention off the solving hot path.
+#[derive(Debug, Default)]
+pub struct VcCache {
+    shards: [Mutex<HashSet<String>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VcCache {
+    /// An empty cache.
+    pub fn new() -> VcCache {
+        VcCache::default()
+    }
+
+    /// An empty cache behind an [`Arc`], ready to share across solvers.
+    pub fn shared() -> Arc<VcCache> {
+        Arc::new(VcCache::new())
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashSet<String>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a canonical key, bumping the hit/miss counters. `true`
+    /// means the key was previously proven Unsat.
+    pub fn probe(&self, key: &str) -> bool {
+        let hit = self.shard(key).lock().unwrap().contains(key);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records a canonical key as proven Unsat.
+    pub fn record_unsat(&self, key: String) {
+        self.shard(&key).lock().unwrap().insert(key);
+    }
+
+    /// Current counters (entries counted across all shards).
+    pub fn counters(&self) -> CacheCounters {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().len() as u64)
+            .sum();
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+/// A canonicalized `is_sat` query: the fingerprint key, the canonical
+/// conjunct sequence it denotes (sorted, alpha-renamed, deduped), and the
+/// canonical binders `#0, #1, …` with their sorts. Solving the conjuncts
+/// under [`CanonicalQuery::solve_env`] is equisatisfiable with solving
+/// the original query — the environment clone is deferred there so a
+/// cache hit never pays for it.
+#[derive(Debug)]
+pub struct CanonicalQuery {
+    /// The cache fingerprint.
+    pub key: String,
+    /// The canonical conjuncts (exactly what the key hashes).
+    pub preds: Vec<Pred>,
+    /// Sorts of the canonical variables, indexed by their number.
+    pub binders: Vec<(Sym, Sort)>,
+}
+
+impl CanonicalQuery {
+    /// The sort environment for solving the canonical conjuncts: the
+    /// source environment (function signatures carry over unchanged —
+    /// they are run-global) plus the canonical binders.
+    pub fn solve_env(&self, env: &SortEnv) -> SortEnv {
+        let mut out = env.clone();
+        for (x, s) in &self.binders {
+            out.bind(x.clone(), *s);
+        }
+        out
+    }
+}
+
+/// Canonicalizes an `is_sat` query (see [`CanonicalQuery`]).
+pub fn canonical_query(env: &SortEnv, preds: &[Pred]) -> CanonicalQuery {
+    // 1. Name-stable order: sort conjuncts by their original rendering.
+    let mut rendered: Vec<(String, &Pred)> = preds.iter().map(|p| (p.to_string(), p)).collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    rendered.dedup_by(|a, b| a.0 == b.0);
+
+    // 2. Alpha-rename free variables to #0, #1, … in order of first
+    //    occurrence over the sorted sequence (free_vars is a BTreeSet, so
+    //    the within-predicate order is deterministic too).
+    let mut order: Vec<Sym> = Vec::new();
+    let mut seen: HashSet<Sym> = HashSet::new();
+    for (_, p) in &rendered {
+        for x in p.free_vars() {
+            if seen.insert(x.clone()) {
+                order.push(x);
+            }
+        }
+    }
+    let mut rename = Subst::new();
+    for (i, x) in order.iter().enumerate() {
+        rename.push(x.clone(), Term::var(format!("#{i}")));
+    }
+    let canonical: Vec<Pred> = rendered.iter().map(|(_, p)| rename.apply_pred(p)).collect();
+
+    // 3. The key: canonical binder sorts, then the canonical conjuncts.
+    let mut binders = Vec::with_capacity(order.len());
+    let mut key = String::with_capacity(64 + 32 * canonical.len());
+    for (i, x) in order.iter().enumerate() {
+        match env.lookup(x) {
+            Some(s) => {
+                binders.push((Sym::from(format!("#{i}")), s));
+                let _ = write!(key, "#{i}:{s};");
+            }
+            None => {
+                let _ = write!(key, "#{i}:?;");
+            }
+        }
+    }
+    key.push('\u{1}');
+    for p in &canonical {
+        let _ = write!(key, "{p}\u{2}");
+    }
+    CanonicalQuery {
+        key,
+        preds: canonical,
+        binders,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_logic::{CmpOp, Sort};
+
+    fn env() -> SortEnv {
+        let mut e = SortEnv::new();
+        e.bind("x", Sort::Int);
+        e.bind("y", Sort::Int);
+        e.bind("a", Sort::Int);
+        e.bind("b", Sort::Int);
+        e
+    }
+
+    #[test]
+    fn alpha_variants_share_a_key() {
+        let e = env();
+        let p1 = vec![
+            Pred::cmp(CmpOp::Lt, Term::var("x"), Term::var("y")),
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::var("x")),
+        ];
+        let p2 = vec![
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::var("a")),
+            Pred::cmp(CmpOp::Lt, Term::var("a"), Term::var("b")),
+        ];
+        let k1 = canonical_query(&e, &p1).key;
+        let k2 = canonical_query(&e, &p2).key;
+        assert_eq!(k1, k2, "renamed + reordered query must share the key");
+    }
+
+    #[test]
+    fn different_sorts_split_the_key() {
+        let mut e1 = SortEnv::new();
+        e1.bind("x", Sort::Int);
+        let mut e2 = SortEnv::new();
+        e2.bind("x", Sort::Ref);
+        let p = vec![Pred::eq(Term::var("x"), Term::var("x"))];
+        let k1 = canonical_query(&e1, &p).key;
+        let k2 = canonical_query(&e2, &p).key;
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn probe_and_record() {
+        let c = VcCache::new();
+        assert!(!c.probe("k"));
+        c.record_unsat("k".to_string());
+        assert!(c.probe("k"));
+        let counters = c.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.entries, 1);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod atom;
 pub mod bv;
+pub mod cache;
 pub mod cnf;
 pub mod encode;
 pub mod euf;
@@ -36,4 +37,5 @@ pub mod sat;
 pub mod solver;
 pub mod theory;
 
+pub use cache::{canonical_query, CacheCounters, CanonicalQuery, VcCache};
 pub use solver::{SatResult, Solver, SolverStats};

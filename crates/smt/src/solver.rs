@@ -1,10 +1,13 @@
 //! The DPLL(T) driver: lazy SMT by CDCL enumeration of propositional
 //! models with theory-conflict blocking clauses.
 
+use std::sync::Arc;
+
 use rsc_logic::{Pred, SortEnv};
 
 use crate::atom::{AtomData, Formula};
 use crate::bv::Blaster;
+use crate::cache::{canonical_query, VcCache};
 use crate::cnf::{tseitin, CnfStore};
 use crate::encode::Encoder;
 use crate::sat::{Lit, SatOutcome, Var};
@@ -22,10 +25,17 @@ pub enum SatResult {
     Unknown,
 }
 
-/// Cumulative solver statistics.
-#[derive(Clone, Copy, Debug, Default)]
+/// Per-solver statistics.
+///
+/// Counters accumulate from the last [`SolverStats::reset`] (or solver
+/// creation). Callers that report per-unit numbers — e.g. the parallel
+/// checking driver's per-function bundles — must [`SolverStats::take`]
+/// between units; earlier versions of the pipeline read the cumulative
+/// counters and mis-attributed all prior queries to the last unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
-    /// Number of satisfiability queries.
+    /// Number of satisfiability queries actually solved (cache hits are
+    /// counted in `cache_hits` instead).
     pub queries: u64,
     /// Number of validity queries answered "valid".
     pub valid: u64,
@@ -33,6 +43,33 @@ pub struct SolverStats {
     pub sat_rounds: u64,
     /// Total theory conflicts (blocking clauses added).
     pub theory_conflicts: u64,
+    /// Validity queries answered from the shared VC cache.
+    pub cache_hits: u64,
+    /// Validity queries that missed the cache and ran the solver.
+    pub cache_misses: u64,
+}
+
+impl SolverStats {
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = SolverStats::default();
+    }
+
+    /// Returns the counters accumulated so far and resets them — the
+    /// per-bundle reporting primitive.
+    pub fn take(&mut self) -> SolverStats {
+        std::mem::take(self)
+    }
+
+    /// Adds `other`'s counters into `self` (merging per-bundle stats).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.valid += other.valid;
+        self.sat_rounds += other.sat_rounds;
+        self.theory_conflicts += other.theory_conflicts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// An SMT solver for the RSC refinement logic.
@@ -59,18 +96,48 @@ pub struct SolverStats {
 /// assert!(solver.is_valid(&env, &[hyp, lhs], &rhs));
 /// ```
 pub struct Solver {
-    /// Statistics, cumulative over the solver's lifetime.
+    /// Statistics since the last [`SolverStats::take`]/[`SolverStats::reset`].
     pub stats: SolverStats,
     max_rounds: usize,
+    cache: Option<Arc<VcCache>>,
 }
 
 impl Solver {
-    /// Creates a solver with default resource limits.
+    /// Creates a solver with default resource limits and no VC cache.
     pub fn new() -> Self {
         Solver {
             stats: SolverStats::default(),
             max_rounds: 600,
+            cache: None,
         }
+    }
+
+    /// Creates a solver that shares `cache` for validity queries.
+    ///
+    /// With a cache attached, [`Solver::is_valid`] solves the *canonical*
+    /// form of each query (see [`crate::cache`]), so its verdict is a
+    /// pure function of the canonical fingerprint: hit or miss, and
+    /// whichever thread gets there first, the answer is identical.
+    pub fn with_cache(cache: Arc<VcCache>) -> Self {
+        Solver {
+            stats: SolverStats::default(),
+            max_rounds: 600,
+            cache: Some(cache),
+        }
+    }
+
+    /// The shared VC cache, when one is attached.
+    pub fn cache(&self) -> Option<&Arc<VcCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The DPLL(T) round cap per query. A query whose `sat_rounds` reach
+    /// this bound was answered `Unknown` by resource exhaustion, not by
+    /// proof — relevant when comparing cached (canonical-form) and
+    /// uncached (original-form) verdicts, which may legitimately differ
+    /// on capped queries only.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
     }
 
     /// Checks satisfiability of the conjunction of `preds` under `env`.
@@ -210,10 +277,31 @@ impl Solver {
     /// Checks validity of `hyps ⇒ goal`: true only when the negation is
     /// proven unsatisfiable (Unknown answers count as *not valid*, the
     /// conservative direction for verification).
+    ///
+    /// With a [`VcCache`] attached, the refutation query is canonicalized
+    /// first; cached Unsat fingerprints answer without solving, and
+    /// misses solve the canonical form and memoize an Unsat outcome.
     pub fn is_valid(&mut self, env: &SortEnv, hyps: &[Pred], goal: &Pred) -> bool {
         let mut preds: Vec<Pred> = hyps.to_vec();
         preds.push(Pred::not(goal.clone()));
-        let r = self.is_sat(env, &preds) == SatResult::Unsat;
+        let r = match self.cache.clone() {
+            Some(cache) => {
+                let canonical = canonical_query(env, &preds);
+                if cache.probe(&canonical.key) {
+                    self.stats.cache_hits += 1;
+                    true
+                } else {
+                    self.stats.cache_misses += 1;
+                    let canon_env = canonical.solve_env(env);
+                    let unsat = self.is_sat(&canon_env, &canonical.preds) == SatResult::Unsat;
+                    if unsat {
+                        cache.record_unsat(canonical.key);
+                    }
+                    unsat
+                }
+            }
+            None => self.is_sat(env, &preds) == SatResult::Unsat,
+        };
         if r {
             self.stats.valid += 1;
         }
@@ -224,5 +312,49 @@ impl Solver {
 impl Default for Solver {
     fn default() -> Self {
         Solver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_logic::{CmpOp, Term};
+
+    fn trivially_valid() -> Pred {
+        Pred::cmp(CmpOp::Le, Term::int(0), Term::int(1))
+    }
+
+    /// Per-bundle reporting relies on `take` zeroing the counters: before
+    /// this existed, readers of `stats` after each bundle saw cumulative
+    /// totals and attributed every earlier bundle's queries to the last.
+    #[test]
+    fn stats_take_resets_per_bundle_counters() {
+        let env = SortEnv::new();
+        let goal = trivially_valid();
+        let mut s = Solver::new();
+        assert!(s.is_valid(&env, &[], &goal));
+        let first = s.stats.take();
+        assert_eq!(first.queries, 1);
+        assert_eq!(s.stats, SolverStats::default(), "take must reset");
+        assert!(s.is_valid(&env, &[], &goal));
+        assert_eq!(s.stats.queries, 1, "second bundle counts only itself");
+        let mut merged = first;
+        merged.merge(&s.stats);
+        assert_eq!(merged.queries, 2);
+        assert_eq!(merged.valid, 2);
+    }
+
+    #[test]
+    fn cache_hits_skip_solving() {
+        let env = SortEnv::new();
+        let goal = trivially_valid();
+        let cache = VcCache::shared();
+        let mut a = Solver::with_cache(cache.clone());
+        assert!(a.is_valid(&env, &[], &goal));
+        assert_eq!(a.stats.cache_misses, 1);
+        let mut b = Solver::with_cache(cache);
+        assert!(b.is_valid(&env, &[], &goal));
+        assert_eq!(b.stats.cache_hits, 1);
+        assert_eq!(b.stats.queries, 0, "hit must not run the SAT core");
     }
 }

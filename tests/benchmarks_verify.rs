@@ -55,21 +55,20 @@ fn tsc_checker_verifies() {
 }
 
 /// Seeded-bug rejection: flipping a guard or widening an index in each
-/// benchmark must produce a verification error.
+/// benchmark must produce a verification error — and the *messages* are
+/// pinned against golden snapshots in `tests/golden/`, so a refactor of
+/// the solve pipeline cannot silently change what users are told, only
+/// that "something" failed.
+///
+/// Regenerate the fixtures with `UPDATE_GOLDEN=1 cargo test -q
+/// seeded_bugs_rejected` after an intentional diagnostics change.
 #[test]
 fn seeded_bugs_rejected() {
-    let mutations = [
-        ("navier-stokes", "i + 1 < row.length", "i + 1 <= row.length"),
-        ("raytrace", "out[2] = a[2] + b[2];", "out[3] = a[2] + b[2];"),
-        (
-            "tsc-checker",
-            "t.flags & TypeFlags.Object",
-            "t.flags & TypeFlags.String",
-        ),
-        ("richards", "handlers[id]", "handlers[id + 1]"),
-        ("d3-arrays", "var best = a[0];", "var best = a[1];"),
-    ];
-    for (name, from, to) in mutations {
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    for &(name, from, to) in rsc_bench::seeded_mutations() {
         let src = load_benchmark(name).expect("benchmark file");
         assert!(
             src.contains(from),
@@ -83,6 +82,29 @@ fn seeded_bugs_rejected() {
         assert!(
             !r.ok(),
             "benchmark {name} with seeded bug `{from}` → `{to}` should be rejected"
+        );
+        let mut rendered: String = r
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        rendered.push('\n');
+        let golden_path = golden_dir.join(format!("seeded-{name}.diag"));
+        if update {
+            std::fs::write(&golden_path, &rendered).expect("write golden fixture");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "benchmark {name} with seeded bug `{from}` → `{to}`: rejection \
+             messages drifted from tests/golden/seeded-{name}.diag"
         );
     }
 }

@@ -1,0 +1,202 @@
+//! A minimal, dependency-free scoped work-stealing thread pool.
+//!
+//! The build environment for this repository cannot fetch crates from a
+//! registry, so the workspace vendors this small pool for the parallel
+//! checking driver instead of pulling in `rayon`. It provides exactly one
+//! operation: run a batch of independent jobs on `n` worker threads and
+//! return their results **in input order**.
+//!
+//! Design:
+//!
+//! * jobs are dealt round-robin onto one deque per worker;
+//! * a worker pops its own deque from the front (LIFO-ish cache locality
+//!   does not matter here, jobs are coarse) and, when empty, *steals*
+//!   from the back of the other workers' deques;
+//! * threads are scoped ([`std::thread::scope`]), so jobs may borrow from
+//!   the caller's stack — no `'static` bound;
+//! * a panicking job aborts the batch: the panic payload is captured and
+//!   re-raised on the calling thread once every worker has stopped.
+//!
+//! With `workers <= 1` (or a single job) everything runs inline on the
+//! calling thread, which keeps single-threaded runs deterministic and
+//! free of spawn overhead.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width pool configuration. The pool itself is stateless between
+/// [`Pool::run`] calls; threads live only for the duration of one batch.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool that runs batches on `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job and returns the results in the order the jobs were
+    /// given. Panics in jobs are propagated to the caller after the whole
+    /// batch has wound down.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        if self.workers == 1 || n <= 1 {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+        let workers = self.workers.min(n);
+
+        // Deal jobs round-robin onto per-worker deques.
+        let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            queues[i % workers].lock().unwrap().push_back((i, job));
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let poisoned = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let poisoned = &poisoned;
+                let panic_payload = &panic_payload;
+                scope.spawn(move || {
+                    while !poisoned.load(Ordering::Relaxed) {
+                        // Own queue first, then steal from the back of the
+                        // busiest-looking victim.
+                        let mut task = queues[w].lock().unwrap().pop_front();
+                        if task.is_none() {
+                            for (v, victim) in queues.iter().enumerate() {
+                                if v == w {
+                                    continue;
+                                }
+                                task = victim.lock().unwrap().pop_back();
+                                if task.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some((idx, job)) = task else { break };
+                        match catch_unwind(AssertUnwindSafe(job)) {
+                            Ok(out) => *slots[idx].lock().unwrap() = Some(out),
+                            Err(payload) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                let mut slot = panic_payload.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = panic_payload.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("job completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let pool = Pool::new(4);
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_from_caller_scope() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = Pool::new(3);
+        let jobs: Vec<_> = data
+            .chunks(13)
+            .map(|chunk| move || chunk.iter().sum::<u64>())
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn single_worker_is_inline() {
+        let pool = Pool::new(1);
+        let out = pool.run(vec![|| 1, || 2, || 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn steals_when_one_queue_is_slow() {
+        // All the heavy jobs land on worker 0's deque (round-robin with
+        // stride = workers); the others must steal to finish fast.
+        let pool = Pool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    if i % 2 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    i
+                });
+                f
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_job_panics() {
+        let pool = Pool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    if i == 11 {
+                        panic!("boom");
+                    }
+                    i
+                });
+                f
+            })
+            .collect();
+        pool.run(jobs);
+    }
+}
