@@ -1,0 +1,148 @@
+//! The incremental-checking benchmark: cold whole-program check time
+//! versus one-function-edit re-check time through a persistent
+//! [`rsc_incr::CheckSession`], per corpus benchmark.
+//!
+//! ```text
+//! cargo run --release -p rsc_bench --bin bench_incr
+//! ```
+//!
+//! For every benchmark with a seeded mutation (the same table the
+//! rejection suites pin), the harness: cold-checks the program, starts a
+//! session, edits the mutation **in** (re-check 1, rejects), and edits
+//! it back **out** (re-check 2, verifies). Both re-checks are
+//! one-function edits, so the session re-solves a single bundle and
+//! reuses the rest. Results are printed as a table and written to
+//! `BENCH_incr.json` at the repository root so the perf trajectory
+//! accumulates across PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rsc_bench::{load_benchmark, seeded_mutations};
+use rsc_core::{check_program, CheckerOptions};
+use rsc_incr::CheckSession;
+
+struct Row {
+    name: &'static str,
+    cold_us: u128,
+    edit_in_us: u128,
+    edit_out_us: u128,
+    bundles: usize,
+    resolved: usize,
+    speedup: f64,
+}
+
+fn main() {
+    let opts = CheckerOptions::default();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &(name, from, to) in seeded_mutations() {
+        let clean = load_benchmark(name).expect("benchmark source");
+        let mutated = clean.replacen(from, to, 1);
+        if rsc_syntax::parse_program(&mutated).is_err() {
+            continue; // syntax-breaking mutation: no re-check to measure
+        }
+
+        // Cold baseline: a fresh whole-program check of the clean file.
+        let t = Instant::now();
+        let cold = check_program(&clean, opts);
+        let cold_us = t.elapsed().as_micros();
+        assert!(cold.ok(), "{name} must verify cold");
+
+        // Session: warm up on the clean file, then measure both edits.
+        let mut session = CheckSession::new(opts);
+        session.check(&clean);
+
+        let t = Instant::now();
+        let broken = session.check(&mutated);
+        let edit_in_us = t.elapsed().as_micros();
+        assert!(!broken.result.ok(), "{name} seeded bug must be rejected");
+
+        let t = Instant::now();
+        let fixed = session.check(&clean);
+        let edit_out_us = t.elapsed().as_micros();
+        assert!(fixed.result.ok(), "{name} must re-verify after revert");
+
+        let resolved = fixed
+            .result
+            .bundle_reports
+            .iter()
+            .filter(|b| !b.cached)
+            .count();
+        rows.push(Row {
+            name,
+            cold_us,
+            edit_in_us,
+            edit_out_us,
+            bundles: fixed.result.bundle_reports.len(),
+            resolved,
+            speedup: cold_us as f64 / edit_out_us.max(1) as f64,
+        });
+    }
+
+    println!("Incremental re-check vs cold check (one-function edits)");
+    println!();
+    println!(
+        "{:<15} {:>9} {:>11} {:>12} {:>8} {:>9} {:>8}",
+        "Benchmark", "Cold(ms)", "EditIn(ms)", "EditOut(ms)", "Bundles", "Resolved", "Speedup"
+    );
+    println!("{}", "-".repeat(78));
+    for r in &rows {
+        println!(
+            "{:<15} {:>9.1} {:>11.1} {:>12.1} {:>8} {:>9} {:>7.1}x",
+            r.name,
+            r.cold_us as f64 / 1000.0,
+            r.edit_in_us as f64 / 1000.0,
+            r.edit_out_us as f64 / 1000.0,
+            r.bundles,
+            r.resolved,
+            r.speedup,
+        );
+    }
+
+    let ns = rows
+        .iter()
+        .find(|r| r.name == "navier-stokes")
+        .expect("navier-stokes must be measured");
+    println!();
+    println!(
+        "navier-stokes one-function edit: cold {:.1}ms -> re-check {:.1}ms ({:.1}x)",
+        ns.cold_us as f64 / 1000.0,
+        ns.edit_out_us as f64 / 1000.0,
+        ns.speedup,
+    );
+    if ns.edit_out_us >= ns.cold_us {
+        eprintln!("warning: incremental re-check was not faster than cold on this machine");
+    }
+
+    // Emit BENCH_incr.json at the repo root.
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"cold_us\": {}, \"edit_in_us\": {}, \
+             \"edit_out_us\": {}, \"bundles\": {}, \"resolved_on_edit\": {}, \
+             \"speedup\": {:.2}}}{}",
+            r.name,
+            r.cold_us,
+            r.edit_in_us,
+            r.edit_out_us,
+            r.bundles,
+            r.resolved,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"headline\": {{\"benchmark\": \"navier-stokes\", \
+         \"cold_us\": {}, \"incr_us\": {}, \"speedup\": {:.2}}}\n}}\n",
+        ns.cold_us, ns.edit_out_us, ns.speedup
+    );
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_incr.json");
+    std::fs::write(&path, &json).expect("write BENCH_incr.json");
+    println!("wrote {}", path.display());
+}

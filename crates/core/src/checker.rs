@@ -7,9 +7,12 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use rsc_liquid::{partition, solve, CEnv, ConstraintBundle, ConstraintSet, LiquidResult};
-use rsc_logic::{CmpOp, Pred, Sort, Subst, Sym, Term};
-use rsc_smt::{SolverStats, VcCache};
+use rsc_liquid::{
+    bundle_fingerprint, global_fingerprint, partition, solve, CEnv, ConstraintBundle,
+    ConstraintSet, LiquidResult,
+};
+use rsc_logic::{CmpOp, Pred, Sort, SortScope, Subst, Sym, Term};
+use rsc_smt::{CacheCounters, SolverStats, VcCache};
 use rsc_ssa::{Body, IrClass, IrExpr, IrFun, IrProgram};
 use rsc_syntax::ast::{BinOpE, UnOp};
 use rsc_syntax::{Mutability, Span};
@@ -90,6 +93,9 @@ pub struct CheckStats {
     pub cache_hits: u64,
     /// VC-cache misses across the whole run.
     pub cache_misses: u64,
+    /// Bundles whose verdicts were reused from a previous session run
+    /// (always 0 for cold, non-session checks).
+    pub bundles_reused: usize,
 }
 
 impl CheckStats {
@@ -104,8 +110,9 @@ impl CheckStats {
     }
 }
 
-/// Per-bundle solver report (one entry per solved [`ConstraintBundle`],
-/// in deterministic source order).
+/// Per-bundle solver report (one entry per [`ConstraintBundle`], in
+/// deterministic source order) — the per-unit artifact that incremental
+/// check sessions retain between runs.
 #[derive(Clone, Debug)]
 pub struct BundleReport {
     /// Constraints in the bundle.
@@ -113,12 +120,52 @@ pub struct BundleReport {
     /// κ-variables owned by the bundle.
     pub kvars: usize,
     /// Solver counters for exactly this bundle (each bundle's solver
-    /// stats are taken fresh, not accumulated across bundles).
+    /// stats are taken fresh, not accumulated across bundles). For a
+    /// `cached` bundle these are the counters recorded when the bundle
+    /// was last actually solved, so session totals stay meaningful.
     pub smt: SolverStats,
+    /// The bundle's canonical cross-run identity
+    /// ([`rsc_liquid::bundle_fingerprint`]).
+    pub fingerprint: u128,
+    /// True when the verdict was reused from a previous session run
+    /// instead of re-solved.
+    pub cached: bool,
+    /// The bundle's failing constraints: local index (into the bundle's
+    /// own constraint list) plus the diagnostic origin text.
+    pub failures: Vec<(usize, String)>,
+    /// Liquid-level validity queries the bundle's fixpoint issued when
+    /// it was (last) solved — a pure function of the bundle's canonical
+    /// problem, so it is also correct for `cached` bundles.
+    pub smt_queries: u64,
+}
+
+impl BundleReport {
+    /// The retained verdict a session stores for this bundle.
+    pub fn retained(&self) -> RetainedBundle {
+        RetainedBundle {
+            failures: self.failures.clone(),
+            smt: self.smt,
+            smt_queries: self.smt_queries,
+        }
+    }
+}
+
+/// A previous run's verdict for a bundle, keyed by its fingerprint.
+/// Because verdicts are pure functions of the canonical bundle problem
+/// (see `rsc_liquid::fingerprint`), replaying a retained verdict for a
+/// fingerprint-equal bundle is byte-identical to re-solving it.
+#[derive(Clone, Debug)]
+pub struct RetainedBundle {
+    /// Failing constraints: bundle-local index + origin text.
+    pub failures: Vec<(usize, String)>,
+    /// Solver counters from when the bundle was last solved.
+    pub smt: SolverStats,
+    /// Liquid-level validity queries from when it was last solved.
+    pub smt_queries: u64,
 }
 
 /// The result of checking a program.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CheckResult {
     /// Verification errors (empty = the program is safe).
     pub diagnostics: Vec<Diagnostic>,
@@ -241,23 +288,37 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
 
 /// Checks an already-SSA-translated program.
 pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
+    solve_artifacts(generate_artifacts(ir, opts, VcCache::shared()), &mut |_| {
+        None
+    })
+}
+
+/// The generation half of the pipeline: class table, constraint
+/// generation, and partitioning into per-function bundles — everything
+/// up to (but not including) the solve step. Incremental check sessions
+/// call this on every edit (generation is cheap and, with `cache`
+/// persisting across runs, mostly VC-cache hits), then hand the
+/// artifacts to [`solve_artifacts`] with a retention hook so only
+/// changed bundles are re-solved.
+pub fn generate_artifacts(
+    ir: &IrProgram,
+    opts: CheckerOptions,
+    cache: Arc<VcCache>,
+) -> CheckArtifacts {
+    let cache_before = cache.counters();
     let mut diags = Vec::new();
     let ct = match ClassTable::build(&ir.aliases, &ir.enums, &ir.interfaces, &classes_of(ir)) {
         Ok(t) => t,
         Err(e) => {
             diags.push(Diagnostic::error(e.0, Span::dummy()));
-            return CheckResult {
-                diagnostics: diags,
-                stats: CheckStats::default(),
-                bundle_reports: Vec::new(),
-            };
+            return CheckArtifacts::empty(diags, opts, cache, cache_before);
         }
     };
     let mut cs = ConstraintSet::new();
     if !opts.prelude_qualifiers {
-        cs.quals.clear();
+        Arc::make_mut(&mut cs.quals).clear();
     }
-    ct.register_sorts(&mut cs.sort_env);
+    ct.register_sorts(Arc::make_mut(&mut cs.sort_env));
     let checker = Checker {
         ct,
         cs,
@@ -274,9 +335,194 @@ pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
         units: Vec::new(),
         current_unit: 0,
         next_unit: 1,
-        vc_cache: VcCache::shared(),
+        vc_cache: cache,
     };
-    checker.run(ir)
+    checker.generate(ir, cache_before)
+}
+
+/// The generation phase's output: partitioned bundles plus everything
+/// the solve step needs to produce a [`CheckResult`]. See
+/// [`generate_artifacts`] / [`solve_artifacts`].
+pub struct CheckArtifacts {
+    /// Per-function constraint bundles, in source order.
+    pub bundles: Vec<ConstraintBundle>,
+    /// Span of each original constraint index.
+    pub spans: Vec<Span>,
+    /// Diagnostics produced during generation (parse-independent resolve
+    /// errors etc.), merged ahead of solve failures.
+    pub gen_diags: Vec<Diagnostic>,
+    /// κ-variables allocated across the whole set.
+    pub kvars: usize,
+    /// Constraints generated across the whole set.
+    pub constraints: usize,
+    /// Fingerprint of the run-global solve inputs
+    /// ([`rsc_liquid::global_fingerprint`]).
+    pub global_fp: u64,
+    /// The VC cache used during generation, shared into the solve step
+    /// (and, for sessions, across runs).
+    pub vc_cache: Arc<VcCache>,
+    /// Cache counters when this run started — [`CheckStats`] reports the
+    /// delta, so a session-shared cache still yields per-run numbers.
+    pub cache_before: CacheCounters,
+    /// The options generation ran under.
+    pub opts: CheckerOptions,
+}
+
+impl CheckArtifacts {
+    fn empty(
+        gen_diags: Vec<Diagnostic>,
+        opts: CheckerOptions,
+        vc_cache: Arc<VcCache>,
+        cache_before: CacheCounters,
+    ) -> CheckArtifacts {
+        CheckArtifacts {
+            bundles: Vec::new(),
+            spans: Vec::new(),
+            gen_diags,
+            kvars: 0,
+            constraints: 0,
+            global_fp: 0,
+            vc_cache,
+            cache_before,
+            opts,
+        }
+    }
+}
+
+/// The solve half of the pipeline: fingerprints every bundle, asks
+/// `reuse` whether a previous run's verdict can stand in, solves the
+/// rest on a scoped work-stealing pool, and merges verdicts into a
+/// [`CheckResult`] in deterministic source order.
+///
+/// Passing `&mut |_| None` for `reuse` is a cold check — exactly the
+/// behavior of [`check_ir`]. Incremental sessions pass a lookup into the
+/// previous run's fingerprint-keyed [`RetainedBundle`]s; because every
+/// verdict is a pure function of the canonical bundle problem (and, with
+/// a cache attached, of canonical VC fingerprints), the merged output is
+/// byte-identical to the cold check either way.
+pub fn solve_artifacts(
+    art: CheckArtifacts,
+    reuse: &mut dyn FnMut(u128) -> Option<RetainedBundle>,
+) -> CheckResult {
+    let CheckArtifacts {
+        bundles,
+        spans,
+        gen_diags: mut diags,
+        kvars: total_kvars,
+        constraints: total_constraints,
+        global_fp,
+        vc_cache,
+        cache_before,
+        opts,
+    } = art;
+
+    let fingerprints: Vec<u128> = bundles
+        .iter()
+        .map(|b| bundle_fingerprint(b, global_fp))
+        .collect();
+    let retained: Vec<Option<RetainedBundle>> = fingerprints.iter().map(|fp| reuse(*fp)).collect();
+
+    // Solve the non-retained bundles on the pool, one solver per bundle,
+    // all sharing the run-wide VC cache. With a cache attached each
+    // validity verdict is a pure function of the canonical VC, so
+    // scheduling cannot change any answer and the merged output is
+    // byte-identical for every worker count.
+    let jobs = opts.effective_jobs();
+    let cache = &vc_cache;
+    let use_cache = opts.vc_cache;
+    let to_solve: Vec<usize> = (0..bundles.len())
+        .filter(|i| retained[*i].is_none())
+        .collect();
+    let outcomes: Vec<(LiquidResult, SolverStats)> = threadpool::Pool::new(jobs).run(
+        to_solve
+            .iter()
+            .map(|&i| {
+                let b = &bundles[i];
+                move || {
+                    let mut smt = if use_cache {
+                        rsc_smt::Solver::with_cache(Arc::clone(cache))
+                    } else {
+                        rsc_smt::Solver::new()
+                    };
+                    let result = solve(&b.cs, &mut smt);
+                    // Per-bundle counters: take (and thereby reset)
+                    // rather than reading cumulative totals.
+                    (result, smt.stats.take())
+                }
+            })
+            .collect(),
+    );
+    let mut solved: Vec<Option<(LiquidResult, SolverStats)>> =
+        bundles.iter().map(|_| None).collect();
+    for (i, outcome) in to_solve.into_iter().zip(outcomes) {
+        solved[i] = Some(outcome);
+    }
+
+    // Merge deterministically: failures are reported in the source
+    // order of their constraints, exactly as the sequential solver
+    // did before partitioning.
+    if std::env::var("RSC_DEBUG").is_ok() {
+        for (b, outcome) in bundles.iter().zip(&solved) {
+            if let Some((result, _)) = outcome {
+                debug_dump(b, result);
+            }
+        }
+    }
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut smt_queries = 0u64;
+    let mut bundles_reused = 0usize;
+    let mut bundle_reports = Vec::with_capacity(bundles.len());
+    for (i, b) in bundles.iter().enumerate() {
+        let report = match (&retained[i], &solved[i]) {
+            (Some(r), _) => {
+                bundles_reused += 1;
+                BundleReport {
+                    constraints: b.cs.subs.len(),
+                    kvars: b.cs.num_kvars(),
+                    smt: r.smt,
+                    fingerprint: fingerprints[i],
+                    cached: true,
+                    failures: r.failures.clone(),
+                    smt_queries: r.smt_queries,
+                }
+            }
+            (None, Some((result, smt))) => BundleReport {
+                constraints: b.cs.subs.len(),
+                kvars: b.cs.num_kvars(),
+                smt: *smt,
+                fingerprint: fingerprints[i],
+                cached: false,
+                failures: result.failures.clone(),
+                smt_queries: result.smt_queries,
+            },
+            (None, None) => unreachable!("bundle neither retained nor solved"),
+        };
+        smt_queries += report.smt_queries;
+        for (local, origin) in &report.failures {
+            failures.push((b.members[*local], origin.clone()));
+        }
+        bundle_reports.push(report);
+    }
+    failures.sort_by_key(|f| f.0);
+    for (ci, origin) in failures {
+        let span = spans.get(ci).copied().unwrap_or_default();
+        diags.push(Diagnostic::error(origin, span));
+    }
+    let counters = vc_cache.counters();
+    let stats = CheckStats {
+        kvars: total_kvars,
+        constraints: total_constraints,
+        smt_queries,
+        bundles: bundles.len(),
+        cache_hits: counters.hits - cache_before.hits,
+        cache_misses: counters.misses - cache_before.misses,
+        bundles_reused,
+    };
+    CheckResult {
+        diagnostics: diags,
+        stats,
+        bundle_reports,
+    }
 }
 
 fn classes_of(ir: &IrProgram) -> Vec<rsc_syntax::ast::ClassDecl> {
@@ -286,7 +532,7 @@ fn classes_of(ir: &IrProgram) -> Vec<rsc_syntax::ast::ClassDecl> {
 impl Checker {
     // ------------------------------------------------------------ driver ---
 
-    fn run(mut self, ir: &IrProgram) -> CheckResult {
+    fn generate(mut self, ir: &IrProgram, cache_before: CacheCounters) -> CheckArtifacts {
         // Ambient declarations.
         for d in &ir.declares {
             match self.ct.resolve(&d.ty) {
@@ -341,83 +587,31 @@ impl Checker {
         let spans = std::mem::take(&mut self.spans);
         let units = std::mem::take(&mut self.units);
         let cs = std::mem::replace(&mut self.cs, ConstraintSet::new());
+        let global_fp = global_fingerprint(&cs.quals, &cs.sort_env);
         let bundles = partition(cs, &units);
 
-        // Solve: bundles run on a scoped work-stealing pool, one solver
-        // per bundle, all sharing the run-wide VC cache. With a cache
-        // attached each validity verdict is a pure function of the
-        // canonical VC, so scheduling cannot change any answer and the
-        // merged output is byte-identical for every worker count.
-        let jobs = self.opts.effective_jobs();
-        let cache = &self.vc_cache;
-        let use_cache = self.opts.vc_cache;
-        let outcomes: Vec<(LiquidResult, SolverStats)> = threadpool::Pool::new(jobs).run(
-            bundles
-                .iter()
-                .map(|b| {
-                    move || {
-                        let mut smt = if use_cache {
-                            rsc_smt::Solver::with_cache(Arc::clone(cache))
-                        } else {
-                            rsc_smt::Solver::new()
-                        };
-                        let result = solve(&b.cs, &mut smt);
-                        // Per-bundle counters: take (and thereby reset)
-                        // rather than reading cumulative totals.
-                        (result, smt.stats.take())
-                    }
-                })
-                .collect(),
-        );
-
-        // Merge deterministically: failures are reported in the source
-        // order of their constraints, exactly as the sequential solver
-        // did before partitioning.
-        if std::env::var("RSC_DEBUG").is_ok() {
-            for (b, (result, _)) in bundles.iter().zip(&outcomes) {
-                debug_dump(b, result);
-            }
-        }
-        let mut failures: Vec<(usize, String)> = Vec::new();
-        let mut smt_queries = 0u64;
-        let mut bundle_reports = Vec::with_capacity(bundles.len());
-        for (b, (result, smt)) in bundles.iter().zip(&outcomes) {
-            smt_queries += result.smt_queries;
-            for (local, origin) in &result.failures {
-                failures.push((b.members[*local], origin.clone()));
-            }
-            bundle_reports.push(BundleReport {
-                constraints: b.cs.subs.len(),
-                kvars: b.cs.num_kvars(),
-                smt: *smt,
-            });
-        }
-        failures.sort_by_key(|f| f.0);
-        for (ci, origin) in failures {
-            let span = spans.get(ci).copied().unwrap_or_default();
-            self.diags.push(Diagnostic::error(origin, span));
-        }
-        let counters = self.vc_cache.counters();
-        let stats = CheckStats {
+        CheckArtifacts {
+            bundles,
+            spans,
+            gen_diags: self.diags,
             kvars: total_kvars,
             constraints: total_constraints,
-            smt_queries,
-            bundles: bundles.len(),
-            cache_hits: counters.hits,
-            cache_misses: counters.misses,
-        };
-        CheckResult {
-            diagnostics: self.diags,
-            stats,
-            bundle_reports,
+            global_fp,
+            vc_cache: self.vc_cache,
+            cache_before,
+            opts: self.opts,
         }
     }
 
     /// Opens a fresh constraint-generation unit; constraints pushed until
-    /// the next call are partitioned (and solved) together.
+    /// the next call are partitioned (and solved) together. The temporary
+    /// counter restarts per unit (temps are named `$u<unit>t<n>`), so an
+    /// edit that adds or removes temps in one function cannot shift the
+    /// names — and hence the bundle fingerprints — of any other unit.
     pub(crate) fn begin_unit(&mut self) {
         self.current_unit = self.next_unit;
         self.next_unit += 1;
+        self.next_tmp = 0;
     }
 
     fn add_user_qualifier(&mut self, q: &rsc_syntax::ast::QualifDecl) {
@@ -447,7 +641,7 @@ impl Checker {
         } else {
             self.resolve_pred(&q.body)
         };
-        self.cs.quals.push(rsc_logic::Qualifier::new(
+        Arc::make_mut(&mut self.cs.quals).push(rsc_logic::Qualifier::new(
             q.name.to_string(),
             vv_sort,
             params,
@@ -576,14 +770,14 @@ impl Checker {
             }
         }
         mined.truncate(48);
-        self.cs.quals.extend(mined);
+        Arc::make_mut(&mut self.cs.quals).extend(mined);
     }
 
     // ------------------------------------------------------- environment ---
 
     pub(crate) fn fresh_tmp(&mut self) -> Sym {
         self.next_tmp += 1;
-        Sym::from(format!("$t{}", self.next_tmp))
+        Sym::from(format!("$u{}t{}", self.current_unit, self.next_tmp))
     }
 
     /// The implicit predicate carried by a type's structure: reflection
@@ -663,11 +857,12 @@ impl Checker {
     /// narrowing decisions.
     pub(crate) fn refuted(&self, env: &Env, extra: &[Pred]) -> bool {
         let cenv = self.to_cenv(env);
-        let mut sorts = self.cs.sort_env.clone();
-        for (x, s) in cenv.scope() {
-            sorts.bind(x, s);
-        }
-        sorts.bind("v", Sort::Ref);
+        // Binder overlay over the shared sort environment — refutation
+        // checks run once per union part per overload arm, so cloning
+        // the environment here used to dominate the narrowing profile.
+        let mut binders = cenv.scope();
+        binders.push((Sym::from("v"), Sort::Ref));
+        let sorts = SortScope::new(&*self.cs.sort_env, &binders);
         let mut hyps: Vec<Pred> = Vec::new();
         for h in cenv.embed() {
             hyps.extend(drop_kvars(h).conjuncts());

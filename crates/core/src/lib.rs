@@ -39,7 +39,8 @@ mod synth;
 mod table;
 
 pub use checker::{
-    check_ir, check_program, BundleReport, CheckResult, CheckStats, Checker, CheckerOptions, Env,
+    check_ir, check_program, generate_artifacts, solve_artifacts, BundleReport, CheckArtifacts,
+    CheckResult, CheckStats, Checker, CheckerOptions, Env, RetainedBundle,
 };
 pub use diag::{Diagnostic, Severity};
 pub use rtype::{Base, Prim, RFun, RType};

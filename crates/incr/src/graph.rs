@@ -1,0 +1,488 @@
+//! The unit-level dependency graph behind a [`crate::CheckSession`].
+//!
+//! Nodes are checkable units — top-level functions, class constructors
+//! and methods, and the synthetic top-level body — each carrying two
+//! content fingerprints: a `body_hash` over its SSA body *including
+//! line numbers* (diagnostics embed them, so a pure line shift must
+//! count as a change to keep session output byte-identical to a cold
+//! check; byte columns are normalized away — nothing prints them) and
+//! an `iface_hash` over its declared signature. Edges follow
+//! syntactic references: calls by name, method names reached through
+//! field access (a deliberate overapproximation — receiver types are not
+//! resolved here), and `new C(...)` constructor uses.
+//!
+//! A unit's *check input hash* combines its own hashes, the interface
+//! hashes of its dependencies, the **body** hashes of any unannotated
+//! (deferred) functions it can reach — their constraints are generated
+//! inline at the call site — and the global declaration hash (aliases,
+//! enums, interfaces, ambient declares, qualifiers, class declarations,
+//! all of which feed the class table and qualifier mining).
+//!
+//! The graph powers the session's *reporting and fast path*: a
+//! whole-program hash short-circuits no-op re-checks, and
+//! [`DepGraph::dirty_against`] names the units whose inputs changed.
+//! Which bundles actually re-solve is decided one level lower, by exact
+//! canonical bundle identity (`rsc_liquid::bundle_fingerprint`) — that
+//! is strictly more precise and is what the byte-identical guarantee
+//! rests on; the graph's dirty set is the human-readable explanation.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hasher;
+
+use rsc_ssa::{Body, IrExpr, IrProgram};
+
+/// Reduces `Span { lo: …, hi: …, line: L }` renderings to their line
+/// number. Diagnostics (and constraint origins) only ever surface the
+/// line, so two snapshots differing in byte offsets alone — an edit that
+/// changes column positions without moving lines — are
+/// indistinguishable in checker output and should hash equal here.
+///
+/// The rewrite only fires on the exact shape the `Span` Debug derive
+/// emits (`lo: <digits>, hi: <digits>, line: `); anything else — e.g. a
+/// program *string literal* that merely contains "Span { lo: " — is
+/// copied verbatim. A literal that mimics the full shape digit-for-digit
+/// can still collapse two unit hashes, which at worst mislabels the
+/// dirty-unit *report*: these hashes never gate correctness (bundle
+/// fingerprints decide what re-solves, and the session fast path uses
+/// the raw, un-normalized program hash).
+fn normalize_spans(s: &str) -> String {
+    const PAT: &str = "Span { lo: ";
+    fn eat_digits(s: &str) -> Option<&str> {
+        let end = s.find(|c: char| !c.is_ascii_digit())?;
+        if end == 0 {
+            return None;
+        }
+        Some(&s[end..])
+    }
+    /// `rest` right after `PAT`: returns the remainder starting at
+    /// `line: ` when the strict `<digits>, hi: <digits>, line: ` shape
+    /// matches.
+    fn span_tail(rest: &str) -> Option<&str> {
+        let rest = eat_digits(rest)?;
+        let rest = rest.strip_prefix(", hi: ")?;
+        let rest = eat_digits(rest)?;
+        rest.strip_prefix(", ").filter(|r| r.starts_with("line: "))
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find(PAT) {
+        match span_tail(&rest[i + PAT.len()..]) {
+            Some(tail) => {
+                out.push_str(&rest[..i]);
+                out.push_str("Span { ");
+                rest = tail;
+            }
+            None => {
+                out.push_str(&rest[..i + PAT.len()]);
+                rest = &rest[i + PAT.len()..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn hash_str(parts: &[&str]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for p in parts {
+        h.write(normalize_spans(p).as_bytes());
+        h.write_u8(1);
+    }
+    h.finish()
+}
+
+/// Hashes verbatim — no span normalization. Used for the whole-program
+/// fast-path hash, where a collision would *reuse a stale result* (the
+/// one place these hashes gate correctness), so no textual rewriting of
+/// any kind is applied.
+fn hash_raw(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// One checkable unit and its content fingerprints.
+#[derive(Clone, Debug)]
+pub struct UnitNode {
+    /// Stable display name: `fun:f`, `ctor:C`, `method:C.m`, or `top`.
+    pub name: String,
+    /// Hash of the unit's SSA body (spans included).
+    pub body_hash: u64,
+    /// Hash of the unit's declared interface (signatures).
+    pub iface_hash: u64,
+    /// True for unannotated (deferred) functions, whose bodies are
+    /// checked inline at their call sites.
+    pub transparent: bool,
+    /// Indices of the units this unit references.
+    pub deps: Vec<usize>,
+}
+
+/// The dependency graph of one program snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// Units in source order.
+    pub units: Vec<UnitNode>,
+    /// Hash of all non-body declarations (class tables, aliases, enums,
+    /// interfaces, ambient declares, qualifiers) — an input to every
+    /// unit's check.
+    pub globals_hash: u64,
+    /// Hash of the entire SSA program, verbatim (no span
+    /// normalization): equal hashes mean a re-check is a guaranteed
+    /// no-op (the session fast path).
+    pub program_hash: u64,
+    /// Memoized [`DepGraph::check_input_hash`] per unit, computed once
+    /// at build time so per-edit diffs are O(units), not O(units ×
+    /// reachable).
+    input_hashes: Vec<u64>,
+}
+
+/// Collects the syntactic references of an expression: variable names
+/// (calls by name arrive as variables), field/method names, and `new`ed
+/// class names (prefixed `new:`).
+fn refs_of_expr(e: &IrExpr, out: &mut BTreeSet<String>) {
+    match e {
+        IrExpr::Var(x, _) => {
+            out.insert(x.to_string());
+        }
+        IrExpr::Field(b, f, _) => {
+            out.insert(f.to_string());
+            refs_of_expr(b, out);
+        }
+        IrExpr::Index(a, i, _) => {
+            refs_of_expr(a, out);
+            refs_of_expr(i, out);
+        }
+        IrExpr::Call(f, args, _) => {
+            refs_of_expr(f, out);
+            for a in args {
+                refs_of_expr(a, out);
+            }
+        }
+        IrExpr::New(c, _, args, _) => {
+            out.insert(format!("new:{c}"));
+            for a in args {
+                refs_of_expr(a, out);
+            }
+        }
+        IrExpr::Cast(_, x, _) | IrExpr::Unary(_, x, _) => refs_of_expr(x, out),
+        IrExpr::Binary(_, a, b, _) => {
+            refs_of_expr(a, out);
+            refs_of_expr(b, out);
+        }
+        IrExpr::ArrayLit(xs, _) => {
+            for x in xs {
+                refs_of_expr(x, out);
+            }
+        }
+        IrExpr::FieldAssign(b, f, v, _) => {
+            out.insert(f.to_string());
+            refs_of_expr(b, out);
+            refs_of_expr(v, out);
+        }
+        IrExpr::IndexAssign(a, i, v, _) => {
+            refs_of_expr(a, out);
+            refs_of_expr(i, out);
+            refs_of_expr(v, out);
+        }
+        _ => {}
+    }
+}
+
+fn refs_of_body(b: &Body, out: &mut BTreeSet<String>) {
+    match b {
+        Body::Ret(e, _) => {
+            if let Some(e) = e {
+                refs_of_expr(e, out);
+            }
+        }
+        Body::EndBranch(_) => {}
+        Body::Let { rhs, rest, .. } => {
+            refs_of_expr(rhs, out);
+            refs_of_body(rest, out);
+        }
+        Body::Effect { e, rest, .. } => {
+            refs_of_expr(e, out);
+            refs_of_body(rest, out);
+        }
+        Body::If {
+            cond,
+            then_br,
+            else_br,
+            rest,
+            ..
+        } => {
+            refs_of_expr(cond, out);
+            refs_of_body(then_br, out);
+            refs_of_body(else_br, out);
+            refs_of_body(rest, out);
+        }
+        Body::Loop {
+            cond, body, rest, ..
+        } => {
+            refs_of_expr(cond, out);
+            refs_of_body(body, out);
+            refs_of_body(rest, out);
+        }
+        Body::LetFun { fun, rest, .. } => {
+            refs_of_body(&fun.body, out);
+            refs_of_body(rest, out);
+        }
+    }
+}
+
+impl DepGraph {
+    /// Builds the graph for one SSA program snapshot.
+    pub fn build(ir: &IrProgram) -> DepGraph {
+        let mut units: Vec<UnitNode> = Vec::new();
+        let mut unit_refs: Vec<BTreeSet<String>> = Vec::new();
+        // name → unit indices answering to it (a method name can resolve
+        // to several classes' methods; all become deps).
+        let mut resolve: HashMap<String, Vec<usize>> = HashMap::new();
+
+        let push = |units: &mut Vec<UnitNode>,
+                    unit_refs: &mut Vec<BTreeSet<String>>,
+                    resolve: &mut HashMap<String, Vec<usize>>,
+                    name: String,
+                    keys: Vec<String>,
+                    body_hash: u64,
+                    iface_hash: u64,
+                    transparent: bool,
+                    refs: BTreeSet<String>| {
+            let idx = units.len();
+            units.push(UnitNode {
+                name,
+                body_hash,
+                iface_hash,
+                transparent,
+                deps: Vec::new(),
+            });
+            unit_refs.push(refs);
+            for k in keys {
+                resolve.entry(k).or_default().push(idx);
+            }
+        };
+
+        for f in &ir.funs {
+            let mut refs = BTreeSet::new();
+            refs_of_body(&f.body, &mut refs);
+            push(
+                &mut units,
+                &mut unit_refs,
+                &mut resolve,
+                format!("fun:{}", f.name),
+                vec![f.name.to_string()],
+                hash_str(&[&format!("{:?}{:?}", f.params, f.body)]),
+                hash_str(&[&format!("{:?}", f.sigs)]),
+                f.sigs.is_empty(),
+                refs,
+            );
+        }
+        for c in &ir.classes {
+            let cname = c.decl.name.to_string();
+            if let Some(ctor) = &c.ctor {
+                let mut refs = BTreeSet::new();
+                refs_of_body(&ctor.body, &mut refs);
+                push(
+                    &mut units,
+                    &mut unit_refs,
+                    &mut resolve,
+                    format!("ctor:{cname}"),
+                    vec![format!("new:{cname}")],
+                    hash_str(&[&format!("{:?}{:?}", ctor.params, ctor.body)]),
+                    hash_str(&[&format!("{:?}", ctor.params)]),
+                    false,
+                    refs,
+                );
+            }
+            for m in &c.methods {
+                let mut refs = BTreeSet::new();
+                if let Some(body) = &m.body {
+                    refs_of_body(body, &mut refs);
+                }
+                push(
+                    &mut units,
+                    &mut unit_refs,
+                    &mut resolve,
+                    format!("method:{cname}.{}", m.name),
+                    vec![m.name.to_string()],
+                    hash_str(&[&format!("{:?}", m.body)]),
+                    hash_str(&[&format!("{:?}{:?}", m.recv, m.sig)]),
+                    false,
+                    refs,
+                );
+            }
+        }
+        {
+            let mut refs = BTreeSet::new();
+            refs_of_body(&ir.top, &mut refs);
+            push(
+                &mut units,
+                &mut unit_refs,
+                &mut resolve,
+                "top".to_string(),
+                vec![],
+                hash_str(&[&format!("{:?}", ir.top)]),
+                0,
+                false,
+                refs,
+            );
+        }
+
+        // Resolve references to edges.
+        for (i, refs) in unit_refs.iter().enumerate() {
+            let mut deps: BTreeSet<usize> = BTreeSet::new();
+            for r in refs {
+                if let Some(targets) = resolve.get(r) {
+                    for &t in targets {
+                        if t != i {
+                            deps.insert(t);
+                        }
+                    }
+                }
+            }
+            units[i].deps = deps.into_iter().collect();
+        }
+
+        let globals_hash = hash_str(&[&format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            ir.aliases,
+            ir.quals,
+            ir.enums,
+            ir.interfaces,
+            ir.declares,
+            ir.classes
+                .iter()
+                .map(|c| format!("{:?}", c.decl))
+                .collect::<Vec<_>>(),
+        )]);
+        let program_hash = hash_raw(&format!("{ir:?}"));
+        let mut graph = DepGraph {
+            units,
+            globals_hash,
+            program_hash,
+            input_hashes: Vec::new(),
+        };
+        graph.input_hashes = (0..graph.units.len())
+            .map(|i| graph.check_input_hash(i))
+            .collect();
+        graph
+    }
+
+    /// The unit's full check input: its own body and interface, its
+    /// dependencies' interfaces, the bodies of reachable transparent
+    /// (unannotated) functions, and the global declaration hash.
+    pub fn check_input_hash(&self, unit: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        h.write_u64(self.globals_hash);
+        let mut visited = vec![false; self.units.len()];
+        let mut stack = vec![(unit, true)];
+        // Deterministic traversal: stack of (unit, include_body). Only
+        // units whose *body* is checked here expose their dependencies:
+        // an annotated dep contributes its interface and stops the walk
+        // (its body is its own unit's problem), while a transparent dep
+        // is expanded — its body is generated inline at this unit's call
+        // sites, so its own deps matter too. This bounds the walk to the
+        // direct deps plus the transparent closure.
+        while let Some((i, with_body)) = stack.pop() {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            let u = &self.units[i];
+            h.write_u64(u.iface_hash);
+            if with_body {
+                h.write_u64(u.body_hash);
+                for &d in &u.deps {
+                    // Every pusher computes the same `with_body` for a
+                    // given node, so the first visit is authoritative.
+                    if !visited[d] {
+                        stack.push((d, self.units[d].transparent));
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Names of units whose check inputs changed relative to `prev`
+    /// (including units that did not exist before). Removed units do not
+    /// appear — their constraints simply vanish from the new run.
+    pub fn dirty_against(&self, prev: &DepGraph) -> Vec<String> {
+        let prev_by_name: HashMap<&str, usize> = prev
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.name.as_str(), i))
+            .collect();
+        let mut dirty = Vec::new();
+        for (i, u) in self.units.iter().enumerate() {
+            match prev_by_name.get(u.name.as_str()) {
+                Some(&j) => {
+                    // Both sides memoized at build time: the diff is
+                    // O(units) per edit.
+                    if self.input_hashes[i] != prev.input_hashes[j] {
+                        dirty.push(u.name.clone());
+                    }
+                }
+                None => dirty.push(u.name.clone()),
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> DepGraph {
+        let prog = rsc_syntax::parse_program(src).expect("parse");
+        let ir = rsc_ssa::transform_program(&prog).expect("ssa");
+        DepGraph::build(&ir)
+    }
+
+    const BASE: &str = r#"
+        function inc(x: number): number { return x + 1; }
+        function twice(x: number): number { return inc(inc(x)); }
+        function lone(x: number): number { return x; }
+    "#;
+
+    #[test]
+    fn body_edit_dirties_only_the_editee() {
+        let g1 = graph(BASE);
+        let g2 = graph(&BASE.replace("return x + 1;", "return x + 2;"));
+        let dirty = g2.dirty_against(&g1);
+        assert_eq!(dirty, vec!["fun:inc".to_string()]);
+    }
+
+    #[test]
+    fn signature_edit_dirties_callers() {
+        let g1 = graph(BASE);
+        let g2 = graph(&BASE.replace(
+            "function inc(x: number): number",
+            "function inc(x: number): {v: number | x < v}",
+        ));
+        let dirty = g2.dirty_against(&g1);
+        assert!(dirty.contains(&"fun:inc".to_string()), "{dirty:?}");
+        assert!(dirty.contains(&"fun:twice".to_string()), "{dirty:?}");
+        assert!(!dirty.contains(&"fun:lone".to_string()), "{dirty:?}");
+    }
+
+    #[test]
+    fn call_edges_resolve() {
+        let g = graph(BASE);
+        let twice = g.units.iter().position(|u| u.name == "fun:twice").unwrap();
+        let inc = g.units.iter().position(|u| u.name == "fun:inc").unwrap();
+        assert!(g.units[twice].deps.contains(&inc));
+    }
+
+    #[test]
+    fn identical_programs_share_the_program_hash() {
+        assert_eq!(graph(BASE).program_hash, graph(BASE).program_hash);
+        assert_ne!(
+            graph(BASE).program_hash,
+            graph(&BASE.replace("x + 1", "x + 3")).program_hash
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # rsc-incr
+//!
+//! Incremental checking sessions: the layer that turns the batch checker
+//! of [`rsc_core`] into a long-lived service whose unit of work is "one
+//! function changed, re-check now" instead of "check the whole program".
+//!
+//! A [`CheckSession`] persists across edits and holds, from the previous
+//! run: the unit-level dependency graph with per-unit content
+//! fingerprints ([`DepGraph`]), every bundle's verdict keyed by its
+//! canonical cross-run fingerprint, and the run-spanning VC cache (legal
+//! since `rsc_smt::cache` folds uninterpreted-symbol signatures into its
+//! keys). On an edit the session re-generates constraints (cheap, and
+//! mostly VC-cache hits), diffs per-unit fingerprints for reporting,
+//! re-solves exactly the bundles whose canonical problem changed, and
+//! merges fresh diagnostics with retained ones — byte-identical to a
+//! from-scratch run, which `tests/incremental_equivalence.rs` enforces
+//! over random edit scripts.
+//!
+//! Two front-ends surface the subsystem through the `rsc` binary:
+//! `rsc serve` (newline-delimited JSON requests on stdin — see
+//! [`serve`]) and `rsc --watch` (re-check on file mtime change).
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod json;
+pub mod serve;
+mod session;
+
+pub use graph::DepGraph;
+pub use json::Json;
+pub use serve::Serve;
+pub use session::{CheckSession, IncrStats, SessionOutcome};

@@ -1,0 +1,370 @@
+//! The `rsc serve` protocol: newline-delimited JSON requests on stdin,
+//! one JSON response per line on stdout.
+//!
+//! Requests are objects with a `cmd` field:
+//!
+//! | request                                   | effect                              |
+//! |-------------------------------------------|-------------------------------------|
+//! | `{"cmd":"load","path":"f.rsc"}`           | read file, (re-)check it            |
+//! | `{"cmd":"load","source":"…"}`             | check the inline source             |
+//! | `{"cmd":"edit","source":"…"}`             | replace the text, incremental check |
+//! | `{"cmd":"edit","path":"f.rsc"}`           | re-read the file, incremental check |
+//! | `{"cmd":"check"}`                         | re-check the current text           |
+//! | `{"cmd":"stats"}`                         | session + VC-cache counters         |
+//! | `{"cmd":"reset"}`                         | drop retained verdicts and cache    |
+//! | `{"cmd":"quit"}`                          | acknowledge and exit                |
+//!
+//! Check responses look like:
+//!
+//! ```json
+//! {"ok":true,"cmd":"edit","verified":false,
+//!  "diagnostics":[{"severity":"error","line":12,"message":"…"}],
+//!  "bundles":9,"reused":8,"solved":1,"fast_path":false,
+//!  "dirty_units":["fun:step"],"time_us":1234}
+//! ```
+//!
+//! `load` and `edit` are deliberately the same operation on an existing
+//! session — `load` additionally remembers the path so later bare
+//! `edit`/`check` requests can re-read it. Errors (unreadable file, bad
+//! JSON, unknown command) come back as `{"ok":false,"error":"…"}` and
+//! never kill the loop.
+
+use std::io::{BufRead, Write};
+
+use rsc_core::CheckerOptions;
+
+use crate::json::Json;
+use crate::session::{CheckSession, SessionOutcome};
+
+/// The state behind one `rsc serve` loop.
+pub struct Serve {
+    session: CheckSession,
+    /// The most recently named file (for bare `edit`/`check` requests).
+    path: Option<String>,
+    /// The current text, as last submitted or read.
+    src: Option<String>,
+    /// True when `src` arrived inline (an editor buffer) rather than
+    /// from disk: a bare `check` must then re-check the buffer, not
+    /// silently revert to the file's on-disk contents.
+    src_is_inline: bool,
+}
+
+impl Serve {
+    /// A fresh serve state checking with `opts`.
+    pub fn new(opts: CheckerOptions) -> Serve {
+        Serve {
+            session: CheckSession::new(opts),
+            path: None,
+            src: None,
+            src_is_inline: false,
+        }
+    }
+
+    /// Handles one request line; returns the response line and whether
+    /// the loop should exit.
+    pub fn handle(&mut self, line: &str) -> (String, bool) {
+        let line = line.trim();
+        if line.is_empty() {
+            return (err("empty request"), false);
+        }
+        let req = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return (err(&format!("bad JSON: {e}")), false),
+        };
+        let cmd = match req.get("cmd").and_then(Json::as_str) {
+            Some(c) => c.to_string(),
+            None => return (err("missing \"cmd\""), false),
+        };
+        match cmd.as_str() {
+            "load" | "edit" => {
+                let source = match self.resolve_source(&req) {
+                    Ok(s) => s,
+                    Err(e) => return (err(&e), false),
+                };
+                if let Some(p) = req.get("path").and_then(Json::as_str) {
+                    self.path = Some(p.to_string());
+                }
+                self.src_is_inline = req.get("source").and_then(Json::as_str).is_some();
+                self.src = Some(source.clone());
+                let outcome = self.session.check(&source);
+                (check_response(&cmd, &outcome), false)
+            }
+            "check" => match self.current_source() {
+                Ok(source) => {
+                    let outcome = self.session.check(&source);
+                    (check_response("check", &outcome), false)
+                }
+                Err(e) => (err(&e), false),
+            },
+            "stats" => (self.stats_response(), false),
+            "reset" => {
+                self.session.reset();
+                (
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("cmd".into(), Json::str("reset")),
+                    ])
+                    .to_string(),
+                    false,
+                )
+            }
+            "quit" => (
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("cmd".into(), Json::str("quit")),
+                ])
+                .to_string(),
+                true,
+            ),
+            other => (err(&format!("unknown cmd {other:?}")), false),
+        }
+    }
+
+    /// Source text for a `load`/`edit` request: inline `source` wins,
+    /// else `path` (re-)read from disk, else the remembered path.
+    fn resolve_source(&self, req: &Json) -> Result<String, String> {
+        if let Some(s) = req.get("source").and_then(Json::as_str) {
+            return Ok(s.to_string());
+        }
+        let path = req
+            .get("path")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .or_else(|| self.path.clone())
+            .ok_or("need \"source\" or \"path\"")?;
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+
+    /// The text a bare `check` re-checks: the inline buffer when the
+    /// latest `load`/`edit` carried one (re-reading the path here would
+    /// silently verify stale on-disk contents), otherwise a fresh read
+    /// of the remembered path.
+    fn current_source(&self) -> Result<String, String> {
+        if !self.src_is_inline {
+            if let Some(p) = &self.path {
+                return std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+            }
+        }
+        self.src.clone().ok_or_else(|| "nothing loaded".to_string())
+    }
+
+    fn stats_response(&self) -> String {
+        let c = self.session.cache().counters();
+        let mut fields = vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("stats")),
+            ("cache_entries".into(), Json::num(c.entries as f64)),
+            ("cache_hits".into(), Json::num(c.hits as f64)),
+            ("cache_misses".into(), Json::num(c.misses as f64)),
+        ];
+        if let Some(last) = self.session.last() {
+            fields.push(("bundles".into(), Json::num(last.incr.bundles as f64)));
+            fields.push(("verified".into(), Json::Bool(last.result.ok())));
+        }
+        Json::Obj(fields).to_string()
+    }
+
+    /// Runs the serve loop over arbitrary reader/writer pairs (stdin and
+    /// stdout in the binary; in-memory buffers in tests and CI drivers).
+    pub fn run(
+        opts: CheckerOptions,
+        reader: impl BufRead,
+        mut writer: impl Write,
+    ) -> std::io::Result<()> {
+        let mut serve = Serve::new(opts);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, quit) = serve.handle(&line);
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+            if quit {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn err(msg: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(msg)),
+    ])
+    .to_string()
+}
+
+fn check_response(cmd: &str, outcome: &SessionOutcome) -> String {
+    let diags: Vec<Json> = outcome
+        .result
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let severity = match d.severity {
+                rsc_core::Severity::Error => "error",
+                rsc_core::Severity::Note => "note",
+            };
+            Json::Obj(vec![
+                ("severity".into(), Json::str(severity)),
+                ("line".into(), Json::num(d.span.line as f64)),
+                ("message".into(), Json::str(d.message.clone())),
+            ])
+        })
+        .collect();
+    let dirty: Vec<Json> = outcome
+        .incr
+        .dirty_units
+        .iter()
+        .map(|u| Json::str(u.clone()))
+        .collect();
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("cmd".into(), Json::str(cmd)),
+        ("verified".into(), Json::Bool(outcome.result.ok())),
+        ("diagnostics".into(), Json::Arr(diags)),
+        ("bundles".into(), Json::num(outcome.incr.bundles as f64)),
+        ("reused".into(), Json::num(outcome.incr.reused as f64)),
+        ("solved".into(), Json::num(outcome.incr.solved as f64)),
+        ("fast_path".into(), Json::Bool(outcome.incr.fast_path)),
+        ("dirty_units".into(), Json::Arr(dirty)),
+        (
+            "time_us".into(),
+            Json::num(outcome.incr.total_micros as f64),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "type nat = {v: number | 0 <= v};\nfunction abs(x: number): nat {\n    if (x < 0) { return 0 - x; }\n    return x;\n}\nfunction dbl(y: nat): nat { return y + y; }\n";
+
+    fn load_req(src: &str) -> String {
+        Json::Obj(vec![
+            ("cmd".into(), Json::str("load")),
+            ("source".into(), Json::str(src)),
+        ])
+        .to_string()
+    }
+
+    fn edit_req(src: &str) -> String {
+        Json::Obj(vec![
+            ("cmd".into(), Json::str("edit")),
+            ("source".into(), Json::str(src)),
+        ])
+        .to_string()
+    }
+
+    #[test]
+    fn load_edit_cycle() {
+        let mut serve = Serve::new(CheckerOptions::default());
+        let (resp, quit) = serve.handle(&load_req(PROG));
+        assert!(!quit);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("verified"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("reused").unwrap().as_f64(), Some(0.0));
+
+        // Break abs (x = 0 falls through and returns -1); id's bundle
+        // is reused and the error is reported.
+        let bad = PROG.replace("return x;\n}", "return x - 1;\n}");
+        let (resp, _) = serve.handle(&edit_req(&bad));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("verified"), Some(&Json::Bool(false)));
+        assert!(v.get("reused").unwrap().as_f64().unwrap() > 0.0);
+        match v.get("diagnostics") {
+            Some(Json::Arr(ds)) => assert!(!ds.is_empty()),
+            other => panic!("bad diagnostics: {other:?}"),
+        }
+
+        // Fix it again: fast, verified.
+        let (resp, _) = serve.handle(&edit_req(PROG));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("verified"), Some(&Json::Bool(true)));
+    }
+
+    /// A bare `check` after an inline `edit` must re-check the inline
+    /// buffer, not silently re-read the older on-disk file.
+    #[test]
+    fn bare_check_prefers_the_inline_buffer() {
+        let dir = std::env::temp_dir().join("rsc_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("buffer.rsc");
+        std::fs::write(&file, PROG).unwrap();
+        let mut serve = Serve::new(CheckerOptions::default());
+        let load = Json::Obj(vec![
+            ("cmd".into(), Json::str("load")),
+            ("path".into(), Json::str(file.to_str().unwrap())),
+        ])
+        .to_string();
+        let (resp, _) = serve.handle(&load);
+        assert_eq!(
+            Json::parse(&resp).unwrap().get("verified"),
+            Some(&Json::Bool(true))
+        );
+        // Editor submits a broken buffer; the disk file stays clean.
+        let bad = PROG.replace("return x;\n}", "return x - 1;\n}");
+        serve.handle(&edit_req(&bad));
+        let (resp, _) = serve.handle(r#"{"cmd":"check"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("verified"),
+            Some(&Json::Bool(false)),
+            "bare check must see the inline edit, not the stale file: {resp}"
+        );
+        // A path-carrying edit switches back to disk.
+        let reload = Json::Obj(vec![
+            ("cmd".into(), Json::str("edit")),
+            ("path".into(), Json::str(file.to_str().unwrap())),
+        ])
+        .to_string();
+        let (resp, _) = serve.handle(&reload);
+        assert_eq!(
+            Json::parse(&resp).unwrap().get("verified"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn protocol_errors_do_not_kill_the_loop() {
+        let mut serve = Serve::new(CheckerOptions::default());
+        for bad in ["not json", "{}", r#"{"cmd":"nope"}"#, r#"{"cmd":"check"}"#] {
+            let (resp, quit) = serve.handle(bad);
+            assert!(!quit);
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{bad}");
+        }
+        let (_, quit) = serve.handle(r#"{"cmd":"quit"}"#);
+        assert!(quit);
+    }
+
+    #[test]
+    fn run_loop_over_buffers() {
+        let script = format!(
+            "{}\n{}\n{}\n{}\n",
+            load_req(PROG),
+            r#"{"cmd":"stats"}"#,
+            r#"{"cmd":"reset"}"#,
+            r#"{"cmd":"quit"}"#
+        );
+        let mut out = Vec::new();
+        Serve::run(
+            CheckerOptions::default(),
+            std::io::BufReader::new(script.as_bytes()),
+            &mut out,
+        )
+        .unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        for l in &lines {
+            assert_eq!(
+                Json::parse(l).unwrap().get("ok"),
+                Some(&Json::Bool(true)),
+                "{l}"
+            );
+        }
+    }
+}

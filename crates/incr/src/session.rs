@@ -1,0 +1,315 @@
+//! Persistent check sessions: re-check an evolving program, re-solving
+//! only what changed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rsc_core::{
+    generate_artifacts, solve_artifacts, CheckResult, CheckStats, CheckerOptions, Diagnostic,
+    RetainedBundle,
+};
+use rsc_smt::VcCache;
+
+use crate::graph::DepGraph;
+
+/// Incremental bookkeeping for one [`CheckSession::check`] call.
+#[derive(Clone, Debug, Default)]
+pub struct IncrStats {
+    /// Bundles in this run.
+    pub bundles: usize,
+    /// Bundles whose verdicts were reused from the previous run.
+    pub reused: usize,
+    /// Bundles actually re-solved.
+    pub solved: usize,
+    /// Names of units the dependency graph flagged dirty (empty on the
+    /// first check of a session).
+    pub dirty_units: Vec<String>,
+    /// True when the whole-program hash matched and the previous result
+    /// was returned without re-generating anything.
+    pub fast_path: bool,
+    /// Wall-clock time of this check, in microseconds.
+    pub total_micros: u64,
+}
+
+/// The result of one session re-check: the ordinary [`CheckResult`]
+/// (byte-identical to a cold `check_program` of the same source) plus
+/// the session's incremental bookkeeping.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The checker result, exactly as a cold run would produce it.
+    pub result: CheckResult,
+    /// What the session reused versus re-solved.
+    pub incr: IncrStats,
+}
+
+/// State carried from the previous successful generation run.
+struct State {
+    graph: DepGraph,
+    retained: HashMap<u128, RetainedBundle>,
+    last: SessionOutcome,
+}
+
+/// A persistent checking session.
+///
+/// The session owns the cross-run VC cache and, after each run, the
+/// per-bundle verdicts keyed by their canonical fingerprints
+/// (`rsc_liquid::bundle_fingerprint`). On the next [`CheckSession::check`]
+/// it re-generates constraints for the new source (cheap; narrowing
+/// queries mostly hit the persistent VC cache), reuses every bundle whose
+/// canonical problem is unchanged, and re-solves the rest. Verdicts are
+/// pure functions of the canonical bundle problem, so the merged output
+/// is byte-identical to a cold check of the same source — the retention
+/// map is rebuilt from each run's reports, so verdicts for deleted code
+/// are garbage-collected automatically.
+pub struct CheckSession {
+    opts: CheckerOptions,
+    cache: Arc<VcCache>,
+    state: Option<State>,
+}
+
+impl CheckSession {
+    /// A fresh session checking with `opts`. The options are fixed for
+    /// the session's lifetime (retained verdicts are only valid under
+    /// the options that produced them).
+    pub fn new(opts: CheckerOptions) -> CheckSession {
+        CheckSession {
+            opts,
+            cache: VcCache::shared(),
+            state: None,
+        }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> CheckerOptions {
+        self.opts
+    }
+
+    /// The cross-run VC cache.
+    pub fn cache(&self) -> &Arc<VcCache> {
+        &self.cache
+    }
+
+    /// The previous check's outcome, if any.
+    pub fn last(&self) -> Option<&SessionOutcome> {
+        self.state.as_ref().map(|s| &s.last)
+    }
+
+    /// Drops all retained verdicts and the VC cache (the next check is
+    /// cold).
+    pub fn reset(&mut self) {
+        self.state = None;
+        self.cache = VcCache::shared();
+    }
+
+    /// Checks `src`, reusing whatever the previous run proved.
+    pub fn check(&mut self, src: &str) -> SessionOutcome {
+        let start = Instant::now();
+        let prog = match rsc_syntax::parse_program(src) {
+            Ok(p) => p,
+            Err(e) => return self.front_error(e.message, e.span, start),
+        };
+        let ir = match rsc_ssa::transform_program(&prog) {
+            Ok(i) => i,
+            Err(e) => return self.front_error(e.message, e.span, start),
+        };
+        let graph = DepGraph::build(&ir);
+
+        // Fast path: byte-for-byte identical SSA program (e.g. a watch
+        // loop waking up on an mtime touch) — nothing can change.
+        if let Some(state) = &self.state {
+            if state.graph.program_hash == graph.program_hash {
+                let mut out = state.last.clone();
+                out.incr.fast_path = true;
+                out.incr.reused = out.incr.bundles;
+                out.incr.solved = 0;
+                out.incr.dirty_units = Vec::new();
+                out.incr.total_micros = start.elapsed().as_micros() as u64;
+                return out;
+            }
+        }
+
+        let prev = self.state.take();
+        let dirty_units = prev
+            .as_ref()
+            .map(|s| graph.dirty_against(&s.graph))
+            .unwrap_or_default();
+
+        let artifacts = generate_artifacts(&ir, self.opts, Arc::clone(&self.cache));
+        let retained_ref = prev.as_ref().map(|s| &s.retained);
+        let result = solve_artifacts(artifacts, &mut |fp| {
+            retained_ref.and_then(|m| m.get(&fp)).cloned()
+        });
+
+        // A run that produced diagnostics but not a single bundle failed
+        // globally before constraint generation (e.g. a transiently
+        // duplicated class name broke the class table). Like parse/SSA
+        // errors, report it but keep the previous retention — one
+        // keystroke later the fix should re-check warm, not cold.
+        if result.bundle_reports.is_empty() && !result.ok() {
+            self.state = prev;
+            return SessionOutcome {
+                result,
+                incr: IncrStats {
+                    dirty_units,
+                    total_micros: start.elapsed().as_micros() as u64,
+                    ..IncrStats::default()
+                },
+            };
+        }
+        drop(prev);
+
+        // Rebuild retention from this run's reports: content-keyed, so
+        // verdicts for edited-away bundles disappear naturally.
+        let retained: HashMap<u128, RetainedBundle> = result
+            .bundle_reports
+            .iter()
+            .map(|r| (r.fingerprint, r.retained()))
+            .collect();
+        let incr = IncrStats {
+            bundles: result.bundle_reports.len(),
+            reused: result.stats.bundles_reused,
+            solved: result.bundle_reports.len() - result.stats.bundles_reused,
+            dirty_units,
+            fast_path: false,
+            total_micros: start.elapsed().as_micros() as u64,
+        };
+        let outcome = SessionOutcome { result, incr };
+        self.state = Some(State {
+            graph,
+            retained,
+            last: outcome.clone(),
+        });
+        outcome
+    }
+
+    /// A parse/SSA front-end error: reported like a cold check would
+    /// (one diagnostic, no stats), previous retained state kept for the
+    /// next parseable snapshot.
+    fn front_error(
+        &mut self,
+        message: String,
+        span: rsc_syntax::Span,
+        start: Instant,
+    ) -> SessionOutcome {
+        SessionOutcome {
+            result: CheckResult {
+                diagnostics: vec![Diagnostic::error(message, span)],
+                stats: CheckStats::default(),
+                bundle_reports: Vec::new(),
+            },
+            incr: IncrStats {
+                total_micros: start.elapsed().as_micros() as u64,
+                ..IncrStats::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_core::check_program;
+
+    const PROG: &str = r#"
+        type nat = {v: number | 0 <= v};
+        function abs(x: number): nat {
+            if (x < 0) { return 0 - x; }
+            return x;
+        }
+        function clamp(x: number): nat {
+            if (x < 0) { return 0; }
+            return x;
+        }
+    "#;
+
+    fn render(r: &CheckResult) -> String {
+        r.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn edit_matches_cold_and_reuses() {
+        let mut s = CheckSession::new(CheckerOptions::default());
+        let first = s.check(PROG);
+        assert!(first.result.ok(), "{}", render(&first.result));
+        assert_eq!(first.incr.reused, 0);
+
+        // Body edit in `abs` only: clamp's bundle must be reused.
+        let edited = PROG.replace("return 0 - x;", "return (0 - x) + 1;");
+        let second = s.check(&edited);
+        let cold = check_program(&edited, CheckerOptions::default());
+        assert_eq!(render(&second.result), render(&cold));
+        assert_eq!(second.result.ok(), cold.ok());
+        assert!(
+            second.incr.reused > 0,
+            "expected reuse, got {:?}",
+            second.incr
+        );
+        assert!(second.incr.solved < second.incr.bundles);
+        assert!(second.incr.dirty_units.contains(&"fun:abs".to_string()));
+
+        // Edit back: everything retained from the first run still keyed.
+        let third = s.check(PROG);
+        assert!(third.result.ok());
+        assert!(third.incr.reused > 0);
+    }
+
+    #[test]
+    fn fast_path_on_identical_source() {
+        let mut s = CheckSession::new(CheckerOptions::default());
+        let first = s.check(PROG);
+        let again = s.check(PROG);
+        assert!(again.incr.fast_path);
+        assert_eq!(render(&first.result), render(&again.result));
+        assert_eq!(again.incr.solved, 0);
+    }
+
+    #[test]
+    fn parse_error_reports_and_recovers() {
+        let mut s = CheckSession::new(CheckerOptions::default());
+        assert!(s.check(PROG).result.ok());
+        let broken = s.check("function ((");
+        assert!(!broken.result.ok());
+        // Retained state survives the broken snapshot.
+        let back = s.check(PROG);
+        assert!(back.result.ok());
+        assert!(back.incr.reused > 0 || back.incr.fast_path);
+    }
+
+    /// A transient global error (class-table build failure) must report
+    /// like a cold check but keep the retention warm for the fix.
+    #[test]
+    fn global_error_keeps_retention() {
+        let mut s = CheckSession::new(CheckerOptions::default());
+        assert!(s.check(PROG).result.ok());
+        let dup = format!("{PROG}\nclass C {{}}\nclass C {{}}\n");
+        let broken = s.check(&dup);
+        let cold = check_program(&dup, CheckerOptions::default());
+        assert_eq!(render(&broken.result), render(&cold));
+        if broken.result.bundle_reports.is_empty() {
+            // Global failure path: the next good check must stay warm.
+            let back = s.check(PROG);
+            assert!(back.result.ok());
+            assert!(
+                back.incr.reused > 0 || back.incr.fast_path,
+                "retention lost across a global error: {:?}",
+                back.incr
+            );
+        }
+    }
+
+    #[test]
+    fn failing_edit_is_byte_identical_to_cold() {
+        let mut s = CheckSession::new(CheckerOptions::default());
+        s.check(PROG);
+        let bad = PROG.replace("if (x < 0) { return 0; }", "if (x < 1) { return 0 - 1; }");
+        let session = s.check(&bad);
+        let cold = check_program(&bad, CheckerOptions::default());
+        assert_eq!(render(&session.result), render(&cold));
+        assert!(!session.result.ok());
+    }
+}

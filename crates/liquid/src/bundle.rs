@@ -11,9 +11,10 @@
 //! bundle writes.
 //!
 //! Each [`ConstraintBundle`] carries everything a worker thread needs:
-//! its constraints, the κ metadata they mention, and a copy of the
-//! run-global qualifier pool and sort environment (the bundle's slice of
-//! the class table). Bundles are ordered by their first constraint's
+//! its constraints, the κ metadata they mention, and an `Arc` share of
+//! the run-global qualifier pool and sort environment (the bundle's
+//! slice of the class table). Bundles are ordered by their first
+//! constraint's
 //! original index, so merging per-bundle results in bundle order
 //! reproduces the sequential diagnostic order exactly.
 
@@ -120,7 +121,8 @@ pub fn partition(cs: ConstraintSet, unit_of: &[usize]) -> Vec<ConstraintBundle> 
     }
 
     // Materialize bundles. Constraints are moved out of the source set;
-    // qualifiers and the sort environment are cloned per bundle.
+    // qualifiers and the sort environment are run-global and shared by
+    // `Arc` — each bundle costs two refcount bumps, not two deep copies.
     let ConstraintSet {
         kvars,
         subs,
@@ -131,7 +133,10 @@ pub fn partition(cs: ConstraintSet, unit_of: &[usize]) -> Vec<ConstraintBundle> 
     let mut subs: Vec<Option<SubC>> = subs.into_iter().map(Some).collect();
     let mut out = Vec::with_capacity(groups.len());
     for (_, members) in groups {
-        let mut bundle_cs = ConstraintSet::empty(quals.clone(), sort_env.clone());
+        let mut bundle_cs = ConstraintSet::empty(
+            std::sync::Arc::clone(&quals),
+            std::sync::Arc::clone(&sort_env),
+        );
         for &ci in &members {
             let c = subs[ci].take().expect("constraint taken twice");
             for k in &per_constraint[ci] {

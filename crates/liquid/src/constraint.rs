@@ -1,6 +1,7 @@
 //! Constraint environments and subtyping constraints over templates.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rsc_logic::{KVar, KVarId, Pred, Qualifier, Sort, SortEnv, Subst, Sym};
 
@@ -87,18 +88,26 @@ pub struct SubC {
 
 /// A full constraint problem: κ declarations, subtyping constraints and
 /// the qualifier pool.
+///
+/// The qualifier pool and the sort environment are run-global and shared
+/// behind [`Arc`]s: partitioning a set into hundreds of per-function
+/// bundles hands each bundle a pointer bump, not a deep copy — which is
+/// also what keeps long-lived incremental check sessions (which hold a
+/// bundle per function per run) at a sane memory footprint. Mutate them
+/// during generation via [`Arc::make_mut`]; after partitioning they are
+/// immutable by construction.
 #[derive(Debug, Default)]
 pub struct ConstraintSet {
     /// κ-variable metadata (scope for well-formedness).
     pub kvars: HashMap<KVarId, KVar>,
     /// Subtyping constraints.
     pub subs: Vec<SubC>,
-    /// Qualifiers available to the fixpoint.
-    pub quals: Vec<Qualifier>,
+    /// Qualifiers available to the fixpoint (shared across bundles).
+    pub quals: Arc<Vec<Qualifier>>,
     /// The global sort environment: uninterpreted functions, field
-    /// selectors, measures. Variable sorts come from each constraint's
-    /// environment.
-    pub sort_env: SortEnv,
+    /// selectors, measures (shared across bundles). Variable sorts come
+    /// from each constraint's environment.
+    pub sort_env: Arc<SortEnv>,
     next_kvar: u32,
 }
 
@@ -106,8 +115,8 @@ impl ConstraintSet {
     /// A fresh constraint set with the default qualifier prelude.
     pub fn new() -> Self {
         ConstraintSet {
-            quals: rsc_logic::prelude_qualifiers(),
-            sort_env: SortEnv::new(),
+            quals: Arc::new(rsc_logic::prelude_qualifiers()),
+            sort_env: Arc::new(SortEnv::new()),
             ..Default::default()
         }
     }
@@ -116,7 +125,7 @@ impl ConstraintSet {
     /// given qualifier pool and sort environment — the shell the
     /// partitioner ([`crate::partition`]) fills per bundle. κ allocation
     /// starts at 0; bundles never allocate, they inherit κ metadata.
-    pub fn empty(quals: Vec<Qualifier>, sort_env: SortEnv) -> Self {
+    pub fn empty(quals: Arc<Vec<Qualifier>>, sort_env: Arc<SortEnv>) -> Self {
         ConstraintSet {
             quals,
             sort_env,

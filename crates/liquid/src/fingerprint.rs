@@ -1,0 +1,274 @@
+//! Stable cross-run identity for constraint bundles.
+//!
+//! Incremental check sessions re-generate the whole constraint set on
+//! every edit (generation is cheap) but only want to *re-solve* the
+//! bundles whose constraint problem actually changed. The obstacle is
+//! that κ-variable ids are allocated by a single run-global counter:
+//! adding one κ early in the program renumbers every κ after it, so the
+//! raw rendering of an untouched downstream bundle still changes between
+//! runs.
+//!
+//! [`bundle_fingerprint`] therefore renumbers κ ids *canonically within
+//! the bundle* — `κ0, κ1, …` in order of first occurrence over the
+//! bundle's constraints — before hashing. Bundles are closed under
+//! κ-sharing by construction (see [`crate::partition`]), and the solver
+//! treats κ ids as opaque keys (candidate initialization is per-κ,
+//! iteration follows constraint order), so two bundles with equal
+//! canonical renderings are the *same* fixpoint problem and produce the
+//! same verdict, bit for bit.
+//!
+//! The qualifier pool and sort environment are run-global inputs to
+//! every bundle's fixpoint; [`global_fingerprint`] hashes them once per
+//! run and the result is mixed into each bundle fingerprint.
+//!
+//! Fingerprints are 128 bits (two independently salted 64-bit hashes):
+//! at the scale of a session (thousands of bundles over thousands of
+//! edits) accidental collision is negligible, and a collision could only
+//! cause a *stale verdict for an equal-looking problem*, never a crash.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+use rsc_logic::{KVarId, Pred, Qualifier, SortEnv, Sym};
+
+use crate::bundle::ConstraintBundle;
+use crate::constraint::SubC;
+
+/// Two independently salted 64-bit hashers, combined into a `u128`.
+struct Fp {
+    a: DefaultHasher,
+    b: DefaultHasher,
+}
+
+impl Fp {
+    fn new() -> Fp {
+        let mut a = DefaultHasher::new();
+        let mut b = DefaultHasher::new();
+        a.write_u64(0x5152_5343_494e_4352); // salt A
+        b.write_u64(0x9e37_79b9_7f4a_7c15); // salt B
+        Fp { a, b }
+    }
+
+    fn write(&mut self, s: &str) {
+        self.a.write(s.as_bytes());
+        self.b.write(s.as_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.a.write_u64(v);
+        self.b.write_u64(v);
+    }
+
+    fn finish(self) -> u128 {
+        ((self.a.finish() as u128) << 64) | self.b.finish() as u128
+    }
+}
+
+/// Rewrites every κ id in `p` to its canonical within-bundle number
+/// (assigned on first occurrence), leaving everything else intact, so
+/// that `Display` of the result is invariant under global κ renumbering.
+fn canon_kvars(p: &Pred, map: &mut HashMap<KVarId, u32>, next: &mut u32) -> Pred {
+    match p {
+        Pred::KVar(k, s) => {
+            let cid = *map.entry(*k).or_insert_with(|| {
+                let id = *next;
+                *next += 1;
+                id
+            });
+            Pred::KVar(KVarId(cid), s.clone())
+        }
+        Pred::And(ps) => Pred::And(ps.iter().map(|q| canon_kvars(q, map, next)).collect()),
+        Pred::Or(ps) => Pred::Or(ps.iter().map(|q| canon_kvars(q, map, next)).collect()),
+        Pred::Not(q) => Pred::Not(Box::new(canon_kvars(q, map, next))),
+        Pred::Imp(a, b) => Pred::Imp(
+            Box::new(canon_kvars(a, map, next)),
+            Box::new(canon_kvars(b, map, next)),
+        ),
+        Pred::Iff(a, b) => Pred::Iff(
+            Box::new(canon_kvars(a, map, next)),
+            Box::new(canon_kvars(b, map, next)),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn write_pred(p: &Pred, map: &mut HashMap<KVarId, u32>, next: &mut u32, out: &mut Fp) {
+    out.write(&canon_kvars(p, map, next).to_string());
+    out.write("\u{2}");
+}
+
+fn write_sub(c: &SubC, map: &mut HashMap<KVarId, u32>, next: &mut u32, out: &mut Fp) {
+    out.write("C|");
+    out.write(&c.origin);
+    out.write("|");
+    out.write(&c.vv_sort.to_string());
+    out.write("|");
+    for (x, s, p) in &c.env.binds {
+        out.write(x.as_str());
+        out.write(":");
+        out.write(&s.to_string());
+        out.write("=");
+        write_pred(p, map, next, out);
+    }
+    out.write("|guards|");
+    for g in &c.env.guards {
+        write_pred(g, map, next, out);
+    }
+    out.write("|lhs|");
+    write_pred(&c.lhs, map, next, out);
+    out.write("|rhs|");
+    write_pred(&c.rhs, map, next, out);
+    out.write("\u{1}");
+}
+
+/// Hashes the run-global solve inputs shared by every bundle: the
+/// qualifier pool (in order — candidate initialization is
+/// order-sensitive) and the sort environment (variables and
+/// uninterpreted-function signatures, name-sorted).
+pub fn global_fingerprint(quals: &[Qualifier], sort_env: &SortEnv) -> u64 {
+    let mut h = DefaultHasher::new();
+    for q in quals {
+        h.write(format!("{q:?}").as_bytes());
+        h.write(b"\x01");
+    }
+    let mut vars: Vec<(&Sym, String)> = sort_env.vars().map(|(x, s)| (x, s.to_string())).collect();
+    vars.sort();
+    for (x, s) in vars {
+        h.write(x.as_str().as_bytes());
+        h.write(b":");
+        h.write(s.as_bytes());
+    }
+    let mut funs: Vec<(&Sym, String)> = sort_env
+        .funs()
+        .map(|(f, sig)| (f, format!("{sig:?}")))
+        .collect();
+    funs.sort();
+    for (f, sig) in funs {
+        h.write(f.as_str().as_bytes());
+        h.write(b"!");
+        h.write(sig.as_bytes());
+    }
+    h.finish()
+}
+
+/// The canonical 128-bit identity of a bundle's constraint problem,
+/// mixed with the run-global [`global_fingerprint`]. Equal fingerprints
+/// mean the bundles are the same fixpoint problem up to κ renumbering —
+/// solving either yields the same per-constraint verdicts and the same
+/// query counts (see the module docs for why).
+pub fn bundle_fingerprint(b: &ConstraintBundle, global: u64) -> u128 {
+    let mut out = Fp::new();
+    out.write_u64(global);
+    let mut map: HashMap<KVarId, u32> = HashMap::new();
+    let mut next = 0u32;
+    for c in &b.cs.subs {
+        write_sub(c, &mut map, &mut next, &mut out);
+    }
+    // κ metadata, in canonical-id order. κs that never occur in a
+    // constraint cannot influence any verdict and are skipped.
+    let mut metas: Vec<(u32, KVarId)> = map.iter().map(|(k, cid)| (*cid, *k)).collect();
+    metas.sort();
+    for (cid, k) in metas {
+        out.write("K|");
+        out.write_u64(cid as u64);
+        if let Some(kv) = b.cs.kvars.get(&k) {
+            out.write("|");
+            out.write(&kv.vv_sort.to_string());
+            out.write("|");
+            for (x, s) in &kv.scope {
+                out.write(x.as_str());
+                out.write(":");
+                out.write(&s.to_string());
+                out.write(",");
+            }
+        }
+        out.write("\u{1}");
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{CEnv, ConstraintSet};
+    use crate::partition;
+    use rsc_logic::{CmpOp, Pred, Sort, Subst, Term};
+
+    /// Two runs that allocate the same bundle at different global κ
+    /// offsets must agree on the fingerprint.
+    #[test]
+    fn kvar_renumbering_is_invisible() {
+        let build = |burn: usize| {
+            let mut cs = ConstraintSet::new();
+            for i in 0..burn {
+                // Burn κ ids (as an earlier edited function would).
+                cs.fresh_kvar(Sort::Int, vec![], format!("burned {i}"));
+            }
+            let k = cs.fresh_kvar(Sort::Int, vec![(Sym::from("i"), Sort::Int)], "phi");
+            let kapp = Pred::KVar(k, Subst::new());
+            cs.push_sub(
+                CEnv::new(),
+                Pred::vv_eq(Term::int(0)),
+                kapp.clone(),
+                Sort::Int,
+                "init",
+            );
+            let mut env = CEnv::new();
+            env.bind("i", Sort::Int, kapp);
+            cs.push_sub(
+                env,
+                Pred::vv_eq(Term::var("i")),
+                Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+                Sort::Int,
+                "use",
+            );
+            let bundles = partition(cs, &[0, 0]);
+            assert_eq!(bundles.len(), 1);
+            bundle_fingerprint(&bundles[0], 7)
+        };
+        assert_eq!(build(0), build(5));
+    }
+
+    /// Changing a constraint (here: its origin, as a line shift would)
+    /// changes the fingerprint.
+    #[test]
+    fn constraint_changes_show() {
+        let build = |origin: &str| {
+            let mut cs = ConstraintSet::new();
+            cs.push_sub(
+                CEnv::new(),
+                Pred::vv_eq(Term::int(1)),
+                Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+                Sort::Int,
+                origin,
+            );
+            let bundles = partition(cs, &[0]);
+            bundle_fingerprint(&bundles[0], 7)
+        };
+        assert_ne!(build("line 3: bound"), build("line 4: bound"));
+    }
+
+    /// The global component (qualifier pool / sort env) splits keys.
+    #[test]
+    fn global_component_splits() {
+        let mut cs = ConstraintSet::new();
+        cs.push_sub(
+            CEnv::new(),
+            Pred::vv_eq(Term::int(1)),
+            Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+            Sort::Int,
+            "c",
+        );
+        let g1 = global_fingerprint(&cs.quals, &cs.sort_env);
+        let mut env2 = (*cs.sort_env).clone();
+        env2.bind("extra", Sort::Int);
+        let g2 = global_fingerprint(&cs.quals, &env2);
+        assert_ne!(g1, g2);
+        let bundles = partition(cs, &[0]);
+        assert_ne!(
+            bundle_fingerprint(&bundles[0], g1),
+            bundle_fingerprint(&bundles[0], g2)
+        );
+    }
+}

@@ -21,8 +21,10 @@
 
 mod bundle;
 mod constraint;
+mod fingerprint;
 mod solve;
 
 pub use bundle::{partition, ConstraintBundle};
 pub use constraint::{CEnv, ConstraintSet, SubC};
+pub use fingerprint::{bundle_fingerprint, global_fingerprint};
 pub use solve::{filter_relevant, solve, LiquidResult, Solution};

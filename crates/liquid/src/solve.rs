@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use rsc_logic::{KVarId, Pred, Sort, SortEnv, Term};
+use rsc_logic::{KVarId, Pred, Sort, SortScope, Sym, Term};
 use rsc_smt::Solver;
 
 use crate::constraint::{ConstraintSet, SubC};
@@ -58,17 +58,19 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
     let mut sol = Solution::default();
     for (id, kv) in &cs.kvars {
         let mut cands: Vec<Pred> = Vec::new();
-        for q in &cs.quals {
+        // Well-sortedness scope: `v` then the κ's scope, layered over
+        // the shared sort environment without cloning it (and built
+        // once per κ, not per qualifier).
+        let mut binders: Vec<(Sym, Sort)> = Vec::with_capacity(kv.scope.len() + 1);
+        binders.push((Sym::from("v"), kv.vv_sort));
+        binders.extend(kv.scope.iter().cloned());
+        let env = SortScope::new(&*cs.sort_env, &binders);
+        for q in cs.quals.iter() {
             if q.vv_sort != kv.vv_sort {
                 continue;
             }
             for inst in q.instantiate(&kv.scope) {
                 // Keep only well-sorted instantiations.
-                let mut env = cs.sort_env.clone();
-                env.bind("v", kv.vv_sort);
-                for (x, s) in &kv.scope {
-                    env.bind(x.clone(), *s);
-                }
                 if env.check_pred(&inst).is_ok() && !cands.contains(&inst) {
                     cands.push(inst);
                 }
@@ -98,7 +100,8 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
             if current.is_empty() {
                 continue;
             }
-            let (env_sorts, all_hyps, guards) = prepare_hyps(cs, c, &sol);
+            let (binders, all_hyps, guards) = prepare_hyps(cs, c, &sol);
+            let env_sorts = SortScope::new(&*cs.sort_env, &binders);
             let mut kept = Vec::with_capacity(current.len());
             for q in current {
                 let goal = theta.apply_pred(&q);
@@ -137,7 +140,8 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
         if matches!(c.rhs, Pred::KVar(..)) {
             continue;
         }
-        let (env_sorts, all_hyps, guards) = prepare_hyps(cs, c, &sol);
+        let (binders, all_hyps, guards) = prepare_hyps(cs, c, &sol);
+        let env_sorts = SortScope::new(&*cs.sort_env, &binders);
         let goal = sol.apply(&c.rhs);
         // Dead-code obligations (`… ⊑ false`) need the whole environment
         // to exhibit the inconsistency; everything else is filtered.
@@ -201,14 +205,19 @@ pub fn filter_relevant(
         .collect()
 }
 
-/// Builds the sorted environment and hypothesis list for one constraint:
+/// Builds the binder overlay and hypothesis list for one constraint:
 /// ⟦Γ⟧ under the current solution, plus the (solved) left refinement.
-fn prepare_hyps(cs: &ConstraintSet, c: &SubC, sol: &Solution) -> (SortEnv, Vec<Pred>, Vec<Pred>) {
-    let mut env_sorts = cs.sort_env.clone();
-    for (x, s) in c.env.scope() {
-        env_sorts.bind(x, s);
-    }
-    env_sorts.bind("v", c.vv_sort);
+/// The binders (constraint scope plus `v`) are layered over the shared
+/// sort environment by the caller via [`SortScope`] — the shared
+/// environment itself is never cloned per constraint.
+fn prepare_hyps(
+    cs: &ConstraintSet,
+    c: &SubC,
+    sol: &Solution,
+) -> (Vec<(Sym, Sort)>, Vec<Pred>, Vec<Pred>) {
+    let mut binders = c.env.scope();
+    binders.push((Sym::from("v"), c.vv_sort));
+    let env_sorts = SortScope::new(&*cs.sort_env, &binders);
     let (bind_preds, guard_preds) = c.env.embed_split();
     let mut guards: Vec<Pred> = Vec::new();
     for g in guard_preds {
@@ -244,7 +253,7 @@ fn prepare_hyps(cs: &ConstraintSet, c: &SubC, sol: &Solution) -> (SortEnv, Vec<P
         flat.extend(h.conjuncts());
     }
     flat.retain(|p| env_sorts.check_pred(p).is_ok());
-    (env_sorts, flat, guards)
+    (binders, flat, guards)
 }
 
 #[cfg(test)]

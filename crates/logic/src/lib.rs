@@ -48,7 +48,7 @@ mod term;
 pub use kvar::{KVar, KVarId};
 pub use pred::{CmpOp, Pred};
 pub use qualifier::{prelude_qualifiers, Qualifier};
-pub use sort::{FunSig, Sort, SortEnv};
+pub use sort::{check_pred_in, sort_of_in, FunSig, Sort, SortEnv, SortLookup, SortScope};
 pub use subst::Subst;
 pub use sym::Sym;
 pub use term::{BinOp, Term};

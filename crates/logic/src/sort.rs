@@ -135,149 +135,231 @@ impl SortEnv {
         self.vars.iter().map(|(k, v)| (k, *v))
     }
 
+    /// Iterates over the declared uninterpreted functions.
+    pub fn funs(&self) -> impl Iterator<Item = (&Sym, &FunSig)> {
+        self.funs.iter()
+    }
+
     /// Computes the sort of `t`, or an error if `t` is ill-sorted.
     ///
     /// Field selectors `t.f` are given sort via the registered function
     /// `field$f` when present, defaulting to [`Sort::Int`] otherwise (the
     /// checker registers precise selector sorts for class fields it knows).
     pub fn sort_of(&self, t: &Term) -> Result<Sort, SortError> {
-        match t {
-            Term::Var(x) => self
-                .lookup(x)
-                .ok_or_else(|| SortError(format!("unbound logic variable {x}"))),
-            Term::IntLit(_) => Ok(Sort::Int),
-            Term::BoolLit(_) => Ok(Sort::Bool),
-            Term::StrLit(_) => Ok(Sort::Str),
-            Term::BvLit(_) => Ok(Sort::Bv32),
-            Term::Field(base, f) => {
-                let bs = self.sort_of(base)?;
-                if bs != Sort::Ref {
-                    return Err(SortError(format!(
-                        "field access {t} on non-reference sort {bs}"
-                    )));
-                }
-                let sel = Sym::from(format!("field${f}"));
-                Ok(self.funs.get(&sel).map(|s| s.result()).unwrap_or(Sort::Int))
-            }
-            Term::App(f, args) => {
-                let sig = self
-                    .fun_sig(f)
-                    .ok_or_else(|| SortError(format!("unknown function symbol {f}")))?
-                    .clone();
-                if sig.arity() != args.len() {
-                    return Err(SortError(format!(
-                        "{f} expects {} arguments, got {}",
-                        sig.arity(),
-                        args.len()
-                    )));
-                }
-                if let FunSig::Fixed(expected, _) = &sig {
-                    for (a, want) in args.iter().zip(expected) {
-                        let got = self.sort_of(a)?;
-                        if got != *want {
-                            return Err(SortError(format!(
-                                "argument {a} of {f} has sort {got}, expected {want}"
-                            )));
-                        }
-                    }
-                } else {
-                    for a in args {
-                        self.sort_of(a)?;
-                    }
-                }
-                Ok(sig.result())
-            }
-            Term::Bin(op, a, b) => {
-                let sa = self.sort_of(a)?;
-                let sb = self.sort_of(b)?;
-                match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                        if sa == Sort::Int && sb == Sort::Int {
-                            Ok(Sort::Int)
-                        } else {
-                            Err(SortError(format!("arithmetic {t} on sorts {sa}, {sb}")))
-                        }
-                    }
-                    BinOp::BvAnd | BinOp::BvOr => {
-                        if sa == Sort::Bv32 && sb == Sort::Bv32 {
-                            Ok(Sort::Bv32)
-                        } else {
-                            Err(SortError(format!("bit-vector op {t} on sorts {sa}, {sb}")))
-                        }
-                    }
-                }
-            }
-            Term::Neg(a) => {
-                let sa = self.sort_of(a)?;
-                if sa == Sort::Int {
-                    Ok(Sort::Int)
-                } else {
-                    Err(SortError(format!("negation of sort {sa}")))
-                }
-            }
-        }
+        sort_of_in(self, t)
     }
 
     /// Checks that predicate `p` is well-sorted (every comparison relates
     /// terms of equal sort, `TermPred` terms are boolean, κ-variable
     /// arguments are sortable).
     pub fn check_pred(&self, p: &Pred) -> Result<(), SortError> {
-        match p {
-            Pred::True | Pred::False => Ok(()),
-            Pred::And(ps) | Pred::Or(ps) => ps.iter().try_for_each(|q| self.check_pred(q)),
-            Pred::Not(q) => self.check_pred(q),
-            Pred::Imp(a, b) | Pred::Iff(a, b) => {
-                self.check_pred(a)?;
-                self.check_pred(b)
+        check_pred_in(self, p)
+    }
+}
+
+/// A read-only view of variable sorts and uninterpreted-function
+/// signatures, implemented both by the owned [`SortEnv`] and by the
+/// borrowed [`SortScope`] overlay. Sorting and encoding are written
+/// against this trait so that extending an environment with a handful of
+/// binders (a constraint's scope, the canonical `#0, #1, …` binders of a
+/// cached query) never requires cloning the whole environment.
+pub trait SortLookup {
+    /// The sort of variable `x`, if bound.
+    fn var_sort(&self, x: &Sym) -> Option<Sort>;
+    /// The signature of uninterpreted function `f`, if declared.
+    fn sig_of_fun(&self, f: &Sym) -> Option<&FunSig>;
+}
+
+impl SortLookup for SortEnv {
+    fn var_sort(&self, x: &Sym) -> Option<Sort> {
+        self.lookup(x)
+    }
+    fn sig_of_fun(&self, f: &Sym) -> Option<&FunSig> {
+        self.fun_sig(f)
+    }
+}
+
+/// A borrowed sort environment extension: a base environment plus a
+/// binder list layered on top (later binders shadow earlier ones, which
+/// shadow the base). Construction is O(1) — no clone of the base — which
+/// is what keeps per-constraint scopes and the VC cache's canonical
+/// binders off the allocation profile.
+#[derive(Clone, Copy)]
+pub struct SortScope<'a> {
+    base: &'a dyn SortLookup,
+    binders: &'a [(Sym, Sort)],
+}
+
+impl<'a> SortScope<'a> {
+    /// A view of `base` extended with `binders`.
+    pub fn new(base: &'a dyn SortLookup, binders: &'a [(Sym, Sort)]) -> Self {
+        SortScope { base, binders }
+    }
+
+    /// See [`SortEnv::sort_of`].
+    pub fn sort_of(&self, t: &Term) -> Result<Sort, SortError> {
+        sort_of_in(self, t)
+    }
+
+    /// See [`SortEnv::check_pred`].
+    pub fn check_pred(&self, p: &Pred) -> Result<(), SortError> {
+        check_pred_in(self, p)
+    }
+}
+
+impl SortLookup for SortScope<'_> {
+    fn var_sort(&self, x: &Sym) -> Option<Sort> {
+        self.binders
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, s)| *s)
+            .or_else(|| self.base.var_sort(x))
+    }
+    fn sig_of_fun(&self, f: &Sym) -> Option<&FunSig> {
+        self.base.sig_of_fun(f)
+    }
+}
+
+/// [`SortEnv::sort_of`] generalized over any [`SortLookup`].
+pub fn sort_of_in(env: &dyn SortLookup, t: &Term) -> Result<Sort, SortError> {
+    match t {
+        Term::Var(x) => env
+            .var_sort(x)
+            .ok_or_else(|| SortError(format!("unbound logic variable {x}"))),
+        Term::IntLit(_) => Ok(Sort::Int),
+        Term::BoolLit(_) => Ok(Sort::Bool),
+        Term::StrLit(_) => Ok(Sort::Str),
+        Term::BvLit(_) => Ok(Sort::Bv32),
+        Term::Field(base, f) => {
+            let bs = sort_of_in(env, base)?;
+            if bs != Sort::Ref {
+                return Err(SortError(format!(
+                    "field access {t} on non-reference sort {bs}"
+                )));
             }
-            Pred::Cmp(op, a, b) => {
-                let sa = self.sort_of(a)?;
-                let sb = self.sort_of(b)?;
-                if sa != sb {
-                    return Err(SortError(format!(
-                        "comparison {p} relates sorts {sa} and {sb}"
-                    )));
-                }
-                match op {
-                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-                        if sa == Sort::Int {
-                            Ok(())
-                        } else {
-                            Err(SortError(format!("ordering {p} on sort {sa}")))
-                        }
+            let sel = Sym::from(format!("field${f}"));
+            Ok(env
+                .sig_of_fun(&sel)
+                .map(|s| s.result())
+                .unwrap_or(Sort::Int))
+        }
+        Term::App(f, args) => {
+            let sig = env
+                .sig_of_fun(f)
+                .ok_or_else(|| SortError(format!("unknown function symbol {f}")))?
+                .clone();
+            if sig.arity() != args.len() {
+                return Err(SortError(format!(
+                    "{f} expects {} arguments, got {}",
+                    sig.arity(),
+                    args.len()
+                )));
+            }
+            if let FunSig::Fixed(expected, _) = &sig {
+                for (a, want) in args.iter().zip(expected) {
+                    let got = sort_of_in(env, a)?;
+                    if got != *want {
+                        return Err(SortError(format!(
+                            "argument {a} of {f} has sort {got}, expected {want}"
+                        )));
                     }
-                    CmpOp::Eq | CmpOp::Ne => Ok(()),
                 }
-            }
-            Pred::App(f, args) => {
-                let sig = self
-                    .fun_sig(f)
-                    .ok_or_else(|| SortError(format!("unknown predicate symbol {f}")))?;
-                if sig.result() != Sort::Bool {
-                    return Err(SortError(format!("{f} is not a predicate symbol")));
-                }
-                if sig.arity() != args.len() {
-                    return Err(SortError(format!("{f} arity mismatch")));
-                }
+            } else {
                 for a in args {
-                    self.sort_of(a)?;
+                    sort_of_in(env, a)?;
                 }
+            }
+            Ok(sig.result())
+        }
+        Term::Bin(op, a, b) => {
+            let sa = sort_of_in(env, a)?;
+            let sb = sort_of_in(env, b)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    if sa == Sort::Int && sb == Sort::Int {
+                        Ok(Sort::Int)
+                    } else {
+                        Err(SortError(format!("arithmetic {t} on sorts {sa}, {sb}")))
+                    }
+                }
+                BinOp::BvAnd | BinOp::BvOr => {
+                    if sa == Sort::Bv32 && sb == Sort::Bv32 {
+                        Ok(Sort::Bv32)
+                    } else {
+                        Err(SortError(format!("bit-vector op {t} on sorts {sa}, {sb}")))
+                    }
+                }
+            }
+        }
+        Term::Neg(a) => {
+            let sa = sort_of_in(env, a)?;
+            if sa == Sort::Int {
+                Ok(Sort::Int)
+            } else {
+                Err(SortError(format!("negation of sort {sa}")))
+            }
+        }
+    }
+}
+
+/// [`SortEnv::check_pred`] generalized over any [`SortLookup`].
+pub fn check_pred_in(env: &dyn SortLookup, p: &Pred) -> Result<(), SortError> {
+    match p {
+        Pred::True | Pred::False => Ok(()),
+        Pred::And(ps) | Pred::Or(ps) => ps.iter().try_for_each(|q| check_pred_in(env, q)),
+        Pred::Not(q) => check_pred_in(env, q),
+        Pred::Imp(a, b) | Pred::Iff(a, b) => {
+            check_pred_in(env, a)?;
+            check_pred_in(env, b)
+        }
+        Pred::Cmp(op, a, b) => {
+            let sa = sort_of_in(env, a)?;
+            let sb = sort_of_in(env, b)?;
+            if sa != sb {
+                return Err(SortError(format!(
+                    "comparison {p} relates sorts {sa} and {sb}"
+                )));
+            }
+            match op {
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    if sa == Sort::Int {
+                        Ok(())
+                    } else {
+                        Err(SortError(format!("ordering {p} on sort {sa}")))
+                    }
+                }
+                CmpOp::Eq | CmpOp::Ne => Ok(()),
+            }
+        }
+        Pred::App(f, args) => {
+            let sig = env
+                .sig_of_fun(f)
+                .ok_or_else(|| SortError(format!("unknown predicate symbol {f}")))?;
+            if sig.result() != Sort::Bool {
+                return Err(SortError(format!("{f} is not a predicate symbol")));
+            }
+            if sig.arity() != args.len() {
+                return Err(SortError(format!("{f} arity mismatch")));
+            }
+            for a in args {
+                sort_of_in(env, a)?;
+            }
+            Ok(())
+        }
+        Pred::TermPred(t) => {
+            let s = sort_of_in(env, t)?;
+            if s == Sort::Bool {
                 Ok(())
+            } else {
+                Err(SortError(format!("truthiness of non-boolean term {t}")))
             }
-            Pred::TermPred(t) => {
-                let s = self.sort_of(t)?;
-                if s == Sort::Bool {
-                    Ok(())
-                } else {
-                    Err(SortError(format!("truthiness of non-boolean term {t}")))
-                }
+        }
+        Pred::KVar(_, subst) => {
+            for (_, t) in subst.iter() {
+                sort_of_in(env, t)?;
             }
-            Pred::KVar(_, subst) => {
-                for (_, t) in subst.iter() {
-                    self.sort_of(t)?;
-                }
-                Ok(())
-            }
+            Ok(())
         }
     }
 }

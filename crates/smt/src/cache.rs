@@ -20,9 +20,14 @@
 //!
 //! Key equality therefore implies the queries are alpha-variants of the
 //! same conjunction under the same sort assignment, so they are
-//! equisatisfiable. Uninterpreted function symbols are *not* renamed: a
-//! cache must only be shared within one checker run, where their
-//! signatures are fixed by the program's class table.
+//! equisatisfiable. Uninterpreted function symbols are *not* renamed;
+//! instead, the key records the *signature* of every function symbol and
+//! field selector the canonical conjuncts apply (step 4 below). Two
+//! programs that reuse a symbol name at different signatures therefore
+//! get different keys, which is what makes it legal for a cache to
+//! outlive a single checker run: incremental check sessions (the
+//! `rsc_incr` crate) share one cache across every re-check of an evolving
+//! program, and across programs, without consulting any class table.
 //!
 //! # Soundness contract: only Unsat is memoized
 //!
@@ -47,13 +52,13 @@
 //! reject-more direction, and deterministically so for a given mode.)
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt::Write;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use rsc_logic::{Pred, Sort, SortEnv, Subst, Sym, Term};
+use rsc_logic::{FunSig, Pred, Sort, SortLookup, Subst, Sym, Term};
 
 /// Number of independently locked shards. Contention is low (queries are
 /// long compared to a hash lookup), 16 keeps it negligible.
@@ -143,9 +148,10 @@ impl VcCache {
 /// A canonicalized `is_sat` query: the fingerprint key, the canonical
 /// conjunct sequence it denotes (sorted, alpha-renamed, deduped), and the
 /// canonical binders `#0, #1, …` with their sorts. Solving the conjuncts
-/// under [`CanonicalQuery::solve_env`] is equisatisfiable with solving
-/// the original query — the environment clone is deferred there so a
-/// cache hit never pays for it.
+/// under a [`rsc_logic::SortScope`] layering `binders` over the source
+/// environment is equisatisfiable with solving the original query — the
+/// overlay is a pair of borrows, so neither a hit nor a miss ever clones
+/// an environment.
 #[derive(Debug)]
 pub struct CanonicalQuery {
     /// The cache fingerprint.
@@ -156,21 +162,86 @@ pub struct CanonicalQuery {
     pub binders: Vec<(Sym, Sort)>,
 }
 
-impl CanonicalQuery {
-    /// The sort environment for solving the canonical conjuncts: the
-    /// source environment (function signatures carry over unchanged —
-    /// they are run-global) plus the canonical binders.
-    pub fn solve_env(&self, env: &SortEnv) -> SortEnv {
-        let mut out = env.clone();
-        for (x, s) in &self.binders {
-            out.bind(x.clone(), *s);
+/// Renders the *effective* signature of an applied symbol into the key.
+/// Field selectors are special-cased: sorting only ever reads their
+/// result sort (defaulting to `int` when unregistered), so that is all
+/// the key needs to record.
+fn write_sig(key: &mut String, env: &dyn SortLookup, f: &Sym) {
+    let _ = write!(key, "{f}!");
+    if f.as_str().starts_with("field$") {
+        let r = env.sig_of_fun(f).map(|s| s.result()).unwrap_or(Sort::Int);
+        let _ = write!(key, "{r};");
+        return;
+    }
+    match env.sig_of_fun(f) {
+        Some(FunSig::Fixed(args, r)) => {
+            for a in args {
+                let _ = write!(key, "{a},");
+            }
+            let _ = write!(key, "->{r};");
         }
-        out
+        Some(FunSig::AnyArgs(n, r)) => {
+            let _ = write!(key, "any{n}->{r};");
+        }
+        None => {
+            let _ = write!(key, "?;");
+        }
+    }
+}
+
+/// Collects every uninterpreted symbol a term applies: `App` heads and
+/// `field$f` selectors (whose sorts come from the same signature table).
+fn applied_syms_term(t: &Term, out: &mut BTreeSet<Sym>) {
+    match t {
+        Term::Var(_) | Term::IntLit(_) | Term::BoolLit(_) | Term::StrLit(_) | Term::BvLit(_) => {}
+        Term::Field(b, f) => {
+            out.insert(Sym::from(format!("field${f}")));
+            applied_syms_term(b, out);
+        }
+        Term::App(f, args) => {
+            out.insert(f.clone());
+            for a in args {
+                applied_syms_term(a, out);
+            }
+        }
+        Term::Bin(_, a, b) => {
+            applied_syms_term(a, out);
+            applied_syms_term(b, out);
+        }
+        Term::Neg(a) => applied_syms_term(a, out),
+    }
+}
+
+fn applied_syms_pred(p: &Pred, out: &mut BTreeSet<Sym>) {
+    match p {
+        Pred::True | Pred::False => {}
+        Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|q| applied_syms_pred(q, out)),
+        Pred::Not(q) => applied_syms_pred(q, out),
+        Pred::Imp(a, b) | Pred::Iff(a, b) => {
+            applied_syms_pred(a, out);
+            applied_syms_pred(b, out);
+        }
+        Pred::Cmp(_, a, b) => {
+            applied_syms_term(a, out);
+            applied_syms_term(b, out);
+        }
+        Pred::App(f, args) => {
+            out.insert(f.clone());
+            for a in args {
+                applied_syms_term(a, out);
+            }
+        }
+        Pred::TermPred(t) => applied_syms_term(t, out),
+        Pred::KVar(_, s) => {
+            for (_, t) in s.iter() {
+                applied_syms_term(t, out);
+            }
+        }
     }
 }
 
 /// Canonicalizes an `is_sat` query (see [`CanonicalQuery`]).
-pub fn canonical_query(env: &SortEnv, preds: &[Pred]) -> CanonicalQuery {
+pub fn canonical_query(env: &dyn SortLookup, preds: &[Pred]) -> CanonicalQuery {
     // 1. Name-stable order: sort conjuncts by their original rendering.
     let mut rendered: Vec<(String, &Pred)> = preds.iter().map(|p| (p.to_string(), p)).collect();
     rendered.sort_by(|a, b| a.0.cmp(&b.0));
@@ -198,7 +269,7 @@ pub fn canonical_query(env: &SortEnv, preds: &[Pred]) -> CanonicalQuery {
     let mut binders = Vec::with_capacity(order.len());
     let mut key = String::with_capacity(64 + 32 * canonical.len());
     for (i, x) in order.iter().enumerate() {
-        match env.lookup(x) {
+        match env.var_sort(x) {
             Some(s) => {
                 binders.push((Sym::from(format!("#{i}")), s));
                 let _ = write!(key, "#{i}:{s};");
@@ -207,6 +278,17 @@ pub fn canonical_query(env: &SortEnv, preds: &[Pred]) -> CanonicalQuery {
                 let _ = write!(key, "#{i}:?;");
             }
         }
+    }
+    // 4. The signatures of every applied uninterpreted symbol. With these
+    //    in the key, key equality no longer presumes a fixed class table,
+    //    so the cache may be shared across checker runs (incremental
+    //    sessions) and across different programs.
+    let mut applied: BTreeSet<Sym> = BTreeSet::new();
+    for p in &canonical {
+        applied_syms_pred(p, &mut applied);
+    }
+    for f in &applied {
+        write_sig(&mut key, env, f);
     }
     key.push('\u{1}');
     for p in &canonical {
@@ -222,7 +304,7 @@ pub fn canonical_query(env: &SortEnv, preds: &[Pred]) -> CanonicalQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsc_logic::{CmpOp, Sort};
+    use rsc_logic::{CmpOp, Sort, SortEnv};
 
     fn env() -> SortEnv {
         let mut e = SortEnv::new();

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use rsc_logic::{BinOp, CmpOp, Pred, Sort, SortEnv, Sym, Term};
+use rsc_logic::{sort_of_in, BinOp, CmpOp, Pred, Sort, SortLookup, Sym, Term};
 
 use crate::atom::{AtomData, AtomId, BvTerm, Formula, NLinExp};
 use crate::node::{Arena, Node, NodeId};
@@ -26,8 +26,11 @@ impl std::error::Error for EncodeError {}
 /// Encoder state: arena, atom table, and the defining equations of lifted
 /// nodes (compound integer expressions in uninterpreted argument position).
 pub struct Encoder<'a> {
-    /// Sorts of variables and signatures of uninterpreted functions.
-    pub sort_env: &'a SortEnv,
+    /// Sorts of variables and signatures of uninterpreted functions —
+    /// either an owned [`rsc_logic::SortEnv`] or a borrowed
+    /// [`rsc_logic::SortScope`] overlay (base env + binder list), so the
+    /// VC cache's canonical-binder path never clones an environment.
+    pub sort_env: &'a dyn SortLookup,
     /// The term arena.
     pub arena: Arena,
     /// The atom table.
@@ -44,7 +47,7 @@ pub struct Encoder<'a> {
 
 impl<'a> Encoder<'a> {
     /// Creates an encoder over the given sort environment.
-    pub fn new(sort_env: &'a SortEnv) -> Self {
+    pub fn new(sort_env: &'a dyn SortLookup) -> Self {
         let mut arena = Arena::new();
         let true_node = arena.intern(Node::True);
         let false_node = arena.intern(Node::False);
@@ -151,14 +154,8 @@ impl<'a> Encoder<'a> {
         b: &Term,
         pol: bool,
     ) -> Result<Formula, EncodeError> {
-        let sa = self
-            .sort_env
-            .sort_of(a)
-            .map_err(|e| EncodeError(e.to_string()))?;
-        let sb = self
-            .sort_env
-            .sort_of(b)
-            .map_err(|e| EncodeError(e.to_string()))?;
+        let sa = sort_of_in(self.sort_env, a).map_err(|e| EncodeError(e.to_string()))?;
+        let sb = sort_of_in(self.sort_env, b).map_err(|e| EncodeError(e.to_string()))?;
         if sa != sb {
             return Err(EncodeError(format!(
                 "comparison between sorts {sa} and {sb}: {a} {} {b}",
@@ -277,10 +274,7 @@ impl<'a> Encoder<'a> {
         match t {
             Term::BoolLit(b) => Ok(Formula::Const(*b == pol)),
             _ => {
-                let s = self
-                    .sort_env
-                    .sort_of(t)
-                    .map_err(|e| EncodeError(e.to_string()))?;
+                let s = sort_of_in(self.sort_env, t).map_err(|e| EncodeError(e.to_string()))?;
                 if s != Sort::Bool {
                     return Err(EncodeError(format!("truthiness of non-boolean term {t}")));
                 }
@@ -378,10 +372,7 @@ impl<'a> Encoder<'a> {
 
     /// The arena node of a term of any sort (integers are lifted).
     pub fn node_of(&mut self, t: &Term) -> Result<NodeId, EncodeError> {
-        let s = self
-            .sort_env
-            .sort_of(t)
-            .map_err(|e| EncodeError(e.to_string()))?;
+        let s = sort_of_in(self.sort_env, t).map_err(|e| EncodeError(e.to_string()))?;
         match t {
             Term::Var(x) => Ok(self.arena.intern(Node::Var(x.clone(), s))),
             Term::IntLit(n) => Ok(self.arena.intern(Node::IntConst(*n))),
@@ -439,6 +430,7 @@ impl<'a> Encoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsc_logic::SortEnv;
 
     fn env() -> SortEnv {
         let mut e = SortEnv::new();

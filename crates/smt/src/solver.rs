@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use rsc_logic::{Pred, SortEnv};
+use rsc_logic::{Pred, SortLookup, SortScope};
 
 use crate::atom::{AtomData, Formula};
 use crate::bv::Blaster;
@@ -140,8 +140,10 @@ impl Solver {
         self.max_rounds
     }
 
-    /// Checks satisfiability of the conjunction of `preds` under `env`.
-    pub fn is_sat(&mut self, env: &SortEnv, preds: &[Pred]) -> SatResult {
+    /// Checks satisfiability of the conjunction of `preds` under `env`
+    /// (an owned [`rsc_logic::SortEnv`] or a borrowed
+    /// [`rsc_logic::SortScope`] overlay).
+    pub fn is_sat(&mut self, env: &dyn SortLookup, preds: &[Pred]) -> SatResult {
         self.stats.queries += 1;
         let mut enc = Encoder::new(env);
         let mut formulas = Vec::new();
@@ -281,7 +283,7 @@ impl Solver {
     /// With a [`VcCache`] attached, the refutation query is canonicalized
     /// first; cached Unsat fingerprints answer without solving, and
     /// misses solve the canonical form and memoize an Unsat outcome.
-    pub fn is_valid(&mut self, env: &SortEnv, hyps: &[Pred], goal: &Pred) -> bool {
+    pub fn is_valid(&mut self, env: &dyn SortLookup, hyps: &[Pred], goal: &Pred) -> bool {
         let mut preds: Vec<Pred> = hyps.to_vec();
         preds.push(Pred::not(goal.clone()));
         let r = match self.cache.clone() {
@@ -292,7 +294,10 @@ impl Solver {
                     true
                 } else {
                     self.stats.cache_misses += 1;
-                    let canon_env = canonical.solve_env(env);
+                    // Solve the canonical form under an overlay of the
+                    // canonical binders — a pair of borrows, not a clone
+                    // of the source environment.
+                    let canon_env = SortScope::new(env, &canonical.binders);
                     let unsat = self.is_sat(&canon_env, &canonical.preds) == SatResult::Unsat;
                     if unsat {
                         cache.record_unsat(canonical.key);
@@ -318,7 +323,7 @@ impl Default for Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsc_logic::{CmpOp, Term};
+    use rsc_logic::{CmpOp, SortEnv, Term};
 
     fn trivially_valid() -> Pred {
         Pred::cmp(CmpOp::Le, Term::int(0), Term::int(1))

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `rsc serve` over a scripted edit session.
+
+Usage: python3 scripts/serve_smoke.py [path/to/rsc-binary]
+
+Drives the real binary over the Fig. 6 corpus: for every benchmark with
+a seeded mutation, load the clean file, edit the bug in (must reject,
+reusing all but the edited function's bundle), edit it back out (must
+verify, again with reuse). Exits non-zero on any protocol or verdict
+mismatch — this is the CI leg that keeps the serve front-end honest.
+"""
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# (benchmark, original snippet, buggy replacement) — mirrors
+# rsc_bench::seeded_mutations; check_in_sync() below fails the run if
+# the Rust table drifts from this copy.
+MUTATIONS = [
+    ("navier-stokes", "i + 1 < row.length", "i + 1 <= row.length"),
+    ("raytrace", "out[2] = a[2] + b[2];", "out[3] = a[2] + b[2];"),
+    ("tsc-checker", "t.flags & TypeFlags.Object", "t.flags & TypeFlags.String"),
+    ("richards", "handlers[id]", "handlers[id + 1]"),
+    ("d3-arrays", "var best = a[0];", "var best = a[1];"),
+]
+
+
+def fail(msg):
+    print(f"serve_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_in_sync():
+    """Every (from, to) pair must still appear verbatim in the Rust
+    mutation table, so editing one side without the other fails CI
+    instead of silently testing stale edits."""
+    corpus_rs = (ROOT / "crates" / "bench" / "src" / "corpus.rs").read_text()
+    for name, frm, to in MUTATIONS:
+        for snippet in (frm, to):
+            if json.dumps(snippet) not in corpus_rs:
+                fail(
+                    f"{name}: snippet {snippet!r} not found in "
+                    "crates/bench/src/corpus.rs — MUTATIONS is out of sync "
+                    "with rsc_bench::seeded_mutations"
+                )
+
+
+def main():
+    check_in_sync()
+    binary = sys.argv[1] if len(sys.argv) > 1 else str(ROOT / "target/release/rsc")
+    requests = []
+    expected = []  # (kind, benchmark) per response line
+    for name, frm, to in MUTATIONS:
+        src = (ROOT / "benchmarks" / f"{name}.rsc").read_text()
+        if frm not in src:
+            fail(f"{name}: mutation site {frm!r} not found")
+        mutated = src.replace(frm, to, 1)
+        requests.append({"cmd": "load", "source": src})
+        expected.append(("clean-load", name))
+        requests.append({"cmd": "edit", "source": mutated})
+        expected.append(("broken-edit", name))
+        requests.append({"cmd": "edit", "source": src})
+        expected.append(("clean-edit", name))
+        requests.append({"cmd": "reset"})
+        expected.append(("reset", name))
+    requests.append({"cmd": "stats"})
+    expected.append(("stats", "-"))
+    requests.append({"cmd": "quit"})
+    expected.append(("quit", "-"))
+
+    stdin = "".join(json.dumps(r) + "\n" for r in requests)
+    proc = subprocess.run(
+        [binary, "serve"], input=stdin, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        fail(f"serve exited {proc.returncode}: {proc.stderr[-500:]}")
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    if len(lines) != len(expected):
+        fail(f"expected {len(expected)} responses, got {len(lines)}")
+
+    for line, (kind, name) in zip(lines, expected):
+        v = json.loads(line)
+        if not v.get("ok"):
+            fail(f"{name}/{kind}: not ok: {line}")
+        if kind == "clean-load":
+            if v["verified"] is not True:
+                fail(f"{name}: clean corpus did not verify: {line}")
+        elif kind == "broken-edit":
+            if v["verified"] is not False:
+                fail(f"{name}: seeded bug not rejected: {line}")
+            if not v["diagnostics"]:
+                fail(f"{name}: rejection without diagnostics: {line}")
+            if v["bundles"] > 1 and v["reused"] == 0:
+                fail(f"{name}: broken edit reused nothing: {line}")
+        elif kind == "clean-edit":
+            if v["verified"] is not True:
+                fail(f"{name}: revert did not verify: {line}")
+            if v["bundles"] > 1 and not (0 < v["reused"] and v["solved"] < v["bundles"]):
+                fail(f"{name}: revert did not reuse bundles: {line}")
+        print(f"serve_smoke: ok {name:<14} {kind:<11} "
+              f"reused={v.get('reused', '-')}/{v.get('bundles', '-')} "
+              f"time_us={v.get('time_us', '-')}")
+    print("serve_smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

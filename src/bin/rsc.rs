@@ -1,0 +1,231 @@
+//! The `rsc` command-line checker: verify `.rsc` files from the shell,
+//! serve an editor session over stdin/stdout, or watch a file.
+//!
+//! ```text
+//! cargo run --bin rsc -- benchmarks/navier-stokes.rsc
+//! cargo run --bin rsc -- --no-path-sensitivity file.rsc
+//! cargo run --bin rsc -- --jobs 4 benchmarks/*.rsc
+//! cargo run --bin rsc -- serve          # NDJSON requests on stdin
+//! cargo run --bin rsc -- --watch f.rsc  # incremental re-check on save
+//! ```
+//!
+//! Both `serve` and `--watch` run a persistent [`rsc_incr::CheckSession`]:
+//! after the first check, only the constraint bundles whose canonical
+//! problem changed are re-solved (see `ARCHITECTURE.md`).
+//!
+//! Exit code 0 = verified, 1 = verification errors, 2 = usage/IO error.
+
+use rsc_core::{check_program, CheckerOptions};
+use rsc_incr::{CheckSession, Serve, SessionOutcome};
+
+fn main() {
+    let mut opts = CheckerOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut want_jobs = false;
+    let mut serve = false;
+    let mut watch = false;
+    for arg in std::env::args().skip(1) {
+        if want_jobs {
+            want_jobs = false;
+            opts.jobs = parse_jobs(&arg);
+            continue;
+        }
+        match arg.as_str() {
+            "serve" => serve = true,
+            "--watch" | "-w" => watch = true,
+            "--no-path-sensitivity" => opts.path_sensitivity = false,
+            "--no-prelude-qualifiers" => opts.prelude_qualifiers = false,
+            "--no-mined-qualifiers" => opts.mine_qualifiers = false,
+            "--no-vc-cache" => opts.vc_cache = false,
+            "--jobs" | "-j" => want_jobs = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => match other.strip_prefix("--jobs=") {
+                Some(n) => opts.jobs = parse_jobs(n),
+                None => {
+                    eprintln!("rsc: unknown flag {other}");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if want_jobs {
+        eprintln!("rsc: --jobs expects a worker count");
+        print_usage();
+        std::process::exit(2);
+    }
+    if serve {
+        if watch || !files.is_empty() {
+            eprintln!("rsc: serve takes no files (send load requests on stdin)");
+            std::process::exit(2);
+        }
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = Serve::run(opts, stdin.lock(), stdout.lock()) {
+            eprintln!("rsc: serve I/O error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if watch {
+        if files.len() != 1 {
+            eprintln!("rsc: --watch expects exactly one file");
+            std::process::exit(2);
+        }
+        run_watch(&files[0], opts, quiet);
+        return;
+    }
+    if files.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rsc: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let start = std::time::Instant::now();
+        let result = check_program(&src, opts);
+        let elapsed = start.elapsed();
+        if result.ok() {
+            if !quiet {
+                println!(
+                    "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, \
+                     {} bundles, {:.0}% VC-cache hits, {:.0?})",
+                    result.stats.constraints,
+                    result.stats.kvars,
+                    result.stats.smt_queries,
+                    result.stats.bundles,
+                    100.0 * result.stats.cache_hit_rate(),
+                    elapsed
+                );
+            }
+        } else {
+            failed = true;
+            println!(
+                "{file}: UNSAFE ({} errors, {:.0?})",
+                result.diagnostics.len(),
+                elapsed
+            );
+            for d in &result.diagnostics {
+                println!("  {d}");
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Prints one watch-loop check: verdict, incremental reuse, timing.
+fn report_watch(file: &str, outcome: &SessionOutcome, quiet: bool) {
+    let incr = &outcome.incr;
+    let reuse = if incr.fast_path {
+        "unchanged".to_string()
+    } else {
+        format!("{} reused / {} solved", incr.reused, incr.solved)
+    };
+    if outcome.result.ok() {
+        if !quiet {
+            println!(
+                "[watch] {file}: SAFE ({} bundles, {reuse}, {}µs)",
+                incr.bundles, incr.total_micros
+            );
+        }
+    } else {
+        println!(
+            "[watch] {file}: UNSAFE ({} errors, {reuse}, {}µs)",
+            outcome.result.diagnostics.len(),
+            incr.total_micros
+        );
+        for d in &outcome.result.diagnostics {
+            println!("  {d}");
+        }
+    }
+}
+
+/// Re-checks `file` through one persistent session whenever its mtime
+/// changes. Polling interval: `RSC_WATCH_POLL_MS` (default 150). For
+/// scripted runs, `RSC_WATCH_MAX_CHECKS` bounds the number of checks
+/// before exiting (the exit code then reflects the last check).
+fn run_watch(file: &str, opts: CheckerOptions, quiet: bool) {
+    let poll = std::env::var("RSC_WATCH_POLL_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(150);
+    let max_checks = std::env::var("RSC_WATCH_MAX_CHECKS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let mtime = |f: &str| std::fs::metadata(f).and_then(|m| m.modified()).ok();
+
+    let mut session = CheckSession::new(opts);
+    let mut checks = 0u64;
+    let mut last_ok;
+    let mut seen = mtime(file);
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rsc: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = session.check(&src);
+    report_watch(file, &outcome, quiet);
+    last_ok = outcome.result.ok();
+    checks += 1;
+
+    loop {
+        if let Some(max) = max_checks {
+            if checks >= max {
+                std::process::exit(if last_ok { 0 } else { 1 });
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll));
+        let now = mtime(file);
+        if now == seen {
+            continue;
+        }
+        seen = now;
+        match std::fs::read_to_string(file) {
+            Ok(src) => {
+                let outcome = session.check(&src);
+                report_watch(file, &outcome, quiet);
+                last_ok = outcome.result.ok();
+                checks += 1;
+            }
+            Err(e) => eprintln!("rsc: cannot read {file}: {e} (still watching)"),
+        }
+    }
+}
+
+fn parse_jobs(s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("rsc: --jobs expects a positive integer, got {s:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
+         [--no-mined-qualifiers] [--no-vc-cache] [--jobs N] [--quiet] <file.rsc>...\n\
+         \u{20}      rsc serve            read NDJSON requests on stdin (load/edit/check),\n\
+         \u{20}                           respond with diagnostics + timing per line\n\
+         \u{20}      rsc --watch <file>   incremental re-check on every mtime change\n\
+         \n\
+         --jobs N  solve constraint bundles on N worker threads\n\
+         \u{20}         (default: RSC_JOBS env var, else available cores, max 8)"
+    );
+}

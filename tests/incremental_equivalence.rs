@@ -1,0 +1,181 @@
+//! Incremental soundness: a [`rsc_incr::CheckSession`] must be
+//! observationally indistinguishable from cold whole-program checking.
+//!
+//! Two layers of evidence:
+//!
+//! 1. **Every seeded mutation** from the Fig. 6 corpus (the same table
+//!    the rejection and golden-diagnostics suites pin) is edited *in*
+//!    through a session — diagnostics must be byte-identical to a cold
+//!    `check_program` of the mutated file — and then edited *back out* —
+//!    the program must re-verify, with the re-check solving **strictly
+//!    fewer** bundles than a cold run would (asserted via the per-bundle
+//!    `cached` flags in `BundleReport`).
+//!
+//! 2. **Random edit scripts** (proptest): arbitrary sequences of
+//!    mutation toggles applied to a corpus program, with the session
+//!    compared against a cold check after every step. This catches
+//!    retention bugs that only appear after a *sequence* of edits
+//!    (stale verdicts resurrected from two edits ago, etc.).
+
+use proptest::prelude::*;
+use rsc_bench::{load_benchmark, seeded_mutations};
+use rsc_core::{check_program, CheckResult, CheckerOptions};
+use rsc_incr::CheckSession;
+
+fn render(r: &CheckResult) -> String {
+    r.diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn solved_bundles(r: &CheckResult) -> usize {
+    r.bundle_reports.iter().filter(|b| !b.cached).count()
+}
+
+/// The acceptance-criteria loop: mutation in (byte-identical to cold),
+/// mutation out (re-verifies, strictly fewer bundles solved than cold).
+#[test]
+fn seeded_mutations_in_and_out() {
+    for &(name, from, to) in seeded_mutations() {
+        let clean = load_benchmark(name).expect("benchmark file");
+        let mutated = clean.replacen(from, to, 1);
+        if rsc_syntax::parse_program(&mutated).is_err() {
+            continue; // mutation breaks the syntax — nothing to compare
+        }
+        let mut session = CheckSession::new(CheckerOptions::default());
+
+        // Cold-start the session on the clean program.
+        let first = session.check(&clean);
+        assert!(first.result.ok(), "{name}: clean corpus must verify");
+        let total = first.result.bundle_reports.len();
+        assert_eq!(
+            solved_bundles(&first.result),
+            total,
+            "{name}: first check has nothing to reuse"
+        );
+
+        // Edit the bug in: byte-identical diagnostics vs a cold check.
+        let broken = session.check(&mutated);
+        let cold_broken = check_program(&mutated, CheckerOptions::default());
+        assert!(!broken.result.ok(), "{name}: seeded bug must be rejected");
+        assert_eq!(
+            render(&broken.result),
+            render(&cold_broken),
+            "{name}: session diagnostics drifted from cold check"
+        );
+
+        // Edit it back out: verifies again, and the session solved
+        // strictly fewer bundles than the cold run (which solves all).
+        let fixed = session.check(&clean);
+        assert!(fixed.result.ok(), "{name}: reverting the bug must verify");
+        assert_eq!(render(&fixed.result), "");
+        let resolved = solved_bundles(&fixed.result);
+        let cold_total = fixed.result.bundle_reports.len();
+        assert!(
+            resolved < cold_total,
+            "{name}: re-check solved {resolved}/{cold_total} bundles — \
+             expected strictly fewer than a cold run"
+        );
+        assert_eq!(
+            fixed.result.stats.bundles_reused,
+            cold_total - resolved,
+            "{name}: reuse accounting disagrees with the cached flags"
+        );
+    }
+}
+
+/// Session totals must stay meaningful under reuse: retained bundles
+/// report their recorded counters (`cached: true`), and the per-bundle
+/// query counts still sum to the run total exactly as they do cold.
+#[test]
+fn cached_reports_partition_totals() {
+    // d3-arrays and its own seeded mutation: a genuine one-function
+    // edit, so the run mixes cached and freshly solved reports.
+    let (name, from, to) = seeded_mutations()
+        .iter()
+        .find(|(b, _, _)| *b == "d3-arrays")
+        .copied()
+        .expect("d3-arrays has a seeded mutation");
+    let clean = load_benchmark(name).expect("benchmark file");
+    let edited = clean.replacen(from, to, 1);
+    assert_ne!(clean, edited, "mutation site must exist");
+    assert!(rsc_syntax::parse_program(&edited).is_ok());
+
+    let mut session = CheckSession::new(CheckerOptions::default());
+    session.check(&clean);
+    let outcome = session.check(&edited);
+    let cached = outcome.result.bundle_reports.iter().filter(|b| b.cached);
+    let solved = outcome.result.bundle_reports.iter().filter(|b| !b.cached);
+    assert!(cached.count() > 0, "edit must retain some bundles");
+    assert!(solved.count() > 0, "edit must re-solve some bundles");
+
+    let per_bundle: u64 = outcome
+        .result
+        .bundle_reports
+        .iter()
+        .map(|b| b.smt_queries)
+        .sum();
+    assert_eq!(
+        per_bundle, outcome.result.stats.smt_queries,
+        "per-bundle smt_queries (cached + solved) must sum to the run total"
+    );
+    for b in &outcome.result.bundle_reports {
+        assert_eq!(
+            b.smt_queries,
+            b.smt.queries + b.smt.cache_hits,
+            "a bundle's liquid queries are either solved or cache hits"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random mutation-toggle scripts over the d3-arrays benchmark:
+    /// after every step the session must match a cold check byte for
+    /// byte, and (after the first check) reuse at least one bundle
+    /// whenever the program has more than one.
+    #[test]
+    fn edit_scripts_match_cold_checks(script in prop::collection::vec(0usize..2, 1..4)) {
+        let name = "d3-arrays";
+        let clean = load_benchmark(name).expect("benchmark file");
+        let muts: Vec<(&str, &str)> = seeded_mutations()
+            .iter()
+            .filter(|(b, _, _)| *b == name)
+            .map(|(_, f, t)| (*f, *t))
+            .collect();
+        prop_assert!(!muts.is_empty());
+
+        let mut session = CheckSession::new(CheckerOptions::default());
+        session.check(&clean);
+        let mut applied = vec![false; muts.len()];
+        for step in script {
+            let slot = step % muts.len();
+            applied[slot] = !applied[slot];
+            let mut src = clean.clone();
+            for (i, on) in applied.iter().enumerate() {
+                if *on {
+                    src = src.replacen(muts[i].0, muts[i].1, 1);
+                }
+            }
+            if rsc_syntax::parse_program(&src).is_err() {
+                applied[slot] = !applied[slot]; // skip unparseable snapshots
+                continue;
+            }
+            let session_out = session.check(&src);
+            let cold = check_program(&src, CheckerOptions::default());
+            prop_assert_eq!(session_out.result.ok(), cold.ok());
+            prop_assert_eq!(render(&session_out.result), render(&cold));
+            let total = session_out.result.bundle_reports.len();
+            if total > 1 {
+                prop_assert!(
+                    session_out.result.stats.bundles_reused > 0,
+                    "one-mutation step should reuse something: {:?}",
+                    session_out.incr
+                );
+            }
+        }
+    }
+}
