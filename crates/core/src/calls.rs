@@ -5,6 +5,7 @@
 
 use std::collections::HashMap;
 
+use rsc_liquid::{Blame, ObligationKind as K};
 use rsc_logic::{CmpOp, Pred, Sort, Subst, Sym, Term};
 use rsc_ssa::IrExpr;
 use rsc_syntax::{AnnTy, Mutability, Span};
@@ -42,7 +43,8 @@ impl Checker {
                             Pred::cmp(CmpOp::Ne, Term::vv(), Term::app("undefv", vec![])),
                         ]),
                     };
-                    self.push_sub_pred(env, lhs, rhs, t.sort(), span, "assert must hold");
+                    let blame = Blame::new(K::Assertion, "assert must hold", span);
+                    self.push_sub_pred(env, lhs, rhs, t.sort(), &blame);
                     return RType::void();
                 }
                 "assume" => {
@@ -263,13 +265,12 @@ impl Checker {
                 {
                     Some(objpart) => {
                         let lhs = tr.clone().selfify(recv_term.clone());
-                        self.sub(
-                            env,
-                            &lhs,
-                            &objpart,
+                        let blame = Blame::new(
+                            K::Narrowing,
+                            format!("method call .{m} on a possibly null/undefined value"),
                             span,
-                            &format!("method call .{m} on a possibly null/undefined value"),
                         );
+                        self.sub(env, &lhs, &objpart, &blame);
                         // Re-dispatch with the narrowed receiver by
                         // rebinding a temp of the object type.
                         let tmp = self.fresh_tmp();
@@ -396,7 +397,8 @@ impl Checker {
                 None => {
                     // Missing argument must be allowed to be undefined.
                     let u = RType::undefined();
-                    self.sub(env, &u, &expected, span, "missing optional argument");
+                    let blame = Blame::new(K::CallArgument, "missing optional argument", span);
+                    self.sub(env, &u, &expected, &blame);
                 }
                 Some(a) => match &arg_tys[i] {
                     Some(at) => {
@@ -404,7 +406,9 @@ impl Checker {
                             Some(t) => at.clone().selfify(t),
                             None => at.clone(),
                         };
-                        self.sub(env, &lhs, &expected, span, &format!("argument {}", i + 1));
+                        let blame =
+                            Blame::new(K::CallArgument, format!("argument {}", i + 1), span);
+                        self.sub(env, &lhs, &expected, &blame);
                     }
                     None => {
                         // Deferred closure: check its body against the
@@ -471,12 +475,14 @@ impl Checker {
             Some(t) => t1.clone().selfify(t),
             None => t1,
         };
-        self.sub(&env1, &lhs1, &template, span, "ternary then-value");
+        let blame = Blame::new(K::Assignment, "ternary then-value", span);
+        self.sub(&env1, &lhs1, &template, &blame);
         let lhs2 = match self.term_of(&args[2], &env2) {
             Some(t) => t2.clone().selfify(t),
             None => t2,
         };
-        self.sub(&env2, &lhs2, &template, span, "ternary else-value");
+        let blame = Blame::new(K::Assignment, "ternary else-value", span);
+        self.sub(&env2, &lhs2, &template, &blame);
         template
     }
 
@@ -535,13 +541,12 @@ impl Checker {
             if let Some(at) = arg_tys.get(i) {
                 let expected = pt.subst(&theta);
                 let lhs = at.clone().selfify(arg_terms[i].clone());
-                self.sub(
-                    env,
-                    &lhs,
-                    &expected,
+                let blame = Blame::new(
+                    K::CallArgument,
+                    format!("constructor argument {} of new {cname}", i + 1),
                     span,
-                    &format!("constructor argument {} of new {cname}", i + 1),
                 );
+                self.sub(env, &lhs, &expected, &blame);
             }
         }
         // Result type (T-NEW): class inclusion + invariants + equalities
@@ -594,6 +599,7 @@ impl Checker {
         match args {
             [n] => {
                 let tn = self.synth(n, env);
+                let blame = Blame::new(K::CallArgument, "array length", span);
                 self.sub(
                     env,
                     &tn,
@@ -601,8 +607,7 @@ impl Checker {
                         base: Base::Prim(Prim::Num),
                         pred: Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
                     },
-                    span,
-                    "array length",
+                    &blame,
                 );
                 let term = self.term_of_or_tmp_pub(n, &tn, env);
                 RType {
@@ -611,9 +616,10 @@ impl Checker {
                 }
             }
             _ => {
+                let blame = Blame::new(K::CallArgument, "array element", span);
                 for a in args {
                     let at = self.synth(a, env);
-                    self.sub(env, &at, &elem, span, "array element");
+                    self.sub(env, &at, &elem, &blame);
                 }
                 RType {
                     base: Base::Arr(Box::new(elem), Mutability::Mutable),
@@ -658,19 +664,14 @@ impl Checker {
                     // Upcast: ordinary subsumption.
                     let tgt = target.clone();
                     let lhs = te.clone().selfify(term.clone());
-                    self.sub(env, &lhs, &tgt, span, "upcast");
+                    let blame = Blame::new(K::Cast, "upcast", span);
+                    self.sub(env, &lhs, &tgt, &blame);
                 } else {
                     // Downcast: Γ must prove the target's invariants.
                     let lhs = Pred::and(vec![self.embed_pred(&te), Pred::vv_eq(term.clone())]);
                     let rhs = self.ct.inv_pred(c2, &Term::vv());
-                    self.push_sub_pred(
-                        env,
-                        lhs,
-                        rhs,
-                        Sort::Ref,
-                        span,
-                        &format!("downcast to {c2}"),
-                    );
+                    let blame = Blame::new(K::Cast, format!("downcast to {c2}"), span);
+                    self.push_sub_pred(env, lhs, rhs, Sort::Ref, &blame);
                 }
                 // D ◁ p: the target strengthened with the source refinement
                 // (and the source value identity when the term is a variable).
@@ -683,7 +684,8 @@ impl Checker {
             _ => {
                 // Non-object casts behave like ascriptions.
                 let tgt = target.clone();
-                self.sub(env, &te, &tgt, span, "cast");
+                let blame = Blame::new(K::Cast, "cast", span);
+                self.sub(env, &te, &tgt, &blame);
                 target
             }
         }

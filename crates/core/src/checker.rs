@@ -8,8 +8,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use rsc_liquid::{
-    bundle_fingerprint, global_fingerprint, partition, solve, CEnv, ConstraintBundle,
-    ConstraintSet, LiquidResult,
+    bundle_fingerprint, global_fingerprint, partition, solve, Blame, CEnv, ConstraintBundle,
+    ConstraintSet, LiquidResult, ObligationKind,
 };
 use rsc_logic::{CmpOp, Pred, Sort, SortScope, Subst, Sym, Term};
 use rsc_smt::{CacheCounters, SolverStats, VcCache};
@@ -38,6 +38,11 @@ pub struct CheckerOptions {
     /// Share a canonicalizing VC cache across narrowing checks and all
     /// bundle solvers (the `no_vc_cache` ablation turns this off).
     pub vc_cache: bool,
+    /// Maximum canonical-VC entries retained by the cache. `0` means
+    /// auto: the `RSC_CACHE_CAP` environment variable if set, otherwise
+    /// unbounded. Bounding matters for long-lived sessions — see
+    /// `rsc_smt::VcCache`'s generation-count LRU eviction.
+    pub cache_capacity: usize,
 }
 
 impl Default for CheckerOptions {
@@ -48,6 +53,7 @@ impl Default for CheckerOptions {
             mine_qualifiers: true,
             jobs: 0,
             vc_cache: true,
+            cache_capacity: 0,
         }
     }
 }
@@ -76,6 +82,24 @@ impl CheckerOptions {
             .unwrap_or(1)
             .min(8)
     }
+
+    /// Resolves `cache_capacity` to a concrete entry cap (`0` =
+    /// unbounded), honoring `RSC_CACHE_CAP` when the option is unset.
+    pub fn effective_cache_capacity(&self) -> usize {
+        if self.cache_capacity > 0 {
+            return self.cache_capacity;
+        }
+        if let Ok(v) = std::env::var("RSC_CACHE_CAP") {
+            match v.parse::<usize>() {
+                Ok(n) => return n,
+                Err(_) => eprintln!(
+                    "rsc: ignoring invalid RSC_CACHE_CAP={v:?} (expected a non-negative \
+                     integer); cache is unbounded"
+                ),
+            }
+        }
+        0
+    }
 }
 
 /// Statistics from one checker run (reported by the benchmark harness).
@@ -96,6 +120,9 @@ pub struct CheckStats {
     /// Bundles whose verdicts were reused from a previous session run
     /// (always 0 for cold, non-session checks).
     pub bundles_reused: usize,
+    /// VC-cache entries evicted during this run (non-zero only when a
+    /// cache capacity is configured).
+    pub cache_evictions: u64,
 }
 
 impl CheckStats {
@@ -131,8 +158,10 @@ pub struct BundleReport {
     /// instead of re-solved.
     pub cached: bool,
     /// The bundle's failing constraints: local index (into the bundle's
-    /// own constraint list) plus the diagnostic origin text.
-    pub failures: Vec<(usize, String)>,
+    /// own constraint list) plus the structured blame. For a `cached`
+    /// bundle the blame is re-attached from the *current* run's
+    /// constraints, so spans stay fresh even when nothing re-solves.
+    pub failures: Vec<(usize, Blame)>,
     /// Liquid-level validity queries the bundle's fixpoint issued when
     /// it was (last) solved — a pure function of the bundle's canonical
     /// problem, so it is also correct for `cached` bundles.
@@ -140,10 +169,14 @@ pub struct BundleReport {
 }
 
 impl BundleReport {
-    /// The retained verdict a session stores for this bundle.
+    /// The retained verdict a session stores for this bundle. Only the
+    /// failing *indices* are retained, not their blame: provenance is
+    /// excluded from bundle fingerprints, so a fingerprint-equal bundle
+    /// in a later run may sit at different source positions — its blame
+    /// must come from that run's constraints, never from retention.
     pub fn retained(&self) -> RetainedBundle {
         RetainedBundle {
-            failures: self.failures.clone(),
+            failures: self.failures.iter().map(|(i, _)| *i).collect(),
             smt: self.smt,
             smt_queries: self.smt_queries,
         }
@@ -156,8 +189,9 @@ impl BundleReport {
 /// fingerprint-equal bundle is byte-identical to re-solving it.
 #[derive(Clone, Debug)]
 pub struct RetainedBundle {
-    /// Failing constraints: bundle-local index + origin text.
-    pub failures: Vec<(usize, String)>,
+    /// Failing constraints, as bundle-local indices. Blame is
+    /// re-attached from the current run's constraints at merge time.
+    pub failures: Vec<usize>,
     /// Solver counters from when the bundle was last solved.
     pub smt: SolverStats,
     /// Liquid-level validity queries from when it was last solved.
@@ -191,6 +225,10 @@ pub struct Env {
     pub(crate) guards: Vec<Pred>,
     pub(crate) tparams: HashSet<Sym>,
     pub(crate) ret: RType,
+    /// Where the expected return type was declared (the enclosing
+    /// function's span), used as the secondary blame range on return
+    /// obligations.
+    pub(crate) ret_span: Span,
     /// `Some(C)` while checking the constructor of `C` (§4.4 internal
     /// initialization: field writes are deferred to `ctor_init` at exits).
     pub(crate) in_ctor_of: Option<Sym>,
@@ -203,6 +241,7 @@ impl Env {
             guards: Vec::new(),
             tparams: HashSet::new(),
             ret: RType::void(),
+            ret_span: Span::dummy(),
             in_ctor_of: None,
         }
     }
@@ -245,7 +284,6 @@ pub struct Checker {
     pub(crate) infer: HashMap<u32, RType>,
     pub(crate) next_infer: u32,
     pub(crate) next_tmp: u32,
-    pub(crate) spans: Vec<Span>,
     /// The generating unit (function / class member / top level) of each
     /// constraint, parallel to `cs.subs` — the partition key for the
     /// parallel solve step.
@@ -288,9 +326,8 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
 
 /// Checks an already-SSA-translated program.
 pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
-    solve_artifacts(generate_artifacts(ir, opts, VcCache::shared()), &mut |_| {
-        None
-    })
+    let cache = VcCache::shared_with_capacity(opts.effective_cache_capacity());
+    solve_artifacts(generate_artifacts(ir, opts, cache), &mut |_| None)
 }
 
 /// The generation half of the pipeline: class table, constraint
@@ -331,7 +368,6 @@ pub fn generate_artifacts(
         infer: HashMap::new(),
         next_infer: 0,
         next_tmp: 0,
-        spans: Vec::new(),
         units: Vec::new(),
         current_unit: 0,
         next_unit: 1,
@@ -344,10 +380,10 @@ pub fn generate_artifacts(
 /// the solve step needs to produce a [`CheckResult`]. See
 /// [`generate_artifacts`] / [`solve_artifacts`].
 pub struct CheckArtifacts {
-    /// Per-function constraint bundles, in source order.
+    /// Per-function constraint bundles, in source order. Each
+    /// constraint carries its own [`Blame`] (span, obligation kind,
+    /// refinement renderings) — there is no side table of spans.
     pub bundles: Vec<ConstraintBundle>,
-    /// Span of each original constraint index.
-    pub spans: Vec<Span>,
     /// Diagnostics produced during generation (parse-independent resolve
     /// errors etc.), merged ahead of solve failures.
     pub gen_diags: Vec<Diagnostic>,
@@ -377,7 +413,6 @@ impl CheckArtifacts {
     ) -> CheckArtifacts {
         CheckArtifacts {
             bundles: Vec::new(),
-            spans: Vec::new(),
             gen_diags,
             kvars: 0,
             constraints: 0,
@@ -406,7 +441,6 @@ pub fn solve_artifacts(
 ) -> CheckResult {
     let CheckArtifacts {
         bundles,
-        spans,
         gen_diags: mut diags,
         kvars: total_kvars,
         constraints: total_constraints,
@@ -468,7 +502,7 @@ pub fn solve_artifacts(
             }
         }
     }
-    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut failures: Vec<(usize, Blame)> = Vec::new();
     let mut smt_queries = 0u64;
     let mut bundles_reused = 0usize;
     let mut bundle_reports = Vec::with_capacity(bundles.len());
@@ -476,13 +510,27 @@ pub fn solve_artifacts(
         let report = match (&retained[i], &solved[i]) {
             (Some(r), _) => {
                 bundles_reused += 1;
+                // Provenance is excluded from fingerprints, so the
+                // retained verdict only names failing *indices*; blame
+                // (spans, renderings) is re-attached from this run's
+                // constraints — that is what keeps line numbers fresh
+                // across whitespace-only edits that re-solve nothing.
+                let failures = r
+                    .failures
+                    .iter()
+                    .filter_map(|&local| {
+                        b.cs.subs
+                            .get(local)
+                            .map(|c| (local, c.blame_with_renderings()))
+                    })
+                    .collect();
                 BundleReport {
                     constraints: b.cs.subs.len(),
                     kvars: b.cs.num_kvars(),
                     smt: r.smt,
                     fingerprint: fingerprints[i],
                     cached: true,
-                    failures: r.failures.clone(),
+                    failures,
                     smt_queries: r.smt_queries,
                 }
             }
@@ -498,15 +546,14 @@ pub fn solve_artifacts(
             (None, None) => unreachable!("bundle neither retained nor solved"),
         };
         smt_queries += report.smt_queries;
-        for (local, origin) in &report.failures {
-            failures.push((b.members[*local], origin.clone()));
+        for (local, blame) in &report.failures {
+            failures.push((b.members[*local], blame.clone()));
         }
         bundle_reports.push(report);
     }
     failures.sort_by_key(|f| f.0);
-    for (ci, origin) in failures {
-        let span = spans.get(ci).copied().unwrap_or_default();
-        diags.push(Diagnostic::error(origin, span));
+    for (_, blame) in failures {
+        diags.push(Diagnostic::from_blame(&blame));
     }
     let counters = vc_cache.counters();
     let stats = CheckStats {
@@ -517,11 +564,22 @@ pub fn solve_artifacts(
         cache_hits: counters.hits - cache_before.hits,
         cache_misses: counters.misses - cache_before.misses,
         bundles_reused,
+        cache_evictions: counters.evictions - cache_before.evictions,
     };
     CheckResult {
         diagnostics: diags,
         stats,
         bundle_reports,
+    }
+}
+
+/// `"detail"` → `"detail: "` (empty stays empty), for composing nested
+/// blame detail text.
+fn prefix(detail: &str) -> String {
+    if detail.is_empty() {
+        String::new()
+    } else {
+        format!("{detail}: ")
     }
 }
 
@@ -584,7 +642,6 @@ impl Checker {
         // Partition: one closed constraint problem per function-level unit.
         let total_kvars = self.cs.num_kvars();
         let total_constraints = self.cs.subs.len();
-        let spans = std::mem::take(&mut self.spans);
         let units = std::mem::take(&mut self.units);
         let cs = std::mem::replace(&mut self.cs, ConstraintSet::new());
         let global_fp = global_fingerprint(&cs.quals, &cs.sort_env);
@@ -592,7 +649,6 @@ impl Checker {
 
         CheckArtifacts {
             bundles,
-            spans,
             gen_diags: self.diags,
             kvars: total_kvars,
             constraints: total_constraints,
@@ -833,15 +889,12 @@ impl Checker {
         lhs: Pred,
         rhs: Pred,
         vv_sort: Sort,
-        span: Span,
-        origin: &str,
+        blame: &Blame,
     ) {
         let cenv = self.to_cenv(env);
-        let msg = format!("line {}: {}", span.line, origin);
         let before = self.cs.subs.len();
-        self.cs.push_sub(cenv, lhs, rhs, vv_sort, &msg);
+        self.cs.push_sub(cenv, lhs, rhs, vv_sort, blame);
         for _ in before..self.cs.subs.len() {
-            self.spans.push(span);
             self.units.push(self.current_unit);
         }
     }
@@ -850,7 +903,19 @@ impl Checker {
     /// if the environment is inconsistent — exactly the two-phase typing
     /// treatment of overload conjuncts (§2.1.2).
     pub(crate) fn base_error(&mut self, env: &Env, span: Span, msg: String) {
-        self.push_sub_pred(env, Pred::True, Pred::False, Sort::Int, span, &msg);
+        let blame = Blame::new(ObligationKind::BaseType, msg, span);
+        self.push_sub_pred(env, Pred::True, Pred::False, Sort::Int, &blame);
+    }
+
+    /// [`Checker::base_error`] under an inherited obligation kind: a
+    /// structural mismatch discovered while discharging `blame` keeps
+    /// that blame's kind/code (a bad call argument stays `R0001` even
+    /// when it fails structurally) with the mismatch appended to the
+    /// detail.
+    pub(crate) fn base_error_blamed(&mut self, env: &Env, blame: &Blame, mismatch: String) {
+        let mut blame = blame.clone();
+        blame.detail = format!("{}{mismatch}", prefix(&blame.detail));
+        self.push_sub_pred(env, Pred::True, Pred::False, Sort::Int, &blame);
     }
 
     /// Immediate (kvar-free, pessimistic) refutation check used for union
@@ -900,18 +965,21 @@ impl Checker {
     }
 
     /// `Γ ⊢ T1 ⊑ T2` — generates constraints; base mismatches become
-    /// dead-code obligations.
-    pub(crate) fn sub(&mut self, env: &Env, t1: &RType, t2: &RType, span: Span, origin: &str) {
+    /// dead-code obligations. `blame` names the obligation being
+    /// discharged (kind, detail, span) and is attached, with the
+    /// refinement renderings of each split constraint, to everything
+    /// pushed here.
+    pub(crate) fn sub(&mut self, env: &Env, t1: &RType, t2: &RType, blame: &Blame) {
         let t1 = self.resolve_infer(t1);
         let t2 = self.resolve_infer(t2);
         // Inference placeholders: bind to the other side's structure.
         if let Base::Infer(u) = t2.base {
             self.infer.insert(u, RType::trivial(t1.base.clone()));
-            return self.sub(env, &t1, &self.resolve_infer(&t2), span, origin);
+            return self.sub(env, &t1, &self.resolve_infer(&t2), blame);
         }
         if let Base::Infer(u) = t1.base {
             self.infer.insert(u, RType::trivial(t2.base.clone()));
-            return self.sub(env, &self.resolve_infer(&t1), &t2, span, origin);
+            return self.sub(env, &self.resolve_infer(&t1), &t2, blame);
         }
         // Empty unions act as ⊥ on the left (error recovery) and ⊤ on the
         // right (e.g. the top-level "return anything" type).
@@ -926,25 +994,25 @@ impl Checker {
         match (&t1.base, &t2.base) {
             (Base::Prim(p1), Base::Prim(p2)) if p1 == p2 => {
                 let l = lhs();
-                self.push_sub_pred(env, l, t2.pred.clone(), vv_sort, span, origin);
+                self.push_sub_pred(env, l, t2.pred.clone(), vv_sort, blame);
             }
             // Anything flows into void (statement position).
             (_, Base::Prim(Prim::Void)) => {}
             (Base::Bv(_), Base::Bv(_)) => {
                 let l = lhs();
-                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Bv32, span, origin);
+                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Bv32, blame);
             }
             (Base::TVar(a), Base::TVar(b)) if a == b => {
                 let l = lhs();
-                self.push_sub_pred(env, l, t2.pred.clone(), vv_sort, span, origin);
+                self.push_sub_pred(env, l, t2.pred.clone(), vv_sort, blame);
             }
             (Base::Arr(e1, m1), Base::Arr(e2, m2)) => {
                 if !m1.satisfies(*m2) {
-                    return self.base_error(
+                    return self.base_error_blamed(
                         env,
-                        span,
+                        blame,
                         format!(
-                            "{origin}: array mutability {} does not satisfy {}",
+                            "array mutability {} does not satisfy {}",
                             m1.abbrev(),
                             m2.abbrev()
                         ),
@@ -952,47 +1020,47 @@ impl Checker {
                 }
                 let e1c = (**e1).clone();
                 let e2c = (**e2).clone();
-                self.sub(env, &e1c, &e2c, span, origin);
+                self.sub(env, &e1c, &e2c, blame);
                 if matches!(m2, Mutability::Mutable | Mutability::Unique) {
-                    self.sub(env, &e2c, &e1c, span, origin);
+                    self.sub(env, &e2c, &e1c, blame);
                 }
                 let l = lhs();
-                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Ref, span, origin);
+                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Ref, blame);
             }
             (Base::Obj(c1, m1, a1), Base::Obj(c2, m2, a2)) => {
                 if !self.ct.is_subclass(c1, c2) {
-                    return self.base_error(
+                    return self.base_error_blamed(
                         env,
-                        span,
-                        format!("{origin}: {c1} is not a subtype of {c2}"),
+                        blame,
+                        format!("{c1} is not a subtype of {c2}"),
                     );
                 }
                 if !m1.satisfies(*m2) {
-                    return self.base_error(
+                    return self.base_error_blamed(
                         env,
-                        span,
+                        blame,
                         format!(
-                            "{origin}: mutability {} does not satisfy {}",
+                            "mutability {} does not satisfy {}",
                             m1.abbrev(),
                             m2.abbrev()
                         ),
                     );
                 }
                 for (x, y) in a1.clone().iter().zip(a2.clone().iter()) {
-                    self.sub(env, x, y, span, origin);
-                    self.sub(env, y, x, span, origin);
+                    self.sub(env, x, y, blame);
+                    self.sub(env, y, x, blame);
                 }
                 let l = lhs();
-                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Ref, span, origin);
+                self.push_sub_pred(env, l, t2.pred.clone(), Sort::Ref, blame);
             }
             (Base::Fun(f1), Base::Fun(f2)) => {
                 let (f1, f2) = (f1.clone(), f2.clone());
                 if f1.params.len() > f2.params.len() {
-                    return self.base_error(
+                    return self.base_error_blamed(
                         env,
-                        span,
+                        blame,
                         format!(
-                            "{origin}: function takes {} parameters, expected at most {}",
+                            "function takes {} parameters, expected at most {}",
                             f1.params.len(),
                             f2.params.len()
                         ),
@@ -1011,10 +1079,10 @@ impl Checker {
                 }
                 for ((_, t1p), (_, t2p)) in f1.params.iter().zip(f2.params.iter()) {
                     let t1r = t1p.subst(&rename);
-                    self.sub(&env2, t2p, &t1r, span, origin); // contravariant
+                    self.sub(&env2, t2p, &t1r, blame); // contravariant
                 }
                 let r1 = f1.ret.subst(&rename);
-                self.sub(&env2, &r1, &f2.ret, span, origin);
+                self.sub(&env2, &r1, &f2.ret, blame);
             }
             (Base::Union(parts), _) => {
                 let parts = parts.clone();
@@ -1040,26 +1108,26 @@ impl Checker {
                             // environment (cheap narrowing).
                             if !self.refuted(env, &[tagged]) {
                                 let strong = part.clone().strengthen(t1.pred.clone());
-                                self.sub(env, &strong, &tgt, span, origin);
+                                self.sub(env, &strong, &tgt, blame);
                             }
                         }
                         None => {
                             // No structural target: the part must be DEAD.
                             // Defer the refutation so κ solutions (e.g.
                             // `ttag(v) = "number"` on a Φ variable) can
-                            // participate (§4.2 narrowing).
-                            self.push_sub_pred(
-                                env,
-                                tagged,
-                                Pred::False,
-                                Sort::Ref,
-                                span,
-                                &format!(
-                                    "{origin}: union part {} does not fit {}",
-                                    part.base.describe(),
-                                    t2.base.describe()
-                                ),
+                            // participate (§4.2 narrowing). The blame
+                            // keeps the enclosing obligation's kind — a
+                            // possibly-null field read stays a field-read
+                            // failure — with the unrefuted part named in
+                            // the detail.
+                            let mut b = blame.clone();
+                            b.detail = format!(
+                                "{}union part {} does not fit {}",
+                                prefix(&blame.detail),
+                                part.base.describe(),
+                                t2.base.describe()
                             );
+                            self.push_sub_pred(env, tagged, Pred::False, Sort::Ref, &b);
                         }
                     }
                 }
@@ -1072,27 +1140,23 @@ impl Checker {
                 match target {
                     Some(tgt) => {
                         let tgt = tgt.strengthen(t2.pred.clone());
-                        self.sub(env, &t1, &tgt, span, origin)
+                        self.sub(env, &t1, &tgt, blame)
                     }
-                    None => self.base_error(
+                    None => self.base_error_blamed(
                         env,
-                        span,
+                        blame,
                         format!(
-                            "{origin}: {} is not part of union {}",
+                            "{} is not part of union {}",
                             t1.base.describe(),
                             t2.base.describe()
                         ),
                     ),
                 }
             }
-            (b1, b2) => self.base_error(
+            (b1, b2) => self.base_error_blamed(
                 env,
-                span,
-                format!(
-                    "{origin}: base type mismatch, {} vs {}",
-                    b1.describe(),
-                    b2.describe()
-                ),
+                blame,
+                format!("base type mismatch, {} vs {}", b1.describe(), b2.describe()),
             ),
         }
     }
@@ -1356,9 +1420,9 @@ fn debug_dump(b: &ConstraintBundle, result: &LiquidResult) {
             .collect();
         eprintln!("[debug] {id} ({}) = {sol:?}", kv.origin);
     }
-    for (ci, origin) in &result.failures {
+    for (ci, blame) in &result.failures {
         let c = &b.cs.subs[*ci];
-        eprintln!("[debug] FAILED {origin}");
+        eprintln!("[debug] FAILED {}", blame.message());
         eprintln!("[debug]   lhs = {}", result.solution.apply(&c.lhs));
         eprintln!("[debug]   rhs = {}", result.solution.apply(&c.rhs));
         for h in c.env.embed() {

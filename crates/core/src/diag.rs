@@ -1,8 +1,23 @@
 //! Diagnostics reported by the checker.
+//!
+//! A [`Diagnostic`] is the user-facing end of the blame pipeline: it
+//! carries an `R0001`-style error code (from the failed obligation's
+//! [`rsc_liquid::ObligationKind`]), a primary source range, optional
+//! labeled secondary ranges, and notes (expected/actual refinement
+//! pretty-prints). Two renderings exist:
+//!
+//! * [`fmt::Display`] — a compact, source-free, deterministic form used
+//!   by tests, golden fixtures, and the watch loop. Byte-identity of
+//!   this rendering between incremental sessions and cold checks is a
+//!   hard invariant (`tests/incremental_equivalence.rs`).
+//! * [`Diagnostic::render`] — a rustc-style form with a source excerpt
+//!   and caret underline, used by the one-shot CLI (it has the source
+//!   text in hand).
 
 use std::fmt;
 
-use rsc_syntax::Span;
+use rsc_liquid::Blame;
+use rsc_syntax::{LineIndex, Span};
 
 /// The severity of a diagnostic.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,29 +33,207 @@ pub enum Severity {
 pub struct Diagnostic {
     /// Severity.
     pub severity: Severity,
+    /// Stable error code (`R0001`-style), when the diagnostic comes from
+    /// a failed subtyping obligation. Front-end errors (parse, resolve)
+    /// carry no code.
+    pub code: Option<&'static str>,
     /// Human-readable message.
     pub message: String,
-    /// Source location, when known.
+    /// Primary source range.
     pub span: Span,
+    /// Labeled secondary ranges (e.g. the declaration the failing value
+    /// was checked against).
+    pub secondary: Vec<(Span, String)>,
+    /// Notes, rendered after the message (expected/actual refinements).
+    pub notes: Vec<String>,
 }
 
 impl Diagnostic {
-    /// An error diagnostic.
+    /// An error diagnostic with no code (front-end errors).
     pub fn error(message: impl Into<String>, span: Span) -> Self {
         Diagnostic {
             severity: Severity::Error,
+            code: None,
             message: message.into(),
             span,
+            secondary: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// The diagnostic for a failed subtyping obligation: code from the
+    /// obligation kind, expected/actual refinements as notes, the
+    /// blame's related range as a secondary label.
+    pub fn from_blame(b: &Blame) -> Self {
+        let mut notes = Vec::new();
+        if !b.expected.is_empty() {
+            notes.push(format!("expected: {}", b.expected));
+        }
+        if !b.actual.is_empty() {
+            notes.push(format!("actual: {}", b.actual));
+        }
+        Diagnostic {
+            severity: Severity::Error,
+            code: Some(b.kind.code()),
+            message: b.message(),
+            span: b.span,
+            secondary: b.related.clone().into_iter().collect(),
+            notes,
+        }
+    }
+
+    /// Rustc-style rendering with a source excerpt and caret underline.
+    /// `src` must be the text the diagnostic's spans refer to; `file` is
+    /// only used for the `-->` location line. Convenience wrapper that
+    /// indexes `src` itself — when rendering many diagnostics for one
+    /// file, build one [`LineIndex`] and use [`Diagnostic::render_with`].
+    pub fn render(&self, file: &str, src: &str) -> String {
+        self.render_with(file, src, &LineIndex::new(src))
+    }
+
+    /// [`Diagnostic::render`] against a caller-supplied [`LineIndex`]
+    /// (which must have been built from `src`).
+    pub fn render_with(&self, file: &str, src: &str, idx: &LineIndex) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Note => "note",
+        };
+        let code = self.code.map(|c| format!("[{c}]")).unwrap_or_default();
+        let mut out = format!("{sev}{code}: {}\n", self.message);
+        if self.span.is_dummy() {
+            for (span, label) in &self.secondary {
+                out.push_str(&format!(
+                    "  --> {file}:{}: {label}\n",
+                    idx.render_range(src, *span)
+                ));
+            }
+            for note in &self.notes {
+                out.push_str(&format!("  = {note}\n"));
+            }
+            return out;
+        }
+        let start = idx.line_col(src, self.span.lo);
+        let end = idx.line_col(src, self.span.hi);
+        out.push_str(&format!(
+            "  --> {file}:{}\n",
+            idx.render_range(src, self.span)
+        ));
+        if let Some(text) = idx.line_text(src, start.line) {
+            let gutter = start.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{gutter} | {text}\n"));
+            let line_chars = text.chars().count() as u32;
+            let from = start.col.min(line_chars + 1);
+            let to = if end.line == start.line {
+                end.col.max(from + 1).min(line_chars + 2)
+            } else {
+                // Multi-line span: underline to the end of the first line.
+                line_chars + 2
+            };
+            out.push_str(&format!(
+                "{pad} | {}{}\n",
+                " ".repeat(from.saturating_sub(1) as usize),
+                "^".repeat((to - from).max(1) as usize)
+            ));
+        }
+        for (span, label) in &self.secondary {
+            out.push_str(&format!(
+                "  = see also {file}:{}: {label}\n",
+                idx.render_range(src, *span)
+            ));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  = {note}\n"));
+        }
+        out
     }
 }
 
+/// The compact, source-free rendering: one header line plus one line per
+/// secondary label and note. Deterministic — golden fixtures and the
+/// session-vs-cold byte-identity tests pin this format.
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let sev = match self.severity {
             Severity::Error => "error",
             Severity::Note => "note",
         };
-        write!(f, "{sev} ({}): {}", self.span, self.message)
+        match self.code {
+            Some(c) => write!(f, "{sev}[{c}] ({}): {}", self.span, self.message)?,
+            None => write!(f, "{sev} ({}): {}", self.span, self.message)?,
+        }
+        for (span, label) in &self.secondary {
+            write!(f, "\n  = see also ({span}): {label}")?;
+        }
+        for note in &self.notes {
+            write!(f, "\n  = {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_liquid::{Blame, ObligationKind};
+
+    fn blame() -> Blame {
+        let mut b = Blame::new(
+            ObligationKind::ArrayBounds,
+            "array read index",
+            Span {
+                lo: 25,
+                hi: 33,
+                line: 2,
+            },
+        );
+        b.expected = "0 <= v && v < len(a)".into();
+        b.actual = "v = i + 1".into();
+        b
+    }
+
+    #[test]
+    fn display_is_compact_and_coded() {
+        let d = Diagnostic::from_blame(&blame());
+        let s = d.to_string();
+        assert!(
+            s.starts_with("error[R0008] (line 2): array bounds: array read index"),
+            "{s}"
+        );
+        assert!(s.contains("= expected: 0 <= v && v < len(a)"), "{s}");
+        assert!(s.contains("= actual: v = i + 1"), "{s}");
+    }
+
+    #[test]
+    fn render_has_excerpt_and_caret() {
+        let src = "function f(): void {\n    return a[i + 1];\n}\n";
+        let d = Diagnostic::from_blame(&blame());
+        let r = d.render("demo.rsc", src);
+        assert!(
+            r.contains("error[R0008]: array bounds: array read index"),
+            "{r}"
+        );
+        assert!(r.contains("--> demo.rsc:2:5-2:13"), "{r}");
+        assert!(r.contains("2 |     return a[i + 1];"), "{r}");
+        assert!(r.contains("  |     ^^^^^^^^"), "{r}");
+    }
+
+    #[test]
+    fn render_survives_dummy_and_out_of_range_spans() {
+        let d = Diagnostic::error("front-end error", Span::dummy());
+        let r = d.render("x.rsc", "abc");
+        assert!(r.starts_with("error: front-end error"));
+        let wild = Diagnostic::from_blame(&Blame::new(
+            ObligationKind::Return,
+            "",
+            Span {
+                lo: 9999,
+                hi: 10002,
+                line: 400,
+            },
+        ));
+        // Out-of-range offsets clamp instead of panicking.
+        let _ = wild.render("x.rsc", "abc\ndef\n");
     }
 }

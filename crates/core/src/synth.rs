@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use rsc_liquid::{Blame, ObligationKind as K};
 use rsc_logic::{CmpOp, Pred, Sort, Subst, Sym, Term};
 use rsc_ssa::{Body, IrClass, IrExpr, IrFun};
 use rsc_syntax::ast::{BinOpE, UnOp};
@@ -68,6 +69,7 @@ impl Checker {
                 },
             );
             env.ret = rf.ret.subst(&rename);
+            env.ret_span = f.span;
             self.check_body(&f.body, &mut env);
         }
     }
@@ -99,6 +101,7 @@ impl Checker {
             env.bind(px.clone(), ty);
         }
         env.ret = expected.ret.subst(&rename);
+        env.ret_span = span;
         env.in_ctor_of = None;
         self.check_body(&fun.body.clone(), &mut env);
     }
@@ -150,6 +153,7 @@ impl Checker {
                 env.bind(x.clone(), t.clone());
             }
             env.ret = mi.fun.ret.clone();
+            env.ret_span = m.span;
             self.check_body(body, &mut env);
         }
     }
@@ -169,7 +173,11 @@ impl Checker {
                 };
                 if !matches!(env.ret.base, Base::Prim(Prim::Void)) {
                     let ret = env.ret.clone();
-                    self.sub(env, &t, &ret, *span, "return value");
+                    let mut blame = Blame::new(K::Return, "", *span);
+                    if !env.ret_span.is_dummy() {
+                        blame = blame.with_related(env.ret_span, "declared return type here");
+                    }
+                    self.sub(env, &t, &ret, &blame);
                 }
             }
             Body::EndBranch(_) => {}
@@ -184,7 +192,9 @@ impl Checker {
                 let bound = match ann {
                     Some(a) => match self.ct.resolve_in(a, &env.tparams) {
                         Ok(ta) => {
-                            self.sub(env, &t, &ta, *span, &format!("initializer of {x}"));
+                            let blame =
+                                Blame::new(K::Assignment, format!("initializer of {x}"), *span);
+                            self.sub(env, &t, &ta, &blame);
                             ta
                         }
                         Err(e) => {
@@ -254,13 +264,15 @@ impl Checker {
                     if *then_falls {
                         if let Some((s, t)) = &t_then {
                             let lhs = t.clone().selfify(Term::var(s.clone()));
-                            self.sub(&env1, &lhs, &template, *span, "phi join (then)");
+                            let blame = Blame::new(K::Assignment, "phi join (then)", *span);
+                            self.sub(&env1, &lhs, &template, &blame);
                         }
                     }
                     if *else_falls {
                         if let Some((s, t)) = &t_else {
                             let lhs = t.clone().selfify(Term::var(s.clone()));
-                            self.sub(&env2, &lhs, &template, *span, "phi join (else)");
+                            let blame = Blame::new(K::Assignment, "phi join (else)", *span);
+                            self.sub(&env2, &lhs, &template, &blame);
                         }
                     }
                     env.bind(phi.new.clone(), template);
@@ -322,7 +334,12 @@ impl Checker {
                 for ((phi, ti), (_, template)) in phis.iter().zip(&inits).zip(&templates) {
                     let lhs = ti.clone().selfify(Term::var(phi.init_src.clone()));
                     let t = template.clone();
-                    self.sub(env, &lhs, &t, *span, "loop entry");
+                    let blame = Blame::new(
+                        K::LoopInvariant,
+                        format!("loop entry for {}", phi.source),
+                        *span,
+                    );
+                    self.sub(env, &lhs, &t, &blame);
                 }
                 let mut env_loop = env.clone();
                 for (x, t) in &templates {
@@ -346,7 +363,12 @@ impl Checker {
                         if let Some(t) = env_body.lookup(src).cloned() {
                             let lhs = t.selfify(Term::var(src.clone()));
                             let tpl = template.clone();
-                            self.sub(&env_body, &lhs, &tpl, *span, "loop back edge");
+                            let blame = Blame::new(
+                                K::LoopInvariant,
+                                format!("loop back edge for {}", phi.source),
+                                *span,
+                            );
+                            self.sub(&env_body, &lhs, &tpl, &blame);
                         }
                     }
                 }
@@ -500,7 +522,8 @@ impl Checker {
                 let (elem, _m, arr_term) = self.expect_array(a, *span, env, false);
                 let ti = self.synth(i, env);
                 let idx_ty = self.idx_type(&arr_term);
-                self.sub(env, &ti, &idx_ty, *span, "array read index");
+                let blame = Blame::new(K::ArrayBounds, "array read index", *span);
+                self.sub(env, &ti, &idx_ty, &blame);
                 elem
             }
             IrExpr::IndexAssign(a, i, v, span) => {
@@ -514,9 +537,11 @@ impl Checker {
                 }
                 let ti = self.synth(i, env);
                 let idx_ty = self.idx_type(&arr_term);
-                self.sub(env, &ti, &idx_ty, *span, "array write index");
+                let blame = Blame::new(K::ArrayBounds, "array write index", *span);
+                self.sub(env, &ti, &idx_ty, &blame);
                 let tv = self.synth(v, env);
-                self.sub(env, &tv, &elem, *span, "array write value");
+                let blame = Blame::new(K::Assignment, "array write value", *span);
+                self.sub(env, &tv, &elem, &blame);
                 tv
             }
             IrExpr::FieldAssign(recv, f, val, span) => {
@@ -538,7 +563,8 @@ impl Checker {
                 }
                 UnOp::Neg => {
                     let t = self.synth(x, env);
-                    self.sub(env, &t, &RType::number(), *span, "negation operand");
+                    let blame = Blame::new(K::BaseType, "negation operand", *span);
+                    self.sub(env, &t, &RType::number(), &blame);
                     match self.term_of(x, env) {
                         Some(tx) => RType {
                             base: Base::Prim(Prim::Num),
@@ -557,19 +583,21 @@ impl Checker {
                 let tb = self.synth(b, env);
                 match op {
                     BinOpE::Add | BinOpE::Sub | BinOpE::Mul | BinOpE::Div | BinOpE::Mod => {
-                        self.sub(env, &ta, &RType::number(), *span, "arithmetic operand");
-                        self.sub(env, &tb, &RType::number(), *span, "arithmetic operand");
+                        let blame = Blame::new(K::BaseType, "arithmetic operand", *span);
+                        self.sub(env, &ta, &RType::number(), &blame);
+                        self.sub(env, &tb, &RType::number(), &blame);
                         if matches!(op, BinOpE::Div | BinOpE::Mod) {
                             if let Some(tb_term) = self.term_of(b, env) {
                                 let lhs = self.embed_pred(&tb);
                                 let lhs = Pred::and(vec![lhs, Pred::vv_eq(tb_term)]);
+                                let blame =
+                                    Blame::new(K::Arithmetic, "divisor must be nonzero", *span);
                                 self.push_sub_pred(
                                     env,
                                     lhs,
                                     Pred::cmp(CmpOp::Ne, Term::vv(), Term::int(0)),
                                     Sort::Int,
-                                    *span,
-                                    "divisor must be nonzero",
+                                    &blame,
                                 );
                             }
                         }
@@ -588,21 +616,23 @@ impl Checker {
                         }
                     }
                     BinOpE::Lt | BinOpE::Le | BinOpE::Gt | BinOpE::Ge => {
-                        self.sub(env, &ta, &RType::number(), *span, "comparison operand");
-                        self.sub(env, &tb, &RType::number(), *span, "comparison operand");
+                        let blame = Blame::new(K::BaseType, "comparison operand", *span);
+                        self.sub(env, &ta, &RType::number(), &blame);
+                        self.sub(env, &tb, &RType::number(), &blame);
                         self.bool_result(e, env)
                     }
                     BinOpE::Eq | BinOpE::Ne => self.bool_result(e, env),
                     BinOpE::And | BinOpE::Or => self.bool_result(e, env),
                     BinOpE::BitAnd | BinOpE::BitOr => {
                         let bvty = RType::trivial(Base::Bv(Sym::from("bitvector32")));
+                        let blame = Blame::new(K::BaseType, "bit-vector operand", *span);
                         if !matches!(ta.base, Base::Bv(_)) && !matches!(a.as_ref(), IrExpr::Num(..))
                         {
-                            self.sub(env, &ta, &bvty, *span, "bit-vector operand");
+                            self.sub(env, &ta, &bvty, &blame);
                         }
                         if !matches!(tb.base, Base::Bv(_)) && !matches!(b.as_ref(), IrExpr::Num(..))
                         {
-                            self.sub(env, &tb, &bvty, *span, "bit-vector operand");
+                            self.sub(env, &tb, &bvty, &blame);
                         }
                         match self.term_of(e, env) {
                             Some(t) => RType {
@@ -629,8 +659,9 @@ impl Checker {
                         base: first.base.clone(),
                         pred: Pred::KVar(k, Subst::new()),
                     };
+                    let blame = Blame::new(K::Assignment, "array literal element", *span);
                     for t in &tys {
-                        self.sub(env, t, &template, *span, "array literal element");
+                        self.sub(env, t, &template, &blame);
                     }
                     template
                 } else {
@@ -700,7 +731,8 @@ impl Checker {
                 if let Some(p) = parts.iter().find(|p| matches!(p.base, Base::Arr(..))) {
                     let tgt = p.clone();
                     let lhs = ta.clone().selfify(term.clone());
-                    self.sub(env, &lhs, &tgt, span, "indexing a possibly-null value");
+                    let blame = Blame::new(K::Narrowing, "indexing a possibly-null value", span);
+                    self.sub(env, &lhs, &tgt, &blame);
                     if let Base::Arr(elem, m) = &tgt.base {
                         return ((**elem).clone(), *m, term);
                     }
@@ -802,13 +834,12 @@ impl Checker {
                     .cloned()
                 {
                     let lhs = tb.clone().selfify(recv.clone());
-                    self.sub(
-                        env,
-                        &lhs,
-                        &p,
+                    let blame = Blame::new(
+                        K::FieldRead,
+                        format!("property access .{f} on a possibly null/undefined value"),
                         span,
-                        &format!("property access .{f} on a possibly null/undefined value"),
                     );
+                    self.sub(env, &lhs, &p, &blame);
                     self.field_of(&p, f, recv, span, env)
                 } else {
                     self.base_error(
@@ -878,13 +909,8 @@ impl Checker {
                 }
                 let tv = self.synth(val, env);
                 let expected = fi.ty.subst(&Subst::one("this", recv_term));
-                self.sub(
-                    env,
-                    &tv,
-                    &expected,
-                    span,
-                    &format!("assignment to field {f}"),
-                );
+                let blame = Blame::new(K::FieldWrite, format!("assignment to field {f}"), span);
+                self.sub(env, &tv, &expected, &blame);
                 tv
             }
             other => {
@@ -918,13 +944,12 @@ impl Checker {
             };
             let lhs = env.lookup(&pseudo).unwrap().clone();
             let lhs = lhs.selfify(Term::var(pseudo));
-            self.sub(
-                env,
-                &lhs,
-                &target,
+            let blame = Blame::new(
+                K::ClassInvariant,
+                format!("class invariant for field {} of {cname}", fi.name),
                 span,
-                &format!("class invariant for field {} of {cname}", fi.name),
             );
+            self.sub(env, &lhs, &target, &blame);
         }
         // Explicit class invariant, over the cooked fields.
         if let Some(info) = self.ct.objs.get(cname) {
@@ -932,14 +957,12 @@ impl Checker {
             if !matches!(inv, Pred::True) {
                 let rewritten = rewrite_this_fields(&rewrite_vv_fields(&inv));
                 if !rewritten.free_vars().contains("v") {
-                    self.push_sub_pred(
-                        env,
-                        Pred::True,
-                        rewritten,
-                        Sort::Int,
+                    let blame = Blame::new(
+                        K::ClassInvariant,
+                        format!("class invariant of {cname}"),
                         span,
-                        &format!("class invariant of {cname}"),
                     );
+                    self.push_sub_pred(env, Pred::True, rewritten, Sort::Int, &blame);
                 }
             }
         }

@@ -2,10 +2,11 @@
 //!
 //! Nodes are checkable units — top-level functions, class constructors
 //! and methods, and the synthetic top-level body — each carrying two
-//! content fingerprints: a `body_hash` over its SSA body *including
-//! line numbers* (diagnostics embed them, so a pure line shift must
-//! count as a change to keep session output byte-identical to a cold
-//! check; byte columns are normalized away — nothing prints them) and
+//! content fingerprints: a `body_hash` over its SSA body with *all*
+//! span information (byte offsets and line numbers) normalized away —
+//! spans are provenance, and since blame is re-attached from each
+//! run's own constraints (see `rsc_liquid::blame`), a pure line shift
+//! changes no check result and should not report a unit dirty — and
 //! an `iface_hash` over its declared signature. Edges follow
 //! syntactic references: calls by name, method names reached through
 //! field access (a deliberate overapproximation — receiver types are not
@@ -32,20 +33,22 @@ use std::hash::Hasher;
 
 use rsc_ssa::{Body, IrExpr, IrProgram};
 
-/// Reduces `Span { lo: …, hi: …, line: L }` renderings to their line
-/// number. Diagnostics (and constraint origins) only ever surface the
-/// line, so two snapshots differing in byte offsets alone — an edit that
-/// changes column positions without moving lines — are
-/// indistinguishable in checker output and should hash equal here.
+/// Erases `Span { lo: …, hi: …, line: … }` renderings entirely. Spans
+/// are provenance: blame is re-attached from each run's constraints
+/// and bundle fingerprints exclude it, so two snapshots differing only
+/// in span positions — a comment-only edit that shifts every line —
+/// produce identical check results and must hash equal here (otherwise
+/// the dirty-unit report would name every unit while zero bundles
+/// re-solve).
 ///
 /// The rewrite only fires on the exact shape the `Span` Debug derive
-/// emits (`lo: <digits>, hi: <digits>, line: `); anything else — e.g. a
-/// program *string literal* that merely contains "Span { lo: " — is
-/// copied verbatim. A literal that mimics the full shape digit-for-digit
-/// can still collapse two unit hashes, which at worst mislabels the
-/// dirty-unit *report*: these hashes never gate correctness (bundle
-/// fingerprints decide what re-solves, and the session fast path uses
-/// the raw, un-normalized program hash).
+/// emits (`lo: <digits>, hi: <digits>, line: <digits>`); anything else
+/// — e.g. a program *string literal* that merely contains
+/// "Span { lo: " — is copied verbatim. A literal that mimics the full
+/// shape digit-for-digit can still collapse two unit hashes, which at
+/// worst mislabels the dirty-unit *report*: these hashes never gate
+/// correctness (bundle fingerprints decide what re-solves, and the
+/// session fast path uses the raw, un-normalized program hash).
 fn normalize_spans(s: &str) -> String {
     const PAT: &str = "Span { lo: ";
     fn eat_digits(s: &str) -> Option<&str> {
@@ -55,14 +58,14 @@ fn normalize_spans(s: &str) -> String {
         }
         Some(&s[end..])
     }
-    /// `rest` right after `PAT`: returns the remainder starting at
-    /// `line: ` when the strict `<digits>, hi: <digits>, line: ` shape
-    /// matches.
+    /// `rest` right after `PAT`: returns the remainder after the full
+    /// `<digits>, hi: <digits>, line: <digits>` shape when it matches.
     fn span_tail(rest: &str) -> Option<&str> {
         let rest = eat_digits(rest)?;
         let rest = rest.strip_prefix(", hi: ")?;
         let rest = eat_digits(rest)?;
-        rest.strip_prefix(", ").filter(|r| r.starts_with("line: "))
+        let rest = rest.strip_prefix(", line: ")?;
+        eat_digits(rest)
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
@@ -107,7 +110,7 @@ fn hash_raw(s: &str) -> u64 {
 pub struct UnitNode {
     /// Stable display name: `fun:f`, `ctor:C`, `method:C.m`, or `top`.
     pub name: String,
-    /// Hash of the unit's SSA body (spans included).
+    /// Hash of the unit's SSA body (spans normalized away).
     pub body_hash: u64,
     /// Hash of the unit's declared interface (signatures).
     pub iface_hash: u64,
@@ -475,6 +478,19 @@ mod tests {
         let twice = g.units.iter().position(|u| u.name == "fun:twice").unwrap();
         let inc = g.units.iter().position(|u| u.name == "fun:inc").unwrap();
         assert!(g.units[twice].deps.contains(&inc));
+    }
+
+    #[test]
+    fn comment_only_edit_dirties_nothing() {
+        // A comment insertion shifts every span but changes no check
+        // input: the dirty report must be empty (fingerprints re-solve
+        // nothing, and blame lines come from the current run)…
+        let g1 = graph(BASE);
+        let g2 = graph(&format!("// shifted\n\n{BASE}"));
+        assert_eq!(g2.dirty_against(&g1), Vec::<String>::new());
+        // …while the raw fast-path hash still sees the shift (serving
+        // the previous result verbatim would report stale lines).
+        assert_ne!(g1.program_hash, g2.program_hash);
     }
 
     #[test]

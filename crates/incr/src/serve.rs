@@ -1,7 +1,9 @@
 //! The `rsc serve` protocol: newline-delimited JSON requests on stdin,
 //! one JSON response per line on stdout.
 //!
-//! Requests are objects with a `cmd` field:
+//! Two request shapes share the transport:
+//!
+//! # Legacy `cmd` requests
 //!
 //! | request                                   | effect                              |
 //! |-------------------------------------------|-------------------------------------|
@@ -18,7 +20,7 @@
 //!
 //! ```json
 //! {"ok":true,"cmd":"edit","verified":false,
-//!  "diagnostics":[{"severity":"error","line":12,"message":"…"}],
+//!  "diagnostics":[{"severity":"error","line":12,"code":"R0008","message":"…"}],
 //!  "bundles":9,"reused":8,"solved":1,"fast_path":false,
 //!  "dirty_units":["fun:step"],"time_us":1234}
 //! ```
@@ -28,10 +30,37 @@
 //! `edit`/`check` requests can re-read it. Errors (unreadable file, bad
 //! JSON, unknown command) come back as `{"ok":false,"error":"…"}` and
 //! never kill the loop.
+//!
+//! # LSP-shaped `method` requests
+//!
+//! Requests carrying a `method` field speak a Language-Server-Protocol
+//! subset over the same NDJSON transport (one JSON value per line, no
+//! `Content-Length` framing):
+//!
+//! | method                     | effect                                          |
+//! |----------------------------|-------------------------------------------------|
+//! | `initialize`               | `{"id":…,"result":{"capabilities":…}}`          |
+//! | `initialized`              | notification, no response line                  |
+//! | `textDocument/didOpen`     | check `params.textDocument.text`, publish       |
+//! | `textDocument/didChange`   | check the last full `contentChanges` text       |
+//! | `shutdown`                 | `{"id":…,"result":null}`                        |
+//! | `exit`                     | leave the loop                                  |
+//!
+//! `didOpen`/`didChange` answer with a
+//! `textDocument/publishDiagnostics` notification whose ranges are true
+//! LSP positions — 0-based `{line, character}` pairs in the protocol's
+//! default **UTF-16** position encoding (also advertised in the
+//! `initialize` capabilities), derived from the blame spans through
+//! [`rsc_syntax::LineIndex`] — plus the obligation code (`R0001`-style)
+//! and a non-standard top-level `rsc` object with the session's
+//! incremental counters. Malformed `didOpen`/`didChange` payloads are
+//! answered with a JSON-RPC error only when the request carried an
+//! `id`; true notifications are dropped silently, as the spec demands.
 
 use std::io::{BufRead, Write};
 
-use rsc_core::CheckerOptions;
+use rsc_core::{CheckerOptions, Diagnostic};
+use rsc_syntax::LineIndex;
 
 use crate::json::Json;
 use crate::session::{CheckSession, SessionOutcome};
@@ -71,9 +100,12 @@ impl Serve {
             Ok(v) => v,
             Err(e) => return (err(&format!("bad JSON: {e}")), false),
         };
+        if req.get("method").and_then(Json::as_str).is_some() {
+            return self.handle_lsp(&req);
+        }
         let cmd = match req.get("cmd").and_then(Json::as_str) {
             Some(c) => c.to_string(),
-            None => return (err("missing \"cmd\""), false),
+            None => return (err("missing \"cmd\" (or LSP \"method\")"), false),
         };
         match cmd.as_str() {
             "load" | "edit" => {
@@ -120,6 +152,119 @@ impl Serve {
         }
     }
 
+    /// Dispatches one LSP-shaped request (`method` field present).
+    /// Notifications that warrant no response return an empty line,
+    /// which [`Serve::run`] skips.
+    fn handle_lsp(&mut self, req: &Json) -> (String, bool) {
+        let method = req.get("method").and_then(Json::as_str).unwrap_or_default();
+        let id = req.get("id").cloned().unwrap_or(Json::Null);
+        match method {
+            "initialize" => {
+                let result = Json::Obj(vec![
+                    (
+                        "capabilities".into(),
+                        Json::Obj(vec![
+                            // 1 = full-document sync; didChange carries the
+                            // whole text.
+                            ("textDocumentSync".into(), Json::num(1.0)),
+                            ("positionEncoding".into(), Json::str("utf-16")),
+                            ("diagnosticProvider".into(), Json::Bool(true)),
+                        ]),
+                    ),
+                    (
+                        "serverInfo".into(),
+                        Json::Obj(vec![
+                            ("name".into(), Json::str("rsc")),
+                            ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+                        ]),
+                    ),
+                ]);
+                (lsp_response(id, result), false)
+            }
+            "initialized" => (String::new(), false),
+            "shutdown" => (lsp_response(id, Json::Null), false),
+            "exit" => (String::new(), true),
+            "textDocument/didOpen" => {
+                let doc = req.get("params").and_then(|p| p.get("textDocument"));
+                let uri = doc
+                    .and_then(|d| d.get("uri"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("untitled:buffer")
+                    .to_string();
+                let Some(text) = doc.and_then(|d| d.get("text")).and_then(Json::as_str) else {
+                    return (
+                        notification_param_error(req, id, "didOpen needs params.textDocument.text"),
+                        false,
+                    );
+                };
+                let text = text.to_string();
+                (self.lsp_check(&uri, text), false)
+            }
+            "textDocument/didChange" => {
+                let params = req.get("params");
+                let uri = params
+                    .and_then(|p| p.get("textDocument"))
+                    .and_then(|d| d.get("uri"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("untitled:buffer")
+                    .to_string();
+                // Full-document sync (advertised as textDocumentSync: 1):
+                // take the last full-text change, and refuse
+                // range-deltas loudly — silently checking a fragment as
+                // the whole buffer would publish garbage diagnostics
+                // and corrupt the remembered session text.
+                let last_change =
+                    params
+                        .and_then(|p| p.get("contentChanges"))
+                        .and_then(|c| match c {
+                            Json::Arr(changes) => changes.last(),
+                            _ => None,
+                        });
+                if last_change.is_some_and(|ch| ch.get("range").is_some()) {
+                    return (
+                        notification_param_error(
+                            req,
+                            id,
+                            "incremental (range) changes are not supported; \
+                             this server uses full-document sync (textDocumentSync: 1)",
+                        ),
+                        false,
+                    );
+                }
+                let text = last_change
+                    .and_then(|ch| ch.get("text"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                let Some(text) = text else {
+                    return (
+                        notification_param_error(
+                            req,
+                            id,
+                            "didChange needs params.contentChanges[…].text",
+                        ),
+                        false,
+                    );
+                };
+                (self.lsp_check(&uri, text), false)
+            }
+            other => (
+                // MethodNotFound: spec-following clients degrade silently.
+                lsp_error_code(id, -32601.0, &format!("unknown method {other:?}")),
+                false,
+            ),
+        }
+    }
+
+    /// Checks `text` through the session and renders the LSP-shaped
+    /// `textDocument/publishDiagnostics` notification.
+    fn lsp_check(&mut self, uri: &str, text: String) -> String {
+        let outcome = self.session.check(&text);
+        let response = publish_diagnostics(uri, &text, &outcome);
+        self.src = Some(text);
+        self.src_is_inline = true;
+        response
+    }
+
     /// Source text for a `load`/`edit` request: inline `source` wins,
     /// else `path` (re-)read from disk, else the remembered path.
     fn resolve_source(&self, req: &Json) -> Result<String, String> {
@@ -156,6 +301,7 @@ impl Serve {
             ("cache_entries".into(), Json::num(c.entries as f64)),
             ("cache_hits".into(), Json::num(c.hits as f64)),
             ("cache_misses".into(), Json::num(c.misses as f64)),
+            ("cache_evictions".into(), Json::num(c.evictions as f64)),
         ];
         if let Some(last) = self.session.last() {
             fields.push(("bundles".into(), Json::num(last.incr.bundles as f64)));
@@ -178,8 +324,11 @@ impl Serve {
                 continue;
             }
             let (response, quit) = serve.handle(&line);
-            writeln!(writer, "{response}")?;
-            writer.flush()?;
+            // LSP notifications (`initialized`, `exit`) have no response.
+            if !response.is_empty() {
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+            }
             if quit {
                 break;
             }
@@ -196,6 +345,157 @@ fn err(msg: &str) -> String {
     .to_string()
 }
 
+fn lsp_response(id: Json, result: Json) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
+        ("id".into(), id),
+        ("result".into(), result),
+    ])
+    .to_string()
+}
+
+/// JSON-RPC error codes: `-32601` MethodNotFound, `-32602` InvalidParams.
+fn lsp_error_code(id: Json, code: f64, msg: &str) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
+        ("id".into(), id),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("code".into(), Json::num(code)),
+                ("message".into(), Json::str(msg)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn lsp_error(id: Json, msg: &str) -> String {
+    lsp_error_code(id, -32602.0, msg)
+}
+
+/// InvalidParams for a request that carried an `id`; silence for a true
+/// notification (the spec forbids responding to notifications, and a
+/// response with `id: null` reads as a protocol error to clients).
+fn notification_param_error(req: &Json, id: Json, msg: &str) -> String {
+    if req.get("id").is_some() {
+        lsp_error(id, msg)
+    } else {
+        String::new()
+    }
+}
+
+/// `{line, character}` — LSP positions are 0-based and count **UTF-16
+/// code units** (the protocol's default encoding, advertised in the
+/// `initialize` capabilities; see
+/// [`rsc_syntax::LineIndex::line_col_utf16`]).
+fn lsp_position(idx: &LineIndex, src: &str, offset: u32) -> Json {
+    let lc = idx.line_col_utf16(src, offset);
+    Json::Obj(vec![
+        ("line".into(), Json::num((lc.line - 1) as f64)),
+        ("character".into(), Json::num((lc.col - 1) as f64)),
+    ])
+}
+
+/// One LSP diagnostic object from a checker [`Diagnostic`]: range from
+/// the blame span, severity, obligation code, message with the
+/// expected/actual notes folded in, secondary labels as
+/// `relatedInformation`.
+fn lsp_diagnostic(d: &Diagnostic, uri: &str, idx: &LineIndex, src: &str) -> Json {
+    let severity = match d.severity {
+        rsc_core::Severity::Error => 1.0,
+        rsc_core::Severity::Note => 3.0,
+    };
+    let mut message = d.message.clone();
+    for note in &d.notes {
+        message.push('\n');
+        message.push_str(note);
+    }
+    let mut fields = vec![
+        (
+            "range".into(),
+            Json::Obj(vec![
+                ("start".into(), lsp_position(idx, src, d.span.lo)),
+                ("end".into(), lsp_position(idx, src, d.span.hi)),
+            ]),
+        ),
+        ("severity".into(), Json::num(severity)),
+        ("source".into(), Json::str("rsc")),
+        ("message".into(), Json::str(message)),
+    ];
+    if let Some(code) = d.code {
+        fields.insert(2, ("code".into(), Json::str(code)));
+    }
+    if !d.secondary.is_empty() {
+        let related: Vec<Json> = d
+            .secondary
+            .iter()
+            .map(|(span, label)| {
+                Json::Obj(vec![
+                    (
+                        "location".into(),
+                        Json::Obj(vec![
+                            ("uri".into(), Json::str(uri)),
+                            (
+                                "range".into(),
+                                Json::Obj(vec![
+                                    ("start".into(), lsp_position(idx, src, span.lo)),
+                                    ("end".into(), lsp_position(idx, src, span.hi)),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    ("message".into(), Json::str(label.clone())),
+                ])
+            })
+            .collect();
+        fields.push(("relatedInformation".into(), Json::Arr(related)));
+    }
+    Json::Obj(fields)
+}
+
+/// The `textDocument/publishDiagnostics` notification for one check,
+/// with the session's incremental counters in a non-standard top-level
+/// `rsc` object (the params stay strictly LSP-shaped).
+fn publish_diagnostics(uri: &str, src: &str, outcome: &SessionOutcome) -> String {
+    let idx = LineIndex::new(src);
+    let diags: Vec<Json> = outcome
+        .result
+        .diagnostics
+        .iter()
+        .map(|d| lsp_diagnostic(d, uri, &idx, src))
+        .collect();
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
+        (
+            "method".into(),
+            Json::str("textDocument/publishDiagnostics"),
+        ),
+        (
+            "params".into(),
+            Json::Obj(vec![
+                ("uri".into(), Json::str(uri)),
+                ("diagnostics".into(), Json::Arr(diags)),
+            ]),
+        ),
+        (
+            "rsc".into(),
+            Json::Obj(vec![
+                ("verified".into(), Json::Bool(outcome.result.ok())),
+                ("bundles".into(), Json::num(outcome.incr.bundles as f64)),
+                ("reused".into(), Json::num(outcome.incr.reused as f64)),
+                ("solved".into(), Json::num(outcome.incr.solved as f64)),
+                ("fast_path".into(), Json::Bool(outcome.incr.fast_path)),
+                (
+                    "time_us".into(),
+                    Json::num(outcome.incr.total_micros as f64),
+                ),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
 fn check_response(cmd: &str, outcome: &SessionOutcome) -> String {
     let diags: Vec<Json> = outcome
         .result
@@ -206,11 +506,15 @@ fn check_response(cmd: &str, outcome: &SessionOutcome) -> String {
                 rsc_core::Severity::Error => "error",
                 rsc_core::Severity::Note => "note",
             };
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("severity".into(), Json::str(severity)),
                 ("line".into(), Json::num(d.span.line as f64)),
                 ("message".into(), Json::str(d.message.clone())),
-            ])
+            ];
+            if let Some(code) = d.code {
+                fields.insert(1, ("code".into(), Json::str(code)));
+            }
+            Json::Obj(fields)
         })
         .collect();
     let dirty: Vec<Json> = outcome
@@ -339,6 +643,149 @@ mod tests {
         }
         let (_, quit) = serve.handle(r#"{"cmd":"quit"}"#);
         assert!(quit);
+    }
+
+    fn lsp_req(method: &str, params: Json, id: Option<f64>) -> String {
+        let mut fields = vec![
+            ("jsonrpc".into(), Json::str("2.0")),
+            ("method".into(), Json::str(method)),
+        ];
+        if let Some(id) = id {
+            fields.insert(1, ("id".into(), Json::num(id)));
+        }
+        fields.push(("params".into(), params));
+        Json::Obj(fields).to_string()
+    }
+
+    fn did_open(uri: &str, text: &str) -> String {
+        lsp_req(
+            "textDocument/didOpen",
+            Json::Obj(vec![(
+                "textDocument".into(),
+                Json::Obj(vec![
+                    ("uri".into(), Json::str(uri)),
+                    ("text".into(), Json::str(text)),
+                ]),
+            )]),
+            None,
+        )
+    }
+
+    fn did_change(uri: &str, text: &str) -> String {
+        lsp_req(
+            "textDocument/didChange",
+            Json::Obj(vec![
+                (
+                    "textDocument".into(),
+                    Json::Obj(vec![("uri".into(), Json::str(uri))]),
+                ),
+                (
+                    "contentChanges".into(),
+                    Json::Arr(vec![Json::Obj(vec![("text".into(), Json::str(text))])]),
+                ),
+            ]),
+            None,
+        )
+    }
+
+    #[test]
+    fn lsp_initialize_and_shutdown() {
+        let mut serve = Serve::new(CheckerOptions::default());
+        let (resp, quit) =
+            serve.handle(r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#);
+        assert!(!quit);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(1.0));
+        let caps = v.get("result").and_then(|r| r.get("capabilities"));
+        assert!(caps.is_some(), "{resp}");
+        // `initialized` is a notification: no response line.
+        let (resp, quit) = serve.handle(r#"{"jsonrpc":"2.0","method":"initialized","params":{}}"#);
+        assert!(resp.is_empty() && !quit);
+        let (resp, _) = serve.handle(r#"{"jsonrpc":"2.0","id":2,"method":"shutdown"}"#);
+        assert_eq!(Json::parse(&resp).unwrap().get("result"), Some(&Json::Null));
+        let (resp, quit) = serve.handle(r#"{"jsonrpc":"2.0","method":"exit"}"#);
+        assert!(resp.is_empty() && quit);
+    }
+
+    #[test]
+    fn lsp_open_edit_cycle_publishes_ranged_diagnostics() {
+        let uri = "file:///buffer.rsc";
+        let mut serve = Serve::new(CheckerOptions::default());
+
+        // Clean open: publishDiagnostics with an empty list.
+        let (resp, _) = serve.handle(&did_open(uri, PROG));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("method").and_then(Json::as_str),
+            Some("textDocument/publishDiagnostics"),
+            "{resp}"
+        );
+        let params = v.get("params").unwrap();
+        assert_eq!(params.get("uri").and_then(Json::as_str), Some(uri));
+        assert_eq!(params.get("diagnostics"), Some(&Json::Arr(vec![])));
+        assert_eq!(
+            v.get("rsc").and_then(|r| r.get("verified")),
+            Some(&Json::Bool(true))
+        );
+
+        // Broken edit: a diagnostic with a non-dummy LSP range and a code.
+        let bad = PROG.replace("return x;\n}", "return x - 1;\n}");
+        let (resp, _) = serve.handle(&did_change(uri, &bad));
+        let v = Json::parse(&resp).unwrap();
+        let diags = match v.get("params").and_then(|p| p.get("diagnostics")) {
+            Some(Json::Arr(ds)) if !ds.is_empty() => ds.clone(),
+            other => panic!("expected diagnostics, got {other:?}: {resp}"),
+        };
+        for d in &diags {
+            let range = d.get("range").expect("range");
+            let start = range.get("start").expect("start");
+            let end = range.get("end").expect("end");
+            let sl = start.get("line").and_then(Json::as_f64).unwrap();
+            let sc = start.get("character").and_then(Json::as_f64).unwrap();
+            let el = end.get("line").and_then(Json::as_f64).unwrap();
+            let ec = end.get("character").and_then(Json::as_f64).unwrap();
+            assert!(
+                (el, ec) > (sl, sc),
+                "range must be non-dummy (start < end): {d:?}"
+            );
+            let code = d.get("code").and_then(Json::as_str).expect("code");
+            assert!(code.starts_with('R'), "{code}");
+            assert_eq!(d.get("severity").and_then(Json::as_f64), Some(1.0));
+        }
+        // The session reused the untouched function's bundle.
+        let rsc = v.get("rsc").unwrap();
+        assert_eq!(rsc.get("verified"), Some(&Json::Bool(false)));
+        assert!(rsc.get("reused").and_then(Json::as_f64).unwrap() > 0.0);
+
+        // Fix it back: clean again.
+        let (resp, _) = serve.handle(&did_change(uri, PROG));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("rsc").and_then(|r| r.get("verified")),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn lsp_and_legacy_requests_interleave() {
+        let mut serve = Serve::new(CheckerOptions::default());
+        let (resp, _) = serve.handle(&did_open("file:///x.rsc", PROG));
+        assert!(resp.contains("publishDiagnostics"));
+        // A legacy bare `check` sees the LSP buffer.
+        let (resp, _) = serve.handle(r#"{"cmd":"check"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("verified"), Some(&Json::Bool(true)), "{resp}");
+        // Malformed LSP *request* (it carries an id) errors without
+        // killing the loop…
+        let (resp, quit) =
+            serve.handle(r#"{"jsonrpc":"2.0","id":9,"method":"textDocument/didOpen","params":{}}"#);
+        assert!(!quit);
+        assert!(Json::parse(&resp).unwrap().get("error").is_some(), "{resp}");
+        // …while a malformed *notification* (no id) is dropped silently:
+        // the spec forbids responding to notifications.
+        let (resp, quit) =
+            serve.handle(r#"{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{}}"#);
+        assert!(resp.is_empty() && !quit, "{resp}");
     }
 
     #[test]

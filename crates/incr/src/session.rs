@@ -71,11 +71,13 @@ pub struct CheckSession {
 impl CheckSession {
     /// A fresh session checking with `opts`. The options are fixed for
     /// the session's lifetime (retained verdicts are only valid under
-    /// the options that produced them).
+    /// the options that produced them). The session's cross-run VC cache
+    /// honors `opts.cache_capacity` / `RSC_CACHE_CAP`, which is what
+    /// keeps week-long sessions at a flat memory footprint.
     pub fn new(opts: CheckerOptions) -> CheckSession {
         CheckSession {
             opts,
-            cache: VcCache::shared(),
+            cache: VcCache::shared_with_capacity(opts.effective_cache_capacity()),
             state: None,
         }
     }
@@ -99,7 +101,7 @@ impl CheckSession {
     /// cold).
     pub fn reset(&mut self) {
         self.state = None;
-        self.cache = VcCache::shared();
+        self.cache = VcCache::shared_with_capacity(self.opts.effective_cache_capacity());
     }
 
     /// Checks `src`, reusing whatever the previous run proved.

@@ -1,0 +1,252 @@
+//! Structured provenance for subtyping obligations.
+//!
+//! Every [`crate::SubC`] carries a [`Blame`]: the source span of the
+//! expression that generated the obligation, the *kind* of obligation
+//! (which becomes the diagnostic's `R….`-style error code), a short
+//! human-readable detail, and pretty-prints of the expected/actual
+//! refinements. When the fixpoint reports a failure, the blame is the
+//! whole story — no string parsing anywhere downstream.
+//!
+//! # The fingerprint-excludes-blame invariant
+//!
+//! Blame is *provenance*, not *semantics*: two constraints that differ
+//! only in their blame are the same logical obligation and produce the
+//! same verdict. [`crate::bundle_fingerprint`] therefore hashes
+//! everything in a constraint **except** its blame, so a whitespace or
+//! comment-only edit (which shifts every span but changes no predicate)
+//! leaves every bundle fingerprint intact and an incremental session
+//! re-solves nothing. Consumers of retained verdicts must re-attach
+//! blame from the *current* run's constraints (see
+//! `rsc_core::solve_artifacts`), which is what keeps reported line
+//! numbers fresh even when zero bundles are re-solved.
+
+use std::fmt;
+
+use rsc_syntax::Span;
+
+/// The kind of a subtyping obligation — what the program was trying to
+/// do when the constraint was generated. Each kind owns a stable
+/// `R0001`-style error code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObligationKind {
+    /// An argument flowing into a declared parameter type.
+    CallArgument,
+    /// A returned value flowing into the declared return type.
+    Return,
+    /// A value flowing into an annotated binding or written location.
+    Assignment,
+    /// A narrowing refutation: a union part that must be provably dead
+    /// (or a possibly-`null`/`undefined` value that must be provably
+    /// absent) at this use.
+    Narrowing,
+    /// A loop invariant obligation (entry or back edge).
+    LoopInvariant,
+    /// A property read (including reads through possibly-null unions).
+    FieldRead,
+    /// A property write against the field's declared type.
+    FieldWrite,
+    /// An array index bounds obligation (read or write).
+    ArrayBounds,
+    /// A cast: upcast subsumption or downcast invariant proof.
+    Cast,
+    /// A class invariant established at constructor exit.
+    ClassInvariant,
+    /// An explicit `assert(e)`.
+    Assertion,
+    /// An arithmetic side condition (e.g. a nonzero divisor).
+    Arithmetic,
+    /// A structural base-type mismatch reported as a dead-code
+    /// obligation (valid only in an inconsistent environment).
+    BaseType,
+    /// Anything else (synthetic constraints in tests and tools).
+    Other,
+}
+
+impl ObligationKind {
+    /// The stable diagnostic code for this kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ObligationKind::CallArgument => "R0001",
+            ObligationKind::Return => "R0002",
+            ObligationKind::Assignment => "R0003",
+            ObligationKind::Narrowing => "R0004",
+            ObligationKind::LoopInvariant => "R0005",
+            ObligationKind::FieldRead => "R0006",
+            ObligationKind::FieldWrite => "R0007",
+            ObligationKind::ArrayBounds => "R0008",
+            ObligationKind::Cast => "R0009",
+            ObligationKind::ClassInvariant => "R0010",
+            ObligationKind::Assertion => "R0011",
+            ObligationKind::Arithmetic => "R0012",
+            ObligationKind::BaseType => "R0013",
+            ObligationKind::Other => "R0099",
+        }
+    }
+
+    /// A short noun phrase naming the obligation kind.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ObligationKind::CallArgument => "call argument",
+            ObligationKind::Return => "return value",
+            ObligationKind::Assignment => "assignment",
+            ObligationKind::Narrowing => "narrowing refutation",
+            ObligationKind::LoopInvariant => "loop invariant",
+            ObligationKind::FieldRead => "field read",
+            ObligationKind::FieldWrite => "field write",
+            ObligationKind::ArrayBounds => "array bounds",
+            ObligationKind::Cast => "cast",
+            ObligationKind::ClassInvariant => "class invariant",
+            ObligationKind::Assertion => "assertion",
+            ObligationKind::Arithmetic => "arithmetic safety",
+            ObligationKind::BaseType => "base type mismatch",
+            ObligationKind::Other => "obligation",
+        }
+    }
+
+    /// Every kind, for exhaustive test coverage.
+    pub fn all() -> &'static [ObligationKind] {
+        &[
+            ObligationKind::CallArgument,
+            ObligationKind::Return,
+            ObligationKind::Assignment,
+            ObligationKind::Narrowing,
+            ObligationKind::LoopInvariant,
+            ObligationKind::FieldRead,
+            ObligationKind::FieldWrite,
+            ObligationKind::ArrayBounds,
+            ObligationKind::Cast,
+            ObligationKind::ClassInvariant,
+            ObligationKind::Assertion,
+            ObligationKind::Arithmetic,
+            ObligationKind::BaseType,
+            ObligationKind::Other,
+        ]
+    }
+}
+
+impl fmt::Display for ObligationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// Structured provenance for one obligation: where it came from, what
+/// kind of obligation it is, and the refinements on both sides.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Blame {
+    /// The source range of the blamed expression.
+    pub span: Span,
+    /// What the program was doing.
+    pub kind: ObligationKind,
+    /// Context detail, e.g. `argument 2` or `initializer of x`.
+    pub detail: String,
+    /// Pretty-print of the expected (right-hand) refinement. Filled per
+    /// stored constraint by [`crate::ConstraintSet::push_sub`].
+    pub expected: String,
+    /// Pretty-print of the actual (left-hand) refinement.
+    pub actual: String,
+    /// An optional secondary range with a label (e.g. the declaration
+    /// the failing value was checked against).
+    pub related: Option<(Span, String)>,
+}
+
+/// Deterministically clips a rendered refinement for display; embedded
+/// environments can render very large predicates.
+pub(crate) fn clip(s: String) -> String {
+    const MAX: usize = 160;
+    if s.len() <= MAX {
+        return s;
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+impl Blame {
+    /// A blame with no refinement renderings yet (they are attached by
+    /// [`crate::ConstraintSet::push_sub`]).
+    pub fn new(kind: ObligationKind, detail: impl Into<String>, span: Span) -> Blame {
+        Blame {
+            span,
+            kind,
+            detail: detail.into(),
+            expected: String::new(),
+            actual: String::new(),
+            related: None,
+        }
+    }
+
+    /// Attaches a secondary labeled range.
+    pub fn with_related(mut self, span: Span, label: impl Into<String>) -> Blame {
+        self.related = Some((span, label.into()));
+        self
+    }
+
+    /// A synthetic blame for hand-built constraint sets (tests, tools):
+    /// dummy span, [`ObligationKind::Other`].
+    pub fn synthetic(detail: impl Into<String>) -> Blame {
+        Blame::new(ObligationKind::Other, detail, Span::dummy())
+    }
+
+    /// The one-line human message: `kind: detail` (or just the kind when
+    /// there is no detail).
+    pub fn message(&self) -> String {
+        if self.detail.is_empty() {
+            self.kind.describe().to_string()
+        } else {
+            format!("{}: {}", self.kind.describe(), self.detail)
+        }
+    }
+}
+
+/// `Display` shows `[code] (line N): message` — the compact form used in
+/// debug traces; rich rendering lives in `rsc_core::Diagnostic`.
+impl fmt::Display for Blame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] ({}): {}",
+            self.kind.code(),
+            self.span,
+            self.message()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ObligationKind::all() {
+            assert!(seen.insert(k.code()), "duplicate code {}", k.code());
+            assert!(k.code().starts_with('R'));
+            assert_eq!(k.code().len(), 5);
+        }
+    }
+
+    #[test]
+    fn message_composition() {
+        let b = Blame::new(
+            ObligationKind::ArrayBounds,
+            "array read index",
+            Span::dummy(),
+        );
+        assert_eq!(b.message(), "array bounds: array read index");
+        let bare = Blame::new(ObligationKind::Return, "", Span::dummy());
+        assert_eq!(bare.message(), "return value");
+    }
+
+    #[test]
+    fn clip_is_deterministic_and_utf8_safe() {
+        let long = "é".repeat(200);
+        let c = clip(long.clone());
+        assert!(c.ends_with('…'));
+        assert!(c.len() < long.len());
+        assert_eq!(c, clip(long));
+    }
+}

@@ -162,6 +162,7 @@ pub fn partition(cs: ConstraintSet, unit_of: &[usize]) -> Vec<ConstraintBundle> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blame::Blame;
     use crate::constraint::CEnv;
     use rsc_logic::{CmpOp, Pred, Sort, Subst, Term};
 
@@ -171,7 +172,7 @@ mod tests {
             Pred::vv_eq(Term::int(1)),
             Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
             Sort::Int,
-            origin,
+            &Blame::synthetic(origin),
         );
     }
 
@@ -196,7 +197,7 @@ mod tests {
             Pred::vv_eq(Term::int(0)),
             kapp.clone(),
             Sort::Int,
-            "unit0",
+            &Blame::synthetic("unit0"),
         );
         let mut env = CEnv::new();
         env.bind("i", Sort::Int, kapp);
@@ -205,7 +206,7 @@ mod tests {
             Pred::vv_eq(Term::var("i")),
             Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
             Sort::Int,
-            "unit1",
+            &Blame::synthetic("unit1"),
         );
         push_concrete(&mut cs, "unit2");
         let bundles = partition(cs, &[0, 1, 2]);
@@ -226,22 +227,22 @@ mod tests {
             Pred::vv_eq(Term::int(5)),
             Pred::cmp(CmpOp::Lt, Term::vv(), Term::int(3)),
             Sort::Int,
-            "bad",
+            &Blame::synthetic("bad"),
         );
         cs.push_sub(
             CEnv::new(),
             Pred::vv_eq(Term::int(1)),
             Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
             Sort::Int,
-            "good",
+            &Blame::synthetic("good"),
         );
         let bundles = partition(cs, &[0, 1]);
         let mut failed_origins = Vec::new();
         for b in &bundles {
             let mut smt = rsc_smt::Solver::new();
             let r = crate::solve(&b.cs, &mut smt);
-            for (local, origin) in r.failures {
-                failed_origins.push((b.members[local], origin));
+            for (local, blame) in r.failures {
+                failed_origins.push((b.members[local], blame.detail));
             }
         }
         assert_eq!(failed_origins, vec![(0, "bad".to_string())]);

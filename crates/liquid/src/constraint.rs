@@ -5,6 +5,8 @@ use std::sync::Arc;
 
 use rsc_logic::{KVar, KVarId, Pred, Qualifier, Sort, SortEnv, Subst, Sym};
 
+use crate::blame::{clip, Blame};
+
 /// A constraint environment Γ: ordered bindings `x : {v:sort | pred}` plus
 /// path-sensitivity guard predicates.
 #[derive(Clone, Debug, Default)]
@@ -82,8 +84,23 @@ pub struct SubC {
     pub rhs: Pred,
     /// Sort of the value variable.
     pub vv_sort: Sort,
-    /// Provenance for diagnostics (e.g. "call to head at line 12").
-    pub origin: String,
+    /// Structured provenance for diagnostics. **Excluded from
+    /// [`crate::bundle_fingerprint`]** — blame never influences a
+    /// verdict, so provenance-only edits (line shifts) keep bundles
+    /// cache-equal.
+    pub blame: Blame,
+}
+
+impl SubC {
+    /// The constraint's blame with the expected/actual refinement
+    /// renderings filled in from its own (post-split) sides. Rendered
+    /// lazily — only failing constraints ever pay for it.
+    pub fn blame_with_renderings(&self) -> Blame {
+        let mut blame = self.blame.clone();
+        blame.expected = clip(self.rhs.to_string());
+        blame.actual = clip(self.lhs.to_string());
+        blame
+    }
 }
 
 /// A full constraint problem: κ declarations, subtyping constraints and
@@ -149,13 +166,17 @@ impl ConstraintSet {
 
     /// Adds a subtyping constraint, splitting conjunctive right-hand sides
     /// so every stored constraint has either a concrete rhs or a single κ
-    /// application.
-    pub fn push_sub(&mut self, env: CEnv, lhs: Pred, rhs: Pred, vv_sort: Sort, origin: &str) {
+    /// application. Each stored constraint receives a copy of `blame`;
+    /// the expected/actual refinement renderings are *not* produced here
+    /// — rendering every constraint would put two `Pred` pretty-prints
+    /// on the generation hot path for strings only failures ever read.
+    /// Failure sites call [`SubC::blame_with_renderings`] instead.
+    pub fn push_sub(&mut self, env: CEnv, lhs: Pred, rhs: Pred, vv_sort: Sort, blame: &Blame) {
         match rhs {
             Pred::True => {}
             Pred::And(parts) => {
                 for p in parts {
-                    self.push_sub(env.clone(), lhs.clone(), p, vv_sort, origin);
+                    self.push_sub(env.clone(), lhs.clone(), p, vv_sort, blame);
                 }
             }
             rhs => self.subs.push(SubC {
@@ -163,7 +184,7 @@ impl ConstraintSet {
                 lhs,
                 rhs,
                 vv_sort,
-                origin: origin.to_string(),
+                blame: blame.clone(),
             }),
         }
     }
@@ -200,8 +221,17 @@ mod tests {
             Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
             Pred::cmp(CmpOp::Lt, Term::vv(), Term::int(10)),
         ]);
-        cs.push_sub(CEnv::new(), Pred::True, rhs, Sort::Int, "t");
+        cs.push_sub(
+            CEnv::new(),
+            Pred::True,
+            rhs,
+            Sort::Int,
+            &Blame::synthetic("t"),
+        );
         assert_eq!(cs.subs.len(), 2);
+        // Each split conjunct renders its own expected refinement.
+        assert_eq!(cs.subs[0].blame_with_renderings().expected, "0 <= v");
+        assert_eq!(cs.subs[1].blame_with_renderings().expected, "v < 10");
     }
 
     #[test]

@@ -98,10 +98,14 @@ fn write_pred(p: &Pred, map: &mut HashMap<KVarId, u32>, next: &mut u32, out: &mu
     out.write("\u{2}");
 }
 
+// NOTE: `c.blame` is deliberately NOT hashed. Blame is pure provenance
+// (spans, obligation kinds, rendered refinements) and never influences
+// a verdict, so excluding it is what lets comment/whitespace-only edits
+// — which shift every span in the file — keep every bundle fingerprint
+// intact and re-solve zero bundles in an incremental session. Consumers
+// re-attach blame from the current run's constraints.
 fn write_sub(c: &SubC, map: &mut HashMap<KVarId, u32>, next: &mut u32, out: &mut Fp) {
     out.write("C|");
-    out.write(&c.origin);
-    out.write("|");
     out.write(&c.vv_sort.to_string());
     out.write("|");
     for (x, s, p) in &c.env.binds {
@@ -191,9 +195,11 @@ pub fn bundle_fingerprint(b: &ConstraintBundle, global: u64) -> u128 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blame::{Blame, ObligationKind};
     use crate::constraint::{CEnv, ConstraintSet};
     use crate::partition;
     use rsc_logic::{CmpOp, Pred, Sort, Subst, Term};
+    use rsc_syntax::Span;
 
     /// Two runs that allocate the same bundle at different global κ
     /// offsets must agree on the fingerprint.
@@ -212,7 +218,7 @@ mod tests {
                 Pred::vv_eq(Term::int(0)),
                 kapp.clone(),
                 Sort::Int,
-                "init",
+                &Blame::synthetic("init"),
             );
             let mut env = CEnv::new();
             env.bind("i", Sort::Int, kapp);
@@ -221,7 +227,7 @@ mod tests {
                 Pred::vv_eq(Term::var("i")),
                 Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
                 Sort::Int,
-                "use",
+                &Blame::synthetic("use"),
             );
             let bundles = partition(cs, &[0, 0]);
             assert_eq!(bundles.len(), 1);
@@ -230,23 +236,51 @@ mod tests {
         assert_eq!(build(0), build(5));
     }
 
-    /// Changing a constraint (here: its origin, as a line shift would)
-    /// changes the fingerprint.
+    /// Provenance is excluded: two constraints that differ only in
+    /// their blame (as after a comment-only edit shifting every span)
+    /// share a fingerprint, while a real predicate change splits it.
     #[test]
-    fn constraint_changes_show() {
-        let build = |origin: &str| {
+    fn provenance_is_excluded_but_predicates_count() {
+        let build = |blame: Blame, bound: i64| {
             let mut cs = ConstraintSet::new();
             cs.push_sub(
                 CEnv::new(),
                 Pred::vv_eq(Term::int(1)),
-                Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
+                Pred::cmp(CmpOp::Le, Term::int(bound), Term::vv()),
                 Sort::Int,
-                origin,
+                &blame,
             );
             let bundles = partition(cs, &[0]);
             bundle_fingerprint(&bundles[0], 7)
         };
-        assert_ne!(build("line 3: bound"), build("line 4: bound"));
+        let line3 = Blame::new(
+            ObligationKind::ArrayBounds,
+            "bound",
+            Span {
+                lo: 10,
+                hi: 14,
+                line: 3,
+            },
+        );
+        let line4 = Blame::new(
+            ObligationKind::Return,
+            "other detail",
+            Span {
+                lo: 99,
+                hi: 120,
+                line: 4,
+            },
+        );
+        assert_eq!(
+            build(line3.clone(), 0),
+            build(line4, 0),
+            "blame-only differences must not change the fingerprint"
+        );
+        assert_ne!(
+            build(line3.clone(), 0),
+            build(line3, 1),
+            "a predicate change must change the fingerprint"
+        );
     }
 
     /// The global component (qualifier pool / sort env) splits keys.
@@ -258,7 +292,7 @@ mod tests {
             Pred::vv_eq(Term::int(1)),
             Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
             Sort::Int,
-            "c",
+            &Blame::synthetic("c"),
         );
         let g1 = global_fingerprint(&cs.quals, &cs.sort_env);
         let mut env2 = (*cs.sort_env).clone();

@@ -19,11 +19,13 @@
 
 #![warn(missing_docs)]
 
+mod blame;
 mod bundle;
 mod constraint;
 mod fingerprint;
 mod solve;
 
+pub use blame::{Blame, ObligationKind};
 pub use bundle::{partition, ConstraintBundle};
 pub use constraint::{CEnv, ConstraintSet, SubC};
 pub use fingerprint::{bundle_fingerprint, global_fingerprint};

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use rsc_logic::{KVarId, Pred, Sort, SortScope, Sym, Term};
 use rsc_smt::Solver;
 
+use crate::blame::Blame;
 use crate::constraint::{ConstraintSet, SubC};
 
 /// A solution: each κ maps to the conjunction of surviving qualifier
@@ -46,8 +47,8 @@ pub struct LiquidResult {
     /// The inferred κ assignment.
     pub solution: Solution,
     /// Concrete constraints that failed under the solution (type errors):
-    /// indices into `ConstraintSet::subs` plus the origin string.
-    pub failures: Vec<(usize, String)>,
+    /// indices into `ConstraintSet::subs` plus the structured blame.
+    pub failures: Vec<(usize, Blame)>,
     /// Number of SMT validity queries issued.
     pub smt_queries: u64,
 }
@@ -120,7 +121,7 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
                     if std::env::var("RSC_DEBUG").is_ok() {
                         eprintln!(
                             "[liquid] drop {q} from {k} at `{}`; hyps={:?}",
-                            c.origin,
+                            c.blame.message(),
                             hyps.iter().map(|h| h.to_string()).collect::<Vec<_>>()
                         );
                     }
@@ -159,7 +160,7 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
         hyps.extend(guards.iter().cloned());
         queries += 1;
         if !smt.is_valid(&env_sorts, &hyps, &goal) {
-            failures.push((i, c.origin.clone()));
+            failures.push((i, c.blame_with_renderings()));
         }
     }
 
@@ -259,6 +260,7 @@ fn prepare_hyps(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blame::ObligationKind;
     use crate::constraint::CEnv;
     use rsc_logic::{CmpOp, Subst, Term};
 
@@ -275,7 +277,7 @@ mod tests {
             Pred::vv_eq(Term::int(0)),
             kapp.clone(),
             Sort::Int,
-            "init",
+            &Blame::synthetic("init"),
         );
         // step: i:κ, i < 10 ⊢ {v = i + 1} ⊑ κ
         let mut env = CEnv::new();
@@ -286,7 +288,7 @@ mod tests {
             Pred::vv_eq(Term::add(Term::var("i"), Term::int(1))),
             kapp.clone(),
             Sort::Int,
-            "step",
+            &Blame::synthetic("step"),
         );
         // use: i:κ, ¬(i < 10) ⊢ {v = i} ⊑ {v = 10}  (exact exit value needs
         // more than the prelude, so check a weaker concrete bound: 0 ≤ v).
@@ -298,7 +300,7 @@ mod tests {
             Pred::vv_eq(Term::var("i")),
             Pred::cmp(CmpOp::Le, Term::int(0), Term::vv()),
             Sort::Int,
-            "use",
+            &Blame::synthetic("use"),
         );
 
         let mut smt = Solver::new();
@@ -320,11 +322,14 @@ mod tests {
             Pred::vv_eq(Term::int(5)),
             Pred::cmp(CmpOp::Lt, Term::vv(), Term::int(3)),
             Sort::Int,
-            "bad bound",
+            &Blame::synthetic("bad bound"),
         );
         let mut smt = Solver::new();
         let r = solve(&cs, &mut smt);
         assert_eq!(r.failures.len(), 1);
-        assert_eq!(r.failures[0].1, "bad bound");
+        assert_eq!(r.failures[0].1.detail, "bad bound");
+        assert_eq!(r.failures[0].1.kind, ObligationKind::Other);
+        assert_eq!(r.failures[0].1.expected, "v < 3");
+        assert_eq!(r.failures[0].1.actual, "v = 5");
     }
 }

@@ -2,7 +2,7 @@
 //! `reduce` — the Φ-variable `i2` gets `0 ≤ ν ∧ ν ≤ len(a)`, which under
 //! the loop guard `i2 < len(a)` proves the callback receives `idx<a>`.
 
-use rsc_liquid::{solve, CEnv, ConstraintSet};
+use rsc_liquid::{solve, Blame, CEnv, ConstraintSet};
 use rsc_logic::{CmpOp, Pred, Sort, Subst, Term};
 use rsc_smt::Solver;
 
@@ -28,7 +28,7 @@ fn reduce_loop_invariant() {
         Pred::vv_eq(Term::int(0)),
         kapp.clone(),
         Sort::Int,
-        "phi init",
+        &Blame::synthetic("phi init"),
     );
 
     // Γ1 ⊢ {ν = i1} ⊑ κ_i2 where i1 = i2 + 1 under the loop guard.
@@ -45,7 +45,7 @@ fn reduce_loop_invariant() {
         Pred::vv_eq(Term::add(Term::var("i2"), Term::int(1))),
         kapp.clone(),
         Sort::Int,
-        "phi step",
+        &Blame::synthetic("phi step"),
     );
 
     // Concrete: under the guard, i2 must be a valid index (the callback
@@ -55,7 +55,7 @@ fn reduce_loop_invariant() {
         Pred::vv_eq(Term::var("i2")),
         idx_of("a"),
         Sort::Int,
-        "callback index",
+        &Blame::synthetic("callback index"),
     );
 
     let mut smt = Solver::new();
@@ -89,7 +89,7 @@ fn head_requires_nonempty_rejected_without_guard() {
         Pred::vv_eq(Term::int(0)),
         Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
         Sort::Int,
-        "head unguarded",
+        &Blame::synthetic("head unguarded"),
     );
     let mut smt = Solver::new();
     let r = solve(&cs, &mut smt);
@@ -115,7 +115,7 @@ fn head_accepted_with_branch_guard() {
             Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
         ]),
         Sort::Int,
-        "head guarded",
+        &Blame::synthetic("head guarded"),
     );
     let mut smt = Solver::new();
     let r = solve(&cs, &mut smt);
@@ -144,7 +144,7 @@ fn polymorphic_instantiation_flow() {
         Pred::vv_eq(Term::int(0)),
         kapp.clone(),
         Sort::Int,
-        "x=0 flows to B",
+        &Blame::synthetic("x=0 flows to B"),
     );
 
     // Γ_step ⊢ idx⟨a⟩ ⊑ κ_B  (i flows to the output).
@@ -158,7 +158,7 @@ fn polymorphic_instantiation_flow() {
         ]),
         kapp.clone(),
         Sort::Int,
-        "i flows to B",
+        &Blame::synthetic("i flows to B"),
     );
 
     // Γ_step ⊢ κ_B ⊑ idx⟨a⟩  (min indexes into a).
@@ -170,7 +170,7 @@ fn polymorphic_instantiation_flow() {
             Pred::cmp(CmpOp::Lt, Term::vv(), Term::len_of(Term::var("a"))),
         ]),
         Sort::Int,
-        "min indexes a",
+        &Blame::synthetic("min indexes a"),
     );
 
     let mut smt = Solver::new();

@@ -52,7 +52,7 @@
 //! reject-more direction, and deterministically so for a given mode.)
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +73,8 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Canonical VCs currently stored.
     pub entries: u64,
+    /// Entries evicted by the capacity bound (0 for unbounded caches).
+    pub evictions: u64,
 }
 
 impl CacheCounters {
@@ -87,36 +89,82 @@ impl CacheCounters {
     }
 }
 
-/// A thread-safe set of canonical VC fingerprints proven Unsat, sharded
+/// A thread-safe map of canonical VC fingerprints proven Unsat, sharded
 /// to keep lock contention off the solving hot path.
+///
+/// # Bounding (generation-count LRU)
+///
+/// Long-lived incremental sessions share one cache across every
+/// re-check, so an unbounded cache grows for the life of the session.
+/// With a capacity set ([`VcCache::with_capacity`],
+/// `CheckerOptions::cache_capacity`, `RSC_CACHE_CAP`), every entry
+/// carries the global *generation* (a counter bumped on each probe and
+/// record) at which it was last touched; when a shard exceeds its slice
+/// of the capacity, the oldest-generation entries are evicted. Evicting
+/// an Unsat proof is always sound — the next identical query merely
+/// re-runs the solver on the same canonical form and re-proves it, so
+/// verdicts (and diagnostics) are unchanged at any capacity.
 #[derive(Debug, Default)]
 pub struct VcCache {
-    shards: [Mutex<HashSet<String>>; SHARDS],
+    /// Canonical key → generation of last touch.
+    shards: [Mutex<HashMap<String, u64>>; SHARDS],
+    /// Max entries per shard (0 = unbounded).
+    shard_cap: usize,
+    generation: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl VcCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> VcCache {
         VcCache::default()
     }
 
-    /// An empty cache behind an [`Arc`], ready to share across solvers.
+    /// An empty cache bounded to roughly `capacity` entries (`0` =
+    /// unbounded). The bound is enforced per shard, so the effective
+    /// cap is `capacity` rounded up to a multiple of the shard count.
+    pub fn with_capacity(capacity: usize) -> VcCache {
+        VcCache {
+            shard_cap: capacity.div_ceil(SHARDS),
+            ..VcCache::default()
+        }
+    }
+
+    /// An empty unbounded cache behind an [`Arc`], ready to share
+    /// across solvers.
     pub fn shared() -> Arc<VcCache> {
         Arc::new(VcCache::new())
     }
 
-    fn shard(&self, key: &str) -> &Mutex<HashSet<String>> {
+    /// [`VcCache::with_capacity`] behind an [`Arc`].
+    pub fn shared_with_capacity(capacity: usize) -> Arc<VcCache> {
+        Arc::new(VcCache::with_capacity(capacity))
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, u64>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
+    fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Looks up a canonical key, bumping the hit/miss counters. `true`
-    /// means the key was previously proven Unsat.
+    /// means the key was previously proven Unsat. A hit refreshes the
+    /// entry's generation (LRU touch).
     pub fn probe(&self, key: &str) -> bool {
-        let hit = self.shard(key).lock().unwrap().contains(key);
+        let generation = self.next_generation();
+        let hit = match self.shard(key).lock().unwrap().get_mut(key) {
+            Some(entry) => {
+                *entry = generation;
+                true
+            }
+            None => false,
+        };
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -125,9 +173,30 @@ impl VcCache {
         hit
     }
 
-    /// Records a canonical key as proven Unsat.
+    /// Records a canonical key as proven Unsat. When the key's shard
+    /// exceeds its capacity slice, the oldest-generation entries are
+    /// evicted in one batch down to `cap - max(cap/8, 1)` (never below
+    /// one entry, so the just-recorded proof always survives). For
+    /// non-tiny caps that leaves real headroom: a shard pinned at
+    /// capacity pays one sort every `cap/8` inserts — amortized
+    /// `O(log cap)` per insert — instead of a full scan on every one.
+    /// (At `shard_cap == 1` the headroom degenerates and every insert
+    /// sorts, but that sort is over two entries.)
     pub fn record_unsat(&self, key: String) {
-        self.shard(&key).lock().unwrap().insert(key);
+        let generation = self.next_generation();
+        let mut shard = self.shard(&key).lock().unwrap();
+        shard.insert(key, generation);
+        if self.shard_cap > 0 && shard.len() > self.shard_cap {
+            let keep = (self.shard_cap - (self.shard_cap / 8).max(1)).max(1);
+            let evict = shard.len() - keep;
+            // Generations are unique (a global fetch_add), so selecting
+            // the `evict`-th smallest gives an exact cutoff — no key
+            // strings are cloned and the work under the lock is O(n).
+            let mut generations: Vec<u64> = shard.values().copied().collect();
+            let (_, &mut cutoff, _) = generations.select_nth_unstable(evict - 1);
+            shard.retain(|_, generation| *generation > cutoff);
+            self.evictions.fetch_add(evict as u64, Ordering::Relaxed);
+        }
     }
 
     /// Current counters (entries counted across all shards).
@@ -141,6 +210,7 @@ impl VcCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -353,5 +423,70 @@ mod tests {
         assert_eq!(counters.hits, 1);
         assert_eq!(counters.misses, 1);
         assert_eq!(counters.entries, 1);
+        assert_eq!(counters.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_and_counts_evictions() {
+        // cap 16 → one entry per shard; hammering one shard must stay
+        // bounded and evict in LRU (generation) order.
+        let c = VcCache::with_capacity(16);
+        for i in 0..100 {
+            c.record_unsat(format!("key-{i}"));
+        }
+        let counters = c.counters();
+        assert!(
+            counters.entries <= 16,
+            "entries {} exceed capacity",
+            counters.entries
+        );
+        assert_eq!(counters.evictions + counters.entries, 100);
+    }
+
+    #[test]
+    fn lru_prefers_recently_probed_entries() {
+        // shard_cap = 8 (capacity 8 × SHARDS): fill one shard to its
+        // cap, refresh the *oldest* entry by probing it, then overflow
+        // the shard. The batch eviction must drop the oldest
+        // *generations* — which, thanks to the probe's LRU touch, are
+        // the unprobed early inserts, not the probed one.
+        let c = VcCache::with_capacity(8 * SHARDS);
+        let anchor = "anchor".to_string();
+        let mut same_shard: Vec<String> = vec![anchor.clone()];
+        for i in 0.. {
+            if same_shard.len() == 9 {
+                break;
+            }
+            let k = format!("collide-{i}");
+            if std::ptr::eq(c.shard(&k), c.shard(&anchor)) {
+                same_shard.push(k);
+            }
+            assert!(i < 1_000_000, "could not find colliding keys");
+        }
+        // Insert anchor first (oldest), then 7 more: shard at cap 8.
+        for k in &same_shard[..8] {
+            c.record_unsat(k.clone());
+        }
+        assert_eq!(c.counters().evictions, 0);
+        // Refresh the oldest entry, then overflow.
+        assert!(c.probe(&anchor));
+        c.record_unsat(same_shard[8].clone());
+        assert!(c.counters().evictions > 0);
+        assert!(
+            c.probe(&anchor),
+            "probed entry must survive eviction (LRU touch)"
+        );
+        assert!(
+            !c.probe(&same_shard[1]),
+            "oldest unprobed entry must be evicted"
+        );
+        assert!(c.probe(&same_shard[8]), "latest insert must survive");
+        // Unbounded caches never evict.
+        let u = VcCache::new();
+        for i in 0..1000 {
+            u.record_unsat(format!("k{i}"));
+        }
+        assert_eq!(u.counters().evictions, 0);
+        assert_eq!(u.counters().entries, 1000);
     }
 }

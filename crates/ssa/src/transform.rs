@@ -95,7 +95,10 @@ pub fn transform_program(p: &Program) -> Result<IrProgram, SsaError> {
         }
     }
     let mut delta = SsaEnv::new();
-    out.top = ssa.stmts(&top_stmts, &mut delta, JoinKind::Return)?.body;
+    let top_end = top_stmts.last().map(|s| s.span()).unwrap_or_default();
+    out.top = ssa
+        .stmts(&top_stmts, &mut delta, JoinKind::Return, top_end)?
+        .body;
     Ok(out)
 }
 
@@ -130,7 +133,7 @@ impl Ssa {
             delta.bind(p.clone(), p.clone());
         }
         delta.bind(Sym::from("arguments"), Sym::from("arguments"));
-        let body = self.stmts(&f.body.stmts, &mut delta, JoinKind::Return)?;
+        let body = self.stmts(&f.body.stmts, &mut delta, JoinKind::Return, f.span)?;
         Ok(IrFun {
             name: f.name.clone(),
             sigs: f.sigs.clone(),
@@ -148,7 +151,7 @@ impl Ssa {
                     delta.bind(p.clone(), p.clone());
                 }
                 delta.bind(Sym::from("this"), Sym::from("this"));
-                let b = self.stmts(&ct.body.stmts, &mut delta, JoinKind::Return)?;
+                let b = self.stmts(&ct.body.stmts, &mut delta, JoinKind::Return, ct.span)?;
                 Some(IrCtor {
                     params: ct.params.clone(),
                     body: b.body,
@@ -166,7 +169,10 @@ impl Ssa {
                         delta.bind(p.clone(), p.clone());
                     }
                     delta.bind(Sym::from("this"), Sym::from("this"));
-                    Some(self.stmts(&b.stmts, &mut delta, JoinKind::Return)?.body)
+                    Some(
+                        self.stmts(&b.stmts, &mut delta, JoinKind::Return, m.span)?
+                            .body,
+                    )
                 }
                 None => None,
             };
@@ -185,16 +191,21 @@ impl Ssa {
         })
     }
 
+    /// `end` is the span blamed for the implicit terminator when the
+    /// sequence falls off its end (the enclosing function, branch, or
+    /// loop) — implicit returns must carry real provenance, not
+    /// `Span::dummy()`.
     fn stmts(
         &mut self,
         stmts: &[Stmt],
         delta: &mut SsaEnv,
         join: JoinKind,
+        end_span: Span,
     ) -> Result<Translated, SsaError> {
         let Some((first, rest)) = stmts.split_first() else {
             let end = match join {
-                JoinKind::Return => Body::Ret(None, Span::dummy()),
-                JoinKind::Branch => Body::EndBranch(Span::dummy()),
+                JoinKind::Return => Body::Ret(None, end_span),
+                JoinKind::Branch => Body::EndBranch(end_span),
             };
             return Ok(Translated {
                 body: end,
@@ -202,12 +213,12 @@ impl Ssa {
             });
         };
         match first {
-            Stmt::Skip(_) => self.stmts(rest, delta, join),
+            Stmt::Skip(_) => self.stmts(rest, delta, join, end_span),
             Stmt::Seq(ss, _) => {
                 // Scope-transparent: splice into the current sequence.
                 let mut flat: Vec<Stmt> = ss.clone();
                 flat.extend_from_slice(rest);
-                self.stmts(&flat, delta, join)
+                self.stmts(&flat, delta, join, end_span)
             }
             Stmt::VarDecl {
                 name,
@@ -218,7 +229,7 @@ impl Ssa {
                 let rhs = self.expr(init, delta);
                 let x = self.fresh(name);
                 delta.bind(name.clone(), x.clone());
-                let k = self.stmts(rest, delta, join)?;
+                let k = self.stmts(rest, delta, join, end_span)?;
                 Ok(Translated {
                     body: Body::Let {
                         x,
@@ -239,7 +250,7 @@ impl Ssa {
                     let rhs = self.expr(value, delta);
                     let x = self.fresh(name);
                     delta.bind(name.clone(), x.clone());
-                    let k = self.stmts(rest, delta, join)?;
+                    let k = self.stmts(rest, delta, join, end_span)?;
                     Ok(Translated {
                         body: Body::Let {
                             x,
@@ -255,7 +266,7 @@ impl Ssa {
                     let o = self.expr(obj, delta);
                     let v = self.expr(value, delta);
                     let e = IrExpr::FieldAssign(Box::new(o), f.clone(), Box::new(v), *span);
-                    let k = self.stmts(rest, delta, join)?;
+                    let k = self.stmts(rest, delta, join, end_span)?;
                     Ok(Translated {
                         body: Body::Effect {
                             e,
@@ -270,7 +281,7 @@ impl Ssa {
                     let i = self.expr(idx, delta);
                     let v = self.expr(value, delta);
                     let e = IrExpr::IndexAssign(Box::new(a), Box::new(i), Box::new(v), *span);
-                    let k = self.stmts(rest, delta, join)?;
+                    let k = self.stmts(rest, delta, join, end_span)?;
                     Ok(Translated {
                         body: Body::Effect {
                             e,
@@ -283,7 +294,7 @@ impl Ssa {
             },
             Stmt::ExprStmt { expr, span } => {
                 let e = self.expr(expr, delta);
-                let k = self.stmts(rest, delta, join)?;
+                let k = self.stmts(rest, delta, join, end_span)?;
                 Ok(Translated {
                     body: Body::Effect {
                         e,
@@ -310,7 +321,7 @@ impl Ssa {
                     inner.bind(p.clone(), p.clone());
                 }
                 inner.bind(Sym::from("arguments"), Sym::from("arguments"));
-                let b = self.stmts(&f.body.stmts, &mut inner, JoinKind::Return)?;
+                let b = self.stmts(&f.body.stmts, &mut inner, JoinKind::Return, f.span)?;
                 let fun = IrFun {
                     name: f.name.clone(),
                     sigs: f.sigs.clone(),
@@ -318,7 +329,7 @@ impl Ssa {
                     body: b.body,
                     span: f.span,
                 };
-                let k = self.stmts(rest, delta, join)?;
+                let k = self.stmts(rest, delta, join, end_span)?;
                 Ok(Translated {
                     body: Body::LetFun {
                         fun: Box::new(fun),
@@ -336,9 +347,9 @@ impl Ssa {
             } => {
                 let c = self.expr(cond, delta);
                 let mut d1 = delta.clone();
-                let t1 = self.stmts(&then_blk.stmts, &mut d1, JoinKind::Branch)?;
+                let t1 = self.stmts(&then_blk.stmts, &mut d1, JoinKind::Branch, *span)?;
                 let mut d2 = delta.clone();
-                let t2 = self.stmts(&else_blk.stmts, &mut d2, JoinKind::Branch)?;
+                let t2 = self.stmts(&else_blk.stmts, &mut d2, JoinKind::Branch, *span)?;
                 let (phis, d_next) = match (t1.falls, t2.falls) {
                     (true, true) => {
                         let mut phis = Vec::new();
@@ -360,7 +371,7 @@ impl Ssa {
                     (false, false) => (Vec::new(), delta.clone()),
                 };
                 *delta = d_next;
-                let k = self.stmts(rest, delta, join)?;
+                let k = self.stmts(rest, delta, join, end_span)?;
                 Ok(Translated {
                     body: Body::If {
                         cond: c,
@@ -391,7 +402,7 @@ impl Ssa {
                 }
                 let c = self.expr(cond, &mut d_loop);
                 let mut d_body = d_loop.clone();
-                let tb = self.stmts(&body.stmts, &mut d_body, JoinKind::Branch)?;
+                let tb = self.stmts(&body.stmts, &mut d_body, JoinKind::Branch, *span)?;
                 let phis: Vec<LoopPhi> = proto_phis
                     .into_iter()
                     .map(|(source, new, init_src)| LoopPhi {
@@ -409,7 +420,7 @@ impl Ssa {
                 for p in &phis {
                     delta.bind(p.source.clone(), p.new.clone());
                 }
-                let k = self.stmts(rest, delta, join)?;
+                let k = self.stmts(rest, delta, join, end_span)?;
                 Ok(Translated {
                     body: Body::Loop {
                         phis,

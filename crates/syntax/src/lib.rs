@@ -32,5 +32,5 @@ pub mod types;
 
 pub use ast::Program;
 pub use parser::{parse_pred, parse_program, parse_type, ParseError};
-pub use span::Span;
+pub use span::{LineCol, LineIndex, Span};
 pub use types::{AnnArg, AnnTy, FunTy, Mutability};

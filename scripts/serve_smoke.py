@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""End-to-end smoke test for `rsc serve` over a scripted edit session.
+"""End-to-end smoke test for `rsc serve` over scripted edit sessions.
 
-Usage: python3 scripts/serve_smoke.py [path/to/rsc-binary]
+Usage: python3 scripts/serve_smoke.py [path/to/rsc-binary] [--leg LEG]
 
-Drives the real binary over the Fig. 6 corpus: for every benchmark with
-a seeded mutation, load the clean file, edit the bug in (must reject,
-reusing all but the edited function's bundle), edit it back out (must
-verify, again with reuse). Exits non-zero on any protocol or verdict
-mismatch — this is the CI leg that keeps the serve front-end honest.
+Legs (default: legacy + lsp):
+
+* ``legacy``      — the original NDJSON ``cmd`` protocol: for every
+  benchmark with a seeded mutation, load the clean file, edit the bug in
+  (must reject, reusing all but the edited function's bundle), edit it
+  back out (must verify, again with reuse).
+* ``lsp``         — the LSP-shaped methods over the same corpus:
+  ``initialize``, ``textDocument/didOpen``/``didChange``, asserting that
+  every published diagnostic carries a non-dummy 0-based
+  ``{start:{line,character},end:{…}}`` range and an ``R…``-style code.
+* ``cache-bound`` — a long edit script under ``RSC_CACHE_CAP=16``:
+  verdicts must stay correct while the VC cache stays bounded and
+  reports evictions.
+
+Exits non-zero on any protocol or verdict mismatch — this is the CI leg
+that keeps the serve front-end honest.
 """
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -48,16 +60,35 @@ def check_in_sync():
                 )
 
 
-def main():
-    check_in_sync()
-    binary = sys.argv[1] if len(sys.argv) > 1 else str(ROOT / "target/release/rsc")
-    requests = []
-    expected = []  # (kind, benchmark) per response line
+def run_serve(binary, requests, env=None):
+    """Feeds one request per line, returns the parsed response lines."""
+    stdin = "".join(json.dumps(r) + "\n" for r in requests)
+    proc_env = dict(os.environ)
+    if env:
+        proc_env.update(env)
+    proc = subprocess.run(
+        [binary, "serve"], input=stdin, capture_output=True, text=True,
+        env=proc_env,
+    )
+    if proc.returncode != 0:
+        fail(f"serve exited {proc.returncode}: {proc.stderr[-500:]}")
+    return [json.loads(l) for l in proc.stdout.splitlines() if l.strip()]
+
+
+def corpus():
+    out = []
     for name, frm, to in MUTATIONS:
         src = (ROOT / "benchmarks" / f"{name}.rsc").read_text()
         if frm not in src:
             fail(f"{name}: mutation site {frm!r} not found")
-        mutated = src.replace(frm, to, 1)
+        out.append((name, src, src.replace(frm, to, 1)))
+    return out
+
+
+def legacy_leg(binary):
+    requests = []
+    expected = []  # (kind, benchmark) per response line
+    for name, src, mutated in corpus():
         requests.append({"cmd": "load", "source": src})
         expected.append(("clean-load", name))
         requests.append({"cmd": "edit", "source": mutated})
@@ -71,38 +102,179 @@ def main():
     requests.append({"cmd": "quit"})
     expected.append(("quit", "-"))
 
-    stdin = "".join(json.dumps(r) + "\n" for r in requests)
-    proc = subprocess.run(
-        [binary, "serve"], input=stdin, capture_output=True, text=True
-    )
-    if proc.returncode != 0:
-        fail(f"serve exited {proc.returncode}: {proc.stderr[-500:]}")
-    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    lines = run_serve(binary, requests)
     if len(lines) != len(expected):
-        fail(f"expected {len(expected)} responses, got {len(lines)}")
+        fail(f"legacy: expected {len(expected)} responses, got {len(lines)}")
 
-    for line, (kind, name) in zip(lines, expected):
-        v = json.loads(line)
+    for v, (kind, name) in zip(lines, expected):
         if not v.get("ok"):
-            fail(f"{name}/{kind}: not ok: {line}")
+            fail(f"{name}/{kind}: not ok: {v}")
         if kind == "clean-load":
             if v["verified"] is not True:
-                fail(f"{name}: clean corpus did not verify: {line}")
+                fail(f"{name}: clean corpus did not verify: {v}")
         elif kind == "broken-edit":
             if v["verified"] is not False:
-                fail(f"{name}: seeded bug not rejected: {line}")
+                fail(f"{name}: seeded bug not rejected: {v}")
             if not v["diagnostics"]:
-                fail(f"{name}: rejection without diagnostics: {line}")
+                fail(f"{name}: rejection without diagnostics: {v}")
+            for d in v["diagnostics"]:
+                if not d.get("code", "").startswith("R"):
+                    fail(f"{name}: diagnostic without obligation code: {d}")
             if v["bundles"] > 1 and v["reused"] == 0:
-                fail(f"{name}: broken edit reused nothing: {line}")
+                fail(f"{name}: broken edit reused nothing: {v}")
         elif kind == "clean-edit":
             if v["verified"] is not True:
-                fail(f"{name}: revert did not verify: {line}")
+                fail(f"{name}: revert did not verify: {v}")
             if v["bundles"] > 1 and not (0 < v["reused"] and v["solved"] < v["bundles"]):
-                fail(f"{name}: revert did not reuse bundles: {line}")
+                fail(f"{name}: revert did not reuse bundles: {v}")
         print(f"serve_smoke: ok {name:<14} {kind:<11} "
               f"reused={v.get('reused', '-')}/{v.get('bundles', '-')} "
               f"time_us={v.get('time_us', '-')}")
+    print("serve_smoke: legacy leg PASS")
+
+
+def assert_lsp_diagnostics(name, params):
+    """Every published diagnostic must carry a non-dummy LSP range and an
+    obligation-kind code."""
+    for d in params["diagnostics"]:
+        rng = d.get("range")
+        if not rng:
+            fail(f"{name}: diagnostic without a range: {d}")
+        start, end = rng["start"], rng["end"]
+        for pos in (start, end):
+            if not {"line", "character"} <= set(pos):
+                fail(f"{name}: position missing line/character: {d}")
+        if (end["line"], end["character"]) <= (start["line"], start["character"]):
+            fail(f"{name}: dummy/empty diagnostic range: {d}")
+        if not d.get("code", "").startswith("R"):
+            fail(f"{name}: diagnostic without an R-code: {d}")
+        if d.get("source") != "rsc":
+            fail(f"{name}: diagnostic source is not 'rsc': {d}")
+
+
+def lsp_leg(binary):
+    uri = "file:///corpus.rsc"
+    requests = [{"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}},
+                {"jsonrpc": "2.0", "method": "initialized", "params": {}}]
+    expected = [("initialize", "-")]  # `initialized` produces no line
+    for name, src, mutated in corpus():
+        requests.append({"jsonrpc": "2.0", "method": "textDocument/didOpen",
+                         "params": {"textDocument": {"uri": uri, "text": src}}})
+        expected.append(("clean-open", name))
+        requests.append({"jsonrpc": "2.0", "method": "textDocument/didChange",
+                         "params": {"textDocument": {"uri": uri},
+                                    "contentChanges": [{"text": mutated}]}})
+        expected.append(("broken-change", name))
+        requests.append({"jsonrpc": "2.0", "method": "textDocument/didChange",
+                         "params": {"textDocument": {"uri": uri},
+                                    "contentChanges": [{"text": src}]}})
+        expected.append(("clean-change", name))
+    requests.append({"jsonrpc": "2.0", "id": 2, "method": "shutdown"})
+    expected.append(("shutdown", "-"))
+    requests.append({"jsonrpc": "2.0", "method": "exit"})
+
+    lines = run_serve(binary, requests)
+    if len(lines) != len(expected):
+        fail(f"lsp: expected {len(expected)} responses, got {len(lines)}")
+
+    for v, (kind, name) in zip(lines, expected):
+        if kind == "initialize":
+            if "capabilities" not in v.get("result", {}):
+                fail(f"initialize: no capabilities: {v}")
+            continue
+        if kind == "shutdown":
+            if v.get("result", "missing") is not None:
+                fail(f"shutdown: expected null result: {v}")
+            continue
+        if v.get("method") != "textDocument/publishDiagnostics":
+            fail(f"{name}/{kind}: expected publishDiagnostics: {v}")
+        params = v["params"]
+        if params.get("uri") != uri:
+            fail(f"{name}/{kind}: wrong uri: {v}")
+        rsc = v.get("rsc", {})
+        if kind in ("clean-open", "clean-change"):
+            if params["diagnostics"] or rsc.get("verified") is not True:
+                fail(f"{name}: clean text published diagnostics: {v}")
+        else:
+            if not params["diagnostics"] or rsc.get("verified") is not False:
+                fail(f"{name}: seeded bug published no diagnostics: {v}")
+            assert_lsp_diagnostics(name, params)
+            if rsc.get("bundles", 0) > 1 and rsc.get("reused", 0) == 0:
+                fail(f"{name}: broken change reused nothing: {v}")
+        print(f"serve_smoke: ok {name:<14} {kind:<13} "
+              f"reused={rsc.get('reused', '-')}/{rsc.get('bundles', '-')} "
+              f"diags={len(params['diagnostics'])}")
+    print("serve_smoke: lsp leg PASS")
+
+
+def cache_bound_leg(binary, cap=16, rounds=3):
+    """A long edit script with a tiny VC cache: verdicts stay correct,
+    the cache stays bounded, and evictions are reported."""
+    requests = []
+    expected = []  # (kind, name)
+    for _ in range(rounds):
+        for name, src, mutated in corpus():
+            requests.append({"cmd": "load", "source": src})
+            expected.append(("clean", name))
+            requests.append({"cmd": "edit", "source": mutated})
+            expected.append(("broken", name))
+            requests.append({"cmd": "edit", "source": src})
+            expected.append(("clean", name))
+    requests.append({"cmd": "stats"})
+    expected.append(("stats", "-"))
+    requests.append({"cmd": "quit"})
+    expected.append(("quit", "-"))
+
+    lines = run_serve(binary, requests, env={"RSC_CACHE_CAP": str(cap)})
+    if len(lines) != len(expected):
+        fail(f"cache-bound: expected {len(expected)} responses, got {len(lines)}")
+    evictions = None
+    for v, (kind, name) in zip(lines, expected):
+        if not v.get("ok"):
+            fail(f"cache-bound {name}/{kind}: not ok: {v}")
+        if kind == "clean" and v["verified"] is not True:
+            fail(f"cache-bound {name}: clean text did not verify under cap: {v}")
+        if kind == "broken" and v["verified"] is not False:
+            fail(f"cache-bound {name}: seeded bug not rejected under cap: {v}")
+        if kind == "stats":
+            if v["cache_entries"] > cap:
+                fail(f"cache-bound: {v['cache_entries']} entries exceed cap {cap}: {v}")
+            evictions = v.get("cache_evictions", 0)
+    if not evictions:
+        fail("cache-bound: a long edit script under a tiny cap must evict")
+    print(f"serve_smoke: cache-bound leg PASS "
+          f"(cap={cap}, evictions={evictions})")
+
+
+def main():
+    check_in_sync()
+    args = [a for a in sys.argv[1:]]
+    legs = []
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--leg":
+            if i + 1 >= len(args):
+                fail("--leg expects a value (legacy | lsp | cache-bound)")
+            legs.append(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) > 1:
+        fail(f"unexpected extra arguments: {positional[1:]}")
+    binary = positional[0] if positional else str(ROOT / "target/release/rsc")
+    if not legs:
+        legs = ["legacy", "lsp"]
+    for leg in legs:
+        if leg == "legacy":
+            legacy_leg(binary)
+        elif leg == "lsp":
+            lsp_leg(binary)
+        elif leg == "cache-bound":
+            cache_bound_leg(binary)
+        else:
+            fail(f"unknown leg {leg!r}")
     print("serve_smoke: PASS")
 
 

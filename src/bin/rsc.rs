@@ -9,6 +9,10 @@
 //! cargo run --bin rsc -- --watch f.rsc  # incremental re-check on save
 //! ```
 //!
+//! Rejections are rendered rustc-style, with the error code of the
+//! failed obligation kind, a source excerpt, and a caret underline over
+//! the blamed range (see `rsc_core::Diagnostic::render`).
+//!
 //! Both `serve` and `--watch` run a persistent [`rsc_incr::CheckSession`]:
 //! after the first check, only the constraint bundles whose canonical
 //! problem changed are re-solved (see `ARCHITECTURE.md`).
@@ -23,12 +27,18 @@ fn main() {
     let mut files: Vec<String> = Vec::new();
     let mut quiet = false;
     let mut want_jobs = false;
+    let mut want_cache_cap = false;
     let mut serve = false;
     let mut watch = false;
     for arg in std::env::args().skip(1) {
         if want_jobs {
             want_jobs = false;
             opts.jobs = parse_jobs(&arg);
+            continue;
+        }
+        if want_cache_cap {
+            want_cache_cap = false;
+            opts.cache_capacity = parse_cache_cap(&arg);
             continue;
         }
         match arg.as_str() {
@@ -39,6 +49,7 @@ fn main() {
             "--no-mined-qualifiers" => opts.mine_qualifiers = false,
             "--no-vc-cache" => opts.vc_cache = false,
             "--jobs" | "-j" => want_jobs = true,
+            "--cache-cap" => want_cache_cap = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 print_usage();
@@ -47,16 +58,24 @@ fn main() {
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => match other.strip_prefix("--jobs=") {
                 Some(n) => opts.jobs = parse_jobs(n),
-                None => {
-                    eprintln!("rsc: unknown flag {other}");
-                    print_usage();
-                    std::process::exit(2);
-                }
+                None => match other.strip_prefix("--cache-cap=") {
+                    Some(n) => opts.cache_capacity = parse_cache_cap(n),
+                    None => {
+                        eprintln!("rsc: unknown flag {other}");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                },
             },
         }
     }
     if want_jobs {
         eprintln!("rsc: --jobs expects a worker count");
+        print_usage();
+        std::process::exit(2);
+    }
+    if want_cache_cap {
+        eprintln!("rsc: --cache-cap expects an entry count");
         print_usage();
         std::process::exit(2);
     }
@@ -118,8 +137,9 @@ fn main() {
                 result.diagnostics.len(),
                 elapsed
             );
+            let idx = rsc_core::LineIndex::new(&src);
             for d in &result.diagnostics {
-                println!("  {d}");
+                print!("{}", d.render_with(file, &src, &idx));
             }
         }
     }
@@ -217,6 +237,16 @@ fn parse_jobs(s: &str) -> usize {
     }
 }
 
+fn parse_cache_cap(s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("rsc: --cache-cap expects a non-negative integer, got {s:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
@@ -226,6 +256,8 @@ fn print_usage() {
          \u{20}      rsc --watch <file>   incremental re-check on every mtime change\n\
          \n\
          --jobs N  solve constraint bundles on N worker threads\n\
-         \u{20}         (default: RSC_JOBS env var, else available cores, max 8)"
+         \u{20}         (default: RSC_JOBS env var, else available cores, max 8)\n\
+         --cache-cap N  bound the VC cache to ~N entries (LRU eviction;\n\
+         \u{20}         default: RSC_CACHE_CAP env var, else unbounded)"
     );
 }

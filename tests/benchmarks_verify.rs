@@ -83,6 +83,18 @@ fn seeded_bugs_rejected() {
             !r.ok(),
             "benchmark {name} with seeded bug `{from}` → `{to}` should be rejected"
         );
+        // Every corpus rejection must carry full provenance: an
+        // obligation-kind code and a real (non-dummy) byte range.
+        for d in &r.diagnostics {
+            assert!(
+                d.code.is_some(),
+                "{name}: rejection diagnostic without an obligation code: {d}"
+            );
+            assert!(
+                d.span.hi > d.span.lo && d.span.line > 0,
+                "{name}: rejection diagnostic with a dummy range: {d}"
+            );
+        }
         let mut rendered: String = r
             .diagnostics
             .iter()

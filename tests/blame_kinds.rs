@@ -1,0 +1,170 @@
+//! One failing fixture per obligation kind: each program is rejected
+//! with at least one diagnostic carrying that kind's `R….`-style code
+//! and a non-dummy source range, and the full rendered output is pinned
+//! against a golden snapshot in `tests/golden/blame-<kind>.diag`.
+//!
+//! Regenerate the fixtures with `UPDATE_GOLDEN=1 cargo test -q
+//! blame_kind` after an intentional diagnostics change.
+
+use rsc_core::{check_program, CheckerOptions, ObligationKind};
+
+const NAT: &str = "type nat = {v: number | 0 <= v};\n";
+
+/// (kind, golden slug, program). Every [`ObligationKind`] that a user
+/// program can trip is covered; `Other` is only reachable from
+/// hand-built constraint sets (tests, tools).
+fn cases() -> Vec<(ObligationKind, &'static str, String)> {
+    vec![
+        (
+            ObligationKind::CallArgument,
+            "call-argument",
+            format!(
+                "{NAT}function half(x: nat): nat {{ return x; }}\n\
+                 function main(): nat {{ return half(0 - 1); }}\n"
+            ),
+        ),
+        (
+            ObligationKind::Return,
+            "return",
+            format!("{NAT}function dec(x: nat): nat {{\n    return x - 1;\n}}\n"),
+        ),
+        (
+            ObligationKind::Assignment,
+            "assignment",
+            format!("{NAT}function main(): void {{\n    var y: nat = 0 - 5;\n}}\n"),
+        ),
+        (
+            ObligationKind::Narrowing,
+            "narrowing",
+            "class P { x : number; constructor(x: number) { this.x = x; }\n    \
+             @ReadOnly get(): number { return this.x; } }\n\
+             function f(p: P + null): number {\n    return p.get();\n}\n"
+                .to_string(),
+        ),
+        (
+            ObligationKind::LoopInvariant,
+            "loop-invariant",
+            "function f(): number {\n    var i = 0;\n    while (i < 3) { i = \"s\"; }\n    \
+             return i;\n}\n"
+                .to_string(),
+        ),
+        (
+            ObligationKind::FieldRead,
+            "field-read",
+            "class P { x : number; constructor(x: number) { this.x = x; } }\n\
+             function f(p: P + null): number {\n    return p.x;\n}\n"
+                .to_string(),
+        ),
+        (
+            ObligationKind::FieldWrite,
+            "field-write",
+            format!(
+                "{NAT}class C {{\n    n : nat;\n    constructor(n: nat) {{ this.n = n; }}\n    \
+                 @Mutable poke(x: number) {{ this.n = x; }}\n}}\n"
+            ),
+        ),
+        (
+            ObligationKind::ArrayBounds,
+            "array-bounds",
+            "function last(a: number[]): number {\n    return a[a.length];\n}\n".to_string(),
+        ),
+        (
+            ObligationKind::Cast,
+            "cast",
+            "class A { x : number; constructor(x: number) { this.x = x; } }\n\
+             class B extends A { y : number; constructor(x: number, y: number) {\n    \
+             this.x = x; this.y = y; } }\n\
+             function f(a: A): number {\n    var b = <B> a;\n    return b.y;\n}\n"
+                .to_string(),
+        ),
+        (
+            ObligationKind::ClassInvariant,
+            "class-invariant",
+            format!(
+                "{NAT}class P {{\n    immutable n : nat;\n    \
+                 constructor(v: number) {{ this.n = v; }}\n}}\n"
+            ),
+        ),
+        (
+            ObligationKind::Assertion,
+            "assertion",
+            "function f(x: number): void {\n    assert(0 < x);\n}\n".to_string(),
+        ),
+        (
+            ObligationKind::Arithmetic,
+            "arithmetic",
+            "function f(x: number, y: number): number {\n    return x / y;\n}\n".to_string(),
+        ),
+        (
+            ObligationKind::BaseType,
+            "base-type",
+            "function f(s: string): number {\n    return 1 + s;\n}\n".to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn every_reachable_kind_has_a_fixture() {
+    let covered: Vec<ObligationKind> = cases().iter().map(|(k, _, _)| *k).collect();
+    for kind in ObligationKind::all() {
+        if *kind == ObligationKind::Other {
+            continue; // synthetic-only (hand-built constraint sets)
+        }
+        assert!(
+            covered.contains(kind),
+            "obligation kind {kind:?} ({}) has no failing fixture",
+            kind.code()
+        );
+    }
+}
+
+#[test]
+fn blame_kind_fixtures() {
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    for (kind, slug, src) in cases() {
+        let r = check_program(&src, CheckerOptions::default());
+        assert!(!r.ok(), "{slug}: fixture must be rejected");
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == Some(kind.code())),
+            "{slug}: no diagnostic carries code {} — got:\n{}",
+            kind.code(),
+            r.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        for d in &r.diagnostics {
+            assert!(
+                d.span.hi > d.span.lo && d.span.line > 0,
+                "{slug}: diagnostic has a dummy range: {d}"
+            );
+            assert!(d.code.is_some(), "{slug}: diagnostic has no code: {d}");
+        }
+        let mut rendered: String = r
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        rendered.push('\n');
+        let golden_path = golden_dir.join(format!("blame-{slug}.diag"));
+        if update {
+            std::fs::write(&golden_path, &rendered).expect("write golden fixture");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "{slug}: diagnostics drifted from tests/golden/blame-{slug}.diag"
+        );
+    }
+}

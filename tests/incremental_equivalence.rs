@@ -130,6 +130,68 @@ fn cached_reports_partition_totals() {
     }
 }
 
+/// The fingerprint-excludes-provenance invariant, end to end: an edit
+/// that only inserts comments/blank lines shifts every span in the file
+/// but changes no constraint *predicate*, so every bundle fingerprint is
+/// unchanged and the session re-solves **zero** bundles — while the
+/// reported diagnostics still move to the new line numbers (blame is
+/// re-attached from the current run's constraints, not from retention).
+#[test]
+fn comment_only_edit_resolves_zero_bundles() {
+    // A failing program, so we can watch the diagnostics' lines shift.
+    let base = "type nat = {v: number | 0 <= v};\n\
+                function dec(x: nat): nat {\n    return x - 1;\n}\n\
+                function ok(x: nat): nat {\n    return x + 1;\n}\n";
+    let mut session = CheckSession::new(CheckerOptions::default());
+    let first = session.check(base);
+    assert!(!first.result.ok(), "base program must be rejected");
+
+    let shifted = format!("// a comment line\n\n{base}");
+    let second = session.check(&shifted);
+    assert_eq!(
+        solved_bundles(&second.result),
+        0,
+        "a comment-only edit must re-solve zero bundles: {:?}",
+        second.incr
+    );
+    assert_eq!(
+        second.result.stats.bundles_reused,
+        second.result.bundle_reports.len()
+    );
+    // Byte-identical to a cold check of the shifted source…
+    let cold = check_program(&shifted, CheckerOptions::default());
+    assert_eq!(render(&second.result), render(&cold));
+    // …and the line numbers really moved (blame came from this run).
+    assert_ne!(render(&first.result), render(&second.result));
+    assert!(
+        render(&second.result).contains("line 5"),
+        "diagnostic should follow the two-line shift: {}",
+        render(&second.result)
+    );
+}
+
+/// The same invariant over a real corpus program: a blank-line insertion
+/// at the top of navier-stokes re-solves nothing.
+#[test]
+fn corpus_blank_line_insertion_resolves_zero_bundles() {
+    let clean = load_benchmark("navier-stokes").expect("benchmark file");
+    let mut session = CheckSession::new(CheckerOptions::default());
+    let first = session.check(&clean);
+    assert!(first.result.ok());
+    let total = first.result.bundle_reports.len();
+    assert!(total > 1);
+
+    let shifted = format!("\n{clean}");
+    let second = session.check(&shifted);
+    assert!(second.result.ok());
+    assert_eq!(
+        solved_bundles(&second.result),
+        0,
+        "blank-line insertion must re-solve zero of {total} bundles: {:?}",
+        second.incr
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
