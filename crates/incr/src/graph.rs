@@ -119,6 +119,16 @@ pub struct UnitNode {
     pub transparent: bool,
     /// Indices of the units this unit references.
     pub deps: Vec<usize>,
+    /// Byte offset of the unit's declaration in the program text. In a
+    /// merged multi-file program this is what attributes a unit to its
+    /// owning file (`u32::MAX` for the synthetic top-level unit, whose
+    /// statements may span every file).
+    pub span_lo: u32,
+    /// True when the source marked the unit's declaration `export`
+    /// (methods and constructors inherit their class's marker). The
+    /// workspace keys its cross-file edges on the exported units'
+    /// interface hashes — see [`DepGraph::export_surface`].
+    pub exported: bool,
 }
 
 /// The dependency graph of one program snapshot.
@@ -243,6 +253,9 @@ impl DepGraph {
         // to several classes' methods; all become deps).
         let mut resolve: HashMap<String, Vec<usize>> = HashMap::new();
 
+        let exported: BTreeSet<&str> = ir.exports.iter().map(|s| s.as_str()).collect();
+
+        #[allow(clippy::too_many_arguments)]
         let push = |units: &mut Vec<UnitNode>,
                     unit_refs: &mut Vec<BTreeSet<String>>,
                     resolve: &mut HashMap<String, Vec<usize>>,
@@ -251,6 +264,8 @@ impl DepGraph {
                     body_hash: u64,
                     iface_hash: u64,
                     transparent: bool,
+                    span_lo: u32,
+                    exported: bool,
                     refs: BTreeSet<String>| {
             let idx = units.len();
             units.push(UnitNode {
@@ -259,6 +274,8 @@ impl DepGraph {
                 iface_hash,
                 transparent,
                 deps: Vec::new(),
+                span_lo,
+                exported,
             });
             unit_refs.push(refs);
             for k in keys {
@@ -278,11 +295,14 @@ impl DepGraph {
                 hash_str(&[&format!("{:?}{:?}", f.params, f.body)]),
                 hash_str(&[&format!("{:?}", f.sigs)]),
                 f.sigs.is_empty(),
+                f.span.lo,
+                exported.contains(f.name.as_str()),
                 refs,
             );
         }
         for c in &ir.classes {
             let cname = c.decl.name.to_string();
+            let class_exported = exported.contains(cname.as_str());
             if let Some(ctor) = &c.ctor {
                 let mut refs = BTreeSet::new();
                 refs_of_body(&ctor.body, &mut refs);
@@ -295,6 +315,8 @@ impl DepGraph {
                     hash_str(&[&format!("{:?}{:?}", ctor.params, ctor.body)]),
                     hash_str(&[&format!("{:?}", ctor.params)]),
                     false,
+                    ctor.span.lo,
+                    class_exported,
                     refs,
                 );
             }
@@ -312,6 +334,8 @@ impl DepGraph {
                     hash_str(&[&format!("{:?}", m.body)]),
                     hash_str(&[&format!("{:?}{:?}", m.recv, m.sig)]),
                     false,
+                    m.span.lo,
+                    class_exported,
                     refs,
                 );
             }
@@ -327,6 +351,8 @@ impl DepGraph {
                 vec![],
                 hash_str(&[&format!("{:?}", ir.top)]),
                 0,
+                false,
+                u32::MAX,
                 false,
                 refs,
             );
@@ -403,6 +429,38 @@ impl DepGraph {
                         stack.push((d, self.units[d].transparent));
                     }
                 }
+            }
+        }
+        h.finish()
+    }
+
+    /// A fingerprint of the file's *export surface* — everything another
+    /// file can observe of this one through `import`:
+    ///
+    /// * each exported unit's `iface_hash` (and, for transparent
+    ///   functions whose bodies are inlined at their call sites, the
+    ///   `body_hash` too),
+    /// * the global declaration hash (type aliases, interfaces, enums,
+    ///   ambient declares, qualifiers, class shapes — all of which feed
+    ///   the merged program's class table and qualifier mining
+    ///   regardless of export markers).
+    ///
+    /// The workspace keys its cross-file dependency edges on this value:
+    /// an importer is flagged dirty exactly when a dependency's export
+    /// surface changed, so a non-exported body edit never dirties
+    /// importers while an exported-signature edit dirties them all.
+    /// Built per *file* (not per merged program) by the workspace layer.
+    pub fn export_surface(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        h.write_u64(self.globals_hash);
+        for u in &self.units {
+            if !u.exported {
+                continue;
+            }
+            h.write(u.name.as_bytes());
+            h.write_u64(u.iface_hash);
+            if u.transparent {
+                h.write_u64(u.body_hash);
             }
         }
         h.finish()
@@ -491,6 +549,48 @@ mod tests {
         // …while the raw fast-path hash still sees the shift (serving
         // the previous result verbatim would report stale lines).
         assert_ne!(g1.program_hash, g2.program_hash);
+    }
+
+    const LIB: &str = r#"
+        export function step(x: number): number { return x + 1; }
+        function helper(x: number): number { return x - 1; }
+    "#;
+
+    #[test]
+    fn export_surface_ignores_private_bodies() {
+        let base = graph(LIB).export_surface();
+        // Editing a non-exported body leaves the surface untouched…
+        let private_edit = graph(&LIB.replace("return x - 1;", "return x - 2;"));
+        assert_eq!(base, private_edit.export_surface());
+        // …and so does editing an exported *body* behind an annotation…
+        let body_edit = graph(&LIB.replace("return x + 1;", "return x + 2;"));
+        assert_eq!(base, body_edit.export_surface());
+        // …but an exported-signature edit changes it.
+        let sig_edit = graph(&LIB.replace(
+            "export function step(x: number): number",
+            "export function step(x: number): {v: number | x < v}",
+        ));
+        assert_ne!(base, sig_edit.export_surface());
+    }
+
+    #[test]
+    fn export_surface_sees_transparent_export_bodies() {
+        // An exported *unannotated* function's body is inlined at its
+        // call sites, so it is part of the surface.
+        let src = "export function f(x) { return x + 1; }";
+        let a = graph(src).export_surface();
+        let b = graph(&src.replace("x + 1", "x + 2")).export_surface();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn units_carry_spans_and_export_flags() {
+        let g = graph(LIB);
+        let step = g.units.iter().find(|u| u.name == "fun:step").unwrap();
+        let helper = g.units.iter().find(|u| u.name == "fun:helper").unwrap();
+        assert!(step.exported && !helper.exported);
+        assert!(step.span_lo < helper.span_lo);
+        assert_eq!(g.units.last().unwrap().span_lo, u32::MAX);
     }
 
     #[test]

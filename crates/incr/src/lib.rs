@@ -16,9 +16,17 @@
 //! from-scratch run, which `tests/incremental_equivalence.rs` enforces
 //! over random edit scripts.
 //!
+//! One layer up, a [`Workspace`] scales sessions to *documents*: one
+//! [`CheckSession`] per URI/path over a shared VC cache, `import`
+//! resolution into a merged (concatenated) program, and cross-file
+//! dependency edges keyed by each file's export-surface hash — see
+//! [`workspace`].
+//!
 //! Two front-ends surface the subsystem through the `rsc` binary:
-//! `rsc serve` (newline-delimited JSON requests on stdin — see
-//! [`serve`]) and `rsc --watch` (re-check on file mtime change).
+//! `rsc serve` (newline-delimited JSON requests on stdin, speaking both
+//! the legacy `cmd` protocol and an LSP subset with per-URI
+//! `publishDiagnostics` — see [`serve`]) and `rsc --watch` (re-check on
+//! mtime change of any file in the watched documents' import closures).
 
 #![warn(missing_docs)]
 
@@ -26,8 +34,10 @@ pub mod graph;
 pub mod json;
 pub mod serve;
 mod session;
+pub mod workspace;
 
 pub use graph::DepGraph;
 pub use json::Json;
 pub use serve::Serve;
 pub use session::{CheckSession, IncrStats, SessionOutcome};
+pub use workspace::{DocReport, Merged, ModuleFile, Workspace, WorkspaceError};

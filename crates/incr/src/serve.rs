@@ -1,5 +1,10 @@
 //! The `rsc serve` protocol: newline-delimited JSON requests on stdin,
-//! one JSON response per line on stdout.
+//! one JSON value per line on stdout.
+//!
+//! The server state is a [`Workspace`]: one document session per
+//! URI/path, each retaining its own verdicts over one shared VC cache,
+//! so interleaved edits across documents never re-check cold and
+//! `import`-connected files re-check their importers automatically.
 //!
 //! Two request shapes share the transport:
 //!
@@ -7,29 +12,34 @@
 //!
 //! | request                                   | effect                              |
 //! |-------------------------------------------|-------------------------------------|
-//! | `{"cmd":"load","path":"f.rsc"}`           | read file, (re-)check it            |
+//! | `{"cmd":"load","path":"f.rsc"}`           | read file, (re-)check its closure   |
 //! | `{"cmd":"load","source":"…"}`             | check the inline source             |
 //! | `{"cmd":"edit","source":"…"}`             | replace the text, incremental check |
 //! | `{"cmd":"edit","path":"f.rsc"}`           | re-read the file, incremental check |
-//! | `{"cmd":"check"}`                         | re-check the current text           |
+//! | `{"cmd":"check"}`                         | re-check the active document        |
 //! | `{"cmd":"stats"}`                         | session + VC-cache counters         |
-//! | `{"cmd":"reset"}`                         | drop retained verdicts and cache    |
+//! | `{"cmd":"reset"}`                         | drop all documents and the cache    |
 //! | `{"cmd":"quit"}`                          | acknowledge and exit                |
 //!
-//! Check responses look like:
+//! Each `load`/`edit` names a document: the `path` is its key (inline
+//! sources without a path share the `inline:buffer` key). Check
+//! responses look like:
 //!
 //! ```json
-//! {"ok":true,"cmd":"edit","verified":false,
+//! {"ok":true,"cmd":"edit","path":"a.rsc","verified":false,
 //!  "diagnostics":[{"severity":"error","line":12,"code":"R0008","message":"…"}],
 //!  "bundles":9,"reused":8,"solved":1,"fast_path":false,
-//!  "dirty_units":["fun:step"],"time_us":1234}
+//!  "dirty_units":["fun:step"],"deps_changed":[],"dirty_own":["fun:step"],
+//!  "importers":[{"path":"b.rsc","verified":true,"reused":4,"solved":0,
+//!                "deps_changed":[],"dirty_own":[]}],
+//!  "time_us":1234}
 //! ```
 //!
-//! `load` and `edit` are deliberately the same operation on an existing
-//! session — `load` additionally remembers the path so later bare
-//! `edit`/`check` requests can re-read it. Errors (unreadable file, bad
-//! JSON, unknown command) come back as `{"ok":false,"error":"…"}` and
-//! never kill the loop.
+//! In a multi-file closure each diagnostic carries a `file` field and a
+//! `line` local to that file; editing a file that other loaded
+//! documents import re-checks those importers too (summarized under
+//! `importers`). Errors (unreadable file, bad JSON, unknown command)
+//! come back as `{"ok":false,"error":"…"}` and never kill the loop.
 //!
 //! # LSP-shaped `method` requests
 //!
@@ -41,56 +51,78 @@
 //! |----------------------------|-------------------------------------------------|
 //! | `initialize`               | `{"id":…,"result":{"capabilities":…}}`          |
 //! | `initialized`              | notification, no response line                  |
-//! | `textDocument/didOpen`     | check `params.textDocument.text`, publish       |
-//! | `textDocument/didChange`   | check the last full `contentChanges` text       |
+//! | `textDocument/didOpen`     | open `params.textDocument.uri`, check, publish  |
+//! | `textDocument/didChange`   | re-check the URI with the last full text        |
+//! | `textDocument/didClose`    | drop the URI's session, clear its diagnostics   |
 //! | `shutdown`                 | `{"id":…,"result":null}`                        |
 //! | `exit`                     | leave the loop                                  |
 //!
-//! `didOpen`/`didChange` answer with a
-//! `textDocument/publishDiagnostics` notification whose ranges are true
-//! LSP positions — 0-based `{line, character}` pairs in the protocol's
-//! default **UTF-16** position encoding (also advertised in the
-//! `initialize` capabilities), derived from the blame spans through
-//! [`rsc_syntax::LineIndex`] — plus the obligation code (`R0001`-style)
-//! and a non-standard top-level `rsc` object with the session's
-//! incremental counters. Malformed `didOpen`/`didChange` payloads are
-//! answered with a JSON-RPC error only when the request carried an
-//! `id`; true notifications are dropped silently, as the spec demands.
+//! `didOpen`/`didChange` answer with one
+//! `textDocument/publishDiagnostics` notification **per affected URI**:
+//! the edited document first (plus any closure files that are not
+//! themselves open documents), then each open importer that was
+//! re-checked. Ranges are true LSP positions — 0-based `{line,
+//! character}` pairs in the protocol's default **UTF-16** position
+//! encoding, local to each file — and cross-file blame flows through
+//! `relatedInformation`, whose locations name the *exporting* file's
+//! URI. Each notification also carries a non-standard top-level `rsc`
+//! object with the incremental counters of the check that produced it,
+//! plus `deps_changed` (dependencies whose export surface changed) and
+//! `dirty_own` (dirty units in the published document itself).
+//!
+//! A missing `params.textDocument.uri` is an `InvalidParams` error —
+//! defaulting two malformed clients onto one shared buffer would alias
+//! their documents. So are range-carrying `contentChanges` entries
+//! (*any* element, not just the last: this server advertises
+//! full-document sync) and an empty `contentChanges` array. As the spec
+//! demands, malformed *requests* (carrying an `id`) get a JSON-RPC
+//! error while malformed notifications are dropped silently.
 
+use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, Write};
 
 use rsc_core::{CheckerOptions, Diagnostic};
 use rsc_syntax::LineIndex;
 
 use crate::json::Json;
-use crate::session::{CheckSession, SessionOutcome};
+use crate::workspace::{disk_path, DocReport, Workspace};
+
+/// The document key for legacy inline sources that never named a path.
+const INLINE_KEY: &str = "inline:buffer";
 
 /// The state behind one `rsc serve` loop.
 pub struct Serve {
-    session: CheckSession,
-    /// The most recently named file (for bare `edit`/`check` requests).
-    path: Option<String>,
-    /// The current text, as last submitted or read.
-    src: Option<String>,
-    /// True when `src` arrived inline (an editor buffer) rather than
-    /// from disk: a bare `check` must then re-check the buffer, not
-    /// silently revert to the file's on-disk contents.
-    src_is_inline: bool,
+    ws: Workspace,
+    /// The most recently checked document (bare `edit`/`check` target).
+    active: Option<String>,
+    /// Per-document: true when the current text arrived inline (an
+    /// editor buffer) rather than from disk — a bare `check` must then
+    /// re-check the buffer, not silently revert to the file's on-disk
+    /// contents.
+    inline: HashMap<String, bool>,
+    /// Per-document: the URIs its last check published diagnostics for.
+    /// When a file leaves a document's closure (an import removed, a
+    /// specifier that stopped resolving), its URI gets one final empty
+    /// publish — otherwise the client would pin its stale errors
+    /// forever.
+    published: HashMap<String, BTreeSet<String>>,
 }
 
 impl Serve {
     /// A fresh serve state checking with `opts`.
     pub fn new(opts: CheckerOptions) -> Serve {
         Serve {
-            session: CheckSession::new(opts),
-            path: None,
-            src: None,
-            src_is_inline: false,
+            ws: Workspace::new(opts),
+            active: None,
+            inline: HashMap::new(),
+            published: HashMap::new(),
         }
     }
 
-    /// Handles one request line; returns the response line and whether
-    /// the loop should exit.
+    /// Handles one request line; returns the response (possibly several
+    /// newline-separated JSON values, one per published notification;
+    /// empty for silent notifications) and whether the loop should
+    /// exit.
     pub fn handle(&mut self, line: &str) -> (String, bool) {
         let line = line.trim();
         if line.is_empty() {
@@ -109,28 +141,49 @@ impl Serve {
         };
         match cmd.as_str() {
             "load" | "edit" => {
-                let source = match self.resolve_source(&req) {
-                    Ok(s) => s,
-                    Err(e) => return (err(&e), false),
+                let inline_src = req.get("source").and_then(Json::as_str).map(str::to_string);
+                let path = req.get("path").and_then(Json::as_str).map(str::to_string);
+                let key = match path.clone().or_else(|| self.active.clone()) {
+                    Some(k) => k,
+                    None if inline_src.is_some() => INLINE_KEY.to_string(),
+                    None => return (err("need \"source\" or \"path\""), false),
                 };
-                if let Some(p) = req.get("path").and_then(Json::as_str) {
-                    self.path = Some(p.to_string());
-                }
-                self.src_is_inline = req.get("source").and_then(Json::as_str).is_some();
-                self.src = Some(source.clone());
-                let outcome = self.session.check(&source);
-                (check_response(&cmd, &outcome), false)
+                let (text, is_inline) = match inline_src {
+                    Some(s) => (s, true),
+                    None => match read_doc(&key) {
+                        Ok(t) => (t, false),
+                        Err(e) => return (err(&e), false),
+                    },
+                };
+                self.inline.insert(key.clone(), is_inline);
+                self.active = Some(key.clone());
+                let reports = self.ws.update(&key, text);
+                (check_response(&cmd, &key, &reports), false)
             }
-            "check" => match self.current_source() {
-                Ok(source) => {
-                    let outcome = self.session.check(&source);
-                    (check_response("check", &outcome), false)
-                }
-                Err(e) => (err(&e), false),
-            },
+            "check" => {
+                let Some(key) = self.active.clone() else {
+                    return (err("nothing loaded"), false);
+                };
+                // Inline buffers re-check as-is; path-backed documents
+                // re-read the disk (the file may have changed under us).
+                let inline = self.inline.get(&key).copied().unwrap_or(true);
+                let reports = if inline {
+                    let text = self.ws.doc_text(&key).unwrap_or_default().to_string();
+                    self.ws.update(&key, text)
+                } else {
+                    match read_doc(&key) {
+                        Ok(text) => self.ws.update(&key, text),
+                        Err(e) => return (err(&e), false),
+                    }
+                };
+                (check_response("check", &key, &reports), false)
+            }
             "stats" => (self.stats_response(), false),
             "reset" => {
-                self.session.reset();
+                self.ws.reset();
+                self.active = None;
+                self.inline.clear();
+                self.published.clear();
                 (
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(true)),
@@ -186,11 +239,16 @@ impl Serve {
             "exit" => (String::new(), true),
             "textDocument/didOpen" => {
                 let doc = req.get("params").and_then(|p| p.get("textDocument"));
-                let uri = doc
-                    .and_then(|d| d.get("uri"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("untitled:buffer")
-                    .to_string();
+                // A missing URI is a hard parameter error: defaulting to
+                // a shared buffer would alias documents from two
+                // malformed clients onto one session.
+                let Some(uri) = doc.and_then(|d| d.get("uri")).and_then(Json::as_str) else {
+                    return (
+                        notification_param_error(req, id, "didOpen needs params.textDocument.uri"),
+                        false,
+                    );
+                };
+                let uri = uri.to_string();
                 let Some(text) = doc.and_then(|d| d.get("text")).and_then(Json::as_str) else {
                     return (
                         notification_param_error(req, id, "didOpen needs params.textDocument.text"),
@@ -202,25 +260,43 @@ impl Serve {
             }
             "textDocument/didChange" => {
                 let params = req.get("params");
-                let uri = params
+                let Some(uri) = params
                     .and_then(|p| p.get("textDocument"))
                     .and_then(|d| d.get("uri"))
                     .and_then(Json::as_str)
-                    .unwrap_or("untitled:buffer")
-                    .to_string();
+                else {
+                    return (
+                        notification_param_error(
+                            req,
+                            id,
+                            "didChange needs params.textDocument.uri",
+                        ),
+                        false,
+                    );
+                };
+                let uri = uri.to_string();
                 // Full-document sync (advertised as textDocumentSync: 1):
-                // take the last full-text change, and refuse
-                // range-deltas loudly — silently checking a fragment as
-                // the whole buffer would publish garbage diagnostics
-                // and corrupt the remembered session text.
-                let last_change =
-                    params
-                        .and_then(|p| p.get("contentChanges"))
-                        .and_then(|c| match c {
-                            Json::Arr(changes) => changes.last(),
-                            _ => None,
-                        });
-                if last_change.is_some_and(|ch| ch.get("range").is_some()) {
+                // take the last full-text change, and refuse range-deltas
+                // loudly — silently checking a fragment as the whole
+                // buffer would publish garbage diagnostics and corrupt
+                // the remembered document text. *Any* range-carrying
+                // element is grounds for rejection, not just the last
+                // one: a mixed array like `[{range,…},{text}]` means the
+                // client believes it negotiated incremental sync.
+                let changes = match params.and_then(|p| p.get("contentChanges")) {
+                    Some(Json::Arr(changes)) if !changes.is_empty() => changes.clone(),
+                    _ => {
+                        return (
+                            notification_param_error(
+                                req,
+                                id,
+                                "didChange needs a non-empty params.contentChanges array",
+                            ),
+                            false,
+                        )
+                    }
+                };
+                if changes.iter().any(|ch| ch.get("range").is_some()) {
                     return (
                         notification_param_error(
                             req,
@@ -231,7 +307,8 @@ impl Serve {
                         false,
                     );
                 }
-                let text = last_change
+                let text = changes
+                    .last()
                     .and_then(|ch| ch.get("text"))
                     .and_then(Json::as_str)
                     .map(str::to_string);
@@ -247,6 +324,33 @@ impl Serve {
                 };
                 (self.lsp_check(&uri, text), false)
             }
+            "textDocument/didClose" => {
+                let Some(uri) = req
+                    .get("params")
+                    .and_then(|p| p.get("textDocument"))
+                    .and_then(|d| d.get("uri"))
+                    .and_then(Json::as_str)
+                else {
+                    return (
+                        notification_param_error(req, id, "didClose needs params.textDocument.uri"),
+                        false,
+                    );
+                };
+                let uri = uri.to_string();
+                self.ws.close(&uri);
+                self.inline.remove(&uri);
+                if self.active.as_deref() == Some(uri.as_str()) {
+                    self.active = None;
+                }
+                // Clear the closed document's diagnostics client-side —
+                // its own URI plus every closure URI its last check
+                // published for (open importers will re-claim theirs on
+                // their next check).
+                let mut uris = self.published.remove(&uri).unwrap_or_default();
+                uris.insert(uri);
+                let lines: Vec<String> = uris.iter().map(|u| publish_empty(u)).collect();
+                (lines.join("\n"), false)
+            }
             other => (
                 // MethodNotFound: spec-following clients degrade silently.
                 lsp_error_code(id, -32601.0, &format!("unknown method {other:?}")),
@@ -255,57 +359,47 @@ impl Serve {
         }
     }
 
-    /// Checks `text` through the session and renders the LSP-shaped
-    /// `textDocument/publishDiagnostics` notification.
+    /// Checks `text` as the document `uri` through the workspace and
+    /// renders one `publishDiagnostics` notification per affected URI —
+    /// plus one final *empty* publish for every URI the same document
+    /// published for last time but no longer covers (a removed import's
+    /// diagnostics must not stay pinned in the editor).
     fn lsp_check(&mut self, uri: &str, text: String) -> String {
-        let outcome = self.session.check(&text);
-        let response = publish_diagnostics(uri, &text, &outcome);
-        self.src = Some(text);
-        self.src_is_inline = true;
-        response
-    }
-
-    /// Source text for a `load`/`edit` request: inline `source` wins,
-    /// else `path` (re-)read from disk, else the remembered path.
-    fn resolve_source(&self, req: &Json) -> Result<String, String> {
-        if let Some(s) = req.get("source").and_then(Json::as_str) {
-            return Ok(s.to_string());
-        }
-        let path = req
-            .get("path")
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .or_else(|| self.path.clone())
-            .ok_or("need \"source\" or \"path\"")?;
-        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))
-    }
-
-    /// The text a bare `check` re-checks: the inline buffer when the
-    /// latest `load`/`edit` carried one (re-reading the path here would
-    /// silently verify stale on-disk contents), otherwise a fresh read
-    /// of the remembered path.
-    fn current_source(&self) -> Result<String, String> {
-        if !self.src_is_inline {
-            if let Some(p) = &self.path {
-                return std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        self.inline.insert(uri.to_string(), true);
+        self.active = Some(uri.to_string());
+        let reports = self.ws.update(uri, text);
+        let mut lines = Vec::new();
+        for report in &reports {
+            let (published, now) = publishes_for(&self.ws, report);
+            lines.extend(published);
+            let before = self
+                .published
+                .insert(report.uri.clone(), now.clone())
+                .unwrap_or_default();
+            for gone in before.difference(&now) {
+                lines.push(publish_empty(gone));
             }
         }
-        self.src.clone().ok_or_else(|| "nothing loaded".to_string())
+        lines.join("\n")
     }
 
     fn stats_response(&self) -> String {
-        let c = self.session.cache().counters();
+        let c = self.ws.cache().counters();
         let mut fields = vec![
             ("ok".into(), Json::Bool(true)),
             ("cmd".into(), Json::str("stats")),
+            ("docs".into(), Json::num(self.ws.doc_count() as f64)),
             ("cache_entries".into(), Json::num(c.entries as f64)),
             ("cache_hits".into(), Json::num(c.hits as f64)),
             ("cache_misses".into(), Json::num(c.misses as f64)),
             ("cache_evictions".into(), Json::num(c.evictions as f64)),
         ];
-        if let Some(last) = self.session.last() {
-            fields.push(("bundles".into(), Json::num(last.incr.bundles as f64)));
-            fields.push(("verified".into(), Json::Bool(last.result.ok())));
+        if let Some(last) = self.active.as_ref().and_then(|k| self.ws.last(k)) {
+            fields.push((
+                "bundles".into(),
+                Json::num(last.outcome.incr.bundles as f64),
+            ));
+            fields.push(("verified".into(), Json::Bool(last.outcome.result.ok())));
         }
         Json::Obj(fields).to_string()
     }
@@ -335,6 +429,41 @@ impl Serve {
         }
         Ok(())
     }
+}
+
+/// The publish notifications for one document check: the document's
+/// own URI first, then closure files that are not open documents
+/// themselves (an open document's diagnostics are owned by its own
+/// check). Returns the rendered lines and the set of URIs published.
+fn publishes_for(ws: &Workspace, report: &DocReport) -> (Vec<String>, BTreeSet<String>) {
+    let idxs: Vec<LineIndex> = report
+        .merged
+        .files
+        .iter()
+        .map(|f| LineIndex::new(&f.text))
+        .collect();
+    let groups = report.diags_by_file();
+    let mut order: Vec<usize> = vec![report.merged.root];
+    for (i, f) in report.merged.files.iter().enumerate() {
+        if i != report.merged.root && !ws.contains(&f.name) {
+            order.push(i);
+        }
+    }
+    let uris = order
+        .iter()
+        .map(|&fi| report.merged.files[fi].name.clone())
+        .collect();
+    let lines = order
+        .into_iter()
+        .map(|fi| publish_diagnostics(report, fi, &groups[fi].1, &idxs))
+        .collect();
+    (lines, uris)
+}
+
+/// Reads a legacy document key's backing file from disk.
+fn read_doc(key: &str) -> Result<String, String> {
+    let path = disk_path(key).ok_or_else(|| format!("`{key}` has no backing file"))?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
 fn err(msg: &str) -> String {
@@ -397,11 +526,26 @@ fn lsp_position(idx: &LineIndex, src: &str, offset: u32) -> Json {
     ])
 }
 
+/// A `{start, end}` LSP range for a merged span, in the owning file's
+/// local coordinates.
+fn lsp_range(report: &DocReport, idxs: &[LineIndex], span: rsc_syntax::Span) -> (usize, Json) {
+    let (fi, local) = report.merged.local_span(span);
+    let src = &report.merged.files[fi].text;
+    (
+        fi,
+        Json::Obj(vec![
+            ("start".into(), lsp_position(&idxs[fi], src, local.lo)),
+            ("end".into(), lsp_position(&idxs[fi], src, local.hi)),
+        ]),
+    )
+}
+
 /// One LSP diagnostic object from a checker [`Diagnostic`]: range from
-/// the blame span, severity, obligation code, message with the
-/// expected/actual notes folded in, secondary labels as
-/// `relatedInformation`.
-fn lsp_diagnostic(d: &Diagnostic, uri: &str, idx: &LineIndex, src: &str) -> Json {
+/// the blame span (file-local), severity, obligation code, message with
+/// the expected/actual notes folded in, secondary labels as
+/// `relatedInformation` — whose locations may name *other* files of the
+/// closure (cross-file blame).
+fn lsp_diagnostic(d: &Diagnostic, report: &DocReport, idxs: &[LineIndex]) -> Json {
     let severity = match d.severity {
         rsc_core::Severity::Error => 1.0,
         rsc_core::Severity::Note => 3.0,
@@ -411,14 +555,9 @@ fn lsp_diagnostic(d: &Diagnostic, uri: &str, idx: &LineIndex, src: &str) -> Json
         message.push('\n');
         message.push_str(note);
     }
+    let (_, range) = lsp_range(report, idxs, d.span);
     let mut fields = vec![
-        (
-            "range".into(),
-            Json::Obj(vec![
-                ("start".into(), lsp_position(idx, src, d.span.lo)),
-                ("end".into(), lsp_position(idx, src, d.span.hi)),
-            ]),
-        ),
+        ("range".into(), range),
         ("severity".into(), Json::num(severity)),
         ("source".into(), Json::str("rsc")),
         ("message".into(), Json::str(message)),
@@ -431,18 +570,16 @@ fn lsp_diagnostic(d: &Diagnostic, uri: &str, idx: &LineIndex, src: &str) -> Json
             .secondary
             .iter()
             .map(|(span, label)| {
+                let (sfi, srange) = lsp_range(report, idxs, *span);
                 Json::Obj(vec![
                     (
                         "location".into(),
                         Json::Obj(vec![
-                            ("uri".into(), Json::str(uri)),
                             (
-                                "range".into(),
-                                Json::Obj(vec![
-                                    ("start".into(), lsp_position(idx, src, span.lo)),
-                                    ("end".into(), lsp_position(idx, src, span.hi)),
-                                ]),
+                                "uri".into(),
+                                Json::str(report.merged.files[sfi].name.clone()),
                             ),
+                            ("range".into(), srange),
                         ]),
                     ),
                     ("message".into(), Json::str(label.clone())),
@@ -454,16 +591,38 @@ fn lsp_diagnostic(d: &Diagnostic, uri: &str, idx: &LineIndex, src: &str) -> Json
     Json::Obj(fields)
 }
 
-/// The `textDocument/publishDiagnostics` notification for one check,
-/// with the session's incremental counters in a non-standard top-level
-/// `rsc` object (the params stay strictly LSP-shaped).
-fn publish_diagnostics(uri: &str, src: &str, outcome: &SessionOutcome) -> String {
-    let idx = LineIndex::new(src);
-    let diags: Vec<Json> = outcome
-        .result
-        .diagnostics
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::str(s.clone())).collect())
+}
+
+/// The non-standard `rsc` counters object attached to every publish of
+/// one document check.
+fn rsc_counters(report: &DocReport) -> Json {
+    let incr = &report.outcome.incr;
+    Json::Obj(vec![
+        ("verified".into(), Json::Bool(report.outcome.result.ok())),
+        ("bundles".into(), Json::num(incr.bundles as f64)),
+        ("reused".into(), Json::num(incr.reused as f64)),
+        ("solved".into(), Json::num(incr.solved as f64)),
+        ("fast_path".into(), Json::Bool(incr.fast_path)),
+        ("deps_changed".into(), str_arr(&report.deps_changed)),
+        ("dirty_own".into(), str_arr(&report.dirty_own)),
+        ("time_us".into(), Json::num(incr.total_micros as f64)),
+    ])
+}
+
+/// The `textDocument/publishDiagnostics` notification for one file of
+/// one document check.
+fn publish_diagnostics(
+    report: &DocReport,
+    fi: usize,
+    diags: &[&Diagnostic],
+    idxs: &[LineIndex],
+) -> String {
+    let uri = report.merged.files[fi].name.clone();
+    let rendered: Vec<Json> = diags
         .iter()
-        .map(|d| lsp_diagnostic(d, uri, &idx, src))
+        .map(|d| lsp_diagnostic(d, report, idxs))
         .collect();
     Json::Obj(vec![
         ("jsonrpc".into(), Json::str("2.0")),
@@ -475,70 +634,107 @@ fn publish_diagnostics(uri: &str, src: &str, outcome: &SessionOutcome) -> String
             "params".into(),
             Json::Obj(vec![
                 ("uri".into(), Json::str(uri)),
-                ("diagnostics".into(), Json::Arr(diags)),
+                ("diagnostics".into(), Json::Arr(rendered)),
             ]),
         ),
+        ("rsc".into(), rsc_counters(report)),
+    ])
+    .to_string()
+}
+
+/// An empty publish clearing a closed document's diagnostics.
+fn publish_empty(uri: &str) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
         (
-            "rsc".into(),
+            "method".into(),
+            Json::str("textDocument/publishDiagnostics"),
+        ),
+        (
+            "params".into(),
             Json::Obj(vec![
-                ("verified".into(), Json::Bool(outcome.result.ok())),
-                ("bundles".into(), Json::num(outcome.incr.bundles as f64)),
-                ("reused".into(), Json::num(outcome.incr.reused as f64)),
-                ("solved".into(), Json::num(outcome.incr.solved as f64)),
-                ("fast_path".into(), Json::Bool(outcome.incr.fast_path)),
-                (
-                    "time_us".into(),
-                    Json::num(outcome.incr.total_micros as f64),
-                ),
+                ("uri".into(), Json::str(uri)),
+                ("diagnostics".into(), Json::Arr(Vec::new())),
             ]),
         ),
     ])
     .to_string()
 }
 
-fn check_response(cmd: &str, outcome: &SessionOutcome) -> String {
+/// One importer's summary inside a legacy check response.
+fn importer_summary(report: &DocReport) -> Json {
+    Json::Obj(vec![
+        ("path".into(), Json::str(report.uri.clone())),
+        ("verified".into(), Json::Bool(report.outcome.result.ok())),
+        (
+            "reused".into(),
+            Json::num(report.outcome.incr.reused as f64),
+        ),
+        (
+            "solved".into(),
+            Json::num(report.outcome.incr.solved as f64),
+        ),
+        ("deps_changed".into(), str_arr(&report.deps_changed)),
+        ("dirty_own".into(), str_arr(&report.dirty_own)),
+    ])
+}
+
+fn check_response(cmd: &str, key: &str, reports: &[DocReport]) -> String {
+    let report = &reports[0];
+    let outcome = &report.outcome;
+    let multi_file = report.merged.files.len() > 1;
     let diags: Vec<Json> = outcome
         .result
         .diagnostics
         .iter()
         .map(|d| {
-            let severity = match d.severity {
+            let (fi, local) = report.merged.localize(d);
+            let severity = match local.severity {
                 rsc_core::Severity::Error => "error",
                 rsc_core::Severity::Note => "note",
             };
             let mut fields = vec![
                 ("severity".into(), Json::str(severity)),
-                ("line".into(), Json::num(d.span.line as f64)),
-                ("message".into(), Json::str(d.message.clone())),
+                ("line".into(), Json::num(local.span.line as f64)),
+                ("message".into(), Json::str(local.message.clone())),
             ];
-            if let Some(code) = d.code {
+            if let Some(code) = local.code {
                 fields.insert(1, ("code".into(), Json::str(code)));
+            }
+            if multi_file {
+                fields.push((
+                    "file".into(),
+                    Json::str(report.merged.files[fi].name.clone()),
+                ));
             }
             Json::Obj(fields)
         })
         .collect();
-    let dirty: Vec<Json> = outcome
-        .incr
-        .dirty_units
-        .iter()
-        .map(|u| Json::str(u.clone()))
-        .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("ok".into(), Json::Bool(true)),
         ("cmd".into(), Json::str(cmd)),
+        ("path".into(), Json::str(key)),
         ("verified".into(), Json::Bool(outcome.result.ok())),
         ("diagnostics".into(), Json::Arr(diags)),
         ("bundles".into(), Json::num(outcome.incr.bundles as f64)),
         ("reused".into(), Json::num(outcome.incr.reused as f64)),
         ("solved".into(), Json::num(outcome.incr.solved as f64)),
         ("fast_path".into(), Json::Bool(outcome.incr.fast_path)),
-        ("dirty_units".into(), Json::Arr(dirty)),
-        (
-            "time_us".into(),
-            Json::num(outcome.incr.total_micros as f64),
-        ),
-    ])
-    .to_string()
+        ("dirty_units".into(), str_arr(&outcome.incr.dirty_units)),
+        ("deps_changed".into(), str_arr(&report.deps_changed)),
+        ("dirty_own".into(), str_arr(&report.dirty_own)),
+    ];
+    if reports.len() > 1 {
+        fields.push((
+            "importers".into(),
+            Json::Arr(reports[1..].iter().map(importer_summary).collect()),
+        ));
+    }
+    fields.push((
+        "time_us".into(),
+        Json::num(outcome.incr.total_micros as f64),
+    ));
+    Json::Obj(fields).to_string()
 }
 
 #[cfg(test)]
@@ -688,6 +884,11 @@ mod tests {
         )
     }
 
+    /// Parses a (possibly multi-line) response into JSON values.
+    fn parse_lines(resp: &str) -> Vec<Json> {
+        resp.lines().map(|l| Json::parse(l).unwrap()).collect()
+    }
+
     #[test]
     fn lsp_initialize_and_shutdown() {
         let mut serve = Serve::new(CheckerOptions::default());
@@ -764,6 +965,343 @@ mod tests {
             v.get("rsc").and_then(|r| r.get("verified")),
             Some(&Json::Bool(true))
         );
+    }
+
+    /// The PR-5 headline regression: two documents, interleaved
+    /// didOpen/didChange — each document's counters stay warm across
+    /// switches (the single-session server re-checked cold on every
+    /// switch).
+    #[test]
+    fn multi_document_sessions_stay_warm() {
+        let u1 = "file:///w/a.rsc";
+        let u2 = "file:///w/b.rsc";
+        let prog2 = PROG.replace("abs", "abs2").replace("dbl", "dbl2");
+        let mut serve = Serve::new(CheckerOptions::default());
+
+        let (resp, _) = serve.handle(&did_open(u1, PROG));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("rsc").unwrap().get("verified"),
+            Some(&Json::Bool(true))
+        );
+
+        let (resp, _) = serve.handle(&did_open(u2, &prog2));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("params").unwrap().get("uri").and_then(Json::as_str),
+            Some(u2)
+        );
+
+        // Switch back to document 1 and edit it: its other function's
+        // bundle must be *reused*, not re-solved cold.
+        let bad = PROG.replace("return x;\n}", "return x - 1;\n}");
+        let (resp, _) = serve.handle(&did_change(u1, &bad));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("params").unwrap().get("uri").and_then(Json::as_str),
+            Some(u1)
+        );
+        let rsc = v.get("rsc").unwrap();
+        assert_eq!(rsc.get("verified"), Some(&Json::Bool(false)));
+        assert!(
+            rsc.get("reused").and_then(Json::as_f64).unwrap() > 0.0,
+            "document 1 re-checked cold after a switch: {resp}"
+        );
+
+        // Edit document 2: warm too.
+        let bad2 = prog2.replace("return x;\n}", "return x - 1;\n}");
+        let (resp, _) = serve.handle(&did_change(u2, &bad2));
+        let rsc = Json::parse(&resp).unwrap().get("rsc").cloned().unwrap();
+        assert!(rsc.get("reused").and_then(Json::as_f64).unwrap() > 0.0);
+
+        // Edit document 1 again (third switch): still warm, and
+        // re-sending its text verbatim hits the fast path.
+        let (resp, _) = serve.handle(&did_change(u1, PROG));
+        let rsc = Json::parse(&resp).unwrap().get("rsc").cloned().unwrap();
+        assert!(rsc.get("reused").and_then(Json::as_f64).unwrap() > 0.0);
+        let (resp, _) = serve.handle(&did_change(u1, PROG));
+        let rsc = Json::parse(&resp).unwrap().get("rsc").cloned().unwrap();
+        assert_eq!(rsc.get("fast_path"), Some(&Json::Bool(true)), "{resp}");
+    }
+
+    /// An import-connected pair: editing the exporting document
+    /// re-checks the importer and publishes for both URIs; cross-file
+    /// dirtiness is reported precisely.
+    #[test]
+    fn imports_recheck_importers_across_uris() {
+        let lib_uri = "file:///w/lib.rsc";
+        let app_uri = "file:///w/app.rsc";
+        let lib = "type nat = {v: number | 0 <= v};\n\
+            export function step(x: number): nat {\n\
+                if (x < 0) { return 0; }\n\
+                return x + 1;\n\
+            }\n\
+            function helper(y: number): number { return y; }\n";
+        let app = "import {step} from \"./lib.rsc\";\n\
+            function use(k: number): {v: number | 0 <= v} {\n\
+                return step(k);\n\
+            }\n";
+        let mut serve = Serve::new(CheckerOptions::default());
+        let (resp, _) = serve.handle(&did_open(lib_uri, lib));
+        assert_eq!(parse_lines(&resp).len(), 1);
+        let (resp, _) = serve.handle(&did_open(app_uri, app));
+        // lib is an open document, so app's check publishes only for app.
+        let lines = parse_lines(&resp);
+        assert_eq!(lines.len(), 1, "{resp}");
+        assert_eq!(
+            lines[0]
+                .get("params")
+                .unwrap()
+                .get("uri")
+                .and_then(Json::as_str),
+            Some(app_uri)
+        );
+        assert_eq!(
+            lines[0].get("rsc").unwrap().get("verified"),
+            Some(&Json::Bool(true)),
+            "{resp}"
+        );
+
+        // Non-exported body edit in lib: both URIs re-publish; the
+        // importer reuses its own bundles and reports no cross-file
+        // dirtiness.
+        let (resp, _) = serve.handle(&did_change(
+            lib_uri,
+            &lib.replace("return y;", "return y + 1;"),
+        ));
+        let lines = parse_lines(&resp);
+        assert_eq!(lines.len(), 2, "{resp}");
+        assert_eq!(
+            lines[0]
+                .get("params")
+                .unwrap()
+                .get("uri")
+                .and_then(Json::as_str),
+            Some(lib_uri)
+        );
+        assert_eq!(
+            lines[1]
+                .get("params")
+                .unwrap()
+                .get("uri")
+                .and_then(Json::as_str),
+            Some(app_uri)
+        );
+        let app_rsc = lines[1].get("rsc").unwrap();
+        assert_eq!(app_rsc.get("deps_changed"), Some(&Json::Arr(vec![])));
+        assert_eq!(app_rsc.get("dirty_own"), Some(&Json::Arr(vec![])));
+        assert!(app_rsc.get("reused").and_then(Json::as_f64).unwrap() > 0.0);
+
+        // Exported-signature edit: the importer's calling unit is dirty
+        // and the dependency is named.
+        let sig_edit = lib.replace(
+            "export function step(x: number): nat {",
+            "export function step(x: number): {v: number | 0 <= v && x < v} {",
+        );
+        let (resp, _) = serve.handle(&did_change(lib_uri, &sig_edit));
+        let lines = parse_lines(&resp);
+        assert_eq!(lines.len(), 2, "{resp}");
+        let app_rsc = lines[1].get("rsc").unwrap();
+        assert_eq!(
+            app_rsc.get("deps_changed"),
+            Some(&Json::Arr(vec![Json::str(lib_uri)]))
+        );
+        match app_rsc.get("dirty_own") {
+            Some(Json::Arr(units)) => {
+                assert!(units.contains(&Json::str("fun:use")), "{resp}")
+            }
+            other => panic!("missing dirty_own: {other:?}"),
+        }
+    }
+
+    /// Satellite: a mixed contentChanges array where only a *non-last*
+    /// element carries a range must be rejected, and an empty array is a
+    /// parameter error.
+    #[test]
+    fn did_change_rejects_any_range_and_empty_changes() {
+        let uri = "file:///x.rsc";
+        let mut serve = Serve::new(CheckerOptions::default());
+        serve.handle(&did_open(uri, PROG));
+        // Mixed array: [{range,text}, {text}] — previously accepted
+        // silently because only the last element was inspected.
+        let mixed = lsp_req(
+            "textDocument/didChange",
+            Json::Obj(vec![
+                (
+                    "textDocument".into(),
+                    Json::Obj(vec![("uri".into(), Json::str(uri))]),
+                ),
+                (
+                    "contentChanges".into(),
+                    Json::Arr(vec![
+                        Json::Obj(vec![
+                            ("range".into(), Json::Obj(vec![])),
+                            ("text".into(), Json::str("x")),
+                        ]),
+                        Json::Obj(vec![("text".into(), Json::str(PROG))]),
+                    ]),
+                ),
+            ]),
+            Some(7.0),
+        );
+        let (resp, quit) = serve.handle(&mixed);
+        assert!(!quit);
+        let v = Json::parse(&resp).unwrap();
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        assert!(msg.contains("full-document sync"), "{resp}");
+        // Empty contentChanges: a clear parameter error, not a crash or
+        // a silent no-op check.
+        let empty = lsp_req(
+            "textDocument/didChange",
+            Json::Obj(vec![
+                (
+                    "textDocument".into(),
+                    Json::Obj(vec![("uri".into(), Json::str(uri))]),
+                ),
+                ("contentChanges".into(), Json::Arr(vec![])),
+            ]),
+            Some(8.0),
+        );
+        let (resp, _) = serve.handle(&empty);
+        let v = Json::parse(&resp).unwrap();
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        assert!(msg.contains("non-empty"), "{resp}");
+    }
+
+    /// Satellite: a missing URI is an InvalidParams error (on requests)
+    /// or silently dropped (on notifications) — never an alias onto a
+    /// shared default buffer.
+    #[test]
+    fn missing_uri_is_a_param_error() {
+        let mut serve = Serve::new(CheckerOptions::default());
+        // didOpen with text but no uri, as a request: error mentioning
+        // the uri.
+        let open = lsp_req(
+            "textDocument/didOpen",
+            Json::Obj(vec![(
+                "textDocument".into(),
+                Json::Obj(vec![("text".into(), Json::str(PROG))]),
+            )]),
+            Some(3.0),
+        );
+        let (resp, _) = serve.handle(&open);
+        let v = Json::parse(&resp).unwrap();
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        assert!(msg.contains("uri"), "{resp}");
+        // As a notification: dropped silently, and *no* document was
+        // created under any default key.
+        let open_notif = lsp_req(
+            "textDocument/didOpen",
+            Json::Obj(vec![(
+                "textDocument".into(),
+                Json::Obj(vec![("text".into(), Json::str(PROG))]),
+            )]),
+            None,
+        );
+        let (resp, _) = serve.handle(&open_notif);
+        assert!(resp.is_empty(), "{resp}");
+        let (resp, _) = serve.handle(r#"{"cmd":"stats"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("docs").and_then(Json::as_f64), Some(0.0), "{resp}");
+        // didChange without a uri: same contract.
+        let change = lsp_req(
+            "textDocument/didChange",
+            Json::Obj(vec![(
+                "contentChanges".into(),
+                Json::Arr(vec![Json::Obj(vec![("text".into(), Json::str(PROG))])]),
+            )]),
+            Some(4.0),
+        );
+        let (resp, _) = serve.handle(&change);
+        let v = Json::parse(&resp).unwrap();
+        assert!(v.get("error").is_some(), "{resp}");
+    }
+
+    #[test]
+    fn did_close_clears_diagnostics_and_session() {
+        let uri = "file:///x.rsc";
+        let mut serve = Serve::new(CheckerOptions::default());
+        serve.handle(&did_open(uri, PROG));
+        let close = lsp_req(
+            "textDocument/didClose",
+            Json::Obj(vec![(
+                "textDocument".into(),
+                Json::Obj(vec![("uri".into(), Json::str(uri))]),
+            )]),
+            None,
+        );
+        let (resp, _) = serve.handle(&close);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("params").unwrap().get("diagnostics"),
+            Some(&Json::Arr(vec![]))
+        );
+        let (resp, _) = serve.handle(r#"{"cmd":"stats"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("docs").and_then(Json::as_f64), Some(0.0), "{resp}");
+    }
+
+    /// Diagnostics published under a *non-open* closure file's URI must
+    /// be cleared with an empty publish once that file leaves the
+    /// closure — otherwise the editor pins its stale errors forever.
+    #[test]
+    fn removed_import_clears_the_dependency_uri() {
+        let dir = std::env::temp_dir().join("rsc_serve_stale_dep");
+        std::fs::create_dir_all(&dir).unwrap();
+        // lib.rsc lives only on disk (never didOpen'ed) and is broken.
+        std::fs::write(
+            dir.join("lib.rsc"),
+            "export function f(): {v: number | 0 <= v} { return 0 - 1; }\n",
+        )
+        .unwrap();
+        let app_uri = format!("file://{}/app.rsc", dir.to_str().unwrap());
+        let lib_uri = format!("file://{}/lib.rsc", dir.to_str().unwrap());
+        let app = "import {f} from \"./lib.rsc\";\nvar z = f();\n";
+        let mut serve = Serve::new(CheckerOptions::default());
+        let (resp, _) = serve.handle(&did_open(&app_uri, app));
+        let lines = parse_lines(&resp);
+        assert_eq!(lines.len(), 2, "app + non-open lib: {resp}");
+        let lib_line = lines
+            .iter()
+            .find(|l| {
+                l.get("params").unwrap().get("uri").and_then(Json::as_str) == Some(lib_uri.as_str())
+            })
+            .expect("publish for the non-open dependency");
+        match lib_line.get("params").unwrap().get("diagnostics") {
+            Some(Json::Arr(ds)) => assert!(!ds.is_empty(), "{resp}"),
+            other => panic!("bad diagnostics: {other:?}"),
+        }
+        // Drop the import: lib leaves the closure, so its URI must get
+        // one final empty publish.
+        let (resp, _) = serve.handle(&did_change(&app_uri, "var z = 1;\n"));
+        let lines = parse_lines(&resp);
+        assert_eq!(lines.len(), 2, "app + clearing publish for lib: {resp}");
+        let lib_line = lines
+            .iter()
+            .find(|l| {
+                l.get("params").unwrap().get("uri").and_then(Json::as_str) == Some(lib_uri.as_str())
+            })
+            .expect("clearing publish for the departed dependency");
+        assert_eq!(
+            lib_line.get("params").unwrap().get("diagnostics"),
+            Some(&Json::Arr(vec![])),
+            "{resp}"
+        );
+        // Steady state: no more publishes for lib.
+        let (resp, _) = serve.handle(&did_change(&app_uri, "var z = 2;\n"));
+        assert_eq!(parse_lines(&resp).len(), 1, "{resp}");
     }
 
     #[test]

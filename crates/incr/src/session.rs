@@ -75,9 +75,22 @@ impl CheckSession {
     /// honors `opts.cache_capacity` / `RSC_CACHE_CAP`, which is what
     /// keeps week-long sessions at a flat memory footprint.
     pub fn new(opts: CheckerOptions) -> CheckSession {
+        CheckSession::with_cache(
+            opts,
+            VcCache::shared_with_capacity(opts.effective_cache_capacity()),
+        )
+    }
+
+    /// A fresh session over a caller-supplied VC cache. This is how a
+    /// [`crate::Workspace`] makes every document share one cache:
+    /// verdicts are pure functions of the canonical VC (the cache keys
+    /// fold in all applied symbol signatures), so sharing across
+    /// documents is sound and makes opening a second file that overlaps
+    /// the first mostly cache hits.
+    pub fn with_cache(opts: CheckerOptions, cache: Arc<VcCache>) -> CheckSession {
         CheckSession {
             opts,
-            cache: VcCache::shared_with_capacity(opts.effective_cache_capacity()),
+            cache,
             state: None,
         }
     }
@@ -95,6 +108,12 @@ impl CheckSession {
     /// The previous check's outcome, if any.
     pub fn last(&self) -> Option<&SessionOutcome> {
         self.state.as_ref().map(|s| &s.last)
+    }
+
+    /// The dependency graph of the last successfully generated snapshot
+    /// (used by the workspace layer to attribute dirty units to files).
+    pub fn graph(&self) -> Option<&DepGraph> {
+        self.state.as_ref().map(|s| &s.graph)
     }
 
     /// Drops all retained verdicts and the VC cache (the next check is

@@ -253,6 +253,10 @@ pub struct IrProgram {
     pub funs: Vec<IrFun>,
     /// Top-level statements, gathered into a synthetic entry body.
     pub top: Body,
+    /// Names the source marked `export`, in declaration order. Purely
+    /// metadata for the workspace layer (cross-file dependency
+    /// tracking); the checker itself never consults it.
+    pub exports: Vec<Sym>,
 }
 
 impl Default for Body {

@@ -99,6 +99,7 @@ pub fn transform_program(p: &Program) -> Result<IrProgram, SsaError> {
     out.top = ssa
         .stmts(&top_stmts, &mut delta, JoinKind::Return, top_end)?
         .body;
+    out.exports = p.exports.iter().map(|(n, _)| n.clone()).collect();
     Ok(out)
 }
 

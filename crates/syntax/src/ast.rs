@@ -12,6 +12,35 @@ use crate::types::{AnnTy, FunTy, Mutability};
 pub struct Program {
     /// Top-level items in source order.
     pub items: Vec<Item>,
+    /// `import {a, b} from "./mod";` declarations, in source order.
+    ///
+    /// Imports are *module metadata*, not checkable items: the batch
+    /// checker ignores them entirely (a merged multi-file program simply
+    /// defines the imported names earlier in the text), while the
+    /// workspace layer (`rsc_incr`) uses them to load the import
+    /// closure, order files, and validate that every imported name is
+    /// actually exported by its source module.
+    pub imports: Vec<ImportDecl>,
+    /// Names marked `export`, with the span of the exporting item.
+    ///
+    /// Like imports, export markers do not change what the checker
+    /// proves — they delimit a file's interface for the workspace
+    /// layer's cross-file dependency tracking.
+    pub exports: Vec<(Sym, Span)>,
+}
+
+/// `import {a, b} from "./mod";`
+#[derive(Clone, Debug)]
+pub struct ImportDecl {
+    /// Imported names, each with the span of its occurrence inside the
+    /// braces (used to blame a specific name when the source module
+    /// does not export it).
+    pub names: Vec<(Sym, Span)>,
+    /// The module specifier, verbatim (e.g. `./mod` — resolution to a
+    /// file is the workspace layer's job).
+    pub from: String,
+    /// Source location of the whole declaration.
+    pub span: Span,
 }
 
 /// A top-level item.

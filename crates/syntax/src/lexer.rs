@@ -191,6 +191,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     "typeof" => Tok::Typeof,
                     "instanceof" => Tok::Instanceof,
                     "break" => Tok::Break,
+                    "import" => Tok::Import,
+                    "export" => Tok::Export,
                     _ => Tok::Ident(text.to_string()),
                 };
                 out.push(Token {

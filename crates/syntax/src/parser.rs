@@ -1,8 +1,6 @@
 //! A recursive-descent parser with token-level backtracking for the RSC
 //! input language.
 
-use std::collections::HashMap;
-
 use rsc_logic::{BinOp, CmpOp, Pred, Sym, Term};
 
 use crate::ast::*;
@@ -32,29 +30,12 @@ type PResult<T> = Result<T, ParseError>;
 
 /// Parses a complete RSC program.
 pub fn parse_program(src: &str) -> PResult<Program> {
-    let toks = lex(src).map_err(|e| ParseError {
-        message: e.message,
-        span: e.span,
-    })?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        pending_sigs: HashMap::new(),
-    };
-    p.program()
+    Parser::new(src)?.program()
 }
 
 /// Parses a type annotation in isolation (used by tests and tools).
 pub fn parse_type(src: &str) -> PResult<AnnTy> {
-    let toks = lex(src).map_err(|e| ParseError {
-        message: e.message,
-        span: e.span,
-    })?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        pending_sigs: HashMap::new(),
-    };
+    let mut p = Parser::new(src)?;
     let t = p.ty()?;
     p.expect(Tok::Eof)?;
     Ok(t)
@@ -62,15 +43,7 @@ pub fn parse_type(src: &str) -> PResult<AnnTy> {
 
 /// Parses a predicate in isolation.
 pub fn parse_pred(src: &str) -> PResult<Pred> {
-    let toks = lex(src).map_err(|e| ParseError {
-        message: e.message,
-        span: e.span,
-    })?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        pending_sigs: HashMap::new(),
-    };
+    let mut p = Parser::new(src)?;
     let q = p.pred()?;
     p.expect(Tok::Eof)?;
     Ok(q)
@@ -79,10 +52,31 @@ pub fn parse_pred(src: &str) -> PResult<Pred> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
-    pending_sigs: HashMap<Sym, Vec<FunTy>>,
+    /// Overload signatures awaiting their function, in declaration
+    /// order. A `Vec` rather than a map: when several sigs dangle at end
+    /// of input, the error must deterministically blame the
+    /// first-declared one (a hash map's iteration order would pick an
+    /// arbitrary sig per run).
+    pending_sigs: Vec<(Sym, Span, Vec<FunTy>)>,
+    imports: Vec<ImportDecl>,
+    exports: Vec<(Sym, Span)>,
 }
 
 impl Parser {
+    fn new(src: &str) -> PResult<Parser> {
+        let toks = lex(src).map_err(|e| ParseError {
+            message: e.message,
+            span: e.span,
+        })?;
+        Ok(Parser {
+            toks,
+            pos: 0,
+            pending_sigs: Vec::new(),
+            imports: Vec::new(),
+            exports: Vec::new(),
+        })
+    }
+
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
@@ -153,11 +147,19 @@ impl Parser {
                 items.push(item);
             }
         }
-        if !self.pending_sigs.is_empty() {
-            let name = self.pending_sigs.keys().next().unwrap().clone();
-            return Err(self.err(format!("sig for `{name}` has no matching function")));
+        if let Some((name, span, _)) = self.pending_sigs.first() {
+            // Deterministic: blame the *first-declared* dangling sig, at
+            // its own location (not wherever the parser happens to be).
+            return Err(ParseError {
+                message: format!("sig for `{name}` has no matching function"),
+                span: *span,
+            });
         }
-        Ok(Program { items })
+        Ok(Program {
+            items,
+            imports: std::mem::take(&mut self.imports),
+            exports: std::mem::take(&mut self.exports),
+        })
     }
 
     fn item(&mut self) -> PResult<Option<Item>> {
@@ -168,6 +170,11 @@ impl Parser {
             Tok::Interface => Ok(Some(Item::Interface(self.interface_decl()?))),
             Tok::Enum => Ok(Some(Item::Enum(self.enum_decl()?))),
             Tok::Declare => Ok(Some(Item::Declare(self.declare_decl()?))),
+            Tok::Import => {
+                self.import_decl()?;
+                Ok(None)
+            }
+            Tok::Export => self.export_item(),
             Tok::Sig => {
                 self.sig_decl()?;
                 Ok(None)
@@ -175,6 +182,78 @@ impl Parser {
             Tok::Function => Ok(Some(Item::Fun(self.fun_decl()?))),
             _ => Ok(Some(Item::Stmt(self.stmt()?))),
         }
+    }
+
+    /// `import {a, b} from "./mod";` — recorded on the [`Program`], not
+    /// as an item: the checker ignores imports (the workspace layer
+    /// resolves them before checking).
+    fn import_decl(&mut self) -> PResult<()> {
+        let lo = self.expect(Tok::Import)?;
+        self.expect(Tok::LBrace)?;
+        let mut names = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let nspan = self.span();
+            let name = self.ident()?;
+            names.push((name, nspan));
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        // `from` is contextual (it stays a valid identifier elsewhere).
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "from" => {
+                self.bump();
+            }
+            other => return Err(self.err(format!("expected `from`, found `{other}`"))),
+        }
+        let from = match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                s
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected module string after `from`, found `{other}`"
+                )))
+            }
+        };
+        let hi = self.expect(Tok::Semi)?;
+        self.imports.push(ImportDecl {
+            names,
+            from,
+            span: lo.to(hi),
+        });
+        Ok(())
+    }
+
+    /// `export <item>` — parses the item and records its name in the
+    /// program's export list. Only named declarations can be exported.
+    fn export_item(&mut self) -> PResult<Option<Item>> {
+        let lo = self.expect(Tok::Export)?;
+        if matches!(self.peek(), Tok::Sig | Tok::Import | Tok::Export) {
+            return Err(self.err("`export` must precede a named declaration".into()));
+        }
+        let item = self.item()?;
+        let (name, span) = match &item {
+            Some(Item::Fun(f)) => (f.name.clone(), f.span),
+            Some(Item::Class(c)) => (c.name.clone(), c.span),
+            Some(Item::TypeAlias(a)) => (a.name.clone(), a.span),
+            Some(Item::Interface(i)) => (i.name.clone(), i.span),
+            Some(Item::Enum(e)) => (e.name.clone(), e.span),
+            Some(Item::Declare(d)) => (d.name.clone(), d.span),
+            Some(Item::Qualif(q)) => (q.name.clone(), q.span),
+            Some(Item::Stmt(_)) | None => {
+                return Err(ParseError {
+                    message: "`export` must precede a named declaration \
+                              (function, class, type, interface, enum, declare, qualif)"
+                        .into(),
+                    span: lo,
+                })
+            }
+        };
+        self.exports.push((name, lo.to(span)));
+        Ok(item)
     }
 
     fn type_alias(&mut self) -> PResult<TypeAlias> {
@@ -291,14 +370,17 @@ impl Parser {
     }
 
     fn sig_decl(&mut self) -> PResult<()> {
-        self.expect(Tok::Sig)?;
+        let lo = self.expect(Tok::Sig)?;
         let name = self.ident()?;
         self.expect(Tok::Colon)?;
         let t = self.ty()?;
         self.expect(Tok::Semi)?;
         match t {
             AnnTy::Arrow(ft) => {
-                self.pending_sigs.entry(name).or_default().push(ft);
+                match self.pending_sigs.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some((_, _, sigs)) => sigs.push(ft),
+                    None => self.pending_sigs.push((name, lo, vec![ft])),
+                }
                 Ok(())
             }
             _ => Err(self.err(format!("sig for `{name}` must be a function type"))),
@@ -343,7 +425,10 @@ impl Parser {
         let body = self.block()?;
         let span = lo.to(self.prev_span());
 
-        let mut sigs = self.pending_sigs.remove(&name).unwrap_or_default();
+        let mut sigs = match self.pending_sigs.iter().position(|(n, _, _)| *n == name) {
+            Some(i) => self.pending_sigs.remove(i).2,
+            None => Vec::new(),
+        };
         if sigs.is_empty() && anns.iter().all(Option::is_some) && !anns.is_empty() {
             // Build one signature from inline annotations.
             let ft = FunTy {

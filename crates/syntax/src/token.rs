@@ -75,6 +75,10 @@ pub enum Tok {
     Instanceof,
     /// `break`
     Break,
+    /// `import`
+    Import,
+    /// `export`
+    Export,
 
     // Punctuation
     /// `(`
@@ -193,6 +197,8 @@ impl fmt::Display for Tok {
                     Tok::Typeof => "typeof",
                     Tok::Instanceof => "instanceof",
                     Tok::Break => "break",
+                    Tok::Import => "import",
+                    Tok::Export => "export",
                     Tok::LParen => "(",
                     Tok::RParen => ")",
                     Tok::LBrace => "{",

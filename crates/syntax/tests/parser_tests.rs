@@ -315,3 +315,68 @@ fn spans_track_lines() {
         _ => panic!(),
     }
 }
+
+#[test]
+fn parse_import_decl() {
+    let p = parse_program(
+        "import {inc, Counter} from \"./lib\";\nfunction f(x: number): number { return inc(x); }",
+    )
+    .unwrap();
+    assert_eq!(p.imports.len(), 1);
+    let imp = &p.imports[0];
+    assert_eq!(imp.from, "./lib");
+    let names: Vec<_> = imp.names.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["inc", "Counter"]);
+    assert_eq!(imp.span.line, 1);
+    // The import is metadata, not an item: only the function remains.
+    assert_eq!(p.items.len(), 1);
+}
+
+#[test]
+fn parse_export_modifiers() {
+    let p = parse_program(
+        r#"
+        export function inc(x: number): number { return x + 1; }
+        function helper(x: number): number { return x; }
+        export type nat = {v: number | 0 <= v};
+        export class C { n : number; }
+        "#,
+    )
+    .unwrap();
+    let names: Vec<_> = p.exports.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["inc", "nat", "C"]);
+    // Exported items still parse as ordinary items.
+    assert_eq!(p.items.len(), 4);
+}
+
+#[test]
+fn export_before_statement_is_error() {
+    let e = parse_program("export var x = 1;").unwrap_err();
+    assert!(e.message.contains("named declaration"), "{e}");
+    assert!(parse_program("export sig f : (x: number) => number;").is_err());
+}
+
+#[test]
+fn import_requires_from_and_module_string() {
+    assert!(parse_program("import {a} \"./m\";").is_err());
+    assert!(parse_program("import {a} from m;").is_err());
+    // `from` stays usable as an ordinary identifier elsewhere.
+    assert!(parse_program("var from = 1; var y = from + 1;").is_ok());
+}
+
+/// Several dangling overload sigs: the error must deterministically name
+/// the *first-declared* one, at its own source line — not whichever a
+/// hash map yields first.
+#[test]
+fn dangling_sig_error_is_deterministic() {
+    for _ in 0..16 {
+        let e = parse_program(
+            "sig zeta : (x: number) => number;\n\
+             sig alpha : (x: number) => number;\n\
+             sig mu : (x: number) => number;\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.message, "sig for `zeta` has no matching function");
+        assert_eq!(e.span.line, 1, "blame the first-declared sig: {e}");
+    }
+}

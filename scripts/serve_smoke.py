@@ -16,6 +16,11 @@ Legs (default: legacy + lsp):
 * ``cache-bound`` — a long edit script under ``RSC_CACHE_CAP=16``:
   verdicts must stay correct while the VC cache stays bounded and
   reports evictions.
+* ``multi-file`` — two URIs connected by an ``import``: editing the
+  exporting document re-publishes for the importer too; a non-exported
+  body edit keeps the importer fully reused (no cross-file dirtiness),
+  while an exported-signature edit names the dependency in
+  ``deps_changed`` and the importing unit in ``dirty_own``.
 
 Exits non-zero on any protocol or verdict mismatch — this is the CI leg
 that keeps the serve front-end honest.
@@ -246,6 +251,90 @@ def cache_bound_leg(binary, cap=16, rounds=3):
           f"(cap={cap}, evictions={evictions})")
 
 
+def multi_file_leg(binary):
+    """Two URIs over one workspace: a cross-file edit re-checks the
+    importer; a non-exported edit leaves the importer fully reused."""
+    lib_uri = "file:///w/lib.rsc"
+    app_uri = "file:///w/app.rsc"
+    lib = (
+        "type nat = {v: number | 0 <= v};\n"
+        "export function step(x: number): nat {\n"
+        "    if (x < 0) { return 0; }\n"
+        "    return x + 1;\n"
+        "}\n"
+        "function helper(y: number): number { return y; }\n"
+    )
+    app = (
+        'import {step} from "./lib.rsc";\n'
+        "function use(k: number): {v: number | 0 <= v} {\n"
+        "    return step(k);\n"
+        "}\n"
+    )
+    body_edit = lib.replace("return y;", "return y + 1;")
+    sig_edit = lib.replace(
+        "export function step(x: number): nat {",
+        "export function step(x: number): {v: number | 0 <= v && x < v} {",
+    )
+
+    def open_(uri, text):
+        return {"jsonrpc": "2.0", "method": "textDocument/didOpen",
+                "params": {"textDocument": {"uri": uri, "text": text}}}
+
+    def change(uri, text):
+        return {"jsonrpc": "2.0", "method": "textDocument/didChange",
+                "params": {"textDocument": {"uri": uri},
+                           "contentChanges": [{"text": text}]}}
+
+    requests = [
+        {"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}},
+        open_(lib_uri, lib),          # 1 line: publish lib
+        open_(app_uri, app),          # 1 line: publish app (lib is open)
+        change(lib_uri, body_edit),   # 2 lines: lib, then importer app
+        change(lib_uri, sig_edit),    # 2 lines: lib, then importer app
+        {"jsonrpc": "2.0", "id": 2, "method": "shutdown"},
+        {"jsonrpc": "2.0", "method": "exit"},
+    ]
+    lines = run_serve(binary, requests)
+    if len(lines) != 8:
+        fail(f"multi-file: expected 8 response lines, got {len(lines)}: {lines}")
+
+    def expect_publish(v, uri, verified, step):
+        if v.get("method") != "textDocument/publishDiagnostics":
+            fail(f"multi-file/{step}: expected publishDiagnostics: {v}")
+        if v["params"]["uri"] != uri:
+            fail(f"multi-file/{step}: expected uri {uri}: {v}")
+        if v["rsc"]["verified"] is not verified:
+            fail(f"multi-file/{step}: expected verified={verified}: {v}")
+        return v["rsc"]
+
+    expect_publish(lines[1], lib_uri, True, "open-lib")
+    expect_publish(lines[2], app_uri, True, "open-app")
+
+    # Non-exported body edit in lib: the importer is re-checked but
+    # fully reused — no surface change, none of its own units dirty.
+    expect_publish(lines[3], lib_uri, True, "body-edit-lib")
+    rsc = expect_publish(lines[4], app_uri, True, "body-edit-app")
+    if rsc["deps_changed"]:
+        fail(f"multi-file: non-exported edit changed a surface: {rsc}")
+    if rsc["dirty_own"]:
+        fail(f"multi-file: non-exported edit dirtied importer units: {rsc}")
+    if rsc["reused"] == 0:
+        fail(f"multi-file: importer re-checked cold: {rsc}")
+
+    # Exported-signature edit: the importer must be re-checked with the
+    # dependency named and exactly its importing unit dirty.
+    expect_publish(lines[5], lib_uri, True, "sig-edit-lib")
+    rsc = expect_publish(lines[6], app_uri, True, "sig-edit-app")
+    if rsc["deps_changed"] != [lib_uri]:
+        fail(f"multi-file: sig edit did not flag the dependency: {rsc}")
+    if "fun:use" not in rsc["dirty_own"]:
+        fail(f"multi-file: sig edit did not dirty the importing unit: {rsc}")
+    if lines[7].get("result", "missing") is not None:
+        fail(f"multi-file: bad shutdown response: {lines[7]}")
+    print("serve_smoke: multi-file leg PASS "
+          f"(importer reuse={rsc['reused']}/{rsc['bundles']})")
+
+
 def main():
     check_in_sync()
     args = [a for a in sys.argv[1:]]
@@ -255,7 +344,7 @@ def main():
     while i < len(args):
         if args[i] == "--leg":
             if i + 1 >= len(args):
-                fail("--leg expects a value (legacy | lsp | cache-bound)")
+                fail("--leg expects a value (legacy | lsp | cache-bound | multi-file)")
             legs.append(args[i + 1])
             i += 2
         else:
@@ -265,7 +354,7 @@ def main():
         fail(f"unexpected extra arguments: {positional[1:]}")
     binary = positional[0] if positional else str(ROOT / "target/release/rsc")
     if not legs:
-        legs = ["legacy", "lsp"]
+        legs = ["legacy", "lsp", "multi-file"]
     for leg in legs:
         if leg == "legacy":
             legacy_leg(binary)
@@ -273,6 +362,8 @@ def main():
             lsp_leg(binary)
         elif leg == "cache-bound":
             cache_bound_leg(binary)
+        elif leg == "multi-file":
+            multi_file_leg(binary)
         else:
             fail(f"unknown leg {leg!r}")
     print("serve_smoke: PASS")

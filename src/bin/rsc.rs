@@ -1,30 +1,43 @@
-//! The `rsc` command-line checker: verify `.rsc` files from the shell,
-//! serve an editor session over stdin/stdout, or watch a file.
+//! The `rsc` command-line checker: verify `.rsc` files (and their
+//! import closures) from the shell, serve an editor session over
+//! stdin/stdout, or watch a file set.
 //!
 //! ```text
 //! cargo run --bin rsc -- benchmarks/navier-stokes.rsc
+//! cargo run --bin rsc -- app.rsc lib.rsc        # multi-file roots
+//! cargo run --bin rsc -- src/                   # directory mode
 //! cargo run --bin rsc -- --no-path-sensitivity file.rsc
 //! cargo run --bin rsc -- --jobs 4 benchmarks/*.rsc
 //! cargo run --bin rsc -- serve          # NDJSON requests on stdin
-//! cargo run --bin rsc -- --watch f.rsc  # incremental re-check on save
+//! cargo run --bin rsc -- --watch a.rsc b.rsc  # re-check on save
 //! ```
+//!
+//! Files may `import {name} from "./other"`: each root is checked as
+//! its full import closure (a merged program), through one shared
+//! workspace so overlapping closures share the VC cache. Directory
+//! arguments expand to every `.rsc`/`.ts` file beneath them, sorted.
 //!
 //! Rejections are rendered rustc-style, with the error code of the
 //! failed obligation kind, a source excerpt, and a caret underline over
-//! the blamed range (see `rsc_core::Diagnostic::render`).
+//! the blamed range — located in the owning *file* of the closure (see
+//! `rsc_core::Diagnostic::render`).
 //!
-//! Both `serve` and `--watch` run a persistent [`rsc_incr::CheckSession`]:
+//! Both `serve` and `--watch` run a persistent [`rsc_incr::Workspace`]:
 //! after the first check, only the constraint bundles whose canonical
-//! problem changed are re-solved (see `ARCHITECTURE.md`).
+//! problem changed are re-solved, per document (see `ARCHITECTURE.md`).
+//! `--watch` polls every file in the watched documents' import
+//! closures, so saving an imported dependency re-checks its importers.
 //!
 //! Exit code 0 = verified, 1 = verification errors, 2 = usage/IO error.
 
-use rsc_core::{check_program, CheckerOptions};
-use rsc_incr::{CheckSession, Serve, SessionOutcome};
+use std::collections::BTreeMap;
+
+use rsc_core::{CheckerOptions, LineIndex};
+use rsc_incr::{DocReport, Serve, Workspace};
 
 fn main() {
     let mut opts = CheckerOptions::default();
-    let mut files: Vec<String> = Vec::new();
+    let mut args_files: Vec<String> = Vec::new();
     let mut quiet = false;
     let mut want_jobs = false;
     let mut want_cache_cap = false;
@@ -55,7 +68,7 @@ fn main() {
                 print_usage();
                 return;
             }
-            f if !f.starts_with('-') => files.push(f.to_string()),
+            f if !f.starts_with('-') => args_files.push(f.to_string()),
             other => match other.strip_prefix("--jobs=") {
                 Some(n) => opts.jobs = parse_jobs(n),
                 None => match other.strip_prefix("--cache-cap=") {
@@ -80,7 +93,7 @@ fn main() {
         std::process::exit(2);
     }
     if serve {
-        if watch || !files.is_empty() {
+        if watch || !args_files.is_empty() {
             eprintln!("rsc: serve takes no files (send load requests on stdin)");
             std::process::exit(2);
         }
@@ -92,12 +105,13 @@ fn main() {
         }
         return;
     }
+    let files = expand_files(&args_files);
     if watch {
-        if files.len() != 1 {
-            eprintln!("rsc: --watch expects exactly one file");
+        if files.is_empty() {
+            eprintln!("rsc: --watch expects at least one file");
             std::process::exit(2);
         }
-        run_watch(&files[0], opts, quiet);
+        run_watch(&files, opts, quiet);
         return;
     }
     if files.is_empty() {
@@ -105,6 +119,9 @@ fn main() {
         std::process::exit(2);
     }
 
+    // One workspace for the whole batch: each root is checked as its
+    // import closure, and overlapping closures share the VC cache.
+    let mut ws = Workspace::new(opts);
     let mut failed = false;
     for file in &files {
         let src = match std::fs::read_to_string(file) {
@@ -115,13 +132,20 @@ fn main() {
             }
         };
         let start = std::time::Instant::now();
-        let result = check_program(&src, opts);
+        let report = ws.check_one(file, src);
         let elapsed = start.elapsed();
+        let result = &report.outcome.result;
+        let closure = report.merged.files.len();
         if result.ok() {
             if !quiet {
+                let files_note = if closure > 1 {
+                    format!(", {closure} files")
+                } else {
+                    String::new()
+                };
                 println!(
                     "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, \
-                     {} bundles, {:.0}% VC-cache hits, {:.0?})",
+                     {} bundles{files_note}, {:.0}% VC-cache hits, {:.0?})",
                     result.stats.constraints,
                     result.stats.kvars,
                     result.stats.smt_queries,
@@ -137,24 +161,80 @@ fn main() {
                 result.diagnostics.len(),
                 elapsed
             );
-            let idx = rsc_core::LineIndex::new(&src);
-            for d in &result.diagnostics {
-                print!("{}", d.render_with(file, &src, &idx));
-            }
+            print_rendered(&report);
         }
     }
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// Renders every diagnostic of a report against its owning file's own
+/// text (a closure diagnostic may live in an imported file, not the
+/// root).
+fn print_rendered(report: &DocReport) {
+    let idxs: Vec<LineIndex> = report
+        .merged
+        .files
+        .iter()
+        .map(|f| LineIndex::new(&f.text))
+        .collect();
+    for d in &report.outcome.result.diagnostics {
+        let (fi, local) = report.merged.localize(d);
+        let f = &report.merged.files[fi];
+        print!("{}", local.render_with(&f.name, &f.text, &idxs[fi]));
+    }
+}
+
+/// Expands directory arguments to every `.rsc`/`.ts` file beneath them
+/// (sorted); plain files pass through in argument order.
+fn expand_files(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for a in args {
+        let path = std::path::Path::new(a);
+        if path.is_dir() {
+            let mut found = Vec::new();
+            collect_sources(path, &mut found);
+            found.sort();
+            if found.is_empty() {
+                eprintln!("rsc: no .rsc/.ts files under {a}");
+                std::process::exit(2);
+            }
+            out.extend(found);
+        } else {
+            out.push(a.clone());
+        }
+    }
+    out
+}
+
+fn collect_sources(dir: &std::path::Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_sources(&p, out);
+        } else if matches!(
+            p.extension().and_then(|e| e.to_str()),
+            Some("rsc") | Some("ts")
+        ) {
+            if let Some(s) = p.to_str() {
+                out.push(s.to_string());
+            }
+        }
+    }
+}
+
 /// Prints one watch-loop check: verdict, incremental reuse, timing.
-fn report_watch(file: &str, outcome: &SessionOutcome, quiet: bool) {
-    let incr = &outcome.incr;
+fn report_watch(report: &DocReport, quiet: bool) {
+    let incr = &report.outcome.incr;
+    let file = &report.uri;
     let reuse = if incr.fast_path {
         "unchanged".to_string()
     } else {
         format!("{} reused / {} solved", incr.reused, incr.solved)
     };
-    if outcome.result.ok() {
+    if report.outcome.result.ok() {
         if !quiet {
             println!(
                 "[watch] {file}: SAFE ({} bundles, {reuse}, {}µs)",
@@ -164,20 +244,27 @@ fn report_watch(file: &str, outcome: &SessionOutcome, quiet: bool) {
     } else {
         println!(
             "[watch] {file}: UNSAFE ({} errors, {reuse}, {}µs)",
-            outcome.result.diagnostics.len(),
+            report.outcome.result.diagnostics.len(),
             incr.total_micros
         );
-        for d in &outcome.result.diagnostics {
-            println!("  {d}");
+        let multi = report.merged.files.len() > 1;
+        for d in &report.outcome.result.diagnostics {
+            let (fi, local) = report.merged.localize(d);
+            if multi {
+                println!("  [{}] {local}", report.merged.files[fi].name);
+            } else {
+                println!("  {local}");
+            }
         }
     }
 }
 
-/// Re-checks `file` through one persistent session whenever its mtime
-/// changes. Polling interval: `RSC_WATCH_POLL_MS` (default 150). For
-/// scripted runs, `RSC_WATCH_MAX_CHECKS` bounds the number of checks
-/// before exiting (the exit code then reflects the last check).
-fn run_watch(file: &str, opts: CheckerOptions, quiet: bool) {
+/// Re-checks the watched roots through one persistent workspace
+/// whenever any file in their import closures changes on disk. Polling
+/// interval: `RSC_WATCH_POLL_MS` (default 150). For scripted runs,
+/// `RSC_WATCH_MAX_CHECKS` bounds the number of document checks before
+/// exiting (the exit code then reflects each document's last check).
+fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool) {
     let poll = std::env::var("RSC_WATCH_POLL_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -187,42 +274,84 @@ fn run_watch(file: &str, opts: CheckerOptions, quiet: bool) {
         .and_then(|v| v.parse::<u64>().ok());
     let mtime = |f: &str| std::fs::metadata(f).and_then(|m| m.modified()).ok();
 
-    let mut session = CheckSession::new(opts);
+    let mut ws = Workspace::new(opts);
     let mut checks = 0u64;
-    let mut last_ok;
-    let mut seen = mtime(file);
-    let src = match std::fs::read_to_string(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("rsc: cannot read {file}: {e}");
-            std::process::exit(2);
-        }
+    let mut verdicts: BTreeMap<String, bool> = BTreeMap::new();
+    let exit = |verdicts: &BTreeMap<String, bool>| -> ! {
+        std::process::exit(if verdicts.values().all(|&ok| ok) {
+            0
+        } else {
+            1
+        });
     };
-    let outcome = session.check(&src);
-    report_watch(file, &outcome, quiet);
-    last_ok = outcome.result.ok();
-    checks += 1;
+
+    for file in files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rsc: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        for report in ws.update(file, src) {
+            verdicts.insert(report.uri.clone(), report.outcome.result.ok());
+            report_watch(&report, quiet);
+            checks += 1;
+        }
+    }
+
+    let mut seen: BTreeMap<String, Option<std::time::SystemTime>> = ws
+        .watched_files()
+        .iter()
+        .map(|f| (f.clone(), mtime(f)))
+        .collect();
 
     loop {
         if let Some(max) = max_checks {
             if checks >= max {
-                std::process::exit(if last_ok { 0 } else { 1 });
+                exit(&verdicts);
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(poll));
-        let now = mtime(file);
-        if now == seen {
-            continue;
+        // The poll set tracks the *current* closures: a newly added
+        // import gets watched from the next iteration on.
+        let watched = ws.watched_files();
+        let mut changed: Vec<String> = Vec::new();
+        for f in &watched {
+            let now = mtime(f);
+            match seen.get(f) {
+                Some(prev) if *prev != now => changed.push(f.clone()),
+                Some(_) => {}
+                // Newly watched (an import added by the edit that was
+                // just checked): record its mtime without re-checking —
+                // the update that introduced it already covered it.
+                None => {}
+            }
+            seen.insert(f.clone(), now);
         }
-        seen = now;
-        match std::fs::read_to_string(file) {
-            Ok(src) => {
-                let outcome = session.check(&src);
-                report_watch(file, &outcome, quiet);
-                last_ok = outcome.result.ok();
+        seen.retain(|k, _| watched.contains(k));
+        for f in &changed {
+            let reports = if ws.contains(f) {
+                match std::fs::read_to_string(f) {
+                    Ok(src) => ws.update(f, src),
+                    Err(e) => {
+                        eprintln!("rsc: cannot read {f}: {e} (still watching)");
+                        continue;
+                    }
+                }
+            } else {
+                // A dependency changed: re-check every root that
+                // imports it (the closure re-reads the disk).
+                ws.importers_of(f)
+                    .into_iter()
+                    .filter_map(|root| ws.recheck(&root))
+                    .collect()
+            };
+            for report in reports {
+                verdicts.insert(report.uri.clone(), report.outcome.result.ok());
+                report_watch(&report, quiet);
                 checks += 1;
             }
-            Err(e) => eprintln!("rsc: cannot read {file}: {e} (still watching)"),
         }
     }
 }
@@ -250,10 +379,14 @@ fn parse_cache_cap(s: &str) -> usize {
 fn print_usage() {
     eprintln!(
         "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
-         [--no-mined-qualifiers] [--no-vc-cache] [--jobs N] [--quiet] <file.rsc>...\n\
-         \u{20}      rsc serve            read NDJSON requests on stdin (load/edit/check),\n\
-         \u{20}                           respond with diagnostics + timing per line\n\
-         \u{20}      rsc --watch <file>   incremental re-check on every mtime change\n\
+         [--no-mined-qualifiers] [--no-vc-cache] [--jobs N] [--quiet] <file.rsc | dir>...\n\
+         \u{20}      rsc serve            read NDJSON requests on stdin (load/edit/check,\n\
+         \u{20}                           LSP didOpen/didChange), respond per line\n\
+         \u{20}      rsc --watch <file>...  incremental re-check on every mtime change\n\
+         \u{20}                           of the files or their imported dependencies\n\
+         \n\
+         Files may `import {{name}} from \"./other\"`; each root is checked\n\
+         as its full import closure. Directories expand to their .rsc/.ts files.\n\
          \n\
          --jobs N  solve constraint bundles on N worker threads\n\
          \u{20}         (default: RSC_JOBS env var, else available cores, max 8)\n\

@@ -1,0 +1,191 @@
+//! End-to-end tests for the multi-file workspace model: per-URI
+//! document sessions in `rsc serve`, import-closure equivalence with
+//! the batch checker, and import-cycle diagnostics.
+
+use rsc_core::{check_program, CheckerOptions};
+use rsc_incr::{Json, Serve, Workspace};
+
+const LIB: &str = "type nat = {v: number | 0 <= v};\n\
+export function step(x: number): nat {\n\
+    if (x < 0) { return 0; }\n\
+    return x + 1;\n\
+}\n\
+function helper(y: number): number { return y; }\n";
+
+const APP: &str = "import {step} from \"./lib.rsc\";\n\
+function use(k: number): {v: number | 0 <= v} {\n\
+    return step(k);\n\
+}\n";
+
+fn did_open(uri: &str, text: &str) -> String {
+    format!(
+        r#"{{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{{"textDocument":{{"uri":{},"text":{}}}}}}}"#,
+        Json::str(uri),
+        Json::str(text)
+    )
+}
+
+fn did_change(uri: &str, text: &str) -> String {
+    format!(
+        r#"{{"jsonrpc":"2.0","method":"textDocument/didChange","params":{{"textDocument":{{"uri":{}}},"contentChanges":[{{"text":{}}}]}}}}"#,
+        Json::str(uri),
+        Json::str(text)
+    )
+}
+
+fn rsc_of(line: &Json) -> &Json {
+    line.get("rsc").expect("rsc counters object")
+}
+
+/// The headline PR-5 regression: a two-file editing session (edit a,
+/// edit b, edit a again) reuses retained bundles on every step — no
+/// cold re-check on document switch.
+#[test]
+fn two_file_editing_session_stays_warm_on_every_step() {
+    let ua = "file:///w/a.rsc";
+    let ub = "file:///w/b.rsc";
+    let a = "type nat = {v: number | 0 <= v};\n\
+             function fa(x: number): nat { if (x < 0) { return 0 - x; } return x; }\n\
+             function ga(x: number): nat { if (x < 0) { return 0; } return x + 5; }\n";
+    let b = a.replace("fa", "fb").replace("ga", "gb");
+    let mut serve = Serve::new(CheckerOptions::default());
+    serve.handle(&did_open(ua, a));
+    serve.handle(&did_open(ub, &b));
+
+    // Step 1: edit a (only `fa`'s body — `ga`'s bundle must be reused).
+    let (resp, _) = serve.handle(&did_change(
+        ua,
+        &a.replace("return 0 - x;", "return 1 - x;"),
+    ));
+    let v = Json::parse(&resp).unwrap();
+    assert!(
+        rsc_of(&v).get("reused").and_then(Json::as_f64).unwrap() > 0.0,
+        "step 1 re-checked cold: {resp}"
+    );
+    // Step 2: edit b.
+    let (resp, _) = serve.handle(&did_change(
+        ub,
+        &b.replace("return 0 - x;", "return 2 - x;"),
+    ));
+    let v = Json::parse(&resp).unwrap();
+    assert!(
+        rsc_of(&v).get("reused").and_then(Json::as_f64).unwrap() > 0.0,
+        "step 2 re-checked cold: {resp}"
+    );
+    // Step 3: edit a again.
+    let (resp, _) = serve.handle(&did_change(ua, a));
+    let v = Json::parse(&resp).unwrap();
+    assert!(
+        rsc_of(&v).get("reused").and_then(Json::as_f64).unwrap() > 0.0,
+        "step 3 re-checked cold: {resp}"
+    );
+    // And an identical resend hits the whole-program fast path.
+    let (resp, _) = serve.handle(&did_change(ua, a));
+    let v = Json::parse(&resp).unwrap();
+    assert_eq!(
+        rsc_of(&v).get("fast_path"),
+        Some(&Json::Bool(true)),
+        "{resp}"
+    );
+}
+
+/// A workspace check of `app.rsc` + `lib.rsc` is byte-identical to
+/// checking the concatenated program with the batch checker.
+#[test]
+fn import_closure_equals_concatenated_program() {
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("lib.rsc", LIB.to_string());
+    let report = ws.update("app.rsc", APP.to_string()).remove(0);
+    assert_eq!(report.merged.files.len(), 2, "closure must include lib");
+
+    // The merged text is the dependency-first concatenation…
+    let concatenated = format!("{LIB}{APP}");
+    assert_eq!(report.merged.text, concatenated);
+
+    // …and the diagnostics/verdict are byte-identical to a cold batch
+    // check of that text.
+    let cold = check_program(&concatenated, CheckerOptions::default());
+    let render = |ds: &[rsc_core::Diagnostic]| {
+        ds.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        render(&report.outcome.result.diagnostics),
+        render(&cold.diagnostics)
+    );
+    assert_eq!(report.outcome.result.ok(), cold.ok());
+    assert!(report.outcome.result.ok());
+
+    // Same equivalence on a failing closure.
+    let bad_app = APP.replace("return step(k);", "return step(k) - 1;");
+    let report = ws.update("app.rsc", bad_app.clone()).remove(0);
+    let cold = check_program(&format!("{LIB}{bad_app}"), CheckerOptions::default());
+    assert_eq!(
+        render(&report.outcome.result.diagnostics),
+        render(&cold.diagnostics)
+    );
+    assert!(!report.outcome.result.ok());
+}
+
+/// An import cycle is a real diagnostic naming the cycle, over serve.
+#[test]
+fn import_cycle_diagnostic_over_serve() {
+    let ua = "file:///w/a.rsc";
+    let ub = "file:///w/b.rsc";
+    let a = "import {f} from \"./b.rsc\";\nexport function g(x: number): number { return f(x); }\n";
+    let b = "import {g} from \"./a.rsc\";\nexport function f(x: number): number { return g(x); }\n";
+    let mut serve = Serve::new(CheckerOptions::default());
+    serve.handle(&did_open(ua, a));
+    let (resp, _) = serve.handle(&did_open(ub, b));
+    // b's check sees the cycle and publishes it as a diagnostic.
+    let first = Json::parse(resp.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        rsc_of(&first).get("verified"),
+        Some(&Json::Bool(false)),
+        "{resp}"
+    );
+    let diags = first
+        .get("params")
+        .and_then(|p| p.get("diagnostics"))
+        .cloned();
+    match diags {
+        Some(Json::Arr(ds)) if !ds.is_empty() => {
+            let msg = ds[0].get("message").and_then(Json::as_str).unwrap();
+            assert!(msg.contains("import cycle"), "{msg}");
+        }
+        other => panic!("expected a cycle diagnostic, got {other:?}"),
+    }
+    // Breaking the cycle recovers both documents.
+    let (resp, _) = serve.handle(&did_change(
+        ub,
+        "export function f(x: number): number { return x; }\n",
+    ));
+    for line in resp.lines() {
+        let v = Json::parse(line).unwrap();
+        assert_eq!(
+            rsc_of(&v).get("verified"),
+            Some(&Json::Bool(true)),
+            "{line}"
+        );
+    }
+}
+
+/// A missing export is blamed at the importing name, with the module
+/// named in the message.
+#[test]
+fn missing_export_diagnostic() {
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("lib.rsc", LIB.to_string());
+    let report = ws
+        .update(
+            "app.rsc",
+            "import {helper} from \"./lib.rsc\";\nvar z = helper(1);\n".to_string(),
+        )
+        .remove(0);
+    assert!(!report.outcome.result.ok());
+    let msg = &report.outcome.result.diagnostics[0].message;
+    assert!(msg.contains("does not export `helper`"), "{msg}");
+    assert!(msg.contains("lib.rsc"), "{msg}");
+}
