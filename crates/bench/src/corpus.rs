@@ -52,6 +52,12 @@ pub fn seeded_mutations() -> &'static [(&'static str, &'static str, &'static str
         ),
         ("richards", "handlers[id]", "handlers[id + 1]"),
         ("d3-arrays", "var best = a[0];", "var best = a[1];"),
+        ("splay", "keys[i] = keys[i - 1];", "keys[i] = keys[i + 1];"),
+        (
+            "transducers",
+            "return reduce(a, f, a[0]);",
+            "return reduce(a, f, a[1]);",
+        ),
     ]
 }
 

@@ -1,0 +1,629 @@
+//! The typing-rule-directed program generator.
+//!
+//! Programs are *well-refinement-typed by construction*: every
+//! expression is generated against a target type by rules that mirror
+//! the checker's subtyping lattice (`pos <: nat <: number`), so the
+//! checker must verify the output — a rejection is a completeness bug
+//! in the checker or a soundness bug in a generation rule, and either
+//! way the fuzz oracle reports it.
+//!
+//! Two properties are maintained beyond well-typedness:
+//!
+//! * **Bounded magnitudes.** Every expression carries a static bound on
+//!   the absolute value it can evaluate to ([`CAP`]); call arguments
+//!   are capped tighter ([`ARG_CAP`]) so values cannot grow across the
+//!   (stratified, acyclic) call graph. The interpreters use wrapping
+//!   i64 arithmetic while the checker reasons in unbounded integers, so
+//!   an overflow would make the dynamic-soundness oracle report a false
+//!   positive; the bounds keep every run far inside i64.
+//! * **Bounded running time.** Calls only target previously generated
+//!   functions and each function's dynamic cost estimate is tracked;
+//!   call sites are only emitted while the cost stays under a budget,
+//!   so generated programs always terminate quickly within the
+//!   interpreter fuel used by the soundness oracle.
+
+use proptest::test_runner::TestRng;
+
+/// Cap on the static magnitude bound of any generated expression.
+pub const CAP: i64 = 1 << 38;
+/// Tighter cap for call arguments (function parameters assume it).
+pub const ARG_CAP: i64 = 1 << 20;
+/// Dynamic cost budget for one function (estimated interpreter steps).
+const COST_BUDGET: u64 = 100_000;
+
+/// The generator's type universe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// `pos` — `{v: number | 0 < v}`.
+    Pos,
+    /// `nat` — `{v: number | 0 <= v}`.
+    Nat,
+    /// Plain `number`.
+    Num,
+    /// `boolean`.
+    Bool,
+    /// `number[]`.
+    Arr,
+}
+
+impl Ty {
+    /// The type annotation as written in generated source.
+    pub fn ann(self) -> &'static str {
+        match self {
+            Ty::Pos => "pos",
+            Ty::Nat => "nat",
+            Ty::Num => "number",
+            Ty::Bool => "boolean",
+            Ty::Arr => "number[]",
+        }
+    }
+
+    /// True when a value of `self` can flow where `want` is expected
+    /// (the generator's subtyping lattice: `pos <: nat <: number`).
+    fn flows_to(self, want: Ty) -> bool {
+        self == want
+            || matches!(
+                (self, want),
+                (Ty::Pos, Ty::Nat) | (Ty::Pos, Ty::Num) | (Ty::Nat, Ty::Num)
+            )
+    }
+
+    /// True for scalar numeric types.
+    pub fn numeric(self) -> bool {
+        matches!(self, Ty::Pos | Ty::Nat | Ty::Num)
+    }
+}
+
+/// One variable in scope during generation.
+#[derive(Clone, Debug)]
+struct Var {
+    name: String,
+    ty: Ty,
+    /// Static magnitude bound (for `Arr`: bound on the length).
+    bound: i64,
+    /// Carries a checked refinement (parameter or annotated local) —
+    /// required where the *declared* type must prove an obligation on
+    /// its own, e.g. a division's nonzero side condition.
+    refined: bool,
+}
+
+/// One generated function.
+#[derive(Clone, Debug)]
+pub struct GenFun {
+    /// Function name (`fn3`, or `fn3_c1` inside workspace cluster 1).
+    pub name: String,
+    /// Parameters with their generator types.
+    pub params: Vec<(String, Ty)>,
+    /// Declared return type.
+    pub ret: Ty,
+    /// The rendered `function … { … }` item, newline-terminated.
+    pub text: String,
+    /// Indices (into [`GenProgram::funs`]) of called functions.
+    pub calls: Vec<usize>,
+    /// Estimated dynamic cost (interpreter steps) of one invocation.
+    pub cost: u64,
+    /// Static magnitude bound of the returned value.
+    pub ret_bound: i64,
+}
+
+/// A generated program: alias preamble, stratified functions, and a
+/// final top-level `return`.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// `type nat = …; type pos = …;` (suffixed inside clusters).
+    pub preamble: String,
+    /// Functions in generation (stratified) order.
+    pub funs: Vec<GenFun>,
+    /// The top-level `return …;` line driving the interpreters.
+    pub tail: String,
+    /// Indices of the functions the tail calls.
+    pub tail_calls: Vec<usize>,
+}
+
+impl GenProgram {
+    /// The complete single-file program text.
+    pub fn text(&self) -> String {
+        let mut out = self.decls_text();
+        out.push_str(&self.tail);
+        out
+    }
+
+    /// Everything except the final top-level return.
+    pub fn decls_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&self.preamble);
+        for f in &self.funs {
+            out.push_str(&f.text);
+        }
+        out
+    }
+
+    /// The program with `extra` inserted between the declarations and
+    /// the final return, plus the 1-based line number of the first
+    /// inserted line (where a mutation's diagnostics must land).
+    pub fn text_with_insert(&self, extra: &str) -> (String, u32) {
+        let decls = self.decls_text();
+        let line = decls.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        let mut out = decls;
+        out.push_str(extra);
+        out.push_str(&self.tail);
+        (out, line)
+    }
+}
+
+/// Size/shape knobs for one generated program.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Number of functions to generate.
+    pub funs: usize,
+    /// Name suffix discriminator for workspace clusters (`None` for
+    /// plain single-program generation).
+    pub cluster: Option<usize>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            funs: 8,
+            cluster: None,
+        }
+    }
+}
+
+/// Generates one well-typed-by-construction program.
+pub fn generate(rng: &mut TestRng, cfg: GenConfig) -> GenProgram {
+    Gen {
+        rng,
+        suffix: cfg.cluster.map(|c| format!("_c{c}")).unwrap_or_default(),
+        funs: Vec::new(),
+        fresh: 0,
+    }
+    .program(cfg.funs.max(1))
+}
+
+struct Gen<'a> {
+    rng: &'a mut TestRng,
+    suffix: String,
+    funs: Vec<GenFun>,
+    fresh: usize,
+}
+
+impl Gen<'_> {
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.below(n)
+    }
+
+    /// True with probability `num`/`den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}{}", self.fresh, self.suffix)
+    }
+
+    /// The alias names, suffixed per cluster so workspace clusters can
+    /// coexist in one merged namespace.
+    fn nat(&self) -> String {
+        format!("nat{}", self.suffix)
+    }
+    fn pos(&self) -> String {
+        format!("pos{}", self.suffix)
+    }
+
+    fn ann(&self, ty: Ty) -> String {
+        match ty {
+            Ty::Pos => self.pos(),
+            Ty::Nat => self.nat(),
+            _ => ty.ann().to_string(),
+        }
+    }
+
+    fn program(mut self, n: usize) -> GenProgram {
+        let preamble = format!(
+            "type {} = {{v: number | 0 <= v}};\ntype {} = {{v: number | 0 < v}};\n",
+            self.nat(),
+            self.pos()
+        );
+        for i in 0..n {
+            let f = self.fun(i);
+            self.funs.push(f);
+        }
+        let (tail, tail_calls) = self.tail();
+        GenProgram {
+            preamble,
+            funs: self.funs,
+            tail,
+            tail_calls,
+        }
+    }
+
+    // ---------------------------------------------------------- atoms ---
+
+    /// A leaf expression of type `ty` with its magnitude bound.
+    /// `refined_only` restricts variable atoms to refinement-carrying
+    /// ones (division side conditions must be provable from declared
+    /// types alone).
+    fn atom(&mut self, ty: Ty, ctx: &[Var], refined_only: bool) -> (String, i64) {
+        let vars: Vec<&Var> = ctx
+            .iter()
+            .filter(|v| v.ty.flows_to(ty) && (!refined_only || v.refined))
+            .collect();
+        if !vars.is_empty() && self.chance(3, 5) {
+            let v = vars[self.below(vars.len() as u64) as usize];
+            return (v.name.clone(), v.bound);
+        }
+        match ty {
+            Ty::Pos => {
+                let k = 1 + self.below(9) as i64;
+                (k.to_string(), k)
+            }
+            Ty::Nat => {
+                // `a.length` is a nat the checker knows exactly.
+                let arrs: Vec<&Var> = ctx.iter().filter(|v| v.ty == Ty::Arr).collect();
+                if !arrs.is_empty() && !refined_only && self.chance(1, 4) {
+                    let a = arrs[self.below(arrs.len() as u64) as usize];
+                    return (format!("{}.length", a.name), a.bound);
+                }
+                let k = self.below(10) as i64;
+                (k.to_string(), k)
+            }
+            Ty::Num => {
+                let k = self.below(19) as i64 - 9;
+                if k < 0 {
+                    // The lexer has no negative literals; spell it as a
+                    // subtraction like the corpus does.
+                    (format!("(0 - {})", -k), -k)
+                } else {
+                    (k.to_string(), k)
+                }
+            }
+            Ty::Bool => (
+                if self.chance(1, 2) { "true" } else { "false" }.to_string(),
+                1,
+            ),
+            Ty::Arr => {
+                let len = 2 + self.below(3);
+                let elems: Vec<String> = (0..len).map(|_| self.below(10).to_string()).collect();
+                (format!("[{}]", elems.join(", ")), len as i64)
+            }
+        }
+    }
+
+    // ---------------------------------------------------- expressions ---
+
+    /// A compound expression of type `ty`, depth-bounded, with its
+    /// magnitude bound kept under [`CAP`].
+    fn expr(&mut self, ty: Ty, ctx: &[Var], depth: u32) -> (String, i64) {
+        if depth == 0 || self.chance(1, 3) {
+            return self.atom(ty, ctx, false);
+        }
+        let (s, b) = match ty {
+            Ty::Pos => match self.below(2) {
+                // pos + nat is pos; pos * k (k ≥ 1 literal) is pos.
+                0 => {
+                    let (a, ba) = self.expr(Ty::Pos, ctx, depth - 1);
+                    let (c, bc) = self.expr(Ty::Nat, ctx, depth - 1);
+                    (format!("({a} + {c})"), ba.saturating_add(bc))
+                }
+                _ => {
+                    let (a, ba) = self.expr(Ty::Pos, ctx, depth - 1);
+                    let k = 2 + self.below(2) as i64;
+                    (format!("({a} * {k})"), ba.saturating_mul(k))
+                }
+            },
+            Ty::Nat => match self.below(3) {
+                0 => return self.expr(Ty::Pos, ctx, depth - 1),
+                1 => {
+                    let (a, ba) = self.expr(Ty::Nat, ctx, depth - 1);
+                    let (c, bc) = self.expr(Ty::Nat, ctx, depth - 1);
+                    (format!("({a} + {c})"), ba.saturating_add(bc))
+                }
+                _ => {
+                    let (a, ba) = self.expr(Ty::Nat, ctx, depth - 1);
+                    let k = 2 + self.below(2) as i64;
+                    (format!("({a} * {k})"), ba.saturating_mul(k))
+                }
+            },
+            Ty::Num => match self.below(5) {
+                0 => return self.expr(Ty::Nat, ctx, depth - 1),
+                1 | 2 => {
+                    let op = if self.chance(1, 2) { "+" } else { "-" };
+                    let (a, ba) = self.expr(Ty::Num, ctx, depth - 1);
+                    let (c, bc) = self.expr(Ty::Num, ctx, depth - 1);
+                    (format!("({a} {op} {c})"), ba.saturating_add(bc))
+                }
+                3 => {
+                    let (a, ba) = self.expr(Ty::Num, ctx, depth - 1);
+                    let k = 2 + self.below(2) as i64;
+                    (format!("({a} * {k})"), ba.saturating_mul(k))
+                }
+                _ => {
+                    // Division's R0012 side condition: the divisor must
+                    // be provably nonzero from declared refinements, so
+                    // it is a pos literal / parameter / annotated local.
+                    let (a, ba) = self.expr(Ty::Num, ctx, depth - 1);
+                    let (d, _) = self.atom(Ty::Pos, ctx, true);
+                    (format!("({a} / {d})"), ba)
+                }
+            },
+            Ty::Bool => {
+                let op = if self.chance(1, 2) { "<" } else { "<=" };
+                let (a, _) = self.expr(Ty::Num, ctx, depth - 1);
+                let (c, _) = self.expr(Ty::Num, ctx, depth - 1);
+                (format!("({a} {op} {c})"), 1)
+            }
+            Ty::Arr => return self.atom(Ty::Arr, ctx, false),
+        };
+        if b > CAP {
+            return self.atom(ty, ctx, false);
+        }
+        (s, b)
+    }
+
+    /// A call-argument expression for a parameter of type `ty`: bounded
+    /// by [`ARG_CAP`] (falls back to a literal-ish atom otherwise).
+    fn arg(&mut self, ty: Ty, ctx: &[Var]) -> String {
+        for _ in 0..3 {
+            let (s, b) = self.expr(ty, ctx, 1);
+            if b <= ARG_CAP {
+                return s;
+            }
+        }
+        match ty {
+            Ty::Pos => (1 + self.below(9)).to_string(),
+            Ty::Nat | Ty::Num => self.below(10).to_string(),
+            Ty::Bool => "true".to_string(),
+            Ty::Arr => self.atom(Ty::Arr, &[], false).0,
+        }
+    }
+
+    // ------------------------------------------------------ functions ---
+
+    fn fun(&mut self, i: usize) -> GenFun {
+        let name = format!("fn{i}{}", self.suffix);
+        let nparams = self.below(4) as usize;
+        let mut params = Vec::new();
+        let mut ctx: Vec<Var> = Vec::new();
+        for _ in 0..nparams {
+            let ty = match self.below(8) {
+                0 | 1 => Ty::Nat,
+                2 => Ty::Pos,
+                3 | 4 => Ty::Num,
+                5 => Ty::Arr,
+                _ => Ty::Num,
+            };
+            let pname = self.fresh("p");
+            ctx.push(Var {
+                name: pname.clone(),
+                ty,
+                bound: if ty == Ty::Arr { 9 } else { ARG_CAP },
+                refined: true,
+            });
+            params.push((pname, ty));
+        }
+        let ret = match self.below(8) {
+            0 | 1 => Ty::Nat,
+            2 => Ty::Pos,
+            3 => Ty::Bool,
+            _ => Ty::Num,
+        };
+
+        let mut body = String::new();
+        let mut cost: u64 = 5;
+        let mut calls = Vec::new();
+
+        // Local declarations, some annotated (exercising R0003's
+        // provable side and giving division refined divisors).
+        for _ in 0..=self.below(3) {
+            let x = self.fresh("x");
+            match self.below(6) {
+                0 => {
+                    let (e, b) = self.expr(Ty::Nat, &ctx, 2);
+                    body.push_str(&format!("    var {x}: {} = {e};\n", self.nat()));
+                    ctx.push(Var {
+                        name: x,
+                        ty: Ty::Nat,
+                        bound: b,
+                        refined: true,
+                    });
+                }
+                1 => {
+                    let (e, b) = self.expr(Ty::Pos, &ctx, 2);
+                    body.push_str(&format!("    var {x}: {} = {e};\n", self.pos()));
+                    ctx.push(Var {
+                        name: x,
+                        ty: Ty::Pos,
+                        bound: b,
+                        refined: true,
+                    });
+                }
+                2 => {
+                    let (e, b) = self.atom(Ty::Arr, &ctx, false);
+                    // `new Array(k)` builds a zero-filled length-k
+                    // buffer; the checker tracks its exact length.
+                    let (init, blen) = if self.chance(1, 2) {
+                        let k = 1 + self.below(8) as i64;
+                        (format!("new Array({k})"), k)
+                    } else {
+                        (e, b)
+                    };
+                    body.push_str(&format!("    var {x} = {init};\n"));
+                    ctx.push(Var {
+                        name: x,
+                        ty: Ty::Arr,
+                        bound: blen,
+                        refined: false,
+                    });
+                }
+                _ => {
+                    let (e, b) = self.expr(Ty::Num, &ctx, 2);
+                    body.push_str(&format!("    var {x} = {e};\n"));
+                    ctx.push(Var {
+                        name: x,
+                        ty: Ty::Num,
+                        bound: b,
+                        refined: false,
+                    });
+                }
+            }
+        }
+
+        // Call statements targeting earlier (already generated)
+        // functions, budgeted by dynamic cost.
+        for _ in 0..self.below(3) {
+            let candidates: Vec<usize> = (0..self.funs.len())
+                .filter(|&j| self.funs[j].ret != Ty::Arr && cost + self.funs[j].cost < COST_BUDGET)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let j = candidates[self.below(candidates.len() as u64) as usize];
+            let target = self.funs[j].clone();
+            let args: Vec<String> = target
+                .params
+                .iter()
+                .map(|(_, ty)| self.arg(*ty, &ctx))
+                .collect();
+            let c = self.fresh("c");
+            body.push_str(&format!(
+                "    var {c} = {}({});\n",
+                target.name,
+                args.join(", ")
+            ));
+            ctx.push(Var {
+                name: c,
+                ty: target.ret,
+                // Declared return refinements are checked, so the call
+                // result is as good as an annotated local.
+                refined: true,
+                bound: target.ret_bound,
+            });
+            cost += target.cost;
+            calls.push(j);
+        }
+
+        // A conditional reassignment of an unannotated number local
+        // (exercises SSA joins and loop-free kvar inference).
+        let plain_nums: Vec<String> = ctx
+            .iter()
+            .filter(|v| v.ty == Ty::Num && !v.refined)
+            .map(|v| v.name.clone())
+            .collect();
+        if !plain_nums.is_empty() && self.chance(1, 2) {
+            let t = plain_nums[self.below(plain_nums.len() as u64) as usize].clone();
+            let (cond, _) = self.expr(Ty::Bool, &ctx, 2);
+            let (e, b) = self.expr(Ty::Num, &ctx, 2);
+            body.push_str(&format!("    if ({cond}) {{ {t} = {e}; }}\n"));
+            if let Some(v) = ctx.iter_mut().find(|v| v.name == t) {
+                v.bound = v.bound.max(b);
+            }
+        }
+
+        // The corpus-proven loop idioms over an array in scope: a
+        // reduction (`s = s + a[i]`) or an in-bounds write-back.
+        let arrs: Vec<Var> = ctx.iter().filter(|v| v.ty == Ty::Arr).cloned().collect();
+        if !arrs.is_empty() && self.chance(2, 3) {
+            let a = arrs[self.below(arrs.len() as u64) as usize].clone();
+            let i_var = self.fresh("i");
+            if self.chance(1, 2) {
+                let s = self.fresh("s");
+                body.push_str(&format!(
+                    "    var {s} = 0;\n    var {i_var};\n    \
+                     for ({i_var} = 0; {i_var} < {a}.length; {i_var}++) {{ \
+                     {s} = {s} + {a}[{i_var}]; }}\n",
+                    a = a.name
+                ));
+                ctx.push(Var {
+                    name: s,
+                    ty: Ty::Num,
+                    bound: CAP.saturating_mul(16),
+                    refined: false,
+                });
+            } else {
+                let k = 2 + self.below(2) as i64;
+                body.push_str(&format!(
+                    "    var {i_var};\n    \
+                     for ({i_var} = 0; {i_var} < {a}.length; {i_var}++) {{ \
+                     {a}[{i_var}] = ({a}[{i_var}] * {k}) + 1; }}\n",
+                    a = a.name
+                ));
+            }
+            cost += 10;
+        }
+
+        // Occasionally a provable assertion (R0011's green path).
+        if self.chance(1, 5) {
+            let (e, _) = self.expr(Ty::Nat, &ctx, 1);
+            body.push_str(&format!("    assert(0 <= {e});\n"));
+        }
+
+        let (ret_expr, ret_bound) = self.expr(ret, &ctx, 2);
+        body.push_str(&format!("    return {ret_expr};\n"));
+
+        let sig_params: Vec<String> = params
+            .iter()
+            .map(|(n, t)| format!("{n}: {}", self.ann(*t)))
+            .collect();
+        let text = format!(
+            "function {name}({}): {} {{\n{body}}}\n",
+            sig_params.join(", "),
+            self.ann(ret)
+        );
+        GenFun {
+            name,
+            params,
+            ret,
+            text,
+            calls,
+            cost,
+            ret_bound: ret_bound.max(1),
+        }
+    }
+
+    /// The top-level `return` that drives both interpreters: a sum of
+    /// one or two calls to generated numeric functions (literal-only
+    /// arguments), falling back to a constant when none exists.
+    fn tail(&mut self) -> (String, Vec<usize>) {
+        let numeric: Vec<usize> = (0..self.funs.len())
+            .filter(|&j| self.funs[j].ret.numeric())
+            .collect();
+        if numeric.is_empty() {
+            return ("return 0;\n".to_string(), Vec::new());
+        }
+        let mut terms = Vec::new();
+        let mut called = Vec::new();
+        for _ in 0..=self.below(2).min((numeric.len() - 1) as u64) {
+            let j = numeric[self.below(numeric.len() as u64) as usize];
+            let target = self.funs[j].clone();
+            let args: Vec<String> = target
+                .params
+                .iter()
+                .map(|(_, ty)| self.arg(*ty, &[]))
+                .collect();
+            terms.push(format!("{}({})", target.name, args.join(", ")));
+            called.push(j);
+        }
+        (format!("return ({});\n", terms.join(" + ")), called)
+    }
+}
+
+/// Literal-only arguments for calling `f` from a context with nothing
+/// in scope (workspace roots calling into cluster files).
+pub fn literal_args(f: &GenFun, rng: &mut TestRng) -> String {
+    f.params
+        .iter()
+        .map(|(_, ty)| match ty {
+            Ty::Pos => (1 + rng.below(9)).to_string(),
+            Ty::Nat | Ty::Num => rng.below(10).to_string(),
+            Ty::Bool => "true".to_string(),
+            Ty::Arr => {
+                let len = 2 + rng.below(3);
+                let elems: Vec<String> = (0..len).map(|_| rng.below(10).to_string()).collect();
+                format!("[{}]", elems.join(", "))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -1,0 +1,169 @@
+//! Mutation mode: break exactly one refinement obligation.
+//!
+//! Each template is a small item block appended between a generated
+//! program's declarations and its final top-level `return` (names are
+//! suffixed so nothing collides with generated code). The rest of the
+//! program stays verified, so the checker must reject the mutant with
+//! the template's obligation code — and the diagnostic must land at or
+//! after the insertion line ([`crate::generate::GenProgram::text_with_insert`]
+//! returns it). One template exists for every reachable obligation
+//! kind `R0001`–`R0013`; `R0099` (`Other`) is synthetic-only.
+//!
+//! Template shapes deliberately mirror the canonical rejection
+//! fixtures in `tests/blame_kinds.rs`, which pins their diagnostics
+//! against goldens — so a fuzz failure here means the checker drifted
+//! from behavior the unit suite also pins.
+
+use rsc_core::ObligationKind;
+
+use crate::generate::{GenProgram, Ty};
+
+/// One single-obligation-breaking mutation.
+#[derive(Clone, Debug)]
+pub struct Mutation {
+    /// The obligation kind the mutant must be rejected with.
+    pub kind: ObligationKind,
+    /// The item block to insert before the program's final return.
+    pub text: String,
+    /// Short human label for failure reports.
+    pub label: &'static str,
+}
+
+/// All standalone templates, with `s` suffixed onto every introduced
+/// name. `nat`/`pos` refer to the generated preamble's aliases, so the
+/// caller passes the program's alias names.
+pub fn templates(s: &str, nat: &str, pos: &str) -> Vec<Mutation> {
+    let _ = pos;
+    vec![
+        Mutation {
+            kind: ObligationKind::CallArgument,
+            label: "negative into nat parameter",
+            text: format!(
+                "function mh{s}(x: {nat}): {nat} {{ return x; }}\n\
+                 function mc{s}(): {nat} {{ return mh{s}(0 - 1); }}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::Return,
+            label: "nat - 1 returned as nat",
+            text: format!("function mr{s}(x: {nat}): {nat} {{\n    return x - 1;\n}}\n"),
+        },
+        Mutation {
+            kind: ObligationKind::Assignment,
+            label: "negative into annotated nat local",
+            text: format!("function ma{s}(): void {{\n    var y: {nat} = 0 - 5;\n}}\n"),
+        },
+        Mutation {
+            kind: ObligationKind::Narrowing,
+            label: "method call through possible null",
+            text: format!(
+                "class MN{s} {{ x : number; constructor(x: number) {{ this.x = x; }}\n    \
+                 @ReadOnly get(): number {{ return this.x; }} }}\n\
+                 function mn{s}(p: MN{s} + null): number {{\n    return p.get();\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::LoopInvariant,
+            label: "string assigned to number loop variable",
+            text: format!(
+                "function ml{s}(): number {{\n    var i = 0;\n    \
+                 while (i < 3) {{ i = \"s\"; }}\n    return i;\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::FieldRead,
+            label: "field read through possible null",
+            text: format!(
+                "class MQ{s} {{ x : number; constructor(x: number) {{ this.x = x; }} }}\n\
+                 function mq{s}(p: MQ{s} + null): number {{\n    return p.x;\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::FieldWrite,
+            label: "plain number into nat field",
+            text: format!(
+                "class MW{s} {{\n    n : {nat};\n    \
+                 constructor(n: {nat}) {{ this.n = n; }}\n    \
+                 @Mutable poke(x: number) {{ this.n = x; }}\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::ArrayBounds,
+            label: "read at a[a.length]",
+            text: format!("function mb{s}(a: number[]): number {{\n    return a[a.length];\n}}\n"),
+        },
+        Mutation {
+            kind: ObligationKind::Cast,
+            label: "unprovable downcast",
+            text: format!(
+                "class MA{s} {{ x : number; constructor(x: number) {{ this.x = x; }} }}\n\
+                 class MB{s} extends MA{s} {{ y : number; \
+                 constructor(x: number, y: number) {{\n    \
+                 this.x = x; this.y = y; }} }}\n\
+                 function md{s}(a: MA{s}): number {{\n    \
+                 var b = <MB{s}> a;\n    return b.y;\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::ClassInvariant,
+            label: "number into immutable nat field at constructor exit",
+            text: format!(
+                "class MI{s} {{\n    immutable n : {nat};\n    \
+                 constructor(v: number) {{ this.n = v; }}\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::Assertion,
+            label: "unprovable assert",
+            text: format!("function ms{s}(x: number): void {{\n    assert(0 < x);\n}}\n"),
+        },
+        Mutation {
+            kind: ObligationKind::Arithmetic,
+            label: "division by possibly-zero number",
+            text: format!(
+                "function mz{s}(x: number, y: number): number {{\n    return x / y;\n}}\n"
+            ),
+        },
+        Mutation {
+            kind: ObligationKind::BaseType,
+            label: "number + string",
+            text: format!("function mt{s}(str: string): number {{\n    return 1 + str;\n}}\n"),
+        },
+    ]
+}
+
+/// A mutation coupled to the generated program itself: call an existing
+/// generated function with an argument that violates its declared
+/// parameter refinement (guaranteed `R0001` — the refutation is
+/// definite, not a completeness gamble). Returns `None` when no
+/// function takes a `nat`/`pos` parameter.
+pub fn coupled(p: &GenProgram, s: &str) -> Option<Mutation> {
+    let (f, slot) = p.funs.iter().find_map(|f| {
+        f.params
+            .iter()
+            .position(|(_, t)| matches!(t, Ty::Nat | Ty::Pos))
+            .map(|i| (f, i))
+    })?;
+    let args: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, (_, t))| {
+            if i == slot {
+                "(0 - 1)".to_string()
+            } else {
+                match t {
+                    Ty::Pos => "1".to_string(),
+                    Ty::Nat | Ty::Num => "0".to_string(),
+                    Ty::Bool => "true".to_string(),
+                    Ty::Arr => "[1, 2]".to_string(),
+                }
+            }
+        })
+        .collect();
+    Some(Mutation {
+        kind: ObligationKind::CallArgument,
+        label: "negative into generated function's nat/pos parameter",
+        text: format!("var mg{s} = {}({});\n", f.name, args.join(", ")),
+    })
+}

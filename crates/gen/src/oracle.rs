@@ -1,0 +1,219 @@
+//! The differential oracles: each takes generated input and returns
+//! `Err(description)` on a violation — a real checker/toolchain bug by
+//! construction, since generated programs are well-typed and mutants
+//! break exactly one known obligation.
+
+use rsc_core::{check_program, CheckResult, CheckerOptions};
+use rsc_incr::{CheckSession, Workspace};
+use rsc_interp::{run_frsc, run_irsc};
+
+use crate::generate::GenProgram;
+use crate::mutate::Mutation;
+
+/// Interpreter fuel for the soundness oracle (generated programs are
+/// cost-budgeted far below this).
+const FUEL: u64 = 5_000_000;
+
+/// Renders a result's diagnostics the way every suite pins them.
+pub fn render(r: &CheckResult) -> String {
+    r.diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn opts_with_jobs(jobs: usize) -> CheckerOptions {
+    CheckerOptions {
+        jobs,
+        ..CheckerOptions::default()
+    }
+}
+
+/// **Soundness**: a generated (well-typed-by-construction) program must
+/// verify, and then run to the same value on both semantics with no
+/// runtime error (Theorems 2–5 of the paper, exercised adversarially).
+pub fn soundness(src: &str) -> Result<(), String> {
+    let r = check_program(src, CheckerOptions::default());
+    if !r.ok() {
+        return Err(format!(
+            "generated well-typed program was rejected:\n{}",
+            render(&r)
+        ));
+    }
+    let prog = rsc_syntax::parse_program(src).map_err(|e| format!("parse failed: {e:?}"))?;
+    let ir = rsc_ssa::transform_program(&prog).map_err(|e| format!("SSA failed: {e:?}"))?;
+    let a = run_frsc(&prog, FUEL);
+    let b = run_irsc(&ir, FUEL);
+    if a != b {
+        return Err(format!("semantics disagree: frsc {a:?} vs irsc {b:?}"));
+    }
+    match a {
+        Ok(_) => Ok(()),
+        Err(e) => Err(format!("verified program hit a runtime error: {e}")),
+    }
+}
+
+/// The pretty-printer round trip: print ∘ parse is idempotent on every
+/// generated program (guards the printer the workspace emitter relies
+/// on).
+pub fn pretty_roundtrip(src: &str) -> Result<(), String> {
+    let p1 = rsc_syntax::parse_program(src).map_err(|e| format!("parse failed: {e:?}"))?;
+    let printed = rsc_syntax::pretty::program(&p1);
+    let p2 = rsc_syntax::parse_program(&printed)
+        .map_err(|e| format!("pretty output does not re-parse: {e:?}\n{printed}"))?;
+    let printed2 = rsc_syntax::pretty::program(&p2);
+    if printed != printed2 {
+        return Err("pretty-print is not idempotent".to_string());
+    }
+    Ok(())
+}
+
+/// **Determinism**: diagnostics are byte-identical across worker
+/// counts (`jobs=1` vs `jobs=N`).
+pub fn determinism(src: &str, jobs: usize) -> Result<(), String> {
+    let seq = check_program(src, opts_with_jobs(1));
+    let par = check_program(src, opts_with_jobs(jobs.max(2)));
+    let (a, b) = (render(&seq), render(&par));
+    if a != b {
+        return Err(format!(
+            "diagnostics differ between jobs=1 and jobs={}:\n--- jobs=1\n{a}\n--- jobs=N\n{b}",
+            jobs.max(2)
+        ));
+    }
+    Ok(())
+}
+
+/// **Mutation rejection**: the mutant must be rejected, some diagnostic
+/// must carry the mutation's obligation code, and every diagnostic
+/// carrying it must sit at/after the insertion line.
+pub fn mutant_rejected(base: &GenProgram, m: &Mutation) -> Result<(), String> {
+    let (src, line) = base.text_with_insert(&m.text);
+    let r = check_program(&src, CheckerOptions::default());
+    if r.ok() {
+        return Err(format!(
+            "mutant `{}` ({}) was accepted:\n{src}",
+            m.label,
+            m.kind.code()
+        ));
+    }
+    let hits: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Some(m.kind.code()))
+        .collect();
+    if hits.is_empty() {
+        return Err(format!(
+            "mutant `{}` rejected without expected code {}:\n{}",
+            m.label,
+            m.kind.code(),
+            render(&r)
+        ));
+    }
+    for d in hits {
+        if d.span.line < line {
+            return Err(format!(
+                "mutant `{}`: {} diagnostic at line {} precedes the mutated \
+                 region (line {})",
+                m.label,
+                m.kind.code(),
+                d.span.line,
+                line
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Incremental equivalence**: replaying an edit script through a
+/// persistent [`CheckSession`] produces, at every step, diagnostics
+/// byte-identical to a cold `check_program` of that step.
+pub fn incremental(steps: &[String]) -> Result<(), String> {
+    let mut session = CheckSession::new(CheckerOptions::default());
+    for (i, outcome) in session
+        .replay_script(steps.iter().map(String::as_str))
+        .into_iter()
+        .enumerate()
+    {
+        let cold = check_program(&steps[i], CheckerOptions::default());
+        let (s, c) = (render(&outcome.result), render(&cold));
+        if s != c {
+            return Err(format!(
+                "incremental step {i} diverged from cold check:\n--- session\n{s}\n--- cold\n{c}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Workspace-merge equivalence**: checking a generated multi-file
+/// import closure through the [`Workspace`] is byte-identical to a cold
+/// check of its concatenation, and the merged text *is* the
+/// concatenation of the closure files in topological order.
+pub fn workspace_merge(files: &[(String, String)], root: &str) -> Result<(), String> {
+    let mut ws = Workspace::new(CheckerOptions::default());
+    for (name, text) in files {
+        if name != root {
+            ws.check_one(name, text.clone());
+        }
+    }
+    let root_text = files
+        .iter()
+        .find(|(n, _)| n == root)
+        .ok_or_else(|| "root file missing from file set".to_string())?
+        .1
+        .clone();
+    let report = ws.check_one(root, root_text);
+    if report.merged.files.len() != files.len() {
+        return Err(format!(
+            "closure of `{root}` has {} files, expected {}: {:?}",
+            report.merged.files.len(),
+            files.len(),
+            report
+                .merged
+                .files
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+        ));
+    }
+    // The merged text must be exactly the concatenation of the closure
+    // files (newline-terminated) in the workspace's topological order.
+    let concat: String = report
+        .merged
+        .files
+        .iter()
+        .map(|f| {
+            let t = &files
+                .iter()
+                .find(|(n, _)| n == &f.name)
+                .expect("closure file")
+                .1;
+            if t.ends_with('\n') {
+                t.clone()
+            } else {
+                format!("{t}\n")
+            }
+        })
+        .collect();
+    if concat != report.merged.text {
+        return Err(format!(
+            "merged text is not the closure concatenation for `{root}`"
+        ));
+    }
+    let cold = check_program(&report.merged.text, CheckerOptions::default());
+    let (w, c) = (render(&report.outcome.result), render(&cold));
+    if w != c {
+        return Err(format!(
+            "workspace check of `{root}` diverged from its concatenation:\n\
+             --- workspace\n{w}\n--- concatenated\n{c}"
+        ));
+    }
+    if !cold.ok() {
+        return Err(format!(
+            "generated workspace does not verify:\n{c}\n--- merged program\n{}",
+            report.merged.text
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,208 @@
+//! Splitting generated programs into multi-file import closures, and
+//! materializing a large on-disk workspace for batch checking.
+//!
+//! A [`GenProgram`]'s functions are stratified (calls only go
+//! backward), so slicing the function list into contiguous chunks
+//! yields files whose import edges all point at earlier files — an
+//! acyclic closure whose topological order is exactly the original
+//! item order. Concatenating the closure therefore reproduces the
+//! single-file program (plus inert `import`/`export` metadata), which
+//! is what the workspace-merge oracle leans on.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use proptest::test_runner::TestRng;
+
+use crate::generate::{generate, literal_args, GenConfig, GenProgram};
+
+/// Splits `p` into `depth + 1` files (clamped so every file holds at
+/// least one function). File names come from `name(k)`; import
+/// specifiers are `./{name(k)}`, so names must be extension-qualified
+/// leaf names (e.g. `m0.rsc`) resolvable relative to each other. When
+/// `include_tail` is set the final file ends with the program's
+/// top-level `return` (single-root closures); cluster files for the
+/// batch workspace omit it.
+///
+/// Returns `(file name, file text)` pairs in topological order (the
+/// root is last).
+pub fn split(
+    p: &GenProgram,
+    depth: usize,
+    name: impl Fn(usize) -> String,
+    include_tail: bool,
+) -> Vec<(String, String)> {
+    let n = p.funs.len().max(1);
+    let nfiles = (depth + 1).clamp(1, n);
+    let file_of = |i: usize| i * nfiles / n;
+
+    let mut texts: Vec<String> = vec![String::new(); nfiles];
+    let mut imports: Vec<BTreeMap<usize, Vec<String>>> = vec![BTreeMap::new(); nfiles];
+    let mut exports: Vec<Vec<String>> = vec![Vec::new(); nfiles];
+
+    // The alias preamble lives in (and is exported by) file 0; every
+    // later file imports both aliases (harmlessly even if unused —
+    // parameter and local annotations mention them pervasively).
+    let aliases: Vec<String> = p
+        .preamble
+        .lines()
+        .filter_map(|l| l.strip_prefix("type ")?.split_whitespace().next())
+        .map(String::from)
+        .collect();
+    exports[0].extend(aliases.iter().cloned());
+    for imp in imports.iter_mut().skip(1) {
+        imp.insert(0, aliases.clone());
+    }
+
+    for (i, f) in p.funs.iter().enumerate() {
+        let k = file_of(i);
+        for &j in &f.calls {
+            let from = file_of(j);
+            if from != k {
+                let names = imports[k].entry(from).or_default();
+                if !names.contains(&p.funs[j].name) {
+                    names.push(p.funs[j].name.clone());
+                }
+            }
+        }
+        exports[k].push(f.name.clone());
+        texts[k].push_str("export ");
+        texts[k].push_str(&f.text);
+    }
+    if include_tail {
+        let k = nfiles - 1;
+        for &j in &p.tail_calls {
+            let from = file_of(j);
+            if from != k {
+                let names = imports[k].entry(from).or_default();
+                if !names.contains(&p.funs[j].name) {
+                    names.push(p.funs[j].name.clone());
+                }
+            }
+        }
+        texts[k].push_str(&p.tail);
+    }
+
+    // Connectivity: each file imports at least one name from its
+    // predecessor, so the root's transitive closure is the whole chain
+    // (a generated call pattern may otherwise skip a file entirely).
+    for k in 1..nfiles {
+        imports[k].entry(k - 1).or_insert_with(|| {
+            vec![exports[k - 1]
+                .first()
+                .expect("every file exports something")
+                .clone()]
+        });
+    }
+
+    (0..nfiles)
+        .map(|k| {
+            let mut out = String::new();
+            for (from, names) in &imports[k] {
+                out.push_str(&format!(
+                    "import {{{}}} from \"./{}\";\n",
+                    names.join(", "),
+                    name(*from)
+                ));
+            }
+            if k == 0 {
+                for line in p.preamble.lines() {
+                    out.push_str("export ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            out.push_str(&texts[k]);
+            (name(k), out)
+        })
+        .collect()
+}
+
+/// Summary of an emitted on-disk workspace.
+#[derive(Clone, Debug)]
+pub struct EmitSummary {
+    /// Where the files were written.
+    pub dir: PathBuf,
+    /// Number of `.rsc` files written (clusters + the root).
+    pub files: usize,
+    /// Total non-blank, non-comment lines across all files.
+    pub loc: usize,
+    /// Number of generated clusters.
+    pub clusters: usize,
+}
+
+/// Materializes a ≥ `min_loc`-LOC workspace under `dir`: independent
+/// well-typed clusters (each split into a `depth + 1`-file import
+/// chain) plus a `root.rsc` importing one entry point from each of the
+/// first few clusters. Every file verifies; the whole directory is the
+/// `rsc check --recursive` batch-mode corpus.
+pub fn emit_workspace(
+    dir: &Path,
+    seed: u64,
+    min_loc: usize,
+    depth: usize,
+    funs_per_cluster: usize,
+) -> io::Result<EmitSummary> {
+    std::fs::create_dir_all(dir)?;
+    let mut loc = 0usize;
+    let mut files = 0usize;
+    let mut cluster = 0usize;
+    // (file defining it, function) entry points for the root.
+    let mut entries: Vec<(String, String, String)> = Vec::new();
+    let mut rng = TestRng::from_seed(seed | 1);
+
+    while loc < min_loc {
+        let p = generate(
+            &mut rng,
+            GenConfig {
+                funs: funs_per_cluster,
+                cluster: Some(cluster),
+            },
+        );
+        let parts = split(&p, depth, |k| format!("c{cluster}_m{k}.rsc"), false);
+        for (name, text) in &parts {
+            loc += rsc_bench::count_loc(text);
+            std::fs::write(dir.join(name), text)?;
+            files += 1;
+        }
+        if let Some(j) = (0..p.funs.len()).rev().find(|&j| p.funs[j].ret.numeric()) {
+            let f = &p.funs[j];
+            let nfiles = (depth + 1).clamp(1, p.funs.len());
+            let k = j * nfiles / p.funs.len();
+            entries.push((
+                format!("c{cluster}_m{k}.rsc"),
+                f.name.clone(),
+                literal_args(f, &mut rng),
+            ));
+        }
+        cluster += 1;
+    }
+
+    // The root stitches a handful of clusters together (kept small so
+    // its merged closure stays a fraction of the whole workspace).
+    let picked: Vec<_> = entries.iter().take(4).collect();
+    let mut root = String::new();
+    for (file, name, _) in &picked {
+        root.push_str(&format!("import {{{name}}} from \"./{file}\";\n"));
+    }
+    let terms: Vec<String> = picked
+        .iter()
+        .map(|(_, name, args)| format!("{name}({args})"))
+        .collect();
+    if terms.is_empty() {
+        root.push_str("return 0;\n");
+    } else {
+        root.push_str(&format!("return ({});\n", terms.join(" + ")));
+    }
+    loc += rsc_bench::count_loc(&root);
+    std::fs::write(dir.join("root.rsc"), root)?;
+    files += 1;
+
+    Ok(EmitSummary {
+        dir: dir.to_path_buf(),
+        files,
+        loc,
+        clusters: cluster,
+    })
+}

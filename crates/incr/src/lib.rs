@@ -41,3 +41,7 @@ pub use json::Json;
 pub use serve::Serve;
 pub use session::{CheckSession, IncrStats, SessionOutcome};
 pub use workspace::{DocReport, Merged, ModuleFile, Workspace, WorkspaceError};
+
+// Re-exported so batch drivers can build the shared cache
+// [`Workspace::with_cache`] expects without depending on `rsc_smt`.
+pub use rsc_smt::VcCache;

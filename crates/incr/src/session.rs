@@ -204,6 +204,19 @@ impl CheckSession {
         outcome
     }
 
+    /// Replays an edit script — a sequence of full program snapshots —
+    /// through the session, returning one outcome per step. Each
+    /// outcome is byte-identical to a cold check of that snapshot (the
+    /// session invariant), which is exactly what the `rsc fuzz`
+    /// incremental-equivalence oracle replays generated edit scripts
+    /// to confirm.
+    pub fn replay_script<'a>(
+        &mut self,
+        steps: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<SessionOutcome> {
+        steps.into_iter().map(|s| self.check(s)).collect()
+    }
+
     /// A parse/SSA front-end error: reported like a cold check would
     /// (one diagnostic, no stats), previous retained state kept for the
     /// next parseable snapshot.

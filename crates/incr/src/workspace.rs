@@ -515,9 +515,21 @@ pub struct Workspace {
 impl Workspace {
     /// An empty workspace checking with `opts`.
     pub fn new(opts: CheckerOptions) -> Workspace {
+        Workspace::with_cache(
+            opts,
+            VcCache::shared_with_capacity(opts.effective_cache_capacity()),
+        )
+    }
+
+    /// An empty workspace over a caller-supplied VC cache. Batch
+    /// drivers (`rsc check --recursive`) run one workspace per worker
+    /// thread, all sharing one cache: verdicts are pure functions of
+    /// the canonical VC, so roots with overlapping closures solve each
+    /// shared bundle's queries once fleet-wide.
+    pub fn with_cache(opts: CheckerOptions, cache: Arc<VcCache>) -> Workspace {
         Workspace {
             opts,
-            cache: VcCache::shared_with_capacity(opts.effective_cache_capacity()),
+            cache,
             docs: BTreeMap::new(),
             facts: FactsCache::new(),
         }

@@ -6,14 +6,51 @@ use std::fmt::Write;
 use crate::ast::*;
 use crate::types::AnnTy;
 
-/// Renders a whole program.
+/// Renders a whole program, including its module metadata: `import`
+/// declarations come first (they are recorded on the [`Program`], not
+/// as items) and items whose name is in the export list are prefixed
+/// with `export` — so a printed multi-file module re-parses with the
+/// same imports, exports and items (used by the `rsc_gen` workspace
+/// generator).
 pub fn program(p: &Program) -> String {
     let mut out = String::new();
+    for imp in &p.imports {
+        out.push_str("import {");
+        for (i, (name, _)) in imp.names.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{name}");
+        }
+        let _ = writeln!(out, "}} from \"{}\";", imp.from);
+    }
+    if !p.imports.is_empty() {
+        out.push('\n');
+    }
+    let exported: std::collections::HashSet<&str> =
+        p.exports.iter().map(|(n, _)| n.as_str()).collect();
     for item in &p.items {
+        if item_name(item).is_some_and(|n| exported.contains(n)) {
+            out.push_str("export ");
+        }
         item_str(item, &mut out);
         out.push('\n');
     }
     out
+}
+
+/// The declared name of an item, when it has one (exportable items).
+fn item_name(item: &Item) -> Option<&str> {
+    match item {
+        Item::TypeAlias(a) => Some(a.name.as_str()),
+        Item::Qualif(q) => Some(q.name.as_str()),
+        Item::Class(c) => Some(c.name.as_str()),
+        Item::Interface(i) => Some(i.name.as_str()),
+        Item::Enum(e) => Some(e.name.as_str()),
+        Item::Fun(f) => Some(f.name.as_str()),
+        Item::Declare(d) => Some(d.name.as_str()),
+        Item::Stmt(_) => None,
+    }
 }
 
 fn item_str(item: &Item, out: &mut String) {
@@ -341,6 +378,43 @@ mod tests {
             .unwrap_or_else(|e| panic!("pretty output must re-parse: {e}\n{printed1}"));
         let printed2 = super::program(&p2);
         assert_eq!(printed1, printed2);
+    }
+
+    /// Imports and export markers survive the print → parse round trip
+    /// (the workspace generator prints per-file modules this way).
+    #[test]
+    fn roundtrip_imports_and_exports() {
+        let src = r#"
+            import {nat, half} from "./m0";
+            import {C} from "./m1";
+            export type pos = {v: number | 0 < v};
+            export function f(x: pos): nat {
+                return half(x + x);
+            }
+            var q = f(1);
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed1 = super::program(&p1);
+        let p2 = parse_program(&printed1)
+            .unwrap_or_else(|e| panic!("pretty output must re-parse: {e}\n{printed1}"));
+        assert_eq!(p2.imports.len(), 2);
+        assert_eq!(p2.imports[0].from, "./m0");
+        assert_eq!(
+            p2.imports[0]
+                .names
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            ["nat", "half"]
+        );
+        assert_eq!(
+            p2.exports
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            ["pos", "f"]
+        );
+        assert_eq!(printed1, super::program(&p2));
     }
 
     #[test]

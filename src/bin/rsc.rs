@@ -1,6 +1,7 @@
 //! The `rsc` command-line checker: verify `.rsc` files (and their
 //! import closures) from the shell, serve an editor session over
-//! stdin/stdout, or watch a file set.
+//! stdin/stdout, watch a file set, batch-check a tree, or fuzz the
+//! checker itself.
 //!
 //! ```text
 //! cargo run --bin rsc -- benchmarks/navier-stokes.rsc
@@ -10,6 +11,8 @@
 //! cargo run --bin rsc -- --jobs 4 benchmarks/*.rsc
 //! cargo run --bin rsc -- serve          # NDJSON requests on stdin
 //! cargo run --bin rsc -- --watch a.rsc b.rsc  # re-check on save
+//! cargo run --bin rsc -- check --recursive workspace/  # parallel batch
+//! cargo run --bin rsc -- fuzz --cases 1000 --seed 0    # oracles
 //! ```
 //!
 //! Files may `import {name} from "./other"`: each root is checked as
@@ -31,11 +34,25 @@
 //! Exit code 0 = verified, 1 = verification errors, 2 = usage/IO error.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rsc_core::{CheckerOptions, LineIndex};
-use rsc_incr::{DocReport, Serve, Workspace};
+use rsc_gen::FuzzConfig;
+use rsc_incr::{DocReport, Serve, VcCache, Workspace};
+use threadpool::Pool;
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands: `rsc fuzz ...` has its own flag set; `rsc check ...`
+    // is an alias for the default mode (so `rsc check --recursive dir`
+    // reads naturally).
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz_cli(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("check") {
+        argv.remove(0);
+    }
+
     let mut opts = CheckerOptions::default();
     let mut args_files: Vec<String> = Vec::new();
     let mut quiet = false;
@@ -43,7 +60,8 @@ fn main() {
     let mut want_cache_cap = false;
     let mut serve = false;
     let mut watch = false;
-    for arg in std::env::args().skip(1) {
+    let mut recursive = false;
+    for arg in argv {
         if want_jobs {
             want_jobs = false;
             opts.jobs = parse_jobs(&arg);
@@ -57,6 +75,7 @@ fn main() {
         match arg.as_str() {
             "serve" => serve = true,
             "--watch" | "-w" => watch = true,
+            "--recursive" | "-r" => recursive = true,
             "--no-path-sensitivity" => opts.path_sensitivity = false,
             "--no-prelude-qualifiers" => opts.prelude_qualifiers = false,
             "--no-mined-qualifiers" => opts.mine_qualifiers = false,
@@ -118,6 +137,9 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
+    if recursive {
+        run_recursive(&files, opts, quiet);
+    }
 
     // One workspace for the whole batch: each root is checked as its
     // import closure, and overlapping closures share the VC cache.
@@ -171,17 +193,239 @@ fn main() {
 /// text (a closure diagnostic may live in an imported file, not the
 /// root).
 fn print_rendered(report: &DocReport) {
+    print!("{}", rendered(report));
+}
+
+fn rendered(report: &DocReport) -> String {
     let idxs: Vec<LineIndex> = report
         .merged
         .files
         .iter()
         .map(|f| LineIndex::new(&f.text))
         .collect();
+    let mut out = String::new();
     for d in &report.outcome.result.diagnostics {
         let (fi, local) = report.merged.localize(d);
         let f = &report.merged.files[fi];
-        print!("{}", local.render_with(&f.name, &f.text, &idxs[fi]));
+        out.push_str(&local.render_with(&f.name, &f.text, &idxs[fi]));
     }
+    out
+}
+
+/// `--recursive` batch mode: one job per root file on a work-stealing
+/// [`Pool`], each job running its own single-threaded [`Workspace`]
+/// over one shared VC cache (verdicts are pure functions of the
+/// canonical VC, so cross-thread sharing is sound). Per-file output is
+/// buffered and printed in input order, byte-identical to the serial
+/// loop's lines.
+fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool) -> ! {
+    let pool = Pool::new(opts.effective_jobs());
+    let cache = VcCache::shared_with_capacity(opts.effective_cache_capacity());
+    // File-level parallelism replaces bundle-level parallelism.
+    let mut inner = opts;
+    inner.jobs = 1;
+    let start = std::time::Instant::now();
+    let jobs: Vec<_> = files
+        .iter()
+        .map(|file| {
+            let file = file.clone();
+            let cache = Arc::clone(&cache);
+            // Returns (output text, verified, I/O error).
+            move || -> (String, bool, bool) {
+                let src = match std::fs::read_to_string(&file) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return (format!("rsc: cannot read {file}: {e}\n"), false, true);
+                    }
+                };
+                let t = std::time::Instant::now();
+                let mut ws = Workspace::with_cache(inner, cache);
+                let report = ws.check_one(&file, src);
+                let elapsed = t.elapsed();
+                let result = &report.outcome.result;
+                let closure = report.merged.files.len();
+                if result.ok() {
+                    let mut out = String::new();
+                    if !quiet {
+                        let files_note = if closure > 1 {
+                            format!(", {closure} files")
+                        } else {
+                            String::new()
+                        };
+                        out = format!(
+                            "{file}: SAFE ({} constraints, {} κ-vars, {} SMT queries, \
+                             {} bundles{files_note}, {:.0}% VC-cache hits, {:.0?})\n",
+                            result.stats.constraints,
+                            result.stats.kvars,
+                            result.stats.smt_queries,
+                            result.stats.bundles,
+                            100.0 * result.stats.cache_hit_rate(),
+                            elapsed
+                        );
+                    }
+                    (out, true, false)
+                } else {
+                    let mut out = format!(
+                        "{file}: UNSAFE ({} errors, {:.0?})\n",
+                        result.diagnostics.len(),
+                        elapsed
+                    );
+                    out.push_str(&rendered(&report));
+                    (out, false, false)
+                }
+            }
+        })
+        .collect();
+    let results = pool.run(jobs);
+    let mut failed = false;
+    let mut io_err = false;
+    for (text, ok, io) in &results {
+        if *io {
+            eprint!("{text}");
+        } else {
+            print!("{text}");
+        }
+        failed |= !ok && !io;
+        io_err |= io;
+    }
+    if !quiet {
+        let safe = results.iter().filter(|(_, ok, _)| *ok).count();
+        println!(
+            "checked {} files ({safe} safe) in {:.1?} on {} workers",
+            files.len(),
+            start.elapsed(),
+            pool.workers()
+        );
+    }
+    std::process::exit(if io_err {
+        2
+    } else if failed {
+        1
+    } else {
+        0
+    });
+}
+
+/// `rsc fuzz`: generate well-typed programs, break one obligation per
+/// case, and run the four differential oracles. With
+/// `--emit-workspace DIR`, instead materializes a ≥`--min-loc`-LOC
+/// multi-file workspace for `rsc check --recursive`.
+fn run_fuzz_cli(args: &[String]) -> ! {
+    let mut cfg = FuzzConfig::default();
+    let mut quiet = false;
+    let mut emit: Option<std::path::PathBuf> = None;
+    let mut min_loc = 20_000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => cfg.cases = fuzz_num(fuzz_val(args, &mut i, "--cases"), "--cases"),
+            "--seed" => cfg.seed = fuzz_num(fuzz_val(args, &mut i, "--seed"), "--seed"),
+            "--skip" => cfg.skip = fuzz_num(fuzz_val(args, &mut i, "--skip"), "--skip"),
+            "--size" => cfg.size = fuzz_num(fuzz_val(args, &mut i, "--size"), "--size"),
+            "--workspace-depth" => {
+                cfg.workspace_depth = fuzz_num(
+                    fuzz_val(args, &mut i, "--workspace-depth"),
+                    "--workspace-depth",
+                )
+            }
+            "--jobs" | "-j" => cfg.jobs = fuzz_num(fuzz_val(args, &mut i, "--jobs"), "--jobs"),
+            "--emit-workspace" => emit = Some(fuzz_val(args, &mut i, "--emit-workspace").into()),
+            "--min-loc" => min_loc = fuzz_num(fuzz_val(args, &mut i, "--min-loc"), "--min-loc"),
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("rsc fuzz: unknown flag {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(dir) = emit {
+        match rsc_gen::emit_workspace(&dir, cfg.seed, min_loc, cfg.workspace_depth, 12) {
+            Ok(s) => {
+                println!(
+                    "emitted {} files, {} LOC ({} clusters) under {}",
+                    s.files,
+                    s.loc,
+                    s.clusters,
+                    s.dir.display()
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("rsc fuzz: cannot write {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let heartbeat = (cfg.cases / 10).max(50);
+    let summary = rsc_gen::run_fuzz(&cfg, |case, out| {
+        let done = case + 1 - cfg.skip;
+        if !quiet && done % heartbeat == 0 {
+            println!(
+                "[fuzz] {done}/{} cases, {} mutants, {} violations, {:.1?}",
+                cfg.cases,
+                out.mutants,
+                out.violations.len(),
+                start.elapsed()
+            );
+        }
+    });
+
+    for v in &summary.violations {
+        println!(
+            "FAIL case {} ({} oracle) — replay: rsc fuzz --seed {} --skip {} --cases 1",
+            v.case, v.oracle, v.seed, v.case
+        );
+        for line in v.detail.lines() {
+            println!("  {line}");
+        }
+    }
+    let kinds: Vec<String> = summary
+        .kinds
+        .iter()
+        .map(|(k, n)| format!("{k}\u{d7}{n}"))
+        .collect();
+    println!(
+        "fuzz: seed {}, {} cases, {} mutants [{}] in {:.1?}: {}",
+        cfg.seed,
+        summary.cases,
+        summary.mutants,
+        kinds.join(" "),
+        start.elapsed(),
+        if summary.violations.is_empty() {
+            "all oracles passed".to_string()
+        } else {
+            format!("{} VIOLATIONS", summary.violations.len())
+        }
+    );
+    std::process::exit(if summary.violations.is_empty() { 0 } else { 1 });
+}
+
+/// Fetches the value after a `rsc fuzz` flag, advancing the cursor.
+fn fuzz_val<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => {
+            eprintln!("rsc fuzz: {flag} expects a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fuzz_num<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("rsc fuzz: {flag} expects a number, got {v:?}");
+        std::process::exit(2);
+    })
 }
 
 /// Expands directory arguments to every `.rsc`/`.ts` file beneath them
@@ -384,6 +628,14 @@ fn print_usage() {
          \u{20}                           LSP didOpen/didChange), respond per line\n\
          \u{20}      rsc --watch <file>...  incremental re-check on every mtime change\n\
          \u{20}                           of the files or their imported dependencies\n\
+         \u{20}      rsc check --recursive <dir>  batch-check every file in parallel\n\
+         \u{20}                           (work-stealing pool, shared VC cache)\n\
+         \u{20}      rsc fuzz [--cases N] [--seed S] [--skip K] [--size F]\n\
+         \u{20}               [--workspace-depth D] [--jobs N]\n\
+         \u{20}                           generate well-typed programs + mutants and\n\
+         \u{20}                           run the differential oracles\n\
+         \u{20}      rsc fuzz --emit-workspace <dir> [--min-loc N] [--seed S]\n\
+         \u{20}                           materialize a large multi-file workspace\n\
          \n\
          Files may `import {{name}} from \"./other\"`; each root is checked\n\
          as its full import closure. Directories expand to their .rsc/.ts files.\n\

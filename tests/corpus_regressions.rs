@@ -1,0 +1,63 @@
+//! Regression corpus distilled from the fuzzer: each `.rsc` file under
+//! `tests/corpus_regressions/` is a shrunk minimal rejection — a fuzz
+//! mutant with the generated base program shrunk away until only the
+//! broken obligation (plus the aliases it mentions) remains. The
+//! expected error code is pinned in a `// expect: R00xx` header line,
+//! so the files are standalone: `rsc <file>` reproduces the rejection
+//! without any test harness.
+//!
+//! The suite guards the same invariant as `rsc fuzz`'s mutation
+//! oracle — every obligation kind `R0001`–`R0013` stays *reachable*
+//! and keeps its code — but deterministically and in milliseconds,
+//! so a drift shows up in `cargo test` before anyone re-runs the
+//! fuzzer.
+
+use std::collections::BTreeSet;
+
+use rsc_core::{check_program, CheckerOptions};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_regressions")
+}
+
+/// Every corpus file is rejected, and some diagnostic carries the code
+/// its `// expect:` header pins.
+#[test]
+fn every_corpus_regression_is_rejected_with_its_expected_code() {
+    let mut codes_seen = BTreeSet::new();
+    let mut files = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rsc") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable corpus file");
+        let expected = src
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("// expect:"))
+            .map(str::trim)
+            .unwrap_or_else(|| panic!("{}: missing `// expect: R00xx` header", path.display()))
+            .to_string();
+
+        let result = check_program(&src, CheckerOptions::default());
+        assert!(
+            !result.ok(),
+            "{}: verified, but must be rejected with {expected}",
+            path.display()
+        );
+        let rendered: Vec<String> = result.diagnostics.iter().map(|d| d.to_string()).collect();
+        assert!(
+            rendered.iter().any(|d| d.contains(&expected)),
+            "{}: no {expected} diagnostic among:\n{}",
+            path.display(),
+            rendered.join("\n")
+        );
+        codes_seen.insert(expected);
+        files += 1;
+    }
+    assert!(files >= 13, "expected >= 13 corpus files, found {files}");
+    // One file per reachable obligation kind, at minimum.
+    for code in (1..=13).map(|n| format!("R{n:04}")) {
+        assert!(codes_seen.contains(&code), "no corpus file pins {code}");
+    }
+}

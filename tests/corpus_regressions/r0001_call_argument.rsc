@@ -1,0 +1,5 @@
+// Shrunk minimal fuzz failure: negative literal into a `nat` parameter.
+// expect: R0001
+type nat = {v: number | 0 <= v};
+function mh(x: nat): nat { return x; }
+function mc(): nat { return mh(0 - 1); }

@@ -1,0 +1,6 @@
+// Shrunk minimal fuzz failure: `x - 1` returned where `nat` is declared.
+// expect: R0002
+type nat = {v: number | 0 <= v};
+function mr(x: nat): nat {
+    return x - 1;
+}

@@ -1,0 +1,6 @@
+// Shrunk minimal fuzz failure: negative initializer for an annotated `nat` local.
+// expect: R0003
+type nat = {v: number | 0 <= v};
+function ma(): void {
+    var y: nat = 0 - 5;
+}

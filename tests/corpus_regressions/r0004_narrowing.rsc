@@ -1,0 +1,7 @@
+// Shrunk minimal fuzz failure: method call through a possibly-null receiver.
+// expect: R0004
+class MN { x : number; constructor(x: number) { this.x = x; }
+    @ReadOnly get(): number { return this.x; } }
+function mn(p: MN + null): number {
+    return p.get();
+}

@@ -1,0 +1,7 @@
+// Shrunk minimal fuzz failure: string assigned to a numeric loop variable.
+// expect: R0005
+function ml(): number {
+    var i = 0;
+    while (i < 3) { i = "s"; }
+    return i;
+}

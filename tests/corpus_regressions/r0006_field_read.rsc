@@ -1,0 +1,6 @@
+// Shrunk minimal fuzz failure: field read through a possibly-null receiver.
+// expect: R0006
+class MQ { x : number; constructor(x: number) { this.x = x; } }
+function mq(p: MQ + null): number {
+    return p.x;
+}

@@ -1,0 +1,8 @@
+// Shrunk minimal fuzz failure: plain number written into a `nat` field.
+// expect: R0007
+type nat = {v: number | 0 <= v};
+class MW {
+    n : nat;
+    constructor(n: nat) { this.n = n; }
+    @Mutable poke(x: number) { this.n = x; }
+}

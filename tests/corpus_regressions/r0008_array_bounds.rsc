@@ -1,0 +1,5 @@
+// Shrunk minimal fuzz failure: read at index `a.length`.
+// expect: R0008
+function mb(a: number[]): number {
+    return a[a.length];
+}

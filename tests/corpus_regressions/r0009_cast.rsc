@@ -1,0 +1,9 @@
+// Shrunk minimal fuzz failure: downcast the checker cannot prove.
+// expect: R0009
+class MA { x : number; constructor(x: number) { this.x = x; } }
+class MB extends MA { y : number; constructor(x: number, y: number) {
+    this.x = x; this.y = y; } }
+function md(a: MA): number {
+    var b = <MB> a;
+    return b.y;
+}

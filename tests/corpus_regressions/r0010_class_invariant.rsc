@@ -1,0 +1,8 @@
+// Shrunk minimal fuzz failure: unrefined number in an immutable `nat` field
+// at constructor exit.
+// expect: R0010
+type nat = {v: number | 0 <= v};
+class MI {
+    immutable n : nat;
+    constructor(v: number) { this.n = v; }
+}

@@ -1,0 +1,5 @@
+// Shrunk minimal fuzz failure: assert over an unconstrained parameter.
+// expect: R0011
+function ms(x: number): void {
+    assert(0 < x);
+}

@@ -1,0 +1,5 @@
+// Shrunk minimal fuzz failure: division by a possibly-zero denominator.
+// expect: R0012
+function mz(x: number, y: number): number {
+    return x / y;
+}

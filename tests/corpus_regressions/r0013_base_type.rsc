@@ -1,0 +1,5 @@
+// Shrunk minimal fuzz failure: number + string.
+// expect: R0013
+function mt(str: string): number {
+    return 1 + str;
+}

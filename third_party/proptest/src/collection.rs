@@ -4,6 +4,7 @@ use std::ops::{Range, RangeInclusive};
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
+use crate::tree::{IntTree, ValueTree, VecTree};
 
 /// Anything usable as the size argument of [`vec`].
 pub trait IntoSizeRange {
@@ -43,10 +44,22 @@ pub struct VecStrategy<S> {
     hi: usize,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.usize_in(self.lo, self.hi + 1);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Vec<S::Value>>> {
+        let len = rng.usize_in(self.lo, self.hi + 1);
+        let elems = (0..len).map(|_| self.element.new_tree(rng)).collect();
+        Box::new(VecTree {
+            elems,
+            len: IntTree::new(len as i128, self.lo as i128),
+            elem_phase: None,
+        })
     }
 }

@@ -16,19 +16,24 @@
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
 //! Generation is a deterministic splitmix64 stream (seeded per test from
-//! the test-function name), so failures reproduce across runs. There is no
-//! shrinking: a failing case panics with the usual assertion message.
+//! the test-function name), so failures reproduce across runs. Failing
+//! cases **shrink**: the macro drives the [`tree::ValueTree`] binary
+//! search (simplify while failing, complicate while passing) to a
+//! minimal failing case, then replays it uncaught so the panic message
+//! comes from the simplest reproduction.
 
 #![warn(missing_docs)]
 
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
+pub mod tree;
 
 /// The glob-import surface mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::tree::ValueTree;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Mirror of the `prop` namespace re-exported by proptest's prelude
@@ -65,12 +70,52 @@ macro_rules! proptest {
                 let mut rng =
                     $crate::test_runner::TestRng::from_name(stringify!($name));
                 let __strats = ($($strat,)+);
-                for _case in 0..config.cases {
-                    let ($($arg,)+) = {
-                        let ($(ref $arg,)+) = __strats;
-                        ($($crate::strategy::Strategy::generate($arg, &mut rng),)+)
-                    };
+                for __case in 0..config.cases {
+                    use $crate::tree::ValueTree as _;
+                    let mut __tree =
+                        $crate::strategy::Strategy::new_tree(&__strats, &mut rng);
+                    if $crate::test_runner::run_one(
+                        __tree.current(),
+                        |($($arg,)+)| $body,
+                    ) {
+                        continue;
+                    }
+                    // Shrink: binary-search for the simplest failing
+                    // case, with the panic hook silenced so the search
+                    // doesn't spam the log, then replay it uncaught.
+                    let __hook = ::std::panic::take_hook();
+                    ::std::panic::set_hook(Box::new(|_| {}));
+                    let mut __shrinks = 0u32;
+                    let mut __passed = false;
+                    loop {
+                        let moved = if __passed {
+                            __tree.complicate()
+                        } else {
+                            __tree.simplify()
+                        };
+                        if !moved {
+                            break;
+                        }
+                        __shrinks += 1;
+                        __passed = $crate::test_runner::run_one(
+                            __tree.current(),
+                            |($($arg,)+)| $body,
+                        );
+                    }
+                    ::std::panic::set_hook(__hook);
+                    eprintln!(
+                        "proptest: case {} of {} failed; replaying minimal \
+                         failure after {} shrink steps",
+                        __case + 1,
+                        stringify!($name),
+                        __shrinks,
+                    );
+                    let ($($arg,)+) = __tree.current();
                     $body
+                    panic!(
+                        "proptest {}: shrunk case passed on replay (flaky test body?)",
+                        stringify!($name),
+                    );
                 }
             }
         )*

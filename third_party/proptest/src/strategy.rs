@@ -4,11 +4,14 @@ use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
 use crate::test_runner::TestRng;
+use crate::tree::{FilterTree, IntTree, MapTree, NoShrink, ValueTree};
 
 /// A source of random values of type [`Strategy::Value`].
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a
-/// strategy simply draws a value from the RNG.
+/// A strategy draws a value from the RNG ([`Strategy::generate`]) and,
+/// for shrinking, can produce a [`ValueTree`] ([`Strategy::new_tree`])
+/// that searches for the simplest failing value. Strategies without a
+/// bespoke search fall back to a non-shrinking tree.
 pub trait Strategy: 'static {
     /// The type of values this strategy produces.
     type Value;
@@ -16,13 +19,26 @@ pub trait Strategy: 'static {
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Draw one value as a shrinkable [`ValueTree`]. The default wraps
+    /// [`Strategy::generate`] in a tree that never shrinks; combinators
+    /// with a meaningful notion of "simpler" override it.
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self::Value>>
+    where
+        Self::Value: Clone + 'static,
+    {
+        Box::new(NoShrink(self.generate(rng)))
+    }
+
     /// Map generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O + 'static,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
     }
 
     /// Keep only values passing `f`, retrying generation otherwise.
@@ -37,7 +53,7 @@ pub trait Strategy: 'static {
         Filter {
             inner: self,
             reason: reason.into(),
-            f,
+            f: Rc::new(f),
         }
     }
 
@@ -98,6 +114,12 @@ impl<T: 'static> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         self.inner.generate(rng)
     }
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>>
+    where
+        T: Clone,
+    {
+        self.inner.new_tree(rng)
+    }
 }
 
 /// Strategy producing a fixed value.
@@ -112,14 +134,15 @@ impl<T: Clone + 'static> Strategy for Just<T> {
 }
 
 /// See [`Strategy::prop_map`].
-pub struct Map<S, F> {
+pub struct Map<S, F: ?Sized> {
     inner: S,
-    f: F,
+    f: Rc<F>,
 }
 
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
+    S::Value: Clone,
     F: Fn(S::Value) -> O + 'static,
     O: 'static,
 {
@@ -127,18 +150,28 @@ where
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = O>>
+    where
+        O: Clone,
+    {
+        Box::new(MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Rc::clone(&self.f) as Rc<dyn Fn(S::Value) -> O>,
+        })
+    }
 }
 
 /// See [`Strategy::prop_filter`].
-pub struct Filter<S, F> {
+pub struct Filter<S, F: ?Sized> {
     inner: S,
     reason: String,
-    f: F,
+    f: Rc<F>,
 }
 
 impl<S, F> Strategy for Filter<S, F>
 where
     S: Strategy,
+    S::Value: Clone,
     F: Fn(&S::Value) -> bool + 'static,
 {
     type Value = S::Value;
@@ -154,10 +187,26 @@ where
             self.reason
         )
     }
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value>> {
+        for _ in 0..1000 {
+            let t = self.inner.new_tree(rng);
+            if (self.f)(&t.current()) {
+                return Box::new(FilterTree {
+                    inner: t,
+                    pred: Rc::clone(&self.f) as Rc<dyn Fn(&S::Value) -> bool>,
+                });
+            }
+        }
+        panic!(
+            "prop_filter({:?}): no candidate accepted in 1000 draws",
+            self.reason
+        )
+    }
 }
 
 /// Uniform choice among several strategies of the same value type
-/// (what `prop_oneof!` builds).
+/// (what `prop_oneof!` builds). Shrinking stays within the chosen
+/// alternative's own search.
 pub struct Union<T> {
     options: Vec<BoxedStrategy<T>>,
 }
@@ -176,6 +225,13 @@ impl<T: 'static> Strategy for Union<T> {
         let i = rng.below(self.options.len() as u64) as usize;
         self.options[i].generate(rng)
     }
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>>
+    where
+        T: Clone,
+    {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_tree(rng)
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -187,6 +243,12 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                Box::new(IntRangeTree::<$t> {
+                    tree: IntTree::new(self.generate(rng) as i128, self.start as i128),
+                    _marker: std::marker::PhantomData,
+                })
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -196,18 +258,62 @@ macro_rules! int_range_strategy {
                 let span = (hi - lo + 1) as u64;
                 (lo + rng.below(span) as i128) as $t
             }
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                Box::new(IntRangeTree::<$t> {
+                    tree: IntTree::new(self.generate(rng) as i128, *self.start() as i128),
+                    _marker: std::marker::PhantomData,
+                })
+            }
         }
     )*};
 }
 
 int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
+/// Binary-search tree over a primitive integer range (shrinks toward
+/// the range start).
+struct IntRangeTree<T> {
+    tree: IntTree,
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! int_range_tree {
+    ($($t:ty),*) => {$(
+        impl ValueTree for IntRangeTree<$t> {
+            type Value = $t;
+            fn current(&self) -> $t {
+                self.tree.value() as $t
+            }
+            fn simplify(&mut self) -> bool {
+                self.tree.simplify()
+            }
+            fn complicate(&mut self) -> bool {
+                self.tree.complicate()
+            }
+        }
+    )*};
+}
+
+int_range_tree!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
 macro_rules! tuple_strategy {
     ($(($($s:ident $idx:tt),+);)*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn new_tree(&self, rng: &mut TestRng)
+                -> Box<dyn ValueTree<Value = Self::Value>>
+            {
+                Box::new(TupleTree {
+                    trees: ($(self.$idx.new_tree(rng),)+),
+                    active: 0,
+                    last: 0,
+                })
             }
         }
     )*};
@@ -220,4 +326,54 @@ tuple_strategy! {
     (A 0, B 1, C 2, D 3);
     (A 0, B 1, C 2, D 3, E 4);
     (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Shrinks tuple components left to right: exhaust the search of
+/// component `i` before moving to `i + 1`.
+struct TupleTree<T> {
+    trees: T,
+    active: usize,
+    last: usize,
+}
+
+macro_rules! tuple_tree {
+    ($(($($v:ident $idx:tt),+) => $n:expr;)*) => {$(
+        impl<$($v: 'static),+> ValueTree
+            for TupleTree<($(Box<dyn ValueTree<Value = $v>>,)+)>
+        {
+            type Value = ($($v,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+            fn simplify(&mut self) -> bool {
+                while self.active < $n {
+                    let moved = match self.active {
+                        $($idx => self.trees.$idx.simplify(),)+
+                        _ => unreachable!(),
+                    };
+                    if moved {
+                        self.last = self.active;
+                        return true;
+                    }
+                    self.active += 1;
+                }
+                false
+            }
+            fn complicate(&mut self) -> bool {
+                match self.last {
+                    $($idx => self.trees.$idx.complicate(),)+
+                    _ => unreachable!(),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_tree! {
+    (A 0) => 1;
+    (A 0, B 1) => 2;
+    (A 0, B 1, C 2) => 3;
+    (A 0, B 1, C 2, D 3) => 4;
+    (A 0, B 1, C 2, D 3, E 4) => 5;
+    (A 0, B 1, C 2, D 3, E 4, F 5) => 6;
 }

@@ -20,6 +20,15 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Runs one test-case body over a generated value, catching panics.
+/// Returns `true` when the case passed. The generic parameter pins the
+/// closure's argument type to the value tree's output (the `proptest!`
+/// macro calls this so type inference cannot drift to an unsized view
+/// of the value inside the body).
+pub fn run_one<V>(v: V, body: impl FnOnce(V)) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(v))).is_ok()
+}
+
 /// Deterministic splitmix64 generator; seeded from the test name so every
 /// run of a given property replays the same case sequence.
 #[derive(Debug, Clone)]
@@ -37,6 +46,12 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         TestRng { state: h | 1 }
+    }
+
+    /// Seed from an explicit numeric seed (tools like `rsc fuzz` take the
+    /// seed on the command line so any failure replays exactly).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
     }
 
     /// Next raw 64-bit value (splitmix64).

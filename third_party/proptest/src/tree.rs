@@ -1,0 +1,308 @@
+//! Value trees: the shrinking half of the proptest model.
+//!
+//! A [`ValueTree`] is a failing test case plus a search state over
+//! simpler candidate cases. The `proptest!` macro drives the classic
+//! binary-search protocol: after a failure it alternates
+//! [`ValueTree::simplify`] (last candidate failed — try something
+//! simpler) and [`ValueTree::complicate`] (last candidate passed — back
+//! off toward the last known failure). Both return `false` when the
+//! search is exhausted, and every tree maintains the invariant that
+//! when its search ends, [`ValueTree::current`] is the simplest value
+//! *known to fail*.
+
+use std::rc::Rc;
+
+/// A generated value together with a search over simpler values.
+pub trait ValueTree {
+    /// The type of value this tree produces.
+    type Value;
+
+    /// The current candidate value.
+    fn current(&self) -> Self::Value;
+
+    /// The current candidate failed: move to a simpler one. Returns
+    /// `false` when no simpler candidate exists (the search is done and
+    /// `current` is the minimal known failure).
+    fn simplify(&mut self) -> bool;
+
+    /// The current candidate passed: back off toward the last known
+    /// failure. Returns `false` when the bracket is closed (and
+    /// `current` has been restored to a known failure).
+    fn complicate(&mut self) -> bool;
+}
+
+impl<T> ValueTree for Box<dyn ValueTree<Value = T>> {
+    type Value = T;
+    fn current(&self) -> T {
+        (**self).current()
+    }
+    fn simplify(&mut self) -> bool {
+        (**self).simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        (**self).complicate()
+    }
+}
+
+/// A tree that never shrinks — the fallback for strategies without a
+/// bespoke search.
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// Binary search toward a target over an integer domain (in `i128` so
+/// one tree serves every primitive width).
+///
+/// Bracket invariant: `lo <= curr <= hi`, `hi` always holds a known
+/// failing value, and everything below `lo` is either untested-simpler
+/// or known passing.
+pub struct IntTree {
+    lo: i128,
+    curr: i128,
+    hi: i128,
+}
+
+impl IntTree {
+    /// A search from failing value `v` toward `target` (the simplest
+    /// value of the range).
+    pub fn new(v: i128, target: i128) -> IntTree {
+        IntTree {
+            lo: target,
+            curr: v,
+            hi: v,
+        }
+    }
+
+    /// The current candidate.
+    pub fn value(&self) -> i128 {
+        self.curr
+    }
+
+    /// See [`ValueTree::simplify`].
+    pub fn simplify(&mut self) -> bool {
+        if self.curr == self.lo {
+            return false;
+        }
+        self.hi = self.curr;
+        self.curr = self.lo + (self.curr - self.lo) / 2;
+        true
+    }
+
+    /// See [`ValueTree::complicate`].
+    pub fn complicate(&mut self) -> bool {
+        self.lo = self.curr + 1;
+        if self.lo >= self.hi {
+            self.curr = self.hi; // restore the last known failure
+            return false;
+        }
+        self.curr = self.lo + (self.hi - self.lo) / 2;
+        true
+    }
+}
+
+impl ValueTree for IntTree {
+    type Value = i128;
+    fn current(&self) -> i128 {
+        self.value()
+    }
+    fn simplify(&mut self) -> bool {
+        IntTree::simplify(self)
+    }
+    fn complicate(&mut self) -> bool {
+        IntTree::complicate(self)
+    }
+}
+
+/// Tree for [`crate::strategy::Map`]: shrink the input, map the output.
+pub struct MapTree<T, O> {
+    /// The inner (input) tree.
+    pub inner: Box<dyn ValueTree<Value = T>>,
+    /// The mapping function, shared with the strategy.
+    pub f: Rc<dyn Fn(T) -> O>,
+}
+
+impl<T, O> ValueTree for MapTree<T, O> {
+    type Value = O;
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+/// Tree for [`crate::strategy::Filter`]: shrink the inner value, but
+/// never present a candidate that fails the predicate — after a move
+/// lands outside the filter, back off toward the (always-accepted)
+/// original failure.
+pub struct FilterTree<T> {
+    /// The inner tree.
+    pub inner: Box<dyn ValueTree<Value = T>>,
+    /// The acceptance predicate, shared with the strategy.
+    pub pred: Rc<dyn Fn(&T) -> bool>,
+}
+
+impl<T> ValueTree for FilterTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.inner.current()
+    }
+    fn simplify(&mut self) -> bool {
+        if !self.inner.simplify() {
+            return false;
+        }
+        while !(self.pred)(&self.inner.current()) {
+            if !self.inner.complicate() {
+                break;
+            }
+        }
+        (self.pred)(&self.inner.current())
+    }
+    fn complicate(&mut self) -> bool {
+        if !self.inner.complicate() {
+            return false;
+        }
+        while !(self.pred)(&self.inner.current()) {
+            if !self.inner.complicate() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Tree for `collection::vec`: first a binary search over the length
+/// (shorter is simpler; elements are dropped from the back), then an
+/// element-wise pass shrinking each surviving element in order.
+pub struct VecTree<T> {
+    /// Per-element trees for the originally generated elements.
+    pub elems: Vec<Box<dyn ValueTree<Value = T>>>,
+    /// Length search (target = the strategy's minimum length).
+    pub len: IntTree,
+    /// Index of the element currently being shrunk, once the length
+    /// search has finished.
+    pub elem_phase: Option<usize>,
+}
+
+impl<T> ValueTree for VecTree<T> {
+    type Value = Vec<T>;
+    fn current(&self) -> Vec<T> {
+        self.elems[..self.len.value() as usize]
+            .iter()
+            .map(|t| t.current())
+            .collect()
+    }
+    fn simplify(&mut self) -> bool {
+        match self.elem_phase {
+            None => {
+                if self.len.simplify() {
+                    return true;
+                }
+                self.elem_phase = Some(0);
+                self.simplify()
+            }
+            Some(i) => {
+                let live = self.len.value() as usize;
+                for j in i..live {
+                    if self.elems[j].simplify() {
+                        self.elem_phase = Some(j);
+                        return true;
+                    }
+                    self.elem_phase = Some(j + 1);
+                }
+                false
+            }
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        match self.elem_phase {
+            None => self.len.complicate(),
+            Some(i) if i < self.elems.len() => self.elems[i].complicate(),
+            Some(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a tree exactly as the `proptest!` macro does and returns
+    /// the minimal failing value.
+    fn shrink<V, T: ValueTree<Value = V>>(mut tree: T, fails: impl Fn(&V) -> bool) -> V {
+        assert!(fails(&tree.current()), "initial case must fail");
+        loop {
+            let more = if fails(&tree.current()) {
+                tree.simplify()
+            } else {
+                tree.complicate()
+            };
+            if !more {
+                break;
+            }
+        }
+        let v = tree.current();
+        assert!(fails(&v), "search must end on a failing value");
+        v
+    }
+
+    #[test]
+    fn int_tree_finds_boundary() {
+        for boundary in [1i128, 7, 100, 499, 500] {
+            let t = IntTree::new(500, 0);
+            let min = shrink(t, |v: &i128| *v >= boundary);
+            assert_eq!(min, boundary, "boundary {boundary}");
+        }
+    }
+
+    #[test]
+    fn int_tree_respects_target() {
+        // Everything fails: shrink all the way to the range start.
+        let t = IntTree::new(77, 3);
+        assert_eq!(shrink(t, |_| true), 3);
+    }
+
+    #[test]
+    fn vec_tree_shrinks_length_then_elements() {
+        let elems: Vec<Box<dyn ValueTree<Value = i128>>> = (0..8)
+            .map(|_| Box::new(IntTree::new(50, 0)) as Box<dyn ValueTree<Value = i128>>)
+            .collect();
+        let t = VecTree {
+            elems,
+            len: IntTree::new(8, 0),
+            elem_phase: None,
+        };
+        // Fails while it has >= 3 elements and the first element is >= 10.
+        let min = shrink(t, |v: &Vec<i128>| v.len() >= 3 && v[0] >= 10);
+        assert_eq!(min.len(), 3);
+        assert_eq!(min[0], 10);
+    }
+
+    #[test]
+    fn filter_tree_never_presents_rejected_values() {
+        let inner = Box::new(IntTree::new(99, 0)) as Box<dyn ValueTree<Value = i128>>;
+        let t = FilterTree {
+            inner,
+            pred: Rc::new(|v: &i128| *v % 2 == 1),
+        };
+        let min = shrink(t, |v: &i128| {
+            assert!(*v % 2 == 1, "filter violated during shrinking");
+            *v >= 21
+        });
+        assert!(min % 2 == 1 && (21..99).contains(&min));
+    }
+}
