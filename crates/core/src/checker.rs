@@ -324,6 +324,25 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
     check_ir(&ir, opts)
 }
 
+/// Checks an already-parsed program: SSA → constraint generation →
+/// Liquid fixpoint → SMT. Byte-identical to [`check_program`] on the
+/// source the AST was parsed from; the workspace layer uses it to check
+/// merged programs whose items were α-renamed in memory (so no source
+/// text for the qualified program exists).
+pub fn check_program_ast(prog: &rsc_syntax::Program, opts: CheckerOptions) -> CheckResult {
+    let ir = match rsc_ssa::transform_program(prog) {
+        Ok(i) => i,
+        Err(e) => {
+            return CheckResult {
+                diagnostics: vec![Diagnostic::error(e.message, e.span)],
+                stats: CheckStats::default(),
+                bundle_reports: Vec::new(),
+            };
+        }
+    };
+    check_ir(&ir, opts)
+}
+
 /// Checks an already-SSA-translated program.
 pub fn check_ir(ir: &IrProgram, opts: CheckerOptions) -> CheckResult {
     let cache = VcCache::shared_with_capacity(opts.effective_cache_capacity());

@@ -3,8 +3,8 @@
 //! construction, since generated programs are well-typed and mutants
 //! break exactly one known obligation.
 
-use rsc_core::{check_program, CheckResult, CheckerOptions};
-use rsc_incr::{CheckSession, Workspace};
+use rsc_core::{check_program, check_program_ast, CheckResult, CheckerOptions};
+use rsc_incr::{qualified_program, resolve_closure, CheckSession, Merged, Workspace};
 use rsc_interp::{run_frsc, run_irsc};
 
 use crate::generate::GenProgram;
@@ -147,9 +147,12 @@ pub fn incremental(steps: &[String]) -> Result<(), String> {
 }
 
 /// **Workspace-merge equivalence**: checking a generated multi-file
-/// import closure through the [`Workspace`] is byte-identical to a cold
-/// check of its concatenation, and the merged text *is* the
-/// concatenation of the closure files in topological order.
+/// import closure through the [`Workspace`] is byte-identical to a
+/// cold check of its **module-qualified** merged program, the merged
+/// text *is* the concatenation of the closure files in topological
+/// order, and the closure verifies — which fails if any module's
+/// non-exported `sharedHelper` captures another module's (every file
+/// declares one, with a file-specific refinement).
 pub fn workspace_merge(files: &[(String, String)], root: &str) -> Result<(), String> {
     let mut ws = Workspace::new(CheckerOptions::default());
     for (name, text) in files {
@@ -201,12 +204,25 @@ pub fn workspace_merge(files: &[(String, String)], root: &str) -> Result<(), Str
             "merged text is not the closure concatenation for `{root}`"
         ));
     }
-    let cold = check_program(&report.merged.text, CheckerOptions::default());
+    // The cold side of the equivalence is the qualified merged program
+    // — the semantics the workspace is defined to implement.
+    let mut lookup = |name: &str| {
+        files
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+    };
+    let closure = resolve_closure(root, &mut lookup)
+        .map_err(|e| format!("cold resolution of `{root}` failed: {e:?}"))?;
+    let merged = Merged::build(&closure);
+    let prog = qualified_program(&merged, &closure)
+        .map_err(|e| format!("qualification of `{root}` failed: {e:?}"))?;
+    let cold = check_program_ast(&prog, CheckerOptions::default());
     let (w, c) = (render(&report.outcome.result), render(&cold));
     if w != c {
         return Err(format!(
-            "workspace check of `{root}` diverged from its concatenation:\n\
-             --- workspace\n{w}\n--- concatenated\n{c}"
+            "workspace check of `{root}` diverged from its qualified merge:\n\
+             --- workspace\n{w}\n--- qualified\n{c}"
         ));
     }
     if !cold.ok() {

@@ -5,9 +5,12 @@
 //! backward), so slicing the function list into contiguous chunks
 //! yields files whose import edges all point at earlier files — an
 //! acyclic closure whose topological order is exactly the original
-//! item order. Concatenating the closure therefore reproduces the
-//! single-file program (plus inert `import`/`export` metadata), which
-//! is what the workspace-merge oracle leans on.
+//! item order. The workspace-merge oracle checks the closure against a
+//! cold check of the *module-qualified* merged program. Every file
+//! additionally declares the same non-exported `sharedHelper` /
+//! `sharedCaller` pair with a file-specific refinement, so a merge
+//! that leaks one module's private helper into another fails
+//! verification instead of passing silently.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -70,6 +73,20 @@ pub fn split(
         texts[k].push_str("export ");
         texts[k].push_str(&f.text);
     }
+    // Deliberate cross-file collisions: every file declares the *same*
+    // non-exported helper pair with a file-specific refinement, so the
+    // caller only verifies against its own file's helper. Any merge
+    // that lets one module's `sharedHelper` capture another's (the
+    // pre-qualification namespace bug) fails verification — the oracle
+    // turns module identity into a checked property.
+    for (k, text) in texts.iter_mut().enumerate() {
+        text.push_str(&format!(
+            "function sharedHelper(a: number): {{v: number | a + {k} <= v}} {{ return a + {next}; }}\n\
+             function sharedCaller(b: number): {{v: number | b + {k} <= v}} {{ return sharedHelper(b); }}\n",
+            next = k + 1
+        ));
+    }
+
     if include_tail {
         let k = nfiles - 1;
         for &j in &p.tail_calls {

@@ -40,7 +40,9 @@ pub use graph::DepGraph;
 pub use json::Json;
 pub use serve::Serve;
 pub use session::{CheckSession, IncrStats, SessionOutcome};
-pub use workspace::{DocReport, Merged, ModuleFile, Workspace, WorkspaceError};
+pub use workspace::{
+    qualified_program, resolve_closure, DocReport, Merged, ModuleFile, Workspace, WorkspaceError,
+};
 
 // Re-exported so batch drivers can build the shared cache
 // [`Workspace::with_cache`] expects without depending on `rsc_smt`.

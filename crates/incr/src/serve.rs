@@ -276,13 +276,15 @@ impl Serve {
                 };
                 let uri = uri.to_string();
                 // Full-document sync (advertised as textDocumentSync: 1):
-                // take the last full-text change, and refuse range-deltas
-                // loudly — silently checking a fragment as the whole
-                // buffer would publish garbage diagnostics and corrupt
-                // the remembered document text. *Any* range-carrying
-                // element is grounds for rejection, not just the last
-                // one: a mixed array like `[{range,…},{text}]` means the
-                // client believes it negotiated incremental sync.
+                // fold the changes over the current overlay. An element
+                // without a `range` replaces the whole document, and so
+                // does one whose range demonstrably *covers* the whole
+                // current document (start at 0:0, end at or past the
+                // last position) — some clients spell full sync that
+                // way. A genuinely partial range is refused loudly:
+                // silently checking a fragment as the whole buffer
+                // would publish garbage diagnostics and corrupt the
+                // remembered document text.
                 let changes = match params.and_then(|p| p.get("contentChanges")) {
                     Some(Json::Arr(changes)) if !changes.is_empty() => changes.clone(),
                     _ => {
@@ -296,33 +298,39 @@ impl Serve {
                         )
                     }
                 };
-                if changes.iter().any(|ch| ch.get("range").is_some()) {
-                    return (
-                        notification_param_error(
-                            req,
-                            id,
-                            "incremental (range) changes are not supported; \
-                             this server uses full-document sync (textDocumentSync: 1)",
-                        ),
-                        false,
-                    );
+                let mut cur = self
+                    .ws
+                    .doc_text(&uri)
+                    .map(str::to_string)
+                    .unwrap_or_default();
+                for ch in &changes {
+                    let Some(text) = ch.get("text").and_then(Json::as_str) else {
+                        return (
+                            notification_param_error(
+                                req,
+                                id,
+                                "didChange needs params.contentChanges[…].text",
+                            ),
+                            false,
+                        );
+                    };
+                    if let Some(range) = ch.get("range") {
+                        if !range_covers_document(range, &cur) {
+                            return (
+                                notification_param_error(
+                                    req,
+                                    id,
+                                    "incremental (partial range) changes are not supported; \
+                                     this server uses full-document sync (textDocumentSync: 1, \
+                                     whole-document ranges accepted)",
+                                ),
+                                false,
+                            );
+                        }
+                    }
+                    cur = text.to_string();
                 }
-                let text = changes
-                    .last()
-                    .and_then(|ch| ch.get("text"))
-                    .and_then(Json::as_str)
-                    .map(str::to_string);
-                let Some(text) = text else {
-                    return (
-                        notification_param_error(
-                            req,
-                            id,
-                            "didChange needs params.contentChanges[…].text",
-                        ),
-                        false,
-                    );
-                };
-                (self.lsp_check(&uri, text), false)
+                (self.lsp_check(&uri, cur), false)
             }
             "textDocument/didClose" => {
                 let Some(uri) = req
@@ -514,6 +522,32 @@ fn notification_param_error(req: &Json, id: Json, msg: &str) -> String {
     }
 }
 
+/// True when an LSP `{start, end}` range covers the entire `doc`:
+/// start at 0:0 and end at or past the document's last position
+/// (0-based UTF-16 line/character, the same convention the server
+/// publishes). A malformed range (missing or non-numeric positions)
+/// is never "covering".
+fn range_covers_document(range: &Json, doc: &str) -> bool {
+    let pos = |key: &str| -> Option<(f64, f64)> {
+        let p = range.get(key)?;
+        Some((
+            p.get("line").and_then(Json::as_f64)?,
+            p.get("character").and_then(Json::as_f64)?,
+        ))
+    };
+    let (Some((start_line, start_char)), Some((end_line, end_char))) = (pos("start"), pos("end"))
+    else {
+        return false;
+    };
+    if start_line != 0.0 || start_char != 0.0 {
+        return false;
+    }
+    let idx = LineIndex::new(doc);
+    let last = idx.line_col_utf16(doc, doc.len() as u32);
+    let (last_line, last_char) = ((last.line - 1) as f64, (last.col - 1) as f64);
+    end_line > last_line || (end_line == last_line && end_char >= last_char)
+}
+
 /// `{line, character}` — LSP positions are 0-based and count **UTF-16
 /// code units** (the protocol's default encoding, advertised in the
 /// `initialize` capabilities; see
@@ -550,10 +584,12 @@ fn lsp_diagnostic(d: &Diagnostic, report: &DocReport, idxs: &[LineIndex]) -> Jso
         rsc_core::Severity::Error => 1.0,
         rsc_core::Severity::Note => 3.0,
     };
-    let mut message = d.message.clone();
+    // Demangle module-qualified names: the user must never see
+    // `m{id}$helper`, only `helper`.
+    let mut message = report.merged.demangle(&d.message);
     for note in &d.notes {
         message.push('\n');
-        message.push_str(note);
+        message.push_str(&report.merged.demangle(note));
     }
     let (_, range) = lsp_range(report, idxs, d.span);
     let mut fields = vec![
@@ -582,7 +618,7 @@ fn lsp_diagnostic(d: &Diagnostic, report: &DocReport, idxs: &[LineIndex]) -> Jso
                             ("range".into(), srange),
                         ]),
                     ),
-                    ("message".into(), Json::str(label.clone())),
+                    ("message".into(), Json::str(report.merged.demangle(label))),
                 ])
             })
             .collect();
@@ -605,6 +641,10 @@ fn rsc_counters(report: &DocReport) -> Json {
         ("reused".into(), Json::num(incr.reused as f64)),
         ("solved".into(), Json::num(incr.solved as f64)),
         ("fast_path".into(), Json::Bool(incr.fast_path)),
+        (
+            "importers_skipped".into(),
+            Json::num(incr.importers_skipped as f64),
+        ),
         ("deps_changed".into(), str_arr(&report.deps_changed)),
         ("dirty_own".into(), str_arr(&report.dirty_own)),
         ("time_us".into(), Json::num(incr.total_micros as f64)),
@@ -710,6 +750,14 @@ fn check_response(cmd: &str, key: &str, reports: &[DocReport]) -> String {
             Json::Obj(fields)
         })
         .collect();
+    // Unit names over a qualified merged program carry module prefixes;
+    // strip them — user-visible output never shows mangled names.
+    let dirty_units: Vec<String> = outcome
+        .incr
+        .dirty_units
+        .iter()
+        .map(|n| report.merged.demangle(n))
+        .collect();
     let mut fields = vec![
         ("ok".into(), Json::Bool(true)),
         ("cmd".into(), Json::str(cmd)),
@@ -720,7 +768,11 @@ fn check_response(cmd: &str, key: &str, reports: &[DocReport]) -> String {
         ("reused".into(), Json::num(outcome.incr.reused as f64)),
         ("solved".into(), Json::num(outcome.incr.solved as f64)),
         ("fast_path".into(), Json::Bool(outcome.incr.fast_path)),
-        ("dirty_units".into(), str_arr(&outcome.incr.dirty_units)),
+        (
+            "importers_skipped".into(),
+            Json::num(outcome.incr.importers_skipped as f64),
+        ),
+        ("dirty_units".into(), str_arr(&dirty_units)),
         ("deps_changed".into(), str_arr(&report.deps_changed)),
         ("dirty_own".into(), str_arr(&report.dirty_own)),
     ];
@@ -1062,15 +1114,15 @@ mod tests {
             "{resp}"
         );
 
-        // Non-exported body edit in lib: both URIs re-publish; the
-        // importer reuses its own bundles and reports no cross-file
-        // dirtiness.
+        // Non-exported body edit in lib: nothing the importer can
+        // observe changed, so its re-check is skipped entirely — only
+        // lib re-publishes, and the skip is reported in its counters.
         let (resp, _) = serve.handle(&did_change(
             lib_uri,
             &lib.replace("return y;", "return y + 1;"),
         ));
         let lines = parse_lines(&resp);
-        assert_eq!(lines.len(), 2, "{resp}");
+        assert_eq!(lines.len(), 1, "{resp}");
         assert_eq!(
             lines[0]
                 .get("params")
@@ -1079,18 +1131,12 @@ mod tests {
                 .and_then(Json::as_str),
             Some(lib_uri)
         );
+        let lib_rsc = lines[0].get("rsc").unwrap();
         assert_eq!(
-            lines[1]
-                .get("params")
-                .unwrap()
-                .get("uri")
-                .and_then(Json::as_str),
-            Some(app_uri)
+            lib_rsc.get("importers_skipped").and_then(Json::as_f64),
+            Some(1.0),
+            "{resp}"
         );
-        let app_rsc = lines[1].get("rsc").unwrap();
-        assert_eq!(app_rsc.get("deps_changed"), Some(&Json::Arr(vec![])));
-        assert_eq!(app_rsc.get("dirty_own"), Some(&Json::Arr(vec![])));
-        assert!(app_rsc.get("reused").and_then(Json::as_f64).unwrap() > 0.0);
 
         // Exported-signature edit: the importer's calling unit is dirty
         // and the dependency is named.
@@ -1101,6 +1147,15 @@ mod tests {
         let (resp, _) = serve.handle(&did_change(lib_uri, &sig_edit));
         let lines = parse_lines(&resp);
         assert_eq!(lines.len(), 2, "{resp}");
+        assert_eq!(
+            lines[0]
+                .get("rsc")
+                .unwrap()
+                .get("importers_skipped")
+                .and_then(Json::as_f64),
+            Some(0.0),
+            "{resp}"
+        );
         let app_rsc = lines[1].get("rsc").unwrap();
         assert_eq!(
             app_rsc.get("deps_changed"),
@@ -1174,6 +1229,92 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap_or_default();
         assert!(msg.contains("non-empty"), "{resp}");
+    }
+
+    fn range_json(sl: f64, sc: f64, el: f64, ec: f64) -> Json {
+        let pos = |l: f64, c: f64| {
+            Json::Obj(vec![
+                ("line".into(), Json::num(l)),
+                ("character".into(), Json::num(c)),
+            ])
+        };
+        Json::Obj(vec![
+            ("start".into(), pos(sl, sc)),
+            ("end".into(), pos(el, ec)),
+        ])
+    }
+
+    fn did_change_ranged(uri: &str, range: Json, text: &str, id: Option<f64>) -> String {
+        lsp_req(
+            "textDocument/didChange",
+            Json::Obj(vec![
+                (
+                    "textDocument".into(),
+                    Json::Obj(vec![("uri".into(), Json::str(uri))]),
+                ),
+                (
+                    "contentChanges".into(),
+                    Json::Arr(vec![Json::Obj(vec![
+                        ("range".into(), range),
+                        ("text".into(), Json::str(text)),
+                    ])]),
+                ),
+            ]),
+            id,
+        )
+    }
+
+    /// Satellite: a contentChange whose range covers the whole current
+    /// document is full-document sync spelled verbosely — accepted and
+    /// applied — while a genuinely partial range is still refused.
+    #[test]
+    fn did_change_accepts_a_whole_document_range() {
+        let uri = "file:///x.rsc";
+        let mut serve = Serve::new(CheckerOptions::default());
+        serve.handle(&did_open(uri, PROG));
+        // PROG is 6 newline-terminated lines, so its last position is
+        // 0-based {line: 6, character: 0} — the exact boundary.
+        let bad = PROG.replace("return x;\n}", "return x - 1;\n}");
+        let (resp, _) = serve.handle(&did_change_ranged(
+            uri,
+            range_json(0.0, 0.0, 6.0, 0.0),
+            &bad,
+            None,
+        ));
+        let lines = parse_lines(&resp);
+        assert_eq!(lines.len(), 1, "{resp}");
+        assert_eq!(
+            lines[0].get("rsc").unwrap().get("verified"),
+            Some(&Json::Bool(false)),
+            "whole-document range edit was not applied: {resp}"
+        );
+        // A range past the end also counts as covering.
+        let (resp, _) = serve.handle(&did_change_ranged(
+            uri,
+            range_json(0.0, 0.0, 999.0, 0.0),
+            PROG,
+            None,
+        ));
+        assert_eq!(
+            parse_lines(&resp)[0].get("rsc").unwrap().get("verified"),
+            Some(&Json::Bool(true)),
+            "{resp}"
+        );
+        // A genuinely partial range (first line only) is still an
+        // InvalidParams error and the overlay is untouched.
+        let (resp, _) = serve.handle(&did_change_ranged(
+            uri,
+            range_json(0.0, 0.0, 1.0, 0.0),
+            "type nat = {v: number | 0 <= v};\n",
+            Some(11.0),
+        ));
+        let v = Json::parse(&resp).unwrap();
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        assert!(msg.contains("full-document sync"), "{resp}");
     }
 
     /// Satellite: a missing URI is an InvalidParams error (on requests)

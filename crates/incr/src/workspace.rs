@@ -14,20 +14,41 @@
 //! [`VcCache`](rsc_smt::VcCache) (sound: cache keys are canonical VC
 //! fingerprints, independent of which document produced them).
 //!
-//! # Modules and merging
+//! # Modules, merging and qualification
 //!
 //! A document's check unit is its *import closure*: `import {a} from
 //! "./mod"` declarations are resolved relative to the importing file
 //! (trying the specifier verbatim, then with `.rsc` and `.ts`
 //! appended), the closure is loaded — open documents override the disk
-//! (editor overlays) — topologically ordered (dependencies first), and
-//! **merged by concatenation** into a single program text that flows
-//! through the ordinary `generate_artifacts`/`solve_artifacts` split.
-//! Checking a workspace root is therefore *byte-identical* to checking
-//! the concatenated program, which keeps every single-file guarantee
-//! (determinism, session-vs-cold identity) intact. Import cycles and
-//! imports of names the target never exports are real diagnostics, not
-//! silent misbehavior.
+//! (editor overlays) — and topologically ordered (dependencies first).
+//! The closure's texts are concatenated into a [`Merged`] region map,
+//! and its ASTs are **module-qualified**: each file's top-level
+//! declarations are α-renamed to `m{id}$name` (the id is a stable hash
+//! of the file's name — [`rsc_syntax::module_id`]) and references are
+//! rewritten scope-awarely, with spans shifted into the file's region
+//! of the merged text (see [`rsc_syntax::qualify`]). The qualified
+//! items flow as one program through the ordinary
+//! `generate_artifacts`/`solve_artifacts` split.
+//!
+//! Qualification makes module identity real: two files declaring the
+//! same non-exported `function helper` (or the same class name) no
+//! longer collide in a shared global namespace, referencing another
+//! module's name *without importing it* is a spanned diagnostic at the
+//! use site instead of accidental capture, and an import resolves to
+//! exactly the exporter's qualified declaration. Checking a workspace
+//! root is equivalent to a cold check of the qualified merged program
+//! ([`qualified_program`]); a single-file closure skips qualification
+//! entirely and stays *byte-identical* to checking the document text.
+//! Import cycles and imports of names the target never exports are
+//! real diagnostics, not silent misbehavior.
+//!
+//! Mangled names never reach the user: [`Merged::localize`] and the
+//! serve layer demangle every rendered message, note and label back to
+//! source names, and `dirty_own` unit names are demangled at the
+//! workspace boundary. Module ids depend only on file names, so
+//! retained bundle fingerprints (which include symbol names) survive
+//! adding an unrelated module to a closure — untouched modules re-solve
+//! zero bundles.
 //!
 //! A [`Merged`] value remembers where each file landed in the
 //! concatenation, so diagnostics (whose spans refer to the merged text)
@@ -44,10 +65,11 @@
 //! dependency's surface changes the importer is reported in
 //! `deps_changed` and its own dirty units (callers of the changed
 //! export) in `dirty_own`. A non-exported body edit in `a.ts` leaves
-//! `a`'s surface untouched, so importers re-check with every one of
-//! their own bundles reused (the edited bundle itself re-solves once,
-//! then its verdict is shared through the common VC cache); an
-//! exported-signature edit dirties exactly the importing units.
+//! `a`'s surface untouched, so [`Workspace::update`] *skips* the
+//! importer re-check entirely (reported as `importers_skipped` in the
+//! edited document's [`IncrStats`]) — safe because nothing an importer
+//! can observe changed; an exported-signature edit dirties exactly the
+//! importing units and re-checks them.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -57,7 +79,9 @@ use std::time::Instant;
 
 use rsc_core::{CheckResult, CheckStats, CheckerOptions, Diagnostic};
 use rsc_smt::VcCache;
-use rsc_syntax::Span;
+use rsc_syntax::ast::Program;
+use rsc_syntax::qualify::{self, ModuleEnv};
+use rsc_syntax::{module_id, Span};
 
 use crate::graph::DepGraph;
 use crate::session::{CheckSession, IncrStats, SessionOutcome};
@@ -94,7 +118,11 @@ pub struct ModuleFile {
     pub name: String,
     /// The file's text.
     pub text: String,
-    /// Resolved imports, in declaration order.
+    /// The file's parsed program (shared with the resolver's facts
+    /// memo; qualification clones and renames its items).
+    pub program: Arc<Program>,
+    /// Resolved imports, in declaration order (parallel to
+    /// `program.imports`).
     pub imports: Vec<ResolvedImport>,
     /// The file's export surface fingerprint
     /// ([`DepGraph::export_surface`] of the file checked alone).
@@ -159,7 +187,7 @@ fn candidates(importer: &str, spec: &str) -> Vec<String> {
 struct FileFacts {
     surface: u64,
     exports: BTreeSet<String>,
-    imports: Vec<rsc_syntax::ast::ImportDecl>,
+    program: Arc<Program>,
 }
 
 /// Per-file-name memo of [`FileFacts`], with the hash of the text they
@@ -215,7 +243,7 @@ impl Resolver<'_> {
                 let f = FileFacts {
                     surface: DepGraph::build(&ir).export_surface(),
                     exports: prog.exports.iter().map(|(n, _)| n.to_string()).collect(),
-                    imports: prog.imports,
+                    program: Arc::new(prog),
                 };
                 self.facts.insert(name.to_string(), (hash, f.clone()));
                 f
@@ -224,7 +252,7 @@ impl Resolver<'_> {
 
         self.stack.push(name.to_string());
         let mut imports = Vec::new();
-        for imp in &facts.imports {
+        for imp in &facts.program.imports {
             let target = candidates(name, &imp.from)
                 .into_iter()
                 .find(|c| self.load(c).is_some())
@@ -271,6 +299,7 @@ impl Resolver<'_> {
         self.order.push(ModuleFile {
             name: name.to_string(),
             text,
+            program: facts.program,
             imports,
             surface: facts.surface,
             exports: facts.exports,
@@ -381,10 +410,27 @@ impl Merged {
         Merged::build(&[ModuleFile {
             name: name.to_string(),
             text: text.to_string(),
+            program: Arc::new(Program::default()),
             imports: Vec::new(),
             surface: 0,
             exports: BTreeSet::new(),
         }])
+    }
+
+    /// The module ids of the closure files, derived from their names
+    /// (the same ids [`qualified_program`] renames with).
+    pub fn module_ids(&self) -> Vec<String> {
+        self.files.iter().map(|f| module_id(&f.name)).collect()
+    }
+
+    /// Strips module-qualification prefixes from rendered text, so
+    /// user-visible messages always show source names. The identity for
+    /// single-file closures (which are never qualified).
+    pub fn demangle(&self, text: &str) -> String {
+        if self.files.len() <= 1 {
+            return text.to_string();
+        }
+        qualify::demangle(text, &self.module_ids())
     }
 
     /// Index of the file owning a merged byte offset (clamped to the
@@ -422,25 +468,115 @@ impl Merged {
     pub fn localize(&self, d: &Diagnostic) -> (usize, Diagnostic) {
         if d.span.is_dummy() {
             // Global (program-wide) diagnostics belong to the root.
-            return (self.root, d.clone());
+            let mut out = d.clone();
+            out.message = self.demangle(&out.message);
+            out.notes = out.notes.iter().map(|n| self.demangle(n)).collect();
+            return (self.root, out);
         }
         let (fi, span) = self.local_span(d.span);
         let mut out = d.clone();
+        out.message = self.demangle(&out.message);
+        out.notes = out.notes.iter().map(|n| self.demangle(n)).collect();
         out.span = span;
         out.secondary.clear();
         for (sspan, label) in &d.secondary {
             let (sfi, local) = self.local_span(*sspan);
             if sfi == fi {
-                out.secondary.push((local, label.clone()));
+                out.secondary.push((local, self.demangle(label)));
             } else {
                 out.notes.push(format!(
-                    "see also {}:{}: {label}",
-                    self.files[sfi].name, local.line
+                    "see also {}:{}: {}",
+                    self.files[sfi].name,
+                    local.line,
+                    self.demangle(label)
                 ));
             }
         }
         (fi, out)
     }
+}
+
+// --------------------------------------------------------- qualification ---
+
+/// Builds the module-qualified program of a resolved closure: each
+/// file's top-level declarations are α-renamed into its module
+/// namespace (`m{id}$name`), references are rewritten scope-awarely —
+/// imports resolve to the exporter's qualified declaration, a file's
+/// own declarations shadow same-named imports — and every span is
+/// shifted into the file's region of `merged`'s text, so diagnostics
+/// over the qualified program localize exactly like diagnostics over
+/// the concatenated text. Single-file closures are returned unqualified
+/// and unshifted (the identity).
+///
+/// Errors when a file references a name declared in *another* closure
+/// file without importing it — the cross-module-capture case the
+/// pre-qualification merge silently accepted. The error is blamed at
+/// the use site, in the referencing file's own coordinates.
+pub fn qualified_program(merged: &Merged, files: &[ModuleFile]) -> Result<Program, WorkspaceError> {
+    if files.len() <= 1 {
+        return Ok(files
+            .first()
+            .map(|f| (*f.program).clone())
+            .unwrap_or_default());
+    }
+    let ids = merged.module_ids();
+    let decls: Vec<Vec<qualify::Sym>> = files
+        .iter()
+        .map(|f| qualify::top_level_decls(&f.program))
+        .collect();
+    let mut items = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let mut env = ModuleEnv::default();
+        // Imports first: each imported name resolves to the exporter's
+        // qualified declaration…
+        for (imp, resolved) in f.program.imports.iter().zip(&f.imports) {
+            let Some(t) = files.iter().position(|g| g.name == resolved.target) else {
+                continue;
+            };
+            for (name, _) in &imp.names {
+                let q = qualify::qualified_name(&ids[t], name.as_str());
+                env.renames.insert(name.clone(), qualify::Sym::from(q));
+            }
+        }
+        // …then the file's own declarations, which shadow same-named
+        // imports (import-then-shadow keeps the local meaning).
+        for n in &decls[i] {
+            let q = qualify::qualified_name(&ids[i], n.as_str());
+            env.renames.insert(n.clone(), qualify::Sym::from(q));
+        }
+        // Names declared only in other closure files are foreign here:
+        // referencing one without an import is an error at the use site.
+        for (j, other) in decls.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            for n in other {
+                if !env.renames.contains_key(n) {
+                    env.foreign
+                        .entry(n.clone())
+                        .or_insert_with(|| files[j].name.clone());
+                }
+            }
+        }
+        let region = &merged.files[i];
+        let qualified =
+            qualify::qualify_program(&f.program, &env, region.start, region.line_offset).map_err(
+                |e| WorkspaceError {
+                    file: f.name.clone(),
+                    span: e.span,
+                    message: format!(
+                "cannot find name `{}` in this module; `{}` is declared in `{}` but not imported",
+                e.name, e.name, e.from
+            ),
+                },
+            )?;
+        items.extend(qualified);
+    }
+    Ok(Program {
+        items,
+        imports: Vec::new(),
+        exports: Vec::new(),
+    })
 }
 
 // ------------------------------------------------------------- documents ---
@@ -605,12 +741,75 @@ impl Workspace {
     /// merged programs embed the new text). Returns the reports in
     /// check order: the edited document first, importers after, sorted
     /// by key.
+    ///
+    /// An importer's re-check is **skipped entirely** when nothing it
+    /// can observe changed: the edit left the document's import
+    /// specifiers and export surface exactly as the importer last saw
+    /// them (a non-exported body edit). The number of importers skipped
+    /// this way is reported in the edited document's
+    /// [`IncrStats::importers_skipped`].
     pub fn update(&mut self, uri: &str, text: String) -> Vec<DocReport> {
-        let mut reports = vec![self.check_one(uri, text)];
+        // Snapshot the pre-edit import specifiers before the overlay
+        // changes; `None` (no valid facts yet) disables skipping.
+        let old_specs = self.import_specs(uri);
+        self.ensure_doc(uri);
+        self.docs.get_mut(uri).expect("just ensured").text = text;
+        let (mut report, resolved_ok) = self.check_doc_inner(uri);
+        let new_specs = self.import_specs(uri);
+        let new_surface = self.file_surface(uri);
+        let mut skipped = 0usize;
+        let mut importer_reports = Vec::new();
         for imp in self.importers_of(uri) {
-            reports.push(self.check_doc(&imp));
+            let unchanged = resolved_ok
+                && old_specs.is_some()
+                && old_specs == new_specs
+                && new_surface.is_some()
+                && self
+                    .docs
+                    .get(&imp)
+                    .and_then(|d| d.surfaces.get(uri).copied())
+                    == new_surface;
+            if unchanged {
+                skipped += 1;
+            } else {
+                importer_reports.push(self.check_doc(&imp));
+            }
         }
+        report.outcome.incr.importers_skipped = skipped;
+        if let Some(last) = self.docs.get_mut(uri).and_then(|d| d.last.as_mut()) {
+            last.outcome.incr.importers_skipped = skipped;
+        }
+        let mut reports = vec![report];
+        reports.extend(importer_reports);
         reports
+    }
+
+    /// The document's current import specifier strings, valid only when
+    /// the resolution facts memo was computed from the document's
+    /// current overlay text (otherwise `None` — conservatively treated
+    /// as "unknown, cannot skip").
+    fn import_specs(&self, uri: &str) -> Option<Vec<String>> {
+        let doc = self.docs.get(uri)?;
+        let (h, facts) = self.facts.get(uri)?;
+        if *h != text_hash(&doc.text) {
+            return None;
+        }
+        Some(
+            facts
+                .program
+                .imports
+                .iter()
+                .map(|i| i.from.clone())
+                .collect(),
+        )
+    }
+
+    /// The document's export surface under the same facts-are-current
+    /// guard as [`Workspace::import_specs`].
+    fn file_surface(&self, uri: &str) -> Option<u64> {
+        let doc = self.docs.get(uri)?;
+        let (h, facts) = self.facts.get(uri)?;
+        (*h == text_hash(&doc.text)).then_some(facts.surface)
     }
 
     /// Like [`Workspace::update`], but without re-checking importers —
@@ -650,6 +849,13 @@ impl Workspace {
 
     /// Checks one document's closure through its own session.
     fn check_doc(&mut self, uri: &str) -> DocReport {
+        self.check_doc_inner(uri).0
+    }
+
+    /// [`Workspace::check_doc`] plus whether resolution *and*
+    /// qualification succeeded (the precondition for [`Workspace::update`]
+    /// to trust the document's surface and skip importers).
+    fn check_doc_inner(&mut self, uri: &str) -> (DocReport, bool) {
         let start = Instant::now();
         let resolved = {
             // Editor overlays: open documents override the disk
@@ -666,11 +872,23 @@ impl Workspace {
             resolve_closure_cached(uri, &mut lookup, &mut self.facts)
         };
         let doc = self.docs.get_mut(uri).expect("document exists");
-        let report = match resolved {
+        // Resolution and qualification share one error path: both keep
+        // the session's retained state for the fix.
+        let checked = resolved.and_then(|files| {
+            let merged = Merged::build(&files);
+            let outcome = if files.len() <= 1 {
+                // Single-file closures stay byte-identical to checking
+                // the document text (no qualification, no shifting).
+                doc.session.check(&merged.text)
+            } else {
+                doc.session.check_ast(&qualified_program(&merged, &files)?)
+            };
+            Ok((files, merged, outcome))
+        });
+        let (report, ok) = match checked {
             Err(e) => {
-                // Resolution failed: report it on this document (naming
-                // the offending file when it is not this one) and keep
-                // the session's retained state for the fix.
+                // Report the failure on this document (naming the
+                // offending file when it is not this one).
                 let diag = if e.file == uri {
                     Diagnostic::error(e.message, e.span)
                 } else {
@@ -679,7 +897,7 @@ impl Workspace {
                         Span::dummy(),
                     )
                 };
-                DocReport {
+                let report = DocReport {
                     uri: uri.to_string(),
                     outcome: SessionOutcome {
                         result: CheckResult {
@@ -695,11 +913,10 @@ impl Workspace {
                     merged: Merged::single(uri, &doc.text),
                     deps_changed: Vec::new(),
                     dirty_own: Vec::new(),
-                }
+                };
+                (report, false)
             }
-            Ok(files) => {
-                let merged = Merged::build(&files);
-                let outcome = doc.session.check(&merged.text);
+            Ok((files, merged, outcome)) => {
                 // Cross-file edges: which dependencies' export surfaces
                 // changed since this document last checked?
                 let first_check = doc.surfaces.is_empty();
@@ -727,7 +944,7 @@ impl Workspace {
                                 .find(|u| u.name == **name)
                                 .is_some_and(|u| merged.owner(u.span_lo) == merged.root)
                         })
-                        .cloned()
+                        .map(|name| merged.demangle(name))
                         .collect(),
                     None => Vec::new(),
                 };
@@ -737,17 +954,18 @@ impl Workspace {
                     .map(|f| f.name.clone())
                     .collect();
                 doc.surfaces = files.iter().map(|f| (f.name.clone(), f.surface)).collect();
-                DocReport {
+                let report = DocReport {
                     uri: uri.to_string(),
                     outcome,
                     merged,
                     deps_changed,
                     dirty_own,
-                }
+                };
+                (report, true)
             }
         };
         doc.last = Some(report.clone());
-        report
+        (report, ok)
     }
 }
 
@@ -767,7 +985,7 @@ pub fn disk_path(name: &str) -> Option<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsc_core::check_program;
+    use rsc_core::{check_program, check_program_ast};
 
     const LIB: &str = "type nat = {v: number | 0 <= v};\n\
         export function step(x: number): nat {\n\
@@ -808,19 +1026,62 @@ mod tests {
     }
 
     #[test]
-    fn closure_check_equals_concatenated_program() {
+    fn closure_check_equals_the_qualified_merged_program() {
         let mut ws = ws_with(&[("lib.rsc", LIB)]);
-        let reports = ws.update("app.rsc", APP.replace("./lib", "./lib.rsc"));
+        let app_text = APP.replace("./lib", "./lib.rsc");
+        let reports = ws.update("app.rsc", app_text.clone());
         let app = &reports[0];
         assert_eq!(app.uri, "app.rsc");
         assert_eq!(app.merged.files.len(), 2);
         assert_eq!(app.merged.files[0].name, "lib.rsc");
-        // The workspace check is byte-identical to a cold check of the
-        // concatenated program.
-        let cold = check_program(&app.merged.text, CheckerOptions::default());
+        // The workspace check equals a cold check of the
+        // module-qualified merged program.
+        let mut lookup = |name: &str| match name {
+            "lib.rsc" => Some(LIB.to_string()),
+            "app.rsc" => Some(app_text.clone()),
+            _ => None,
+        };
+        let files = resolve_closure("app.rsc", &mut lookup).unwrap();
+        let merged = Merged::build(&files);
+        assert_eq!(merged.text, app.merged.text);
+        let prog = qualified_program(&merged, &files).expect("qualifies");
+        let cold = check_program_ast(&prog, CheckerOptions::default());
         assert_eq!(render(&app.outcome.result), render(&cold));
         assert_eq!(app.outcome.result.ok(), cold.ok());
         assert!(app.outcome.result.ok(), "{}", render(&app.outcome.result));
+    }
+
+    #[test]
+    fn single_file_closure_is_byte_identical_to_checking_the_text() {
+        let src = "type nat = {v: number | 0 <= v};\n\
+            function f(x: number): nat { if (x < 0) { return 0; } return x; }\n";
+        let ws = ws_with(&[("solo.rsc", src)]);
+        let r = ws.last("solo.rsc").unwrap();
+        assert_eq!(r.merged.files.len(), 1);
+        // No qualification for single-file closures: the merged text is
+        // the document text (newline-terminated) and the cold check of
+        // that text renders identically.
+        assert_eq!(r.merged.text, src);
+        let cold = check_program(src, CheckerOptions::default());
+        assert_eq!(render(&r.outcome.result), render(&cold));
+    }
+
+    #[test]
+    fn same_class_name_in_two_files_checks_cleanly() {
+        // Regression for the session-layer "transiently duplicated
+        // class name" band-aid this PR removes: two modules declaring
+        // the same class name must both check, each against its own
+        // definition — real namespacing, not duplicate suppression.
+        let a = "export class Box { x : number; constructor(x: number) { this.x = x; } }\n\
+            export function mk(v: number): number { return v; }\n";
+        let b = "import {mk} from \"./a.rsc\";\n\
+            class Box { y : number; constructor(y: number) { this.y = y; } }\n\
+            function use(p: Box): number { return mk(p.y); }\n";
+        let mut ws = ws_with(&[("a.rsc", a)]);
+        let reports = ws.update("b.rsc", b.to_string());
+        let r = &reports[0];
+        assert_eq!(r.merged.files.len(), 2);
+        assert!(r.outcome.result.ok(), "{}", render(&r.outcome.result));
     }
 
     #[test]
@@ -851,24 +1112,30 @@ mod tests {
         ws.update("app.rsc", APP.replace("./lib", "./lib.rsc"));
         assert_eq!(ws.importers_of("lib.rsc"), vec!["app.rsc".to_string()]);
 
-        // Non-exported body edit: the importer re-checks with its own
-        // units clean and no surface change reported.
+        // Non-exported body edit: nothing the importer can observe
+        // changed (same import specifiers, same export surface), so its
+        // re-check is skipped entirely — not run-and-found-clean.
         let reports = ws.update("lib.rsc", LIB.replace("return y;", "return y + 1;"));
-        assert_eq!(reports.len(), 2, "lib then its importer");
-        let app = &reports[1];
-        assert_eq!(app.uri, "app.rsc");
-        assert!(app.deps_changed.is_empty(), "{:?}", app.deps_changed);
-        assert!(app.dirty_own.is_empty(), "{:?}", app.dirty_own);
-        assert!(app.outcome.result.ok());
-        assert!(app.outcome.incr.reused > 0, "{:?}", app.outcome.incr);
+        assert_eq!(
+            reports.len(),
+            1,
+            "importer must be skipped: {:?}",
+            reports.iter().map(|r| r.uri.clone()).collect::<Vec<_>>()
+        );
+        assert_eq!(reports[0].outcome.incr.importers_skipped, 1);
+        let lib_last = ws.last("lib.rsc").unwrap();
+        assert_eq!(lib_last.outcome.incr.importers_skipped, 1);
 
-        // Exported-signature edit: the importer's calling unit is dirty
-        // and the surface change is attributed to lib.
+        // Exported-signature edit: the importer re-checks, its calling
+        // unit is dirty (demangled to the source name), and the surface
+        // change is attributed to lib.
         let sig_edit = LIB.replace(
             "export function step(x: number): nat {",
             "export function step(x: number): {v: number | 0 <= v && x < v} {",
         );
         let reports = ws.update("lib.rsc", sig_edit);
+        assert_eq!(reports.len(), 2, "sig change re-checks the importer");
+        assert_eq!(reports[0].outcome.incr.importers_skipped, 0);
         let app = &reports[1];
         assert_eq!(app.deps_changed, vec!["lib.rsc".to_string()]);
         assert!(

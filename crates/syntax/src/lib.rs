@@ -26,11 +26,13 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod qualify;
 pub mod span;
 pub mod token;
 pub mod types;
 
 pub use ast::Program;
 pub use parser::{parse_pred, parse_program, parse_type, ParseError};
+pub use qualify::{demangle, module_id, qualified_name, qualify_program, ModuleEnv, QualifyError};
 pub use span::{LineCol, LineIndex, Span};
 pub use types::{AnnArg, AnnTy, FunTy, Mutability};

@@ -16,11 +16,16 @@ Legs (default: legacy + lsp):
 * ``cache-bound`` — a long edit script under ``RSC_CACHE_CAP=16``:
   verdicts must stay correct while the VC cache stays bounded and
   reports evictions.
-* ``multi-file`` — two URIs connected by an ``import``: editing the
-  exporting document re-publishes for the importer too; a non-exported
-  body edit keeps the importer fully reused (no cross-file dirtiness),
-  while an exported-signature edit names the dependency in
-  ``deps_changed`` and the importing unit in ``dirty_own``.
+* ``multi-file`` — URIs connected by ``import``: a non-exported body
+  edit in the exporting document skips the importer's re-check
+  entirely (one publish, ``importers_skipped`` counted), while an
+  exported-signature edit re-publishes for the importer with the
+  dependency named in ``deps_changed`` and the importing unit in
+  ``dirty_own``. A second workspace pairs two files that both declare
+  the *same* non-exported ``helper`` — per-module qualification keeps
+  them apart, so both verify. Finally, ``didChange`` with a
+  whole-document ``range`` is accepted and applied, while a genuinely
+  partial range is refused with an InvalidParams error.
 
 Exits non-zero on any protocol or verdict mismatch — this is the CI leg
 that keeps the serve front-end honest.
@@ -252,8 +257,9 @@ def cache_bound_leg(binary, cap=16, rounds=3):
 
 
 def multi_file_leg(binary):
-    """Two URIs over one workspace: a cross-file edit re-checks the
-    importer; a non-exported edit leaves the importer fully reused."""
+    """URIs over one workspace: a non-exported edit skips the importer
+    entirely; a signature edit re-checks it; same-named private helpers
+    in two files don't collide; whole-document-range didChange works."""
     lib_uri = "file:///w/lib.rsc"
     app_uri = "file:///w/app.rsc"
     lib = (
@@ -275,6 +281,23 @@ def multi_file_leg(binary):
         "export function step(x: number): nat {",
         "export function step(x: number): {v: number | 0 <= v && x < v} {",
     )
+    # Collision workspace: both files declare a non-exported `helper`
+    # with *contradictory* refinements — they only verify if each file
+    # resolves `helper` to its own module's declaration.
+    col_lib_uri = "file:///w/collide_lib.rsc"
+    col_app_uri = "file:///w/collide_app.rsc"
+    col_lib = (
+        "export function inc(x: number): {v: number | x < v} "
+        "{ return helper(x); }\n"
+        "function helper(y: number): {v: number | y < v} { return y + 1; }\n"
+    )
+    col_app = (
+        'import {inc} from "./collide_lib.rsc";\n'
+        "function helper(y: number): {v: number | v <= y} { return y - 1; }\n"
+        "function dec(x: number): {v: number | v <= x} { return helper(x); }\n"
+        "function use(k: number): {v: number | k < v} { return inc(k); }\n"
+    )
+    col_break = col_app.replace("return y - 1;", "return y + 1;")
 
     def open_(uri, text):
         return {"jsonrpc": "2.0", "method": "textDocument/didOpen",
@@ -285,18 +308,40 @@ def multi_file_leg(binary):
                 "params": {"textDocument": {"uri": uri},
                            "contentChanges": [{"text": text}]}}
 
+    def change_ranged(uri, start, end, text, req_id=None):
+        req = {"jsonrpc": "2.0", "method": "textDocument/didChange",
+               "params": {"textDocument": {"uri": uri},
+                          "contentChanges": [{
+                              "range": {
+                                  "start": {"line": start[0], "character": start[1]},
+                                  "end": {"line": end[0], "character": end[1]},
+                              },
+                              "text": text}]}}
+        if req_id is not None:
+            req["id"] = req_id
+        return req
+
     requests = [
         {"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}},
         open_(lib_uri, lib),          # 1 line: publish lib
         open_(app_uri, app),          # 1 line: publish app (lib is open)
-        change(lib_uri, body_edit),   # 2 lines: lib, then importer app
+        change(lib_uri, body_edit),   # 1 line: lib only, importer skipped
         change(lib_uri, sig_edit),    # 2 lines: lib, then importer app
+        open_(col_lib_uri, col_lib),  # 1 line: publish collide_lib
+        open_(col_app_uri, col_app),  # 1 line: publish collide_app
+        # Whole-document range (end past EOF counts as covering): the
+        # breaking edit must be applied, not dropped.
+        change_ranged(col_app_uri, (0, 0), (999, 0), col_break),
+        # Genuinely partial range (first line only), sent as a request
+        # so the refusal comes back as a JSON-RPC error line.
+        change_ranged(col_app_uri, (0, 0), (1, 0), "// nope\n", req_id=3),
+        change_ranged(col_app_uri, (0, 0), (999, 0), col_app),
         {"jsonrpc": "2.0", "id": 2, "method": "shutdown"},
         {"jsonrpc": "2.0", "method": "exit"},
     ]
     lines = run_serve(binary, requests)
-    if len(lines) != 8:
-        fail(f"multi-file: expected 8 response lines, got {len(lines)}: {lines}")
+    if len(lines) != 12:
+        fail(f"multi-file: expected 12 response lines, got {len(lines)}: {lines}")
 
     def expect_publish(v, uri, verified, step):
         if v.get("method") != "textDocument/publishDiagnostics":
@@ -310,29 +355,44 @@ def multi_file_leg(binary):
     expect_publish(lines[1], lib_uri, True, "open-lib")
     expect_publish(lines[2], app_uri, True, "open-app")
 
-    # Non-exported body edit in lib: the importer is re-checked but
-    # fully reused — no surface change, none of its own units dirty.
-    expect_publish(lines[3], lib_uri, True, "body-edit-lib")
-    rsc = expect_publish(lines[4], app_uri, True, "body-edit-app")
-    if rsc["deps_changed"]:
-        fail(f"multi-file: non-exported edit changed a surface: {rsc}")
-    if rsc["dirty_own"]:
-        fail(f"multi-file: non-exported edit dirtied importer units: {rsc}")
-    if rsc["reused"] == 0:
-        fail(f"multi-file: importer re-checked cold: {rsc}")
+    # Non-exported body edit in lib: nothing observable changed for the
+    # importer, so its re-check is skipped entirely — one publish line
+    # for lib, with the skip counted.
+    rsc = expect_publish(lines[3], lib_uri, True, "body-edit-lib")
+    if rsc.get("importers_skipped") != 1:
+        fail(f"multi-file: body edit did not skip the importer: {rsc}")
 
     # Exported-signature edit: the importer must be re-checked with the
     # dependency named and exactly its importing unit dirty.
-    expect_publish(lines[5], lib_uri, True, "sig-edit-lib")
-    rsc = expect_publish(lines[6], app_uri, True, "sig-edit-app")
+    rsc = expect_publish(lines[4], lib_uri, True, "sig-edit-lib")
+    if rsc.get("importers_skipped") != 0:
+        fail(f"multi-file: sig edit skipped the importer: {rsc}")
+    rsc = expect_publish(lines[5], app_uri, True, "sig-edit-app")
     if rsc["deps_changed"] != [lib_uri]:
         fail(f"multi-file: sig edit did not flag the dependency: {rsc}")
     if "fun:use" not in rsc["dirty_own"]:
         fail(f"multi-file: sig edit did not dirty the importing unit: {rsc}")
-    if lines[7].get("result", "missing") is not None:
-        fail(f"multi-file: bad shutdown response: {lines[7]}")
+    importer_rsc = rsc
+
+    # Collision workspace: both files verify despite declaring the same
+    # non-exported `helper` with contradictory refinements.
+    expect_publish(lines[6], col_lib_uri, True, "open-collide-lib")
+    expect_publish(lines[7], col_app_uri, True, "open-collide-app")
+
+    # Whole-document-range didChange: applied (the broken helper now
+    # violates its own refinement), then a partial range is refused,
+    # then a covering range restores the clean text.
+    expect_publish(lines[8], col_app_uri, False, "ranged-break")
+    err = lines[9].get("error", {})
+    if lines[9].get("id") != 3 or "full-document sync" not in err.get("message", ""):
+        fail(f"multi-file: partial range not refused as InvalidParams: {lines[9]}")
+    expect_publish(lines[10], col_app_uri, True, "ranged-restore")
+
+    if lines[11].get("result", "missing") is not None:
+        fail(f"multi-file: bad shutdown response: {lines[11]}")
     print("serve_smoke: multi-file leg PASS "
-          f"(importer reuse={rsc['reused']}/{rsc['bundles']})")
+          f"(importer reuse={importer_rsc['reused']}/{importer_rsc['bundles']}, "
+          "collision + ranged didChange ok)")
 
 
 def main():

@@ -1,9 +1,11 @@
 //! End-to-end tests for the multi-file workspace model: per-URI
-//! document sessions in `rsc serve`, import-closure equivalence with
-//! the batch checker, and import-cycle diagnostics.
+//! document sessions in `rsc serve`, import-closure equivalence with a
+//! cold check of the module-qualified merged program, per-module
+//! namespacing (the cross-file collision matrix), and import-cycle
+//! diagnostics.
 
-use rsc_core::{check_program, CheckerOptions};
-use rsc_incr::{Json, Serve, Workspace};
+use rsc_core::{check_program_ast, CheckerOptions};
+use rsc_incr::{qualified_program, resolve_closure, Json, Merged, Serve, Workspace};
 
 const LIB: &str = "type nat = {v: number | 0 <= v};\n\
 export function step(x: number): nat {\n\
@@ -89,28 +91,46 @@ fn two_file_editing_session_stays_warm_on_every_step() {
     );
 }
 
-/// A workspace check of `app.rsc` + `lib.rsc` is byte-identical to
-/// checking the concatenated program with the batch checker.
+/// A cold check of the module-qualified merged program for an
+/// `app.rsc` closure built from the two given texts.
+fn cold_qualified(app_text: &str) -> rsc_core::CheckResult {
+    let app_text = app_text.to_string();
+    let mut lookup = |name: &str| match name {
+        "lib.rsc" => Some(LIB.to_string()),
+        "app.rsc" => Some(app_text.clone()),
+        _ => None,
+    };
+    let files = resolve_closure("app.rsc", &mut lookup).expect("closure resolves");
+    let merged = Merged::build(&files);
+    let prog = qualified_program(&merged, &files).expect("closure qualifies");
+    check_program_ast(&prog, CheckerOptions::default())
+}
+
+fn render(ds: &[rsc_core::Diagnostic]) -> String {
+    ds.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A workspace check of `app.rsc` + `lib.rsc` is byte-identical to a
+/// cold check of the module-qualified merged program — the semantics
+/// the workspace is defined to implement.
 #[test]
-fn import_closure_equals_concatenated_program() {
+fn import_closure_equals_qualified_merged_program() {
     let mut ws = Workspace::new(CheckerOptions::default());
     ws.update("lib.rsc", LIB.to_string());
     let report = ws.update("app.rsc", APP.to_string()).remove(0);
     assert_eq!(report.merged.files.len(), 2, "closure must include lib");
 
-    // The merged text is the dependency-first concatenation…
+    // The merged text is still the dependency-first concatenation
+    // (qualification renames ASTs, not the region map)…
     let concatenated = format!("{LIB}{APP}");
     assert_eq!(report.merged.text, concatenated);
 
-    // …and the diagnostics/verdict are byte-identical to a cold batch
-    // check of that text.
-    let cold = check_program(&concatenated, CheckerOptions::default());
-    let render = |ds: &[rsc_core::Diagnostic]| {
-        ds.iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
+    // …and the diagnostics/verdict are byte-identical to a cold check
+    // of the qualified merged program.
+    let cold = cold_qualified(APP);
     assert_eq!(
         render(&report.outcome.result.diagnostics),
         render(&cold.diagnostics)
@@ -121,12 +141,145 @@ fn import_closure_equals_concatenated_program() {
     // Same equivalence on a failing closure.
     let bad_app = APP.replace("return step(k);", "return step(k) - 1;");
     let report = ws.update("app.rsc", bad_app.clone()).remove(0);
-    let cold = check_program(&format!("{LIB}{bad_app}"), CheckerOptions::default());
+    let cold = cold_qualified(&bad_app);
     assert_eq!(
         render(&report.outcome.result.diagnostics),
         render(&cold.diagnostics)
     );
     assert!(!report.outcome.result.ok());
+}
+
+// ------------------------------------------------ collision matrix ---
+
+/// Two modules declaring the same non-exported `helper` with
+/// *different* semantics: each caller verifies against its own
+/// module's helper. (Either direction of accidental capture makes one
+/// of the two postconditions unprovable, so passing proves real
+/// per-module namespacing.)
+#[test]
+fn same_named_private_helpers_do_not_collide() {
+    let a = "export function inc(x: number): {v: number | x < v} { return helper(x); }\n\
+             function helper(y: number): {v: number | y < v} { return y + 1; }\n";
+    let b = "import {inc} from \"./a.rsc\";\n\
+             function helper(y: number): {v: number | v <= y} { return y - 1; }\n\
+             function dec(x: number): {v: number | v <= x} { return helper(x); }\n";
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("a.rsc", a.to_string());
+    let report = ws.update("b.rsc", b.to_string()).remove(0);
+    assert_eq!(report.merged.files.len(), 2);
+    assert!(
+        report.outcome.result.ok(),
+        "{}",
+        render(&report.outcome.result.diagnostics)
+    );
+}
+
+/// Two modules declaring the same class name: each module's field
+/// accesses resolve against its own class table entry.
+#[test]
+fn same_named_classes_do_not_collide() {
+    let a = "export class Pair { x : number; constructor(x: number) { this.x = x; } }\n\
+             export function one(): number { return 1; }\n";
+    let b = "import {one} from \"./a.rsc\";\n\
+             class Pair { y : number; constructor(y: number) { this.y = y; } }\n\
+             function get(p: Pair): number { return p.y + one(); }\n";
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("a.rsc", a.to_string());
+    let report = ws.update("b.rsc", b.to_string()).remove(0);
+    assert!(
+        report.outcome.result.ok(),
+        "{}",
+        render(&report.outcome.result.diagnostics)
+    );
+}
+
+/// Referencing another module's name without importing it is a spanned
+/// diagnostic at the use site, naming the *source* identifier — never
+/// a mangled name, and never silent capture.
+#[test]
+fn unimported_cross_module_reference_is_rejected_at_the_use_site() {
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("lib.rsc", LIB.to_string());
+    let bad =
+        "import {step} from \"./lib.rsc\";\nfunction go(k: number): number { return helper(k); }\n";
+    let report = ws.update("app.rsc", bad.to_string()).remove(0);
+    assert!(!report.outcome.result.ok());
+    let d = &report.outcome.result.diagnostics[0];
+    assert!(
+        d.message.contains("cannot find name `helper`"),
+        "{}",
+        d.message
+    );
+    assert!(
+        d.message.contains("declared in `lib.rsc` but not imported"),
+        "{}",
+        d.message
+    );
+    // Blamed at the identifier itself, in app.rsc's own coordinates.
+    assert_eq!(&bad[d.span.lo as usize..d.span.hi as usize], "helper");
+    assert_eq!(d.span.line, 2);
+    // Nothing user-visible carries a module-qualified name.
+    assert!(!d.message.contains('$'), "{}", d.message);
+}
+
+/// A module that imports a name *and* declares its own of the same
+/// name uses its own declaration (import-then-shadow): the local
+/// `step` has a stronger postcondition than lib's, and the caller's
+/// obligation only follows from the local one.
+#[test]
+fn own_declaration_shadows_a_same_named_import() {
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("lib.rsc", LIB.to_string());
+    let app = "import {step} from \"./lib.rsc\";\n\
+        function step(x: number): {v: number | 10 <= v} { return 10; }\n\
+        function use(k: number): {v: number | 10 <= v} { return step(k); }\n";
+    let report = ws.update("app.rsc", app.to_string()).remove(0);
+    assert!(
+        report.outcome.result.ok(),
+        "{}",
+        render(&report.outcome.result.diagnostics)
+    );
+}
+
+/// Module ids are name-keyed, not positional: bringing an unrelated
+/// module into the closure re-solves **zero** bundles in the untouched
+/// modules. (Positional or content-keyed ids would rename every
+/// qualified symbol in the merged program and invalidate every
+/// retained fingerprint.) The added module carries plain base-type
+/// signatures only — a refined signature would mine new qualifiers,
+/// which legitimately changes every bundle's solving context.
+#[test]
+fn adding_an_unrelated_module_resolves_zero_bundles_in_untouched_modules() {
+    let extra = "export function bump(x: number): number { return x + 1; }\n\
+                 function helper(q: number): number { return q; }\n";
+    let mut ws = Workspace::new(CheckerOptions::default());
+    ws.update("lib.rsc", LIB.to_string());
+    ws.update("extra.rsc", extra.to_string());
+    let before = ws.update("app.rsc", APP.to_string()).remove(0);
+    assert!(before.outcome.result.ok());
+    let bundles_before = before.outcome.incr.bundles;
+    assert!(bundles_before > 0, "{:?}", before.outcome.incr);
+
+    // Add an import of the unrelated module (nothing else changes; the
+    // unrefined module contributes no constraint bundles of its own).
+    let app2 = format!("import {{bump}} from \"./extra.rsc\";\n{APP}");
+    let after = ws.update("app.rsc", app2).remove(0);
+    assert!(
+        after.outcome.result.ok(),
+        "{}",
+        render(&after.outcome.result.diagnostics)
+    );
+    assert_eq!(after.merged.files.len(), 3);
+    assert_eq!(
+        after.outcome.incr.reused, bundles_before,
+        "every pre-existing bundle must be reused: {:?}",
+        after.outcome.incr
+    );
+    assert_eq!(
+        after.outcome.incr.solved, 0,
+        "untouched modules must re-solve nothing: {:?}",
+        after.outcome.incr
+    );
 }
 
 /// An import cycle is a real diagnostic naming the cycle, over serve.
