@@ -1,0 +1,121 @@
+//! The cold-check phase-breakdown benchmark: one whole-program check of
+//! every corpus benchmark with the `rsc_obs` span collector enabled,
+//! reporting where the time goes — parse, SSA, class-table,
+//! constraint-gen, partition, and the solve step (per-bundle solves,
+//! fixpoint iterations, SMT queries).
+//!
+//! ```text
+//! cargo run --release -p rsc_bench --bin bench_cold
+//! ```
+//!
+//! Results are printed as a table and written to `BENCH_cold.json` at
+//! the repository root so the phase-level perf trajectory accumulates
+//! across PRs. Collection is sampling-free and must not change
+//! verdicts (asserted here: every benchmark still verifies).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rsc_bench::{benchmark_names, load_benchmark};
+use rsc_core::{check_program, CheckerOptions};
+
+struct Row {
+    name: &'static str,
+    total_us: u128,
+    constraints: usize,
+    bundles: usize,
+    phases: Vec<rsc_obs::Phase>,
+}
+
+/// The headline phases shown as table columns (the JSON keeps all).
+const COLUMNS: [&str; 6] = [
+    "parse",
+    "ssa",
+    "class-table",
+    "constraint-gen",
+    "partition",
+    "solve",
+];
+
+fn phase_us(phases: &[rsc_obs::Phase], name: &str) -> u64 {
+    phases
+        .iter()
+        .find(|p| p.name == name)
+        .map_or(0, |p| p.total_ns / 1_000)
+}
+
+fn main() {
+    let opts = CheckerOptions::default();
+    rsc_obs::set_enabled(true);
+    rsc_obs::drain();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for name in benchmark_names() {
+        let src = load_benchmark(name).expect("benchmark source");
+        rsc_obs::drain(); // isolate this benchmark's spans
+        let t = Instant::now();
+        let result = check_program(&src, opts);
+        let total_us = t.elapsed().as_micros();
+        let profile = rsc_obs::drain();
+        assert!(result.ok(), "{name} must verify cold");
+        rows.push(Row {
+            name,
+            total_us,
+            constraints: result.stats.constraints,
+            bundles: result.stats.bundles,
+            phases: profile.phase_totals(),
+        });
+    }
+
+    println!("Cold-check phase breakdown (ms per phase)");
+    println!();
+    print!("{:<15} {:>9}", "Benchmark", "Total");
+    for col in COLUMNS {
+        print!(" {col:>14}");
+    }
+    println!();
+    println!("{}", "-".repeat(25 + 15 * COLUMNS.len()));
+    for r in &rows {
+        print!("{:<15} {:>9.1}", r.name, r.total_us as f64 / 1000.0);
+        for col in COLUMNS {
+            print!(" {:>14.1}", phase_us(&r.phases, col) as f64 / 1000.0);
+        }
+        println!();
+    }
+
+    // Emit BENCH_cold.json at the repo root: every recorded phase (not
+    // just the table columns), in name order, per benchmark.
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mut phases = String::new();
+        for (j, p) in r.phases.iter().enumerate() {
+            let _ = write!(
+                phases,
+                "{}{{\"name\": \"{}\", \"count\": {}, \"total_us\": {}}}",
+                if j > 0 { ", " } else { "" },
+                p.name,
+                p.count,
+                p.total_ns / 1_000,
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"total_us\": {}, \"constraints\": {}, \
+             \"bundles\": {},\n     \"phases\": [{}]}}{}",
+            r.name,
+            r.total_us,
+            r.constraints,
+            r.bundles,
+            phases,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_cold.json");
+    std::fs::write(&path, &json).expect("write BENCH_cold.json");
+    println!();
+    println!("wrote {}", path.display());
+}

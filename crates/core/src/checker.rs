@@ -166,6 +166,11 @@ pub struct BundleReport {
     /// it was (last) solved — a pure function of the bundle's canonical
     /// problem, so it is also correct for `cached` bundles.
     pub smt_queries: u64,
+    /// Wall-clock nanoseconds spent solving this bundle when it was
+    /// (last) actually solved (retained, like the counters, for `cached`
+    /// bundles). Measurement only: timing never influences verdicts,
+    /// and reports are merged by bundle index, never by completion time.
+    pub solve_ns: u64,
 }
 
 impl BundleReport {
@@ -179,6 +184,7 @@ impl BundleReport {
             failures: self.failures.iter().map(|(i, _)| *i).collect(),
             smt: self.smt,
             smt_queries: self.smt_queries,
+            solve_ns: self.solve_ns,
         }
     }
 }
@@ -196,6 +202,8 @@ pub struct RetainedBundle {
     pub smt: SolverStats,
     /// Liquid-level validity queries from when it was last solved.
     pub smt_queries: u64,
+    /// Wall-clock solve time from when it was last solved.
+    pub solve_ns: u64,
 }
 
 /// The result of checking a program.
@@ -363,11 +371,14 @@ pub fn generate_artifacts(
 ) -> CheckArtifacts {
     let cache_before = cache.counters();
     let mut diags = Vec::new();
-    let ct = match ClassTable::build(&ir.aliases, &ir.enums, &ir.interfaces, &classes_of(ir)) {
-        Ok(t) => t,
-        Err(e) => {
-            diags.push(Diagnostic::error(e.0, Span::dummy()));
-            return CheckArtifacts::empty(diags, opts, cache, cache_before);
+    let ct = {
+        let _sp = rsc_obs::span!("class-table");
+        match ClassTable::build(&ir.aliases, &ir.enums, &ir.interfaces, &classes_of(ir)) {
+            Ok(t) => t,
+            Err(e) => {
+                diags.push(Diagnostic::error(e.0, Span::dummy()));
+                return CheckArtifacts::empty(diags, opts, cache, cache_before);
+            }
         }
     };
     let mut cs = ConstraintSet::new();
@@ -458,6 +469,7 @@ pub fn solve_artifacts(
     art: CheckArtifacts,
     reuse: &mut dyn FnMut(u128) -> Option<RetainedBundle>,
 ) -> CheckResult {
+    let _sp_solve = rsc_obs::span!("solve");
     let CheckArtifacts {
         bundles,
         gen_diags: mut diags,
@@ -486,28 +498,38 @@ pub fn solve_artifacts(
     let to_solve: Vec<usize> = (0..bundles.len())
         .filter(|i| retained[*i].is_none())
         .collect();
-    let outcomes: Vec<(LiquidResult, SolverStats)> = threadpool::Pool::new(jobs).run(
+    // Each worker closure returns its *bundle index* alongside the
+    // outcome, and placement below keys on that index — never on the
+    // position a result came back in. The pool documents input-order
+    // results, but per-bundle stats (and timings) must merge in
+    // bundle-index order even if that contract ever changes, so the
+    // ordering is structural here rather than inherited.
+    type Outcome = (LiquidResult, SolverStats, u64);
+    let outcomes: Vec<(usize, Outcome)> = threadpool::Pool::new(jobs).run(
         to_solve
             .iter()
             .map(|&i| {
                 let b = &bundles[i];
                 move || {
+                    let _sp = rsc_obs::span!("solve-bundle", unit = i);
+                    let started = std::time::Instant::now();
                     let mut smt = if use_cache {
                         rsc_smt::Solver::with_cache(Arc::clone(cache))
                     } else {
                         rsc_smt::Solver::new()
                     };
                     let result = solve(&b.cs, &mut smt);
+                    let solve_ns = started.elapsed().as_nanos() as u64;
                     // Per-bundle counters: take (and thereby reset)
                     // rather than reading cumulative totals.
-                    (result, smt.stats.take())
+                    (i, (result, smt.stats.take(), solve_ns))
                 }
             })
             .collect(),
     );
-    let mut solved: Vec<Option<(LiquidResult, SolverStats)>> =
-        bundles.iter().map(|_| None).collect();
-    for (i, outcome) in to_solve.into_iter().zip(outcomes) {
+    let mut solved: Vec<Option<Outcome>> = bundles.iter().map(|_| None).collect();
+    for (i, outcome) in outcomes {
+        debug_assert!(solved[i].is_none(), "bundle {i} solved twice");
         solved[i] = Some(outcome);
     }
 
@@ -516,7 +538,7 @@ pub fn solve_artifacts(
     // did before partitioning.
     if std::env::var("RSC_DEBUG").is_ok() {
         for (b, outcome) in bundles.iter().zip(&solved) {
-            if let Some((result, _)) = outcome {
+            if let Some((result, _, _)) = outcome {
                 debug_dump(b, result);
             }
         }
@@ -551,9 +573,10 @@ pub fn solve_artifacts(
                     cached: true,
                     failures,
                     smt_queries: r.smt_queries,
+                    solve_ns: r.solve_ns,
                 }
             }
-            (None, Some((result, smt))) => BundleReport {
+            (None, Some((result, smt, solve_ns))) => BundleReport {
                 constraints: b.cs.subs.len(),
                 kvars: b.cs.num_kvars(),
                 smt: *smt,
@@ -561,6 +584,7 @@ pub fn solve_artifacts(
                 cached: false,
                 failures: result.failures.clone(),
                 smt_queries: result.smt_queries,
+                solve_ns: *solve_ns,
             },
             (None, None) => unreachable!("bundle neither retained nor solved"),
         };
@@ -610,6 +634,7 @@ impl Checker {
     // ------------------------------------------------------------ driver ---
 
     fn generate(mut self, ir: &IrProgram, cache_before: CacheCounters) -> CheckArtifacts {
+        let gen_span = rsc_obs::span!("constraint-gen");
         // Ambient declarations.
         for d in &ir.declares {
             match self.ct.resolve(&d.ty) {
@@ -658,7 +683,10 @@ impl Checker {
         env.ret = RType::trivial(Base::Union(vec![])); // top-level return: anything
         self.check_body(&ir.top, &mut env);
 
+        drop(gen_span);
+
         // Partition: one closed constraint problem per function-level unit.
+        let _sp = rsc_obs::span!("partition");
         let total_kvars = self.cs.num_kvars();
         let total_constraints = self.cs.subs.len();
         let units = std::mem::take(&mut self.units);

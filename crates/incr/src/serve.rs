@@ -17,7 +17,8 @@
 //! | `{"cmd":"edit","source":"…"}`             | replace the text, incremental check |
 //! | `{"cmd":"edit","path":"f.rsc"}`           | re-read the file, incremental check |
 //! | `{"cmd":"check"}`                         | re-check the active document        |
-//! | `{"cmd":"stats"}`                         | session + VC-cache counters         |
+//! | `{"cmd":"stats"}`                         | session + VC-cache counters + timing|
+//! | `{"cmd":"metrics"}`                       | counters, cache rates, latency, phases |
 //! | `{"cmd":"reset"}`                         | drop all documents and the cache    |
 //! | `{"cmd":"quit"}`                          | acknowledge and exit                |
 //!
@@ -78,8 +79,9 @@
 //! demands, malformed *requests* (carrying an `id`) get a JSON-RPC
 //! error while malformed notifications are dropped silently.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{BufRead, Write};
+use std::sync::Mutex;
 
 use rsc_core::{CheckerOptions, Diagnostic};
 use rsc_syntax::LineIndex;
@@ -106,6 +108,13 @@ pub struct Serve {
     /// publish — otherwise the client would pin its stale errors
     /// forever.
     published: HashMap<String, BTreeSet<String>>,
+    /// Cumulative per-phase `(count, total_ns)` across every check this
+    /// server ran — the `stats`/`metrics` timing summary. Keyed by phase
+    /// name (sorted), so exports are deterministic given the same spans.
+    phase_acc: BTreeMap<&'static str, (u64, u64)>,
+    /// Monotonic counters plus the check-latency histogram
+    /// (p50/p90/p99) behind `{"cmd":"metrics"}`.
+    registry: rsc_obs::Registry,
 }
 
 impl Serve {
@@ -116,7 +125,46 @@ impl Serve {
             active: None,
             inline: HashMap::new(),
             published: HashMap::new(),
+            phase_acc: BTreeMap::new(),
+            registry: rsc_obs::Registry::new(),
         }
+    }
+
+    /// Runs one workspace update with span collection enabled, returning
+    /// the reports plus the per-phase timing object for exactly this
+    /// check. Collection is metrics-only: the reports are byte-identical
+    /// to an uninstrumented update (enforced by
+    /// `tests/profile_determinism.rs` at the workspace root).
+    fn checked_update(&mut self, key: &str, text: String) -> (Vec<DocReport>, Json) {
+        // The span collector is process-global; serialize the
+        // enable → check → drain window so concurrent `Serve` instances
+        // (tests) cannot drain each other's spans mid-check.
+        static OBS_LOCK: Mutex<()> = Mutex::new(());
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let was_enabled = rsc_obs::enabled();
+        rsc_obs::set_enabled(true);
+        rsc_obs::drain(); // attribute spans to this check only
+        let reports = self.ws.update(key, text);
+        let profile = rsc_obs::drain();
+        rsc_obs::set_enabled(was_enabled);
+
+        profile.accumulate_into(&mut self.phase_acc);
+        self.registry.add("checks_total", 1);
+        for r in &reports {
+            let incr = &r.outcome.incr;
+            self.registry.add("bundles_total", incr.bundles as u64);
+            self.registry
+                .add("bundles_reused_total", incr.reused as u64);
+            self.registry
+                .add("bundles_solved_total", incr.solved as u64);
+            self.registry
+                .add("importers_skipped_total", incr.importers_skipped as u64);
+            if !r.outcome.result.ok() {
+                self.registry.add("checks_failed_total", 1);
+            }
+            self.registry.observe_us("check_latency", incr.total_micros);
+        }
+        (reports, timing_json(&profile.phase_totals()))
     }
 
     /// Handles one request line; returns the response (possibly several
@@ -157,8 +205,8 @@ impl Serve {
                 };
                 self.inline.insert(key.clone(), is_inline);
                 self.active = Some(key.clone());
-                let reports = self.ws.update(&key, text);
-                (check_response(&cmd, &key, &reports), false)
+                let (reports, timing) = self.checked_update(&key, text);
+                (check_response(&cmd, &key, &reports, timing), false)
             }
             "check" => {
                 let Some(key) = self.active.clone() else {
@@ -167,18 +215,19 @@ impl Serve {
                 // Inline buffers re-check as-is; path-backed documents
                 // re-read the disk (the file may have changed under us).
                 let inline = self.inline.get(&key).copied().unwrap_or(true);
-                let reports = if inline {
-                    let text = self.ws.doc_text(&key).unwrap_or_default().to_string();
-                    self.ws.update(&key, text)
+                let text = if inline {
+                    self.ws.doc_text(&key).unwrap_or_default().to_string()
                 } else {
                     match read_doc(&key) {
-                        Ok(text) => self.ws.update(&key, text),
+                        Ok(text) => text,
                         Err(e) => return (err(&e), false),
                     }
                 };
-                (check_response("check", &key, &reports), false)
+                let (reports, timing) = self.checked_update(&key, text);
+                (check_response("check", &key, &reports, timing), false)
             }
             "stats" => (self.stats_response(), false),
+            "metrics" => (self.metrics_response(), false),
             "reset" => {
                 self.ws.reset();
                 self.active = None;
@@ -375,10 +424,10 @@ impl Serve {
     fn lsp_check(&mut self, uri: &str, text: String) -> String {
         self.inline.insert(uri.to_string(), true);
         self.active = Some(uri.to_string());
-        let reports = self.ws.update(uri, text);
+        let (reports, timing) = self.checked_update(uri, text);
         let mut lines = Vec::new();
         for report in &reports {
-            let (published, now) = publishes_for(&self.ws, report);
+            let (published, now) = publishes_for(&self.ws, report, &timing);
             lines.extend(published);
             let before = self
                 .published
@@ -401,6 +450,14 @@ impl Serve {
             ("cache_hits".into(), Json::num(c.hits as f64)),
             ("cache_misses".into(), Json::num(c.misses as f64)),
             ("cache_evictions".into(), Json::num(c.evictions as f64)),
+            // Cumulative across the server's lifetime, so the smoke
+            // harness can assert session + skip counters + timing on
+            // this one object.
+            (
+                "importers_skipped".into(),
+                Json::num(self.registry.counter("importers_skipped_total") as f64),
+            ),
+            ("timing".into(), self.timing_summary()),
         ];
         if let Some(last) = self.active.as_ref().and_then(|k| self.ws.last(k)) {
             fields.push((
@@ -410,6 +467,68 @@ impl Serve {
             fields.push(("verified".into(), Json::Bool(last.outcome.result.ok())));
         }
         Json::Obj(fields).to_string()
+    }
+
+    /// The aggregate timing summary shared by `stats` and `metrics`:
+    /// check-latency percentiles plus cumulative per-phase milliseconds.
+    fn timing_summary(&self) -> Json {
+        let lat = self.registry.histogram("check_latency");
+        let phases = Json::Obj(
+            self.phase_acc
+                .iter()
+                .map(|(name, (_, total_ns))| (name.to_string(), Json::num(ns_to_ms(*total_ns))))
+                .collect(),
+        );
+        Json::Obj(vec![
+            (
+                "checks".into(),
+                Json::num(self.registry.counter("checks_total") as f64),
+            ),
+            (
+                "check_p50_us".into(),
+                Json::num(lat.map_or(0, |h| h.p50_us()) as f64),
+            ),
+            (
+                "check_p90_us".into(),
+                Json::num(lat.map_or(0, |h| h.p90_us()) as f64),
+            ),
+            (
+                "check_p99_us".into(),
+                Json::num(lat.map_or(0, |h| h.p99_us()) as f64),
+            ),
+            ("phases_ms".into(), phases),
+        ])
+    }
+
+    /// `{"cmd":"metrics"}`: the ROADMAP's `/metrics`-style surface —
+    /// monotonic counters, cache hit rate, and check-latency
+    /// percentiles, all derived from the registry (never from verdicts).
+    fn metrics_response(&self) -> String {
+        let c = self.ws.cache().counters();
+        let counters = Json::Obj(
+            self.registry
+                .counters()
+                .map(|(name, v)| (name.to_string(), Json::num(v as f64)))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("metrics")),
+            ("docs".into(), Json::num(self.ws.doc_count() as f64)),
+            ("counters".into(), counters),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::num(c.entries as f64)),
+                    ("hits".into(), Json::num(c.hits as f64)),
+                    ("misses".into(), Json::num(c.misses as f64)),
+                    ("evictions".into(), Json::num(c.evictions as f64)),
+                    ("hit_rate".into(), Json::num(c.hit_rate())),
+                ]),
+            ),
+            ("timing".into(), self.timing_summary()),
+        ])
+        .to_string()
     }
 
     /// Runs the serve loop over arbitrary reader/writer pairs (stdin and
@@ -443,7 +562,11 @@ impl Serve {
 /// own URI first, then closure files that are not open documents
 /// themselves (an open document's diagnostics are owned by its own
 /// check). Returns the rendered lines and the set of URIs published.
-fn publishes_for(ws: &Workspace, report: &DocReport) -> (Vec<String>, BTreeSet<String>) {
+fn publishes_for(
+    ws: &Workspace,
+    report: &DocReport,
+    timing: &Json,
+) -> (Vec<String>, BTreeSet<String>) {
     let idxs: Vec<LineIndex> = report
         .merged
         .files
@@ -463,9 +586,25 @@ fn publishes_for(ws: &Workspace, report: &DocReport) -> (Vec<String>, BTreeSet<S
         .collect();
     let lines = order
         .into_iter()
-        .map(|fi| publish_diagnostics(report, fi, &groups[fi].1, &idxs))
+        .map(|fi| publish_diagnostics(report, fi, &groups[fi].1, &idxs, timing))
         .collect();
     (lines, uris)
+}
+
+/// Nanoseconds → fractional milliseconds.
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+/// The per-phase millisecond timing object for one check, keyed by
+/// phase name (already sorted by [`rsc_obs::Profile::phase_totals`]).
+fn timing_json(phases: &[rsc_obs::Phase]) -> Json {
+    Json::Obj(
+        phases
+            .iter()
+            .map(|p| (p.name.to_string(), Json::num(ns_to_ms(p.total_ns))))
+            .collect(),
+    )
 }
 
 /// Reads a legacy document key's backing file from disk.
@@ -632,8 +771,11 @@ fn str_arr(items: &[String]) -> Json {
 }
 
 /// The non-standard `rsc` counters object attached to every publish of
-/// one document check.
-fn rsc_counters(report: &DocReport) -> Json {
+/// one document check. `timing` carries the per-phase millisecond
+/// breakdown of the update that produced the report (shared by every
+/// report of one update — phases are collected per update, not per
+/// document).
+fn rsc_counters(report: &DocReport, timing: &Json) -> Json {
     let incr = &report.outcome.incr;
     Json::Obj(vec![
         ("verified".into(), Json::Bool(report.outcome.result.ok())),
@@ -648,6 +790,7 @@ fn rsc_counters(report: &DocReport) -> Json {
         ("deps_changed".into(), str_arr(&report.deps_changed)),
         ("dirty_own".into(), str_arr(&report.dirty_own)),
         ("time_us".into(), Json::num(incr.total_micros as f64)),
+        ("timing_ms".into(), timing.clone()),
     ])
 }
 
@@ -658,6 +801,7 @@ fn publish_diagnostics(
     fi: usize,
     diags: &[&Diagnostic],
     idxs: &[LineIndex],
+    timing: &Json,
 ) -> String {
     let uri = report.merged.files[fi].name.clone();
     let rendered: Vec<Json> = diags
@@ -677,7 +821,7 @@ fn publish_diagnostics(
                 ("diagnostics".into(), Json::Arr(rendered)),
             ]),
         ),
-        ("rsc".into(), rsc_counters(report)),
+        ("rsc".into(), rsc_counters(report, timing)),
     ])
     .to_string()
 }
@@ -719,7 +863,7 @@ fn importer_summary(report: &DocReport) -> Json {
     ])
 }
 
-fn check_response(cmd: &str, key: &str, reports: &[DocReport]) -> String {
+fn check_response(cmd: &str, key: &str, reports: &[DocReport], timing: Json) -> String {
     let report = &reports[0];
     let outcome = &report.outcome;
     let multi_file = report.merged.files.len() > 1;
@@ -786,6 +930,7 @@ fn check_response(cmd: &str, key: &str, reports: &[DocReport]) -> String {
         "time_us".into(),
         Json::num(outcome.incr.total_micros as f64),
     ));
+    fields.push(("timing_ms".into(), timing));
     Json::Obj(fields).to_string()
 }
 

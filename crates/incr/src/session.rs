@@ -150,6 +150,7 @@ impl CheckSession {
     }
 
     fn check_prog(&mut self, prog: &rsc_syntax::Program, start: Instant) -> SessionOutcome {
+        let _sp = rsc_obs::span!("check");
         let ir = match rsc_ssa::transform_program(prog) {
             Ok(i) => i,
             Err(e) => return self.front_error(e.message, e.span, start),

@@ -858,6 +858,7 @@ impl Workspace {
     fn check_doc_inner(&mut self, uri: &str) -> (DocReport, bool) {
         let start = Instant::now();
         let resolved = {
+            let _sp = rsc_obs::span!("imports");
             // Editor overlays: open documents override the disk
             // everywhere (borrowed, not cloned — only closure members'
             // texts are copied, into their `ModuleFile`s).

@@ -90,7 +90,10 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
         .filter(|(_, c)| matches!(c.rhs, Pred::KVar(..)))
         .map(|(i, _)| i)
         .collect();
+    let mut iteration = 0u64;
     loop {
+        let _sp = rsc_obs::span!("fixpoint-iter", unit = iteration);
+        iteration += 1;
         let mut changed = false;
         for &ci in &kvar_headed {
             let c = &cs.subs[ci];

@@ -1,0 +1,226 @@
+//! The span collector: guard-based phase timing behind one atomic gate.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The global on/off gate. Everything else in this module is reachable
+/// only after a relaxed load of this flag observes `true`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Completed spans, pushed on guard drop. A plain mutex-guarded vector:
+/// spans are coarse (phases, bundles, SMT queries), so contention is
+/// modest, and correctness beats cleverness here.
+static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// The time origin all `start_ns` values are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small dense thread ids (1, 2, ...) in first-use order, so trace
+/// `tid`s are readable. The *assignment* order is scheduling-dependent;
+/// deterministic surfaces never key on it.
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: Cell<u64> = const { Cell::new(0) };
+    }
+    ID.with(|id| {
+        if id.get() == 0 {
+            id.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Turn collection on or off. Enabling also pins the time origin so the
+/// first span does not pay the `OnceLock` initialization.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is collection currently enabled?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One completed span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (static: the taxonomy is closed).
+    pub name: &'static str,
+    /// Optional unit index (bundle index, fixpoint iteration, ...).
+    pub unit: Option<u64>,
+    /// Dense id of the recording thread.
+    pub tid: u64,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: u32,
+    /// Start time in nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    unit: Option<u64>,
+    tid: u64,
+    depth: u32,
+    start: Instant,
+}
+
+/// A live span; records itself into the collector when dropped.
+///
+/// Holds `None` when collection was disabled at creation time — the
+/// disabled fast path allocates nothing and reads no clock.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let dur_ns = active.start.elapsed().as_nanos() as u64;
+            let start_ns = (active.start - epoch()).as_nanos() as u64;
+            DEPTH.with(|d| d.set(active.depth));
+            let record = SpanRecord {
+                name: active.name,
+                unit: active.unit,
+                tid: active.tid,
+                depth: active.depth,
+                start_ns,
+                dur_ns,
+            };
+            RECORDS.lock().unwrap().push(record);
+        }
+    }
+}
+
+/// Start a span (prefer the [`span!`](crate::span!) macro).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_inner(name, None)
+}
+
+/// Start a span carrying a unit index (prefer [`span!`](crate::span!)).
+#[inline]
+pub fn span_unit(name: &'static str, unit: u64) -> SpanGuard {
+    span_inner(name, Some(unit))
+}
+
+#[inline]
+fn span_inner(name: &'static str, unit: Option<u64>) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard(None);
+    }
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard(Some(ActiveSpan {
+        name,
+        unit,
+        tid: thread_id(),
+        depth,
+        start: Instant::now(),
+    }))
+}
+
+/// Take every completed span out of the collector.
+///
+/// Spans are returned sorted by `(tid, start_ns, depth)` so nesting
+/// reads top-down per thread; note the *values* are wall-clock and thus
+/// run-dependent — deterministic consumers go through
+/// [`Profile::phase_totals`] / [`Profile::unit_totals`].
+pub fn drain() -> Profile {
+    let mut spans = std::mem::take(&mut *RECORDS.lock().unwrap());
+    spans.sort_by_key(|s| (s.tid, s.start_ns, s.depth));
+    Profile { spans }
+}
+
+/// A drained batch of spans plus deterministic aggregations over it.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// The raw spans, sorted by `(tid, start_ns, depth)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Aggregate cost of one phase name across a [`Profile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl Profile {
+    /// Per-phase `(count, total)` aggregation, sorted by phase name.
+    ///
+    /// This is the deterministic merge point for the work-stealing pool:
+    /// whatever order worker threads *completed* spans in, the totals
+    /// are keyed and ordered by name alone.
+    pub fn phase_totals(&self) -> Vec<Phase> {
+        let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = totals.entry(s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        totals
+            .into_iter()
+            .map(|(name, (count, total_ns))| Phase {
+                name,
+                count,
+                total_ns,
+            })
+            .collect()
+    }
+
+    /// Summed duration per `unit` for spans named `name`, sorted by
+    /// unit index — e.g. per-bundle solve time in bundle-index order,
+    /// independent of completion order.
+    pub fn unit_totals(&self, name: &str) -> Vec<(u64, u64)> {
+        let mut totals: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in &self.spans {
+            if s.name == name {
+                if let Some(u) = s.unit {
+                    *totals.entry(u).or_insert(0) += s.dur_ns;
+                }
+            }
+        }
+        totals.into_iter().collect()
+    }
+
+    /// Total duration of all spans named `name`, in nanoseconds.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Fold this profile's per-phase totals into a running accumulator
+    /// (used by `rsc fuzz` / `rsc --watch` for aggregate summaries).
+    pub fn accumulate_into(&self, acc: &mut BTreeMap<&'static str, (u64, u64)>) {
+        for p in self.phase_totals() {
+            let e = acc.entry(p.name).or_insert((0, 0));
+            e.0 += p.count;
+            e.1 += p.total_ns;
+        }
+    }
+}

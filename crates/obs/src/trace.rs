@@ -1,0 +1,73 @@
+//! Chrome trace-event (Perfetto-loadable) emission.
+
+use std::fmt::Write as _;
+
+use crate::SpanRecord;
+
+/// Render spans as a Chrome trace-event JSON document.
+///
+/// Each span becomes one complete (`"ph":"X"`) event with microsecond
+/// `ts`/`dur`; Perfetto reconstructs nesting from `tid` plus time
+/// containment. Phase names come from the closed span taxonomy (plain
+/// ASCII identifiers), so no JSON string escaping is needed beyond
+/// emitting them verbatim.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"rsc\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03}",
+            s.name,
+            s.tid,
+            s.start_ns / 1000,
+            s.start_ns % 1000,
+            s.dur_ns / 1000,
+            s.dur_ns % 1000,
+        );
+        if let Some(u) = s.unit {
+            let _ = write!(out, ",\"args\":{{\"unit\":{u}}}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_events() {
+        let spans = vec![
+            SpanRecord {
+                name: "parse",
+                unit: None,
+                tid: 1,
+                depth: 0,
+                start_ns: 1_500,
+                dur_ns: 2_000,
+            },
+            SpanRecord {
+                name: "solve-bundle",
+                unit: Some(3),
+                tid: 2,
+                depth: 1,
+                start_ns: 0,
+                dur_ns: 10,
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains("\"args\":{\"unit\":3}"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,120 @@
+//! Span-collector behavior: nesting, cross-thread overlap under the
+//! work-stealing pool, deterministic aggregation, and the disabled path.
+//!
+//! The collector is one process-global, so every test that enables it
+//! serializes on [`TEST_LOCK`] and drains before releasing it.
+
+use std::sync::Mutex;
+
+use threadpool::Pool;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with collection enabled and a clean collector, returning the
+/// profile drained afterwards.
+fn with_collector<T>(f: impl FnOnce() -> T) -> (T, rsc_obs::Profile) {
+    let _guard = TEST_LOCK.lock().unwrap();
+    rsc_obs::drain(); // discard leftovers from any earlier test
+    rsc_obs::set_enabled(true);
+    let out = f();
+    rsc_obs::set_enabled(false);
+    let profile = rsc_obs::drain();
+    (out, profile)
+}
+
+#[test]
+fn nested_spans_record_depth_and_containment() {
+    let ((), profile) = with_collector(|| {
+        let _outer = rsc_obs::span!("solve");
+        {
+            let _inner = rsc_obs::span!("smt-query");
+            std::hint::black_box(0);
+        }
+    });
+    assert_eq!(profile.spans.len(), 2);
+    let outer = profile.spans.iter().find(|s| s.name == "solve").unwrap();
+    let inner = profile
+        .spans
+        .iter()
+        .find(|s| s.name == "smt-query")
+        .unwrap();
+    assert_eq!(outer.depth, 0);
+    assert_eq!(inner.depth, 1);
+    assert_eq!(outer.tid, inner.tid);
+    // The inner span is contained in the outer one.
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns + 1);
+}
+
+#[test]
+fn overlapping_spans_across_pool_threads_merge_deterministically() {
+    const JOBS: u64 = 8;
+    let run = || {
+        let ((), profile) = with_collector(|| {
+            let jobs: Vec<_> = (0..JOBS)
+                .map(|i| {
+                    move || {
+                        let _b = rsc_obs::span!("solve-bundle", unit = i);
+                        for _ in 0..(i % 3 + 1) {
+                            let _q = rsc_obs::span!("smt-query");
+                            std::hint::black_box(i);
+                        }
+                    }
+                })
+                .collect();
+            Pool::new(4).run(jobs);
+        });
+        profile
+    };
+
+    let a = run();
+    let b = run();
+
+    // Raw span logs are wall-clock ordered and may differ between runs;
+    // the aggregated views must not.
+    let totals = |p: &rsc_obs::Profile| {
+        p.phase_totals()
+            .into_iter()
+            .map(|ph| (ph.name, ph.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        totals(&a),
+        vec![("smt-query", 15), ("solve-bundle", JOBS)],
+        "phase totals keyed by name, independent of completion order"
+    );
+    assert_eq!(totals(&a), totals(&b));
+
+    // Per-unit totals come back in unit (bundle-index) order.
+    let units: Vec<u64> = a
+        .unit_totals("solve-bundle")
+        .into_iter()
+        .map(|(u, _)| u)
+        .collect();
+    assert_eq!(units, (0..JOBS).collect::<Vec<_>>());
+}
+
+#[test]
+fn disabled_collector_records_nothing() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    rsc_obs::drain();
+    rsc_obs::set_enabled(false);
+    {
+        let _s = rsc_obs::span!("solve");
+        let _u = rsc_obs::span!("solve-bundle", unit = 7u64);
+    }
+    assert!(rsc_obs::drain().spans.is_empty());
+    assert!(!rsc_obs::enabled());
+}
+
+#[test]
+fn accumulate_folds_counts_and_totals() {
+    let ((), profile) = with_collector(|| {
+        let _a = rsc_obs::span!("parse");
+    });
+    let mut acc = std::collections::BTreeMap::new();
+    profile.accumulate_into(&mut acc);
+    profile.accumulate_into(&mut acc);
+    assert_eq!(acc["parse"].0, 2);
+    assert_eq!(acc["parse"].1, 2 * profile.total_ns("parse"));
+}

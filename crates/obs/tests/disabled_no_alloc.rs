@@ -1,0 +1,54 @@
+//! The disabled fast path must be a branch on an atomic: no clock read,
+//! no lock, and — asserted here with a counting allocator — zero heap
+//! allocation per span site.
+//!
+//! This lives in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-wide and the count must not race
+//! with unrelated tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    rsc_obs::set_enabled(false);
+    // Warm up the thread-locals the *enabled* path would use, so the
+    // measurement below is purely the disabled branch.
+    {
+        let _w = rsc_obs::span!("warmup");
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _s = rsc_obs::span!("solve");
+        let _u = rsc_obs::span!("solve-bundle", unit = i);
+        std::hint::black_box(i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span! must not allocate (got {} allocations over 20k spans)",
+        after - before
+    );
+}

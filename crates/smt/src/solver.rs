@@ -284,6 +284,7 @@ impl Solver {
     /// first; cached Unsat fingerprints answer without solving, and
     /// misses solve the canonical form and memoize an Unsat outcome.
     pub fn is_valid(&mut self, env: &dyn SortLookup, hyps: &[Pred], goal: &Pred) -> bool {
+        let _sp = rsc_obs::span!("smt-query");
         let mut preds: Vec<Pred> = hyps.to_vec();
         preds.push(Pred::not(goal.clone()));
         let r = match self.cache.clone() {

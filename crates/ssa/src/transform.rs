@@ -79,6 +79,7 @@ impl std::error::Error for SsaError {}
 
 /// Translates a parsed program into SSA form.
 pub fn transform_program(p: &Program) -> Result<IrProgram, SsaError> {
+    let _sp = rsc_obs::span!("ssa");
     let mut ssa = Ssa::default();
     let mut out = IrProgram::default();
     let mut top_stmts: Vec<Stmt> = Vec::new();

@@ -30,6 +30,7 @@ type PResult<T> = Result<T, ParseError>;
 
 /// Parses a complete RSC program.
 pub fn parse_program(src: &str) -> PResult<Program> {
+    let _sp = rsc_obs::span!("parse");
     Parser::new(src)?.program()
 }
 

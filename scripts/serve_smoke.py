@@ -16,6 +16,13 @@ Legs (default: legacy + lsp):
 * ``cache-bound`` — a long edit script under ``RSC_CACHE_CAP=16``:
   verdicts must stay correct while the VC cache stays bounded and
   reports evictions.
+* ``metrics``     — the observability surface: a short legacy edit
+  session, then ``{"cmd":"stats"}`` (must fold in ``importers_skipped``
+  and the aggregate ``timing`` summary) and ``{"cmd":"metrics"}`` (must
+  report monotonic registry counters, VC-cache counters with a hit
+  rate, check-latency percentiles, and cumulative per-phase
+  milliseconds covering the span taxonomy). Every check response must
+  also carry a per-phase ``timing_ms`` object.
 * ``multi-file`` — URIs connected by ``import``: a non-exported body
   edit in the exporting document skips the importer's re-check
   entirely (one publish, ``importers_skipped`` counted), while an
@@ -256,6 +263,61 @@ def cache_bound_leg(binary, cap=16, rounds=3):
           f"(cap={cap}, evictions={evictions})")
 
 
+def metrics_leg(binary):
+    """Observability surface: per-check timing_ms, stats with the folded
+    timing summary, and the metrics counters/cache/latency object."""
+    name, src, mutated = corpus()[0]
+    requests = [
+        {"cmd": "load", "source": src},
+        {"cmd": "edit", "source": mutated},
+        {"cmd": "edit", "source": src},
+        {"cmd": "stats"},
+        {"cmd": "metrics"},
+        {"cmd": "quit"},
+    ]
+    lines = run_serve(binary, requests)
+    if len(lines) != 6:
+        fail(f"metrics: expected 6 responses, got {len(lines)}")
+    checks, stats, metrics = lines[:3], lines[3], lines[4]
+
+    for i, v in enumerate(checks):
+        if not v.get("ok"):
+            fail(f"metrics: check {i} not ok: {v}")
+        timing = v.get("timing_ms")
+        if not isinstance(timing, dict) or "solve" not in timing:
+            fail(f"metrics: check {i} has no per-phase timing_ms: {v}")
+
+    # stats: one object the harness can assert sessions + skips + timing
+    # on (importers_skipped is cumulative, 0 here — no imports).
+    if stats.get("importers_skipped") != 0:
+        fail(f"metrics: stats.importers_skipped missing/wrong: {stats}")
+    summary = stats.get("timing")
+    if not isinstance(summary, dict) or summary.get("checks") != 3:
+        fail(f"metrics: stats.timing did not count 3 checks: {stats}")
+
+    if not metrics.get("ok") or metrics.get("cmd") != "metrics":
+        fail(f"metrics: bad metrics response: {metrics}")
+    counters = metrics.get("counters", {})
+    if counters.get("checks_total") != 3 or counters.get("checks_failed_total") != 1:
+        fail(f"metrics: counters did not track the session: {counters}")
+    if counters.get("bundles_total", 0) <= counters.get("bundles_solved_total", 0):
+        fail(f"metrics: edits must reuse bundles: {counters}")
+    cache = metrics.get("cache", {})
+    if cache.get("hits", 0) + cache.get("misses", 0) <= 0 or "hit_rate" not in cache:
+        fail(f"metrics: cache counters missing: {cache}")
+    timing = metrics.get("timing", {})
+    if timing.get("check_p50_us", 0) <= 0 or timing.get("check_p99_us", 0) < \
+            timing.get("check_p50_us", 0):
+        fail(f"metrics: bad latency percentiles: {timing}")
+    phases = timing.get("phases_ms", {})
+    missing = {"parse", "ssa", "constraint-gen", "partition", "solve",
+               "solve-bundle", "smt-query", "check"} - set(phases)
+    if missing:
+        fail(f"metrics: phases_ms missing taxonomy phases {missing}: {phases}")
+    print(f"serve_smoke: metrics leg PASS (p50={timing['check_p50_us']}us, "
+          f"phases={len(phases)})")
+
+
 def multi_file_leg(binary):
     """URIs over one workspace: a non-exported edit skips the importer
     entirely; a signature edit re-checks it; same-named private helpers
@@ -404,7 +466,8 @@ def main():
     while i < len(args):
         if args[i] == "--leg":
             if i + 1 >= len(args):
-                fail("--leg expects a value (legacy | lsp | cache-bound | multi-file)")
+                fail("--leg expects a value "
+                     "(legacy | lsp | cache-bound | multi-file | metrics)")
             legs.append(args[i + 1])
             i += 2
         else:
@@ -422,6 +485,8 @@ def main():
             lsp_leg(binary)
         elif leg == "cache-bound":
             cache_bound_leg(binary)
+        elif leg == "metrics":
+            metrics_leg(binary)
         elif leg == "multi-file":
             multi_file_leg(binary)
         else:

@@ -13,6 +13,8 @@
 //! cargo run --bin rsc -- --watch a.rsc b.rsc  # re-check on save
 //! cargo run --bin rsc -- check --recursive workspace/  # parallel batch
 //! cargo run --bin rsc -- fuzz --cases 1000 --seed 0    # oracles
+//! cargo run --bin rsc -- --profile trace.json file.rsc # Perfetto trace
+//! cargo run --bin rsc -- --stats-json file.rsc         # per-phase JSON
 //! ```
 //!
 //! Files may `import {name} from "./other"`: each root is checked as
@@ -58,9 +60,12 @@ fn main() {
     let mut quiet = false;
     let mut want_jobs = false;
     let mut want_cache_cap = false;
+    let mut want_profile = false;
     let mut serve = false;
     let mut watch = false;
     let mut recursive = false;
+    let mut profile_path: Option<String> = None;
+    let mut stats_json = false;
     for arg in argv {
         if want_jobs {
             want_jobs = false;
@@ -70,6 +75,11 @@ fn main() {
         if want_cache_cap {
             want_cache_cap = false;
             opts.cache_capacity = parse_cache_cap(&arg);
+            continue;
+        }
+        if want_profile {
+            want_profile = false;
+            profile_path = Some(arg);
             continue;
         }
         match arg.as_str() {
@@ -82,6 +92,8 @@ fn main() {
             "--no-vc-cache" => opts.vc_cache = false,
             "--jobs" | "-j" => want_jobs = true,
             "--cache-cap" => want_cache_cap = true,
+            "--profile" => want_profile = true,
+            "--stats-json" => stats_json = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 print_usage();
@@ -92,11 +104,14 @@ fn main() {
                 Some(n) => opts.jobs = parse_jobs(n),
                 None => match other.strip_prefix("--cache-cap=") {
                     Some(n) => opts.cache_capacity = parse_cache_cap(n),
-                    None => {
-                        eprintln!("rsc: unknown flag {other}");
-                        print_usage();
-                        std::process::exit(2);
-                    }
+                    None => match other.strip_prefix("--profile=") {
+                        Some(p) => profile_path = Some(p.to_string()),
+                        None => {
+                            eprintln!("rsc: unknown flag {other}");
+                            print_usage();
+                            std::process::exit(2);
+                        }
+                    },
                 },
             },
         }
@@ -111,9 +126,18 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
+    if want_profile {
+        eprintln!("rsc: --profile expects an output path");
+        print_usage();
+        std::process::exit(2);
+    }
     if serve {
         if watch || !args_files.is_empty() {
             eprintln!("rsc: serve takes no files (send load requests on stdin)");
+            std::process::exit(2);
+        }
+        if profile_path.is_some() || stats_json {
+            eprintln!("rsc: serve reports timing via the {{\"cmd\":\"metrics\"}} request");
             std::process::exit(2);
         }
         let stdin = std::io::stdin();
@@ -130,7 +154,7 @@ fn main() {
             eprintln!("rsc: --watch expects at least one file");
             std::process::exit(2);
         }
-        run_watch(&files, opts, quiet);
+        run_watch(&files, opts, quiet, profile_path.as_deref());
         return;
     }
     if files.is_empty() {
@@ -138,13 +162,28 @@ fn main() {
         std::process::exit(2);
     }
     if recursive {
-        run_recursive(&files, opts, quiet);
+        if stats_json {
+            eprintln!("rsc: --stats-json is not supported with --recursive");
+            std::process::exit(2);
+        }
+        run_recursive(&files, opts, quiet, profile_path.as_deref());
+    }
+
+    // Observability surfaces: both flags flip the same collector on;
+    // collection must never change verdicts or diagnostics (see
+    // `tests/profile_determinism.rs`).
+    let obs_on = profile_path.is_some() || stats_json;
+    if obs_on {
+        rsc_obs::set_enabled(true);
+        rsc_obs::drain(); // discard anything recorded before the batch
     }
 
     // One workspace for the whole batch: each root is checked as its
     // import closure, and overlapping closures share the VC cache.
     let mut ws = Workspace::new(opts);
     let mut failed = false;
+    let mut all_spans: Vec<rsc_obs::SpanRecord> = Vec::new();
+    let mut json_files: Vec<String> = Vec::new();
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -156,9 +195,21 @@ fn main() {
         let start = std::time::Instant::now();
         let report = ws.check_one(file, src);
         let elapsed = start.elapsed();
+        let profile = if obs_on {
+            rsc_obs::drain()
+        } else {
+            rsc_obs::Profile::default()
+        };
         let result = &report.outcome.result;
         let closure = report.merged.files.len();
-        if result.ok() {
+        if stats_json {
+            json_files.push(stats_json_entry(file, &report, &profile, elapsed));
+            if !result.ok() {
+                failed = true;
+                // Keep stdout machine-readable; humans read stderr.
+                eprint!("{}", rendered(&report));
+            }
+        } else if result.ok() {
             if !quiet {
                 let files_note = if closure > 1 {
                     format!(", {closure} files")
@@ -185,8 +236,121 @@ fn main() {
             );
             print_rendered(&report);
         }
+        if profile_path.is_some() {
+            all_spans.extend(profile.spans);
+        }
+    }
+    if stats_json {
+        println!("{{\"files\":[{}]}}", json_files.join(","));
+    }
+    if let Some(path) = &profile_path {
+        write_trace(path, &all_spans);
     }
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Writes a Chrome trace-event file (loadable in Perfetto /
+/// `chrome://tracing`) from the collected spans.
+fn write_trace(path: &str, spans: &[rsc_obs::SpanRecord]) {
+    if let Err(e) = std::fs::write(path, rsc_obs::chrome_trace_json(spans)) {
+        eprintln!("rsc: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// One `--stats-json` entry: verdict and structural stats are
+/// deterministic at any `--jobs` (per-bundle rows are in bundle-index
+/// order); `*_us` timings and the VC-cache hit/miss split are
+/// measurements and vary run to run.
+fn stats_json_entry(
+    file: &str,
+    report: &DocReport,
+    profile: &rsc_obs::Profile,
+    elapsed: std::time::Duration,
+) -> String {
+    use std::fmt::Write;
+    let result = &report.outcome.result;
+    let stats = &result.stats;
+    let mut bundles = String::new();
+    for (i, b) in result.bundle_reports.iter().enumerate() {
+        if i > 0 {
+            bundles.push(',');
+        }
+        write!(
+            bundles,
+            "{{\"index\":{i},\"constraints\":{},\"kvars\":{},\"cached\":{},\
+             \"failures\":{},\"smt_queries\":{},\"solve_us\":{}}}",
+            b.constraints,
+            b.kvars,
+            b.cached,
+            b.failures.len(),
+            b.smt_queries,
+            b.solve_ns / 1_000,
+        )
+        .unwrap();
+    }
+    let mut phases = String::new();
+    for (i, p) in profile.phase_totals().iter().enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        write!(
+            phases,
+            "{{\"name\":{},\"count\":{},\"total_us\":{}}}",
+            json_str(p.name),
+            p.count,
+            p.total_ns / 1_000,
+        )
+        .unwrap();
+    }
+    format!(
+        "{{\"file\":{},\"ok\":{},\"files_in_closure\":{},\
+         \"stats\":{{\"constraints\":{},\"kvars\":{},\"smt_queries\":{},\
+         \"bundles\":{},\"bundles_reused\":{},\"diagnostics\":{}}},\
+         \"bundles\":[{bundles}],\"phases\":[{phases}],\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"time_us\":{}}}",
+        json_str(file),
+        result.ok(),
+        report.merged.files.len(),
+        stats.constraints,
+        stats.kvars,
+        stats.smt_queries,
+        stats.bundles,
+        stats.bundles_reused,
+        result.diagnostics.len(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        elapsed.as_micros(),
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a per-phase accumulator as `name 1.2ms×3, ...` (name order).
+fn phase_summary(acc: &BTreeMap<&'static str, (u64, u64)>) -> String {
+    acc.iter()
+        .map(|(name, (count, ns))| format!("{name} {:.1}ms\u{d7}{count}", *ns as f64 / 1e6))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Renders every diagnostic of a report against its owning file's own
@@ -218,7 +382,11 @@ fn rendered(report: &DocReport) -> String {
 /// canonical VC, so cross-thread sharing is sound). Per-file output is
 /// buffered and printed in input order, byte-identical to the serial
 /// loop's lines.
-fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool) -> ! {
+fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool, profile: Option<&str>) -> ! {
+    if profile.is_some() {
+        rsc_obs::set_enabled(true);
+        rsc_obs::drain();
+    }
     let pool = Pool::new(opts.effective_jobs());
     let cache = VcCache::shared_with_capacity(opts.effective_cache_capacity());
     // File-level parallelism replaces bundle-level parallelism.
@@ -277,6 +445,9 @@ fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool) -> ! {
         })
         .collect();
     let results = pool.run(jobs);
+    if let Some(path) = profile {
+        write_trace(path, &rsc_obs::drain().spans);
+    }
     let mut failed = false;
     let mut io_err = false;
     for (text, ok, io) in &results {
@@ -365,6 +536,10 @@ fn run_fuzz_cli(args: &[String]) -> ! {
     }
 
     let start = std::time::Instant::now();
+    // Aggregate phase timings over every generated check (the per-phase
+    // accumulator is deterministic in shape, wall-clock in values).
+    rsc_obs::set_enabled(true);
+    rsc_obs::drain();
     let heartbeat = (cfg.cases / 10).max(50);
     let summary = rsc_gen::run_fuzz(&cfg, |case, out| {
         let done = case + 1 - cfg.skip;
@@ -378,6 +553,12 @@ fn run_fuzz_cli(args: &[String]) -> ! {
             );
         }
     });
+
+    let mut timing: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    rsc_obs::drain().accumulate_into(&mut timing);
+    if !quiet && !timing.is_empty() {
+        println!("fuzz timing: {}", phase_summary(&timing));
+    }
 
     for v in &summary.violations {
         println!(
@@ -508,7 +689,7 @@ fn report_watch(report: &DocReport, quiet: bool) {
 /// interval: `RSC_WATCH_POLL_MS` (default 150). For scripted runs,
 /// `RSC_WATCH_MAX_CHECKS` bounds the number of document checks before
 /// exiting (the exit code then reflects each document's last check).
-fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool) {
+fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool, profile: Option<&str>) {
     let poll = std::env::var("RSC_WATCH_POLL_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -518,10 +699,35 @@ fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool) {
         .and_then(|v| v.parse::<u64>().ok());
     let mtime = |f: &str| std::fs::metadata(f).and_then(|m| m.modified()).ok();
 
+    // The watch loop always collects phase timings: each drained batch
+    // folds into a per-phase accumulator so a bounded run
+    // (`RSC_WATCH_MAX_CHECKS`) can exit with an aggregate summary.
+    rsc_obs::set_enabled(true);
+    rsc_obs::drain();
+    let mut timing: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    let mut spans: Vec<rsc_obs::SpanRecord> = Vec::new();
+    let take_profile = |timing: &mut BTreeMap<&'static str, (u64, u64)>,
+                        spans: &mut Vec<rsc_obs::SpanRecord>| {
+        let p = rsc_obs::drain();
+        p.accumulate_into(timing);
+        if profile.is_some() {
+            spans.extend(p.spans);
+        }
+    };
+
     let mut ws = Workspace::new(opts);
     let mut checks = 0u64;
     let mut verdicts: BTreeMap<String, bool> = BTreeMap::new();
-    let exit = |verdicts: &BTreeMap<String, bool>| -> ! {
+    let exit = |verdicts: &BTreeMap<String, bool>,
+                timing: &BTreeMap<&'static str, (u64, u64)>,
+                spans: &[rsc_obs::SpanRecord]|
+     -> ! {
+        if !quiet && !timing.is_empty() {
+            println!("[watch] timing: {}", phase_summary(timing));
+        }
+        if let Some(path) = profile {
+            write_trace(path, spans);
+        }
         std::process::exit(if verdicts.values().all(|&ok| ok) {
             0
         } else {
@@ -542,6 +748,7 @@ fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool) {
             report_watch(&report, quiet);
             checks += 1;
         }
+        take_profile(&mut timing, &mut spans);
     }
 
     let mut seen: BTreeMap<String, Option<std::time::SystemTime>> = ws
@@ -553,7 +760,7 @@ fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool) {
     loop {
         if let Some(max) = max_checks {
             if checks >= max {
-                exit(&verdicts);
+                exit(&verdicts, &timing, &spans);
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(poll));
@@ -596,6 +803,7 @@ fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool) {
                 report_watch(&report, quiet);
                 checks += 1;
             }
+            take_profile(&mut timing, &mut spans);
         }
     }
 }
@@ -643,6 +851,10 @@ fn print_usage() {
          --jobs N  solve constraint bundles on N worker threads\n\
          \u{20}         (default: RSC_JOBS env var, else available cores, max 8)\n\
          --cache-cap N  bound the VC cache to ~N entries (LRU eviction;\n\
-         \u{20}         default: RSC_CACHE_CAP env var, else unbounded)"
+         \u{20}         default: RSC_CACHE_CAP env var, else unbounded)\n\
+         --profile FILE  write a Chrome trace-event profile of every phase\n\
+         \u{20}         (open in Perfetto or chrome://tracing)\n\
+         --stats-json  print a machine-readable per-phase/per-bundle report\n\
+         \u{20}         on stdout (diagnostics then render on stderr)"
     );
 }
