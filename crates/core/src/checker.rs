@@ -8,7 +8,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use rsc_liquid::{
-    bundle_fingerprint, global_fingerprint, partition, solve, Blame, CEnv, ConstraintBundle,
+    bundle_fingerprint, global_fingerprint, partition, solve_with, Blame, CEnv, ConstraintBundle,
     ConstraintSet, LiquidResult, ObligationKind,
 };
 use rsc_logic::{CmpOp, Pred, Sort, SortScope, Subst, Sym, Term};
@@ -43,6 +43,12 @@ pub struct CheckerOptions {
     /// unbounded. Bounding matters for long-lived sessions — see
     /// `rsc_smt::VcCache`'s generation-count LRU eviction.
     pub cache_capacity: usize,
+    /// Keep one persistent SMT context per κ-headed constraint during
+    /// the fixpoint (`rsc_smt::IncrContext`), so weakening iterations
+    /// re-solve deltas under activation literals instead of re-encoding
+    /// from scratch. Verdict- and diagnostic-preserving; off is the
+    /// ablation/debug path (`--no-incremental-smt` / `RSC_INCR_SMT=0`).
+    pub incremental_smt: bool,
 }
 
 impl Default for CheckerOptions {
@@ -54,6 +60,7 @@ impl Default for CheckerOptions {
             jobs: 0,
             vc_cache: true,
             cache_capacity: 0,
+            incremental_smt: true,
         }
     }
 }
@@ -81,6 +88,17 @@ impl CheckerOptions {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(8)
+    }
+
+    /// Resolves `incremental_smt` against the `RSC_INCR_SMT` environment
+    /// variable (`0`/`off`/`false` disables, anything else enables; the
+    /// option wins only when the variable is unset). Diagnostics are
+    /// byte-identical either way — the override exists for A/B timing.
+    pub fn effective_incremental(&self) -> bool {
+        match std::env::var("RSC_INCR_SMT") {
+            Ok(v) => !matches!(v.as_str(), "0" | "off" | "false"),
+            Err(_) => self.incremental_smt,
+        }
     }
 
     /// Resolves `cache_capacity` to a concrete entry cap (`0` =
@@ -495,6 +513,9 @@ pub fn solve_artifacts(
     let jobs = opts.effective_jobs();
     let cache = &vc_cache;
     let use_cache = opts.vc_cache;
+    let solve_opts = rsc_liquid::SolveOptions {
+        incremental: opts.effective_incremental(),
+    };
     let to_solve: Vec<usize> = (0..bundles.len())
         .filter(|i| retained[*i].is_none())
         .collect();
@@ -518,7 +539,7 @@ pub fn solve_artifacts(
                     } else {
                         rsc_smt::Solver::new()
                     };
-                    let result = solve(&b.cs, &mut smt);
+                    let result = solve_with(&b.cs, &mut smt, solve_opts);
                     let solve_ns = started.elapsed().as_nanos() as u64;
                     // Per-bundle counters: take (and thereby reset)
                     // rather than reading cumulative totals.

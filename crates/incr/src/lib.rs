@@ -32,12 +32,14 @@
 
 pub mod graph;
 pub mod json;
+pub mod persist;
 pub mod serve;
 mod session;
 pub mod workspace;
 
 pub use graph::DepGraph;
 pub use json::Json;
+pub use persist::BundleStore;
 pub use serve::Serve;
 pub use session::{CheckSession, IncrStats, SessionOutcome};
 pub use workspace::{

@@ -120,8 +120,14 @@ pub struct Serve {
 impl Serve {
     /// A fresh serve state checking with `opts`.
     pub fn new(opts: CheckerOptions) -> Serve {
+        Serve::over(Workspace::new(opts))
+    }
+
+    /// A fresh serve state over a caller-built workspace (how the
+    /// binary attaches the persistent `--vc-cache` disk tier).
+    pub fn over(ws: Workspace) -> Serve {
         Serve {
-            ws: Workspace::new(opts),
+            ws,
             active: None,
             inline: HashMap::new(),
             published: HashMap::new(),
@@ -536,9 +542,19 @@ impl Serve {
     pub fn run(
         opts: CheckerOptions,
         reader: impl BufRead,
+        writer: impl Write,
+    ) -> std::io::Result<()> {
+        Serve::run_over(Workspace::new(opts), reader, writer)
+    }
+
+    /// [`Serve::run`] over a caller-built workspace (e.g. one with a
+    /// persistent `--vc-cache` tier attached).
+    pub fn run_over(
+        ws: Workspace,
+        reader: impl BufRead,
         mut writer: impl Write,
     ) -> std::io::Result<()> {
-        let mut serve = Serve::new(opts);
+        let mut serve = Serve::over(ws);
         for line in reader.lines() {
             let line = line?;
             if line.trim().is_empty() {

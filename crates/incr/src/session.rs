@@ -2,6 +2,7 @@
 //! only what changed.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -9,9 +10,10 @@ use rsc_core::{
     generate_artifacts, solve_artifacts, CheckResult, CheckStats, CheckerOptions, Diagnostic,
     RetainedBundle,
 };
-use rsc_smt::VcCache;
+use rsc_smt::{cache::ENCODER_VERSION, DiskCache, VcCache};
 
 use crate::graph::DepGraph;
+use crate::persist::BundleStore;
 
 /// Incremental bookkeeping for one [`CheckSession::check`] call.
 #[derive(Clone, Debug, Default)]
@@ -71,6 +73,32 @@ pub struct CheckSession {
     opts: CheckerOptions,
     cache: Arc<VcCache>,
     state: Option<State>,
+    /// Directory of the persistent disk tier (`--vc-cache DIR`), if any.
+    disk_dir: Option<PathBuf>,
+    /// The open disk tier. Lazily (re)opened after constraint
+    /// generation: the cache version mixes the run-global fingerprint
+    /// (qualifier set + sort environment, known only post-generation)
+    /// with [`ENCODER_VERSION`].
+    disk: Option<DiskState>,
+}
+
+/// The two persistent tiers, opened for one cache version.
+struct DiskState {
+    version: u64,
+    vc: DiskCache,
+    bundles: BundleStore,
+}
+
+/// The on-disk cache version for a run: the run-global solve
+/// fingerprint mixed with the encoder version (splitmix64 finalizer, so
+/// close fingerprints land in unrelated files).
+fn disk_version(global_fp: u64) -> u64 {
+    let mut z = global_fp
+        .wrapping_add(ENCODER_VERSION.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl CheckSession {
@@ -97,7 +125,27 @@ impl CheckSession {
             opts,
             cache,
             state: None,
+            disk_dir: None,
+            disk: None,
         }
+    }
+
+    /// A fresh session whose VC verdicts and bundle verdicts persist to
+    /// `dir` across process restarts (the `--vc-cache DIR` tier). Warm
+    /// verdicts for an unchanged program are served entirely from disk:
+    /// the solve phase reuses every bundle and issues zero SMT queries.
+    pub fn with_disk(opts: CheckerOptions, dir: impl Into<PathBuf>) -> CheckSession {
+        CheckSession::new(opts).persisting_to(dir)
+    }
+
+    /// Attaches the persistent disk tier rooted at `dir` (builder-style;
+    /// see [`CheckSession::with_disk`]). The tier is opened lazily on
+    /// the next check — an unreadable directory degrades to a cold
+    /// in-memory cache with a warning, never a failed check.
+    pub fn persisting_to(mut self, dir: impl Into<PathBuf>) -> CheckSession {
+        self.disk_dir = Some(dir.into());
+        self.disk = None;
+        self
     }
 
     /// The session's options.
@@ -126,6 +174,57 @@ impl CheckSession {
     pub fn reset(&mut self) {
         self.state = None;
         self.cache = VcCache::shared_with_capacity(self.opts.effective_cache_capacity());
+        // Reopen (and re-seed from) the disk tier on the next check: a
+        // reset empties the in-memory caches, not the persistent files.
+        self.disk = None;
+    }
+
+    /// Opens (or re-opens, when the run-global fingerprint changed) the
+    /// persistent tiers for this run's cache version, seeding the
+    /// in-memory VC cache with every proof on disk. No-op without a
+    /// configured `--vc-cache` directory; I/O failures degrade to a
+    /// cold in-memory cache with a warning on stderr.
+    fn open_disk(&mut self, global_fp: u64) {
+        let Some(dir) = &self.disk_dir else { return };
+        let version = disk_version(global_fp);
+        if self.disk.as_ref().is_some_and(|d| d.version == version) {
+            return;
+        }
+        self.disk = None;
+        let vc = match DiskCache::open(dir, version) {
+            Ok(vc) => vc,
+            Err(e) => {
+                eprintln!("rsc: cannot open VC cache in {}: {e}", dir.display());
+                return;
+            }
+        };
+        let bundles = match BundleStore::open(dir, version) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("rsc: cannot open bundle cache in {}: {e}", dir.display());
+                return;
+            }
+        };
+        vc.load_into(&self.cache);
+        self.disk = Some(DiskState {
+            version,
+            vc,
+            bundles,
+        });
+    }
+
+    /// Appends this run's new proofs and bundle verdicts to the disk
+    /// tier (the delta only — both stores track what is already
+    /// persisted). Write failures warn and leave the in-memory run
+    /// intact.
+    fn flush_disk(&mut self, retained: &HashMap<u128, RetainedBundle>) {
+        let Some(disk) = &mut self.disk else { return };
+        if let Err(e) = disk.vc.flush(&self.cache) {
+            eprintln!("rsc: cannot write VC cache: {e}");
+        }
+        if let Err(e) = disk.bundles.flush(retained.iter().map(|(fp, b)| (*fp, b))) {
+            eprintln!("rsc: cannot write bundle cache: {e}");
+        }
     }
 
     /// Checks `src`, reusing whatever the previous run proved.
@@ -178,9 +277,14 @@ impl CheckSession {
             .unwrap_or_default();
 
         let artifacts = generate_artifacts(&ir, self.opts, Arc::clone(&self.cache));
+        self.open_disk(artifacts.global_fp);
+        let disk = self.disk.as_ref();
         let retained_ref = prev.as_ref().map(|s| &s.retained);
         let result = solve_artifacts(artifacts, &mut |fp| {
-            retained_ref.and_then(|m| m.get(&fp)).cloned()
+            retained_ref
+                .and_then(|m| m.get(&fp))
+                .or_else(|| disk.and_then(|d| d.bundles.get(fp)))
+                .cloned()
         });
 
         drop(prev);
@@ -192,6 +296,7 @@ impl CheckSession {
             .iter()
             .map(|r| (r.fingerprint, r.retained()))
             .collect();
+        self.flush_disk(&retained);
         let incr = IncrStats {
             bundles: result.bundle_reports.len(),
             reused: result.stats.bundles_reused,

@@ -646,6 +646,9 @@ pub struct Workspace {
     docs: BTreeMap<String, Doc>,
     /// Per-file parse/SSA/graph facts memo for closure resolution.
     facts: FactsCache,
+    /// Directory of the persistent VC/bundle disk tier (`--vc-cache`),
+    /// threaded into every document session.
+    disk_dir: Option<std::path::PathBuf>,
 }
 
 impl Workspace {
@@ -668,7 +671,17 @@ impl Workspace {
             cache,
             docs: BTreeMap::new(),
             facts: FactsCache::new(),
+            disk_dir: None,
         }
+    }
+
+    /// Persists VC and bundle verdicts to `dir` across process restarts
+    /// (builder-style; the `--vc-cache DIR` tier). Every document
+    /// session opened after this call loads warm verdicts from `dir`
+    /// and appends its new proofs — see [`CheckSession::persisting_to`].
+    pub fn persisting_to(mut self, dir: impl Into<std::path::PathBuf>) -> Workspace {
+        self.disk_dir = Some(dir.into());
+        self
     }
 
     /// The workspace's options.
@@ -834,10 +847,14 @@ impl Workspace {
 
     fn ensure_doc(&mut self, uri: &str) {
         if !self.docs.contains_key(uri) {
+            let mut session = CheckSession::with_cache(self.opts, Arc::clone(&self.cache));
+            if let Some(dir) = &self.disk_dir {
+                session = session.persisting_to(dir.clone());
+            }
             self.docs.insert(
                 uri.to_string(),
                 Doc {
-                    session: CheckSession::with_cache(self.opts, Arc::clone(&self.cache)),
+                    session,
                     text: String::new(),
                     closure: BTreeSet::new(),
                     surfaces: BTreeMap::new(),

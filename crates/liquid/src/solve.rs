@@ -1,11 +1,33 @@
 //! The predicate-abstraction fixpoint (Step 3 of §2.2.1): initialize each
 //! κ to all well-sorted qualifier instantiations, iteratively weaken until
 //! every κ-headed constraint is valid, then check concrete constraints.
+//!
+//! Two cold-path optimizations keep the solver off the critical path
+//! without changing any verdict or diagnostic:
+//!
+//! * **Constraint memoization.** The round-robin weakening loop re-checks
+//!   every κ-headed constraint each iteration, but a re-check can only
+//!   change the outcome if some κ it *depends on* (a κ in its environment,
+//!   left-hand side, guards — or its own head, the candidate source) was
+//!   weakened since its last check. Each κ carries a version counter,
+//!   bumped on every weakening; a constraint whose dependency versions
+//!   match its last-checked snapshot is skipped. The skipped re-check
+//!   would have issued exactly the queries of the previous check (the
+//!   solver is deterministic), kept every candidate, and left `changed`
+//!   untouched, so the iteration trajectory — and with it every
+//!   diagnostic — is byte-identical; only the redundant SMT queries
+//!   disappear.
+//! * **Incremental SMT.** Each κ-headed constraint keeps one persistent
+//!   [`IncrContext`]: its hypotheses and candidate goals are encoded once
+//!   under activation literals, and each weakening iteration re-solves
+//!   the delta under assumptions instead of re-encoding the whole query
+//!   (see `rsc_smt::incr`). Disable with
+//!   [`SolveOptions::incremental`] = `false` (CLI: `--no-incremental-smt`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use rsc_logic::{KVarId, Pred, Sort, SortScope, Sym, Term};
-use rsc_smt::Solver;
+use rsc_smt::{IncrContext, Solver};
 
 use crate::blame::Blame;
 use crate::constraint::{ConstraintSet, SubC};
@@ -53,12 +75,75 @@ pub struct LiquidResult {
     pub smt_queries: u64,
 }
 
-/// Solves the constraint set.
+/// Tuning knobs for [`solve_with`]. Copy-cheap so callers can thread it
+/// through per-bundle solver setup.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Use a persistent incremental SMT context per κ-headed constraint
+    /// (default). When `false`, every validity query runs on a fresh
+    /// encoder — the reference path the differential tests compare
+    /// against.
+    pub incremental: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { incremental: true }
+    }
+}
+
+/// Solves the constraint set with default options.
 pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
+    solve_with(cs, smt, SolveOptions::default())
+}
+
+/// Every κ a constraint's verdict depends on: κs in the environment
+/// bindings, guards and left-hand side (they shape the hypotheses) plus
+/// the head κ itself (the candidate source).
+fn constraint_deps(c: &SubC) -> Vec<KVarId> {
+    let mut ks: BTreeSet<KVarId> = BTreeSet::new();
+    if let Pred::KVar(k, _) = &c.rhs {
+        ks.insert(*k);
+    }
+    let (bind_preds, guard_preds) = c.env.embed_split();
+    for p in bind_preds.iter().chain(guard_preds.iter()).chain([&c.lhs]) {
+        for (k, _) in p.kvars() {
+            ks.insert(k);
+        }
+    }
+    ks.into_iter().collect()
+}
+
+/// True when one well-sortedness check of the qualifier *template*
+/// decides every instantiation: the body mentions nothing beyond `v` and
+/// the parameters (mined qualifiers may reference scope variables
+/// directly), and no scope name shadows `v` or a `★`-style placeholder
+/// (which would make the template environment diverge from the
+/// instantiation environment).
+fn prefilter_applies(
+    body_fvs: &BTreeSet<Sym>,
+    params: &[(Sym, Sort)],
+    scope: &[(Sym, Sort)],
+) -> bool {
+    body_fvs
+        .iter()
+        .all(|x| x.as_str() == "v" || params.iter().any(|(p, _)| p == x))
+        && scope
+            .iter()
+            .all(|(x, _)| x.as_str() != "v" && !x.as_str().starts_with('★'))
+}
+
+/// Solves the constraint set.
+pub fn solve_with(cs: &ConstraintSet, smt: &mut Solver, opts: SolveOptions) -> LiquidResult {
     // --- Initial assignment -------------------------------------------------
     let mut sol = Solution::default();
     for (id, kv) in &cs.kvars {
         let mut cands: Vec<Pred> = Vec::new();
+        // Hashed dedup: distinct qualifiers instantiate to overlapping
+        // predicates (e.g. `v < ★p` and `v < len(★a)` over rich scopes),
+        // and `Vec::contains` made initialization quadratic in the
+        // candidate count.
+        let mut seen: HashSet<Pred> = HashSet::new();
         // Well-sortedness scope: `v` then the κ's scope, layered over
         // the shared sort environment without cloning it (and built
         // once per κ, not per qualifier).
@@ -70,9 +155,35 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
             if q.vv_sort != kv.vv_sort {
                 continue;
             }
+            // A parameter sort with no scope variable admits no
+            // instantiations at all — skip before enumerating.
+            if q.params
+                .iter()
+                .any(|(_, s)| !kv.scope.iter().any(|(_, t)| t == s))
+            {
+                continue;
+            }
+            // Sort-check the *template* once instead of every
+            // instantiation: substituting same-sorted scope variables for
+            // the parameters cannot change the sorting verdict, so when
+            // the pre-filter applies, one check decides them all (in
+            // either direction). Qualifiers outside the pre-filter's
+            // conditions fall back to the per-instantiation check.
+            let template_ok = if prefilter_applies(&q.body.free_vars(), &q.params, &kv.scope) {
+                let mut tb: Vec<(Sym, Sort)> = Vec::with_capacity(q.params.len() + 1);
+                tb.push((Sym::from("v"), kv.vv_sort));
+                tb.extend(q.params.iter().cloned());
+                let tenv = SortScope::new(&*cs.sort_env, &tb);
+                Some(tenv.check_pred(&q.body).is_ok())
+            } else {
+                None
+            };
+            if template_ok == Some(false) {
+                continue;
+            }
             for inst in q.instantiate(&kv.scope) {
-                // Keep only well-sorted instantiations.
-                if env.check_pred(&inst).is_ok() && !cands.contains(&inst) {
+                let well_sorted = template_ok.unwrap_or_else(|| env.check_pred(&inst).is_ok());
+                if well_sorted && seen.insert(inst.clone()) {
                     cands.push(inst);
                 }
             }
@@ -90,6 +201,19 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
         .filter(|(_, c)| matches!(c.rhs, Pred::KVar(..)))
         .map(|(i, _)| i)
         .collect();
+    // Memoization state: per-κ weakening versions, each constraint's κ
+    // dependencies, and the dependency-version snapshot at its last check.
+    let mut versions: HashMap<KVarId, u64> = HashMap::new();
+    let deps: HashMap<usize, Vec<KVarId>> = kvar_headed
+        .iter()
+        .map(|&ci| (ci, constraint_deps(&cs.subs[ci])))
+        .collect();
+    let mut last_checked: HashMap<usize, Vec<u64>> = HashMap::new();
+    // One persistent incremental context per κ-headed constraint. The
+    // constraint's binder overlay (its scope + `v`) is fixed across
+    // iterations, which is exactly the context-reuse invariant
+    // `rsc_smt::incr` requires.
+    let mut ctxs: HashMap<usize, IncrContext> = HashMap::new();
     let mut iteration = 0u64;
     loop {
         let _sp = rsc_obs::span!("fixpoint-iter", unit = iteration);
@@ -104,21 +228,49 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
             if current.is_empty() {
                 continue;
             }
+            let snapshot: Vec<u64> = deps[&ci]
+                .iter()
+                .map(|d| versions.get(d).copied().unwrap_or(0))
+                .collect();
+            if last_checked.get(&ci) == Some(&snapshot) {
+                // No dependency κ was weakened since this constraint's
+                // last check: a re-check would repeat the same queries
+                // and keep everything. Skip it wholesale.
+                continue;
+            }
             let (binders, all_hyps, guards) = prepare_hyps(cs, c, &sol);
             let env_sorts = SortScope::new(&*cs.sort_env, &binders);
+            // Hoisted out of the per-qualifier loop: the hypotheses'
+            // free-variable sets and the candidate-independent seeds
+            // (`v`, lhs, guards) are per-constraint, not per-candidate.
+            let hyp_fvs: Vec<BTreeSet<Sym>> = all_hyps.iter().map(|h| h.free_vars()).collect();
+            let mut base_seeds = sol.apply(&c.lhs).free_vars();
+            base_seeds.insert(Sym::from("v"));
+            for g in &guards {
+                base_seeds.extend(g.free_vars());
+            }
             let mut kept = Vec::with_capacity(current.len());
+            let mut dropped = false;
             for q in current {
                 let goal = theta.apply_pred(&q);
-                let mut seeds = goal.free_vars();
-                seeds.insert(rsc_logic::Sym::from("v"));
-                seeds.extend(sol.apply(&c.lhs).free_vars());
-                for g in &guards {
-                    seeds.extend(g.free_vars());
-                }
-                let mut hyps = filter_relevant(all_hyps.clone(), seeds);
+                let mut seeds = base_seeds.clone();
+                seeds.extend(goal.free_vars());
+                let keep_mask = relevant_mask(&hyp_fvs, seeds);
+                let mut hyps: Vec<Pred> = all_hyps
+                    .iter()
+                    .zip(&keep_mask)
+                    .filter(|(_, keep)| **keep)
+                    .map(|(h, _)| h.clone())
+                    .collect();
                 hyps.extend(guards.iter().cloned());
                 queries += 1;
-                if smt.is_valid(&env_sorts, &hyps, &goal) {
+                let valid = if opts.incremental {
+                    let ctx = ctxs.entry(ci).or_default();
+                    smt.is_valid_ctx(ctx, &env_sorts, &hyps, &goal)
+                } else {
+                    smt.is_valid(&env_sorts, &hyps, &goal)
+                };
+                if valid {
                     kept.push(q);
                 } else {
                     if std::env::var("RSC_DEBUG").is_ok() {
@@ -129,7 +281,16 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
                         );
                     }
                     changed = true;
+                    dropped = true;
                 }
+            }
+            // Record the *pre-check* snapshot: when this check weakened
+            // its own κ, the version bump below makes the constraint
+            // dirty again next iteration (weaker hypotheses can drop
+            // more), exactly as the unmemoized loop would re-check it.
+            last_checked.insert(ci, snapshot);
+            if dropped {
+                *versions.entry(*k).or_insert(0) += 1;
             }
             sol.assignment.insert(*k, kept);
         }
@@ -174,18 +335,12 @@ pub fn solve(cs: &ConstraintSet, smt: &mut Solver) -> LiquidResult {
     }
 }
 
-/// Keeps only hypotheses transitively sharing variables with the seeds
-/// (goal + left-hand side). Dropping hypotheses is conservative, and the
-/// filter tames the model-enumeration cost of disjunction-heavy union
-/// embeddings.
-pub fn filter_relevant(
-    hyps: Vec<Pred>,
-    seeds: std::collections::BTreeSet<rsc_logic::Sym>,
-) -> Vec<Pred> {
-    let fvs: Vec<std::collections::BTreeSet<rsc_logic::Sym>> =
-        hyps.iter().map(|h| h.free_vars()).collect();
+/// The transitive-relevance mask over precomputed hypothesis
+/// free-variable sets: `mask[i]` is true when hypothesis `i` shares
+/// variables (within 3 closure rounds) with the seeds.
+fn relevant_mask(fvs: &[BTreeSet<Sym>], seeds: BTreeSet<Sym>) -> Vec<bool> {
     let mut relevant = seeds;
-    let mut keep = vec![false; hyps.len()];
+    let mut keep = vec![false; fvs.len()];
     for _ in 0..3 {
         let mut changed = false;
         for (i, fv) in fvs.iter().enumerate() {
@@ -202,6 +357,16 @@ pub fn filter_relevant(
             break;
         }
     }
+    keep
+}
+
+/// Keeps only hypotheses transitively sharing variables with the seeds
+/// (goal + left-hand side). Dropping hypotheses is conservative, and the
+/// filter tames the model-enumeration cost of disjunction-heavy union
+/// embeddings.
+pub fn filter_relevant(hyps: Vec<Pred>, seeds: BTreeSet<Sym>) -> Vec<Pred> {
+    let fvs: Vec<BTreeSet<Sym>> = hyps.iter().map(|h| h.free_vars()).collect();
+    let keep = relevant_mask(&fvs, seeds);
     hyps.into_iter()
         .zip(keep)
         .filter(|(_, k)| *k)
@@ -267,9 +432,7 @@ mod tests {
     use crate::constraint::CEnv;
     use rsc_logic::{CmpOp, Subst, Term};
 
-    /// The κ for a simple counter `i = 0; while (i < 10) i = i + 1`.
-    #[test]
-    fn counter_invariant() {
+    fn counter_constraints() -> (ConstraintSet, KVarId) {
         let mut cs = ConstraintSet::new();
         let k = cs.fresh_kvar(Sort::Int, vec![], "phi i");
         let kapp = Pred::KVar(k, Subst::new());
@@ -305,7 +468,13 @@ mod tests {
             Sort::Int,
             &Blame::synthetic("use"),
         );
+        (cs, k)
+    }
 
+    /// The κ for a simple counter `i = 0; while (i < 10) i = i + 1`.
+    #[test]
+    fn counter_invariant() {
+        let (cs, k) = counter_constraints();
         let mut smt = Solver::new();
         let r = solve(&cs, &mut smt);
         assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
@@ -314,6 +483,28 @@ mod tests {
             shown.contains(&"0 <= v".to_string()),
             "κ should keep Nat, got {shown:?}"
         );
+    }
+
+    /// The incremental and fresh-solver paths must agree on the solution,
+    /// the failures, and even the query count (memoization is independent
+    /// of the solving backend).
+    #[test]
+    fn incremental_matches_fresh_path() {
+        let (cs, k) = counter_constraints();
+        let mut smt_a = Solver::new();
+        let a = solve_with(&cs, &mut smt_a, SolveOptions { incremental: true });
+        let mut smt_b = Solver::new();
+        let b = solve_with(&cs, &mut smt_b, SolveOptions { incremental: false });
+        let show = |r: &LiquidResult| {
+            r.solution
+                .of(k)
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(show(&a), show(&b));
+        assert_eq!(a.failures.len(), b.failures.len());
+        assert_eq!(a.smt_queries, b.smt_queries);
     }
 
     /// An unsatisfiable concrete constraint is reported as a failure.

@@ -260,48 +260,88 @@ impl Pred {
     }
 }
 
-impl fmt::Display for Pred {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Pred {
+    /// Renders the predicate into `out`. The one rendering
+    /// implementation — [`fmt::Display`] delegates here — so the output
+    /// is the `Display` output by construction. VC canonicalization
+    /// renders every conjunct of every query (twice: sort key and cache
+    /// key), which makes rendering hot enough that skipping the
+    /// formatter machinery on interior nodes is measurable.
+    pub fn write_into(&self, out: &mut String) {
+        use fmt::Write;
         match self {
-            Pred::True => write!(f, "true"),
-            Pred::False => write!(f, "false"),
+            Pred::True => out.push_str("true"),
+            Pred::False => out.push_str("false"),
             Pred::And(ps) => {
-                write!(f, "(")?;
+                out.push('(');
                 for (i, p) in ps.iter().enumerate() {
                     if i > 0 {
-                        write!(f, " && ")?;
+                        out.push_str(" && ");
                     }
-                    write!(f, "{p}")?;
+                    p.write_into(out);
                 }
-                write!(f, ")")
+                out.push(')');
             }
             Pred::Or(ps) => {
-                write!(f, "(")?;
+                out.push('(');
                 for (i, p) in ps.iter().enumerate() {
                     if i > 0 {
-                        write!(f, " || ")?;
+                        out.push_str(" || ");
                     }
-                    write!(f, "{p}")?;
+                    p.write_into(out);
                 }
-                write!(f, ")")
+                out.push(')');
             }
-            Pred::Not(p) => write!(f, "!({p})"),
-            Pred::Imp(a, b) => write!(f, "({a} => {b})"),
-            Pred::Iff(a, b) => write!(f, "({a} <=> {b})"),
-            Pred::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Pred::Not(p) => {
+                out.push_str("!(");
+                p.write_into(out);
+                out.push(')');
+            }
+            Pred::Imp(a, b) => {
+                out.push('(');
+                a.write_into(out);
+                out.push_str(" => ");
+                b.write_into(out);
+                out.push(')');
+            }
+            Pred::Iff(a, b) => {
+                out.push('(');
+                a.write_into(out);
+                out.push_str(" <=> ");
+                b.write_into(out);
+                out.push(')');
+            }
+            Pred::Cmp(op, a, b) => {
+                a.write_into(out);
+                out.push(' ');
+                out.push_str(op.symbol());
+                out.push(' ');
+                b.write_into(out);
+            }
             Pred::App(g, args) => {
-                write!(f, "{g}(")?;
+                out.push_str(g.as_str());
+                out.push('(');
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
-                        write!(f, ", ")?;
+                        out.push_str(", ");
                     }
-                    write!(f, "{a}")?;
+                    a.write_into(out);
                 }
-                write!(f, ")")
+                out.push(')');
             }
-            Pred::TermPred(t) => write!(f, "{t}"),
-            Pred::KVar(k, s) => write!(f, "{k}{s}"),
+            Pred::TermPred(t) => t.write_into(out),
+            Pred::KVar(k, s) => {
+                let _ = write!(out, "{k}{s}");
+            }
         }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_into(&mut s);
+        f.write_str(&s)
     }
 }
 

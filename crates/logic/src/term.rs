@@ -217,28 +217,68 @@ impl Term {
     }
 }
 
-impl fmt::Display for Term {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Term {
+    /// Renders the term into `out`. This is the one rendering
+    /// implementation — [`fmt::Display`] delegates here — so the output
+    /// is the `Display` output by construction. Rendering is on the VC
+    /// canonicalization hot path (every conjunct of every query is
+    /// rendered for the cache key), where appending to a `String`
+    /// directly avoids the formatter machinery on interior nodes.
+    pub fn write_into(&self, out: &mut String) {
+        use fmt::Write;
         match self {
-            Term::Var(x) => write!(f, "{x}"),
-            Term::IntLit(n) => write!(f, "{n}"),
-            Term::BoolLit(b) => write!(f, "{b}"),
-            Term::StrLit(s) => write!(f, "\"{s}\""),
-            Term::BvLit(n) => write!(f, "{n:#x}"),
-            Term::Field(b, fld) => write!(f, "{b}.{fld}"),
+            Term::Var(x) => out.push_str(x.as_str()),
+            Term::IntLit(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Term::BoolLit(b) => out.push_str(if *b { "true" } else { "false" }),
+            Term::StrLit(s) => {
+                out.push('"');
+                out.push_str(s.as_str());
+                out.push('"');
+            }
+            Term::BvLit(n) => {
+                let _ = write!(out, "{n:#x}");
+            }
+            Term::Field(b, fld) => {
+                b.write_into(out);
+                out.push('.');
+                out.push_str(fld.as_str());
+            }
             Term::App(g, args) => {
-                write!(f, "{g}(")?;
+                out.push_str(g.as_str());
+                out.push('(');
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
-                        write!(f, ", ")?;
+                        out.push_str(", ");
                     }
-                    write!(f, "{a}")?;
+                    a.write_into(out);
                 }
-                write!(f, ")")
+                out.push(')');
             }
-            Term::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
-            Term::Neg(a) => write!(f, "-({a})"),
+            Term::Bin(op, a, b) => {
+                out.push('(');
+                a.write_into(out);
+                out.push(' ');
+                out.push_str(op.symbol());
+                out.push(' ');
+                b.write_into(out);
+                out.push(')');
+            }
+            Term::Neg(a) => {
+                out.push_str("-(");
+                a.write_into(out);
+                out.push(')');
+            }
         }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_into(&mut s);
+        f.write_str(&s)
     }
 }
 

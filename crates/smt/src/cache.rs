@@ -199,6 +199,26 @@ impl VcCache {
         }
     }
 
+    /// Clones every stored key — the disk tier's flush source. Shards
+    /// are locked one at a time, so concurrent probes only ever wait on
+    /// their own shard.
+    pub fn snapshot_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        for shard in &self.shards {
+            keys.extend(shard.lock().unwrap().keys().cloned());
+        }
+        keys
+    }
+
+    /// Seeds the cache with keys proven Unsat in an earlier process (the
+    /// disk tier's load path). Seeded entries join the LRU like any
+    /// other record.
+    pub fn seed(&self, keys: impl IntoIterator<Item = String>) {
+        for k in keys {
+            self.record_unsat(k);
+        }
+    }
+
     /// Current counters (entries counted across all shards).
     pub fn counters(&self) -> CacheCounters {
         let entries = self
@@ -312,8 +332,23 @@ fn applied_syms_pred(p: &Pred, out: &mut BTreeSet<Sym>) {
 
 /// Canonicalizes an `is_sat` query (see [`CanonicalQuery`]).
 pub fn canonical_query(env: &dyn SortLookup, preds: &[Pred]) -> CanonicalQuery {
+    let refs: Vec<&Pred> = preds.iter().collect();
+    canonical_query_refs(env, &refs)
+}
+
+/// [`canonical_query`] over borrowed conjuncts: the validity entry
+/// points canonicalize `hyps + ¬goal` on every query, and borrowing
+/// avoids deep-cloning the hypothesis predicates just to build the key.
+pub fn canonical_query_refs(env: &dyn SortLookup, preds: &[&Pred]) -> CanonicalQuery {
     // 1. Name-stable order: sort conjuncts by their original rendering.
-    let mut rendered: Vec<(String, &Pred)> = preds.iter().map(|p| (p.to_string(), p)).collect();
+    let mut rendered: Vec<(String, &Pred)> = preds
+        .iter()
+        .map(|&p| {
+            let mut s = String::new();
+            p.write_into(&mut s);
+            (s, p)
+        })
+        .collect();
     rendered.sort_by(|a, b| a.0.cmp(&b.0));
     rendered.dedup_by(|a, b| a.0 == b.0);
 
@@ -362,12 +397,152 @@ pub fn canonical_query(env: &dyn SortLookup, preds: &[Pred]) -> CanonicalQuery {
     }
     key.push('\u{1}');
     for p in &canonical {
-        let _ = write!(key, "{p}\u{2}");
+        p.write_into(&mut key);
+        key.push('\u{2}');
     }
     CanonicalQuery {
         key,
         preds: canonical,
         binders,
+    }
+}
+
+// ---------------------------------------------------------- disk tier ---
+
+/// The persistent on-disk tier of the VC cache: canonical Unsat
+/// fingerprints survive across processes, CI runs and machines, like a
+/// build cache.
+///
+/// # Soundness and versioning
+///
+/// The disk tier stores exactly what [`VcCache`] stores — canonical keys
+/// proven **Unsat** — so it inherits the same contract: a hit can only
+/// skip re-proving a proof, never accept what a solver would reject,
+/// *provided the solver that wrote the entry proves the same things as
+/// the solver reading it*. That proviso is the version: every file is
+/// named `vc-{version:016x}.vcc` and carries a `rsc-vc-cache v1
+/// {version:016x}` header, where `version` hashes everything a verdict
+/// depends on beyond the canonical key itself — the qualifier set and
+/// sort environment (via the session's global fingerprint) and
+/// [`ENCODER_VERSION`], bumped whenever the encoder/theory pipeline
+/// changes what a canonical key *means*. A solver with a different
+/// qualifier set or encoder simply opens a different file and starts
+/// cold. Stale files are never misread, only ignored.
+///
+/// # Format and crash tolerance
+///
+/// After the header line, the file is a sequence of length-prefixed
+/// records (`u32` little-endian byte length, then the key's UTF-8
+/// bytes) — canonical keys embed `\u{1}`/`\u{2}` separators and
+/// arbitrary renderings, so a line-oriented format would corrupt.
+/// Writes are append-only; a torn tail (crash mid-flush) truncates the
+/// load at the last complete record and loses nothing but uncommitted
+/// proofs. A bad header means "not our file": the cache starts cold and
+/// rewrites it on the next flush.
+#[derive(Debug)]
+pub struct DiskCache {
+    path: std::path::PathBuf,
+    version: u64,
+    /// Keys known to be on disk already (loaded or flushed), so a flush
+    /// appends only the delta.
+    persisted: Mutex<HashSet<String>>,
+    loaded: usize,
+}
+
+/// Bumped whenever the encoder, theory combination, or canonicalization
+/// changes the meaning of a canonical VC fingerprint. Part of every
+/// [`DiskCache`] version hash.
+pub const ENCODER_VERSION: u64 = 1;
+
+const DISK_MAGIC: &str = "rsc-vc-cache v1";
+
+impl DiskCache {
+    /// Opens (or initializes) the disk tier for `version` in `dir`,
+    /// loading every complete record of a matching existing file. The
+    /// caller should fold the qualifier-set/environment fingerprint and
+    /// [`ENCODER_VERSION`] into `version`.
+    pub fn open(dir: &std::path::Path, version: u64) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("vc-{version:016x}.vcc"));
+        let mut persisted = HashSet::new();
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let header = format!("{DISK_MAGIC} {version:016x}\n");
+                if !bytes.starts_with(header.as_bytes()) {
+                    // Not our file (corrupt header): drop it so the next
+                    // flush rewrites a clean one.
+                    let _ = std::fs::remove_file(&path);
+                }
+                if let Some(mut rest) = bytes.strip_prefix(header.as_bytes()) {
+                    while rest.len() >= 4 {
+                        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                        let Some(body) = rest.get(4..4 + len) else {
+                            break; // torn tail: keep what we have
+                        };
+                        if let Ok(key) = std::str::from_utf8(body) {
+                            persisted.insert(key.to_string());
+                        }
+                        rest = &rest[4 + len..];
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let loaded = persisted.len();
+        Ok(DiskCache {
+            path,
+            version,
+            persisted: Mutex::new(persisted),
+            loaded,
+        })
+    }
+
+    /// Number of keys loaded from an existing file at open.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Seeds `cache` with every key loaded from disk.
+    pub fn load_into(&self, cache: &VcCache) {
+        cache.seed(self.persisted.lock().unwrap().iter().cloned());
+    }
+
+    /// Appends every key of `cache` not yet on disk; returns how many
+    /// records were written. Creates the file (with header) on first
+    /// write. Concurrent flushes of the same `DiskCache` serialize on
+    /// the internal lock; distinct processes append independently, and
+    /// duplicate records across processes are harmless (loading is
+    /// set-based).
+    pub fn flush(&self, cache: &VcCache) -> std::io::Result<usize> {
+        use std::io::Write as _;
+        let keys = cache.snapshot_keys();
+        let mut persisted = self.persisted.lock().unwrap();
+        let fresh: Vec<&String> = keys.iter().filter(|k| !persisted.contains(*k)).collect();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        let exists = self.path.exists();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut buf = Vec::new();
+        if !exists {
+            let version = self.version;
+            buf.extend_from_slice(format!("{DISK_MAGIC} {version:016x}\n").as_bytes());
+        }
+        for k in &fresh {
+            buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            buf.extend_from_slice(k.as_bytes());
+        }
+        f.write_all(&buf)?;
+        f.flush()?;
+        let written = fresh.len();
+        for k in fresh {
+            persisted.insert(k.clone());
+        }
+        Ok(written)
     }
 }
 
@@ -488,5 +663,89 @@ mod tests {
         }
         assert_eq!(u.counters().evictions, 0);
         assert_eq!(u.counters().entries, 1000);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("rsc-vcc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn disk_round_trip_preserves_control_characters() {
+        let dir = scratch_dir("roundtrip");
+        let warm = VcCache::new();
+        // Real canonical keys embed \u{1}/\u{2}; throw in a newline too.
+        let keys = [
+            "plain".to_string(),
+            "a\u{1}b\u{2}c".to_string(),
+            "multi\nline".to_string(),
+        ];
+        for k in &keys {
+            warm.record_unsat(k.clone());
+        }
+        let disk = DiskCache::open(&dir, 42).unwrap();
+        assert_eq!(disk.loaded(), 0);
+        assert_eq!(disk.flush(&warm).unwrap(), 3);
+        assert_eq!(
+            disk.flush(&warm).unwrap(),
+            0,
+            "second flush appends nothing"
+        );
+
+        let disk2 = DiskCache::open(&dir, 42).unwrap();
+        assert_eq!(disk2.loaded(), 3);
+        let cold = VcCache::new();
+        disk2.load_into(&cold);
+        for k in &keys {
+            assert!(cold.probe(k), "key {k:?} lost in the disk round trip");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_versions_are_isolated() {
+        let dir = scratch_dir("versions");
+        let warm = VcCache::new();
+        warm.record_unsat("proof".to_string());
+        let v1 = DiskCache::open(&dir, 1).unwrap();
+        v1.flush(&warm).unwrap();
+        // A different version (qualifier set / encoder changed) must not
+        // see v1's proofs.
+        let v2 = DiskCache::open(&dir, 2).unwrap();
+        assert_eq!(v2.loaded(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tolerates_torn_tail_and_bad_header() {
+        use std::io::Write as _;
+        let dir = scratch_dir("torn");
+        let warm = VcCache::new();
+        warm.record_unsat("alpha".to_string());
+        warm.record_unsat("beta".to_string());
+        let disk = DiskCache::open(&dir, 7).unwrap();
+        disk.flush(&warm).unwrap();
+        let path = dir.join(format!("vc-{:016x}.vcc", 7u64));
+        // Simulate a crash mid-append: a length prefix with no body.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&999u32.to_le_bytes()).unwrap();
+            f.write_all(b"trunc").unwrap();
+        }
+        let reopened = DiskCache::open(&dir, 7).unwrap();
+        assert_eq!(reopened.loaded(), 2, "complete records survive a torn tail");
+        // A corrupt header means "not our file": load nothing, and the
+        // file is dropped so the next flush rewrites it cleanly.
+        std::fs::write(&path, b"garbage").unwrap();
+        let bad = DiskCache::open(&dir, 7).unwrap();
+        assert_eq!(bad.loaded(), 0);
+        assert_eq!(bad.flush(&warm).unwrap(), 2);
+        let again = DiskCache::open(&dir, 7).unwrap();
+        assert_eq!(again.loaded(), 2, "flush after corruption rewrites cleanly");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

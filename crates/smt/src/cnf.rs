@@ -3,6 +3,40 @@
 use crate::atom::{AtomId, Formula};
 use crate::sat::{Lit, SatOutcome, SatSolver, Var};
 
+/// Anything that can allocate SAT variables and accept clauses.
+///
+/// The Tseitin transform and the bit-blaster are generic over this, so
+/// they can target either a [`CnfStore`] (the fresh-per-query solving
+/// path, which re-runs CDCL from scratch each round) or a [`SatSolver`]
+/// directly (the persistent incremental context in [`crate::incr`],
+/// which encodes once and re-solves under assumptions).
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+    /// Adds a clause.
+    fn add_clause(&mut self, lits: Vec<Lit>);
+}
+
+impl ClauseSink for CnfStore {
+    fn new_var(&mut self) -> Var {
+        CnfStore::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: Vec<Lit>) {
+        CnfStore::add_clause(self, lits)
+    }
+}
+
+impl ClauseSink for SatSolver {
+    fn new_var(&mut self) -> Var {
+        SatSolver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: Vec<Lit>) {
+        SatSolver::add_clause(self, lits)
+    }
+}
+
 /// A persistent store of CNF clauses. The DPLL(T) driver accumulates
 /// blocking clauses here and re-solves from scratch each round (VCs are
 /// small, so a fresh CDCL run is cheap and keeps the SAT core simple).
@@ -56,8 +90,15 @@ impl CnfStore {
 /// Tseitin-encodes `f` (which must be free of `Const` after
 /// [`Formula::simplify`]) and returns a literal equivalent to `f`.
 ///
-/// `atom_lit` maps an atom with polarity to its SAT literal.
-pub fn tseitin(f: &Formula, atom_lit: &impl Fn(AtomId, bool) -> Lit, cnf: &mut CnfStore) -> Lit {
+/// `atom_lit` maps an atom with polarity to its SAT literal. The
+/// definitional clauses are bidirectional (`o ↔ …`), so the fresh
+/// variables are fully defined by their inputs: adding them unasserted
+/// to a persistent context never constrains the context.
+pub fn tseitin(
+    f: &Formula,
+    atom_lit: &impl Fn(AtomId, bool) -> Lit,
+    cnf: &mut impl ClauseSink,
+) -> Lit {
     match f {
         Formula::Const(_) => panic!("tseitin: simplify the formula first"),
         Formula::Lit(a, pol) => atom_lit(*a, *pol),

@@ -23,14 +23,12 @@ impl std::fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
-/// Encoder state: arena, atom table, and the defining equations of lifted
-/// nodes (compound integer expressions in uninterpreted argument position).
-pub struct Encoder<'a> {
-    /// Sorts of variables and signatures of uninterpreted functions —
-    /// either an owned [`rsc_logic::SortEnv`] or a borrowed
-    /// [`rsc_logic::SortScope`] overlay (base env + binder list), so the
-    /// VC cache's canonical-binder path never clones an environment.
-    pub sort_env: &'a dyn SortLookup,
+/// Owned encoder state: arena, atom table, and the defining equations of
+/// lifted nodes (compound integer expressions in uninterpreted argument
+/// position). Separate from the [`Encoder`] view so a persistent
+/// incremental context ([`crate::incr`]) can keep the state alive across
+/// queries while the (borrowed) sort environment is supplied per call.
+pub struct EncoderState {
     /// The term arena.
     pub arena: Arena,
     /// The atom table.
@@ -38,6 +36,10 @@ pub struct Encoder<'a> {
     atom_map: HashMap<AtomData, AtomId>,
     /// Defining equations (`e = 0`) asserted in every theory check.
     pub defs: Vec<NLinExp>,
+    /// The lifted node each entry of `defs` defines (parallel to `defs`):
+    /// lets a scoped theory check select exactly the definitions whose
+    /// lifted node is reachable from the query.
+    pub def_nodes: Vec<NodeId>,
     lifted_cache: HashMap<NLinExp, NodeId>,
     /// The arena node for `true`.
     pub true_node: NodeId,
@@ -45,31 +47,56 @@ pub struct Encoder<'a> {
     pub false_node: NodeId,
 }
 
-impl<'a> Encoder<'a> {
-    /// Creates an encoder over the given sort environment.
-    pub fn new(sort_env: &'a dyn SortLookup) -> Self {
+impl EncoderState {
+    /// Fresh state with interned `true`/`false` nodes.
+    pub fn new() -> Self {
         let mut arena = Arena::new();
         let true_node = arena.intern(Node::True);
         let false_node = arena.intern(Node::False);
-        Encoder {
-            sort_env,
+        EncoderState {
             arena,
             atoms: Vec::new(),
             atom_map: HashMap::new(),
             defs: Vec::new(),
+            def_nodes: Vec::new(),
             lifted_cache: HashMap::new(),
             true_node,
             false_node,
         }
     }
+}
+
+impl Default for EncoderState {
+    fn default() -> Self {
+        EncoderState::new()
+    }
+}
+
+/// The encoding view: borrowed state plus the sort environment of the
+/// current query.
+pub struct Encoder<'a> {
+    /// Sorts of variables and signatures of uninterpreted functions —
+    /// either an owned [`rsc_logic::SortEnv`] or a borrowed
+    /// [`rsc_logic::SortScope`] overlay (base env + binder list), so the
+    /// VC cache's canonical-binder path never clones an environment.
+    pub sort_env: &'a dyn SortLookup,
+    /// The mutable encoder state (owned by the caller).
+    pub st: &'a mut EncoderState,
+}
+
+impl<'a> Encoder<'a> {
+    /// Creates an encoder view over the given sort environment and state.
+    pub fn over(sort_env: &'a dyn SortLookup, st: &'a mut EncoderState) -> Self {
+        Encoder { sort_env, st }
+    }
 
     fn atom(&mut self, a: AtomData) -> AtomId {
-        if let Some(&id) = self.atom_map.get(&a) {
+        if let Some(&id) = self.st.atom_map.get(&a) {
             return id;
         }
-        let id = AtomId(self.atoms.len() as u32);
-        self.atoms.push(a.clone());
-        self.atom_map.insert(a, id);
+        let id = AtomId(self.st.atoms.len() as u32);
+        self.st.atoms.push(a.clone());
+        self.st.atom_map.insert(a, id);
         id
     }
 
@@ -136,7 +163,10 @@ impl<'a> Encoder<'a> {
                     .iter()
                     .map(|t| self.node_of(t))
                     .collect::<Result<Vec<_>, _>>()?;
-                let n = self.arena.intern(Node::App(f.clone(), nargs, Sort::Bool));
+                let n = self
+                    .st
+                    .arena
+                    .intern(Node::App(f.clone(), nargs, Sort::Bool));
                 let id = self.atom(AtomData::BoolNode(n));
                 Ok(Formula::Lit(id, pol))
             }
@@ -311,7 +341,7 @@ impl<'a> Encoder<'a> {
                             let na = self.node_of_lin(la)?;
                             let nb = self.node_of_lin(lb)?;
                             let (x, y) = (na.min(nb), na.max(nb));
-                            let n = self.arena.intern(Node::App(
+                            let n = self.st.arena.intern(Node::App(
                                 Sym::from("mul"),
                                 vec![x, y],
                                 Sort::Int,
@@ -331,9 +361,10 @@ impl<'a> Encoder<'a> {
                         let na = self.node_of_lin(la)?;
                         let nb = self.node_of_lin(lb)?;
                         let f = if *op == BinOp::Div { "div" } else { "mod" };
-                        let n = self
-                            .arena
-                            .intern(Node::App(Sym::from(f), vec![na, nb], Sort::Int));
+                        let n =
+                            self.st
+                                .arena
+                                .intern(Node::App(Sym::from(f), vec![na, nb], Sort::Int));
                         Ok(NLinExp::node(n))
                     }
                     BinOp::BvAnd | BinOp::BvOr => Err(EncodeError(format!(
@@ -355,18 +386,19 @@ impl<'a> Encoder<'a> {
         if l.is_const() {
             let v = i64::try_from(l.konst)
                 .map_err(|_| EncodeError("integer constant overflow".into()))?;
-            return Ok(self.arena.intern(Node::IntConst(v)));
+            return Ok(self.st.arena.intern(Node::IntConst(v)));
         }
         // Structurally identical expressions share a lifted node so that
         // congruence over nonlinear terms (e.g. `mul`) works directly.
-        if let Some(&n) = self.lifted_cache.get(&l) {
+        if let Some(&n) = self.st.lifted_cache.get(&l) {
             return Ok(n);
         }
-        let fresh = self.arena.fresh_lifted();
+        let fresh = self.st.arena.fresh_lifted();
         let mut def = l.clone();
         def.add_term(fresh, -1);
-        self.defs.push(def);
-        self.lifted_cache.insert(l, fresh);
+        self.st.defs.push(def);
+        self.st.def_nodes.push(fresh);
+        self.st.lifted_cache.insert(l, fresh);
         Ok(fresh)
     }
 
@@ -374,16 +406,21 @@ impl<'a> Encoder<'a> {
     pub fn node_of(&mut self, t: &Term) -> Result<NodeId, EncodeError> {
         let s = sort_of_in(self.sort_env, t).map_err(|e| EncodeError(e.to_string()))?;
         match t {
-            Term::Var(x) => Ok(self.arena.intern(Node::Var(x.clone(), s))),
-            Term::IntLit(n) => Ok(self.arena.intern(Node::IntConst(*n))),
-            Term::BoolLit(b) => Ok(if *b { self.true_node } else { self.false_node }),
-            Term::StrLit(x) => Ok(self.arena.intern(Node::StrConst(x.clone()))),
+            Term::Var(x) => Ok(self.st.arena.intern(Node::Var(x.clone(), s))),
+            Term::IntLit(n) => Ok(self.st.arena.intern(Node::IntConst(*n))),
+            Term::BoolLit(b) => Ok(if *b {
+                self.st.true_node
+            } else {
+                self.st.false_node
+            }),
+            Term::StrLit(x) => Ok(self.st.arena.intern(Node::StrConst(x.clone()))),
             Term::BvLit(_) => Err(EncodeError(format!(
                 "bit-vector literal {t} in uninterpreted position"
             ))),
             Term::Field(base, fld) => {
                 let nb = self.node_of(base)?;
                 Ok(self
+                    .st
                     .arena
                     .intern(Node::App(Sym::from(format!("field${fld}")), vec![nb], s)))
             }
@@ -392,7 +429,7 @@ impl<'a> Encoder<'a> {
                     .iter()
                     .map(|x| self.node_of(x))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(self.arena.intern(Node::App(f.clone(), nargs, s)))
+                Ok(self.st.arena.intern(Node::App(f.clone(), nargs, s)))
             }
             Term::Bin(..) | Term::Neg(..) => {
                 if s == Sort::Int {
@@ -444,7 +481,8 @@ mod tests {
     #[test]
     fn lin_flattening() {
         let env = env();
-        let mut enc = Encoder::new(&env);
+        let mut st = EncoderState::new();
+        let mut enc = Encoder::over(&env, &mut st);
         // 2*x + len(a) - 3
         let t = Term::sub(
             Term::add(
@@ -461,7 +499,8 @@ mod tests {
     #[test]
     fn nonlinear_becomes_uninterpreted() {
         let env = env();
-        let mut enc = Encoder::new(&env);
+        let mut st = EncoderState::new();
+        let mut enc = Encoder::over(&env, &mut st);
         let t1 = Term::mul(Term::var("x"), Term::var("y"));
         let t2 = Term::mul(Term::var("y"), Term::var("x"));
         let l1 = enc.lin(&t1).unwrap();
@@ -473,7 +512,8 @@ mod tests {
     #[test]
     fn kvar_rejected() {
         let env = env();
-        let mut enc = Encoder::new(&env);
+        let mut st = EncoderState::new();
+        let mut enc = Encoder::over(&env, &mut st);
         let p = Pred::KVar(rsc_logic::KVarId(0), rsc_logic::Subst::new());
         assert!(enc.encode_pred(&p, true).is_err());
     }
@@ -481,7 +521,8 @@ mod tests {
     #[test]
     fn trivial_cmp_folds() {
         let env = env();
-        let mut enc = Encoder::new(&env);
+        let mut st = EncoderState::new();
+        let mut enc = Encoder::over(&env, &mut st);
         let p = Pred::Cmp(CmpOp::Le, Term::var("x"), Term::var("x"));
         let f = enc.encode_pred(&p, true).unwrap().simplify();
         assert_eq!(f, Formula::Const(true));
@@ -490,11 +531,12 @@ mod tests {
     #[test]
     fn lifted_node_defs() {
         let env = env();
-        let mut enc = Encoder::new(&env);
+        let mut st = EncoderState::new();
+        let mut enc = Encoder::over(&env, &mut st);
         // len applied to... an int term is ill-sorted; use mul(x+1, y) to
         // force lifting of x+1.
         let t = Term::mul(Term::add(Term::var("x"), Term::int(1)), Term::var("y"));
         enc.lin(&t).unwrap();
-        assert_eq!(enc.defs.len(), 1);
+        assert_eq!(enc.st.defs.len(), 1);
     }
 }

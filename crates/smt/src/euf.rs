@@ -70,23 +70,39 @@ impl<'a> Euf<'a> {
         self.diseqs.push((a, b));
     }
 
-    /// Runs the congruence fixpoint and checks consistency.
+    /// Runs the congruence fixpoint and checks consistency over the whole
+    /// arena (the fresh-per-query path, where the arena *is* the query).
     pub fn close(&mut self) -> EufResult {
+        let apps: Vec<NodeId> = self
+            .arena
+            .iter()
+            .filter(|(_, n)| matches!(n, Node::App(..)))
+            .map(|(id, _)| id)
+            .collect();
+        self.close_over(&apps, None)
+    }
+
+    /// Runs the congruence fixpoint restricted to `apps` (the application
+    /// nodes that can participate in a congruence) and checks consistency
+    /// against the constants of `const_scan` (`None` scans the whole
+    /// arena). A persistent incremental context shares one arena across
+    /// many queries; passing the current query's subterm closure here
+    /// makes the quadratic fixpoint quadratic in the *query*, not in
+    /// everything the context ever encoded — and since merges only ever
+    /// start from the query's own assertions, out-of-scope nodes stay in
+    /// singleton classes and cannot contribute a conflict anyway.
+    pub fn close_over(&mut self, apps: &[NodeId], const_scan: Option<&[NodeId]>) -> EufResult {
         loop {
             let mut changed = false;
-            let apps: Vec<(NodeId, &Node)> = self
-                .arena
-                .iter()
-                .filter(|(_, n)| matches!(n, Node::App(..)))
-                .collect();
             for i in 0..apps.len() {
                 for j in (i + 1)..apps.len() {
-                    let (id_i, n_i) = (apps[i].0, apps[i].1);
-                    let (id_j, n_j) = (apps[j].0, apps[j].1);
+                    let (id_i, id_j) = (apps[i], apps[j]);
                     if self.find(id_i) == self.find(id_j) {
                         continue;
                     }
-                    if let (Node::App(f, ai, _), Node::App(g, aj, _)) = (n_i, n_j) {
+                    if let (Node::App(f, ai, _), Node::App(g, aj, _)) =
+                        (self.arena.node(id_i), self.arena.node(id_j))
+                    {
                         if f == g
                             && ai.len() == aj.len()
                             && ai
@@ -107,14 +123,30 @@ impl<'a> Euf<'a> {
         // Distinct-constant conflicts.
         let n = self.arena.len();
         let mut class_const: Vec<Option<ConstKind>> = vec![None; n];
-        for i in 0..n {
-            let id = NodeId(i as u32);
-            if let Some(c) = self.arena.const_kind(id) {
-                let r = self.find(id).0 as usize;
+        let mut scan_one = |this: &mut Self, id: NodeId| -> bool {
+            if let Some(c) = this.arena.const_kind(id) {
+                let r = this.find(id).0 as usize;
                 match &class_const[r] {
                     None => class_const[r] = Some(c),
-                    Some(c0) if *c0 != c => return EufResult::Conflict,
+                    Some(c0) if *c0 != c => return false,
                     _ => {}
+                }
+            }
+            true
+        };
+        match const_scan {
+            Some(ids) => {
+                for &id in ids {
+                    if !scan_one(self, id) {
+                        return EufResult::Conflict;
+                    }
+                }
+            }
+            None => {
+                for i in 0..n {
+                    if !scan_one(self, NodeId(i as u32)) {
+                        return EufResult::Conflict;
+                    }
                 }
             }
         }

@@ -293,20 +293,27 @@ impl LiaProblem {
     }
 
     /// True if the constraints entail `x = y` (both strict separations are
-    /// infeasible). Used for Nelson–Oppen equality propagation.
-    pub fn entails_eq(&self, x: u32, y: u32) -> bool {
+    /// infeasible). Used for Nelson–Oppen equality propagation. Takes
+    /// `&mut self` to probe by pushing/popping the separation row in
+    /// place — the feasibility check clones rows internally anyway, so an
+    /// up-front clone of the whole problem per probe would be pure waste;
+    /// the problem is unchanged on return.
+    pub fn entails_eq(&mut self, x: u32, y: u32) -> bool {
+        let mut entailed = true;
         for (lo, hi) in [(x, y), (y, x)] {
             // lo < hi  i.e.  lo - hi + 1 ≤ 0
             let mut e = LinExp::var(lo);
             e.add_term(hi, -1);
             e.konst += 1;
-            let mut sub = self.clone();
-            sub.les.push(e);
-            if sub.feasible() == LiaResult::Feasible {
-                return false;
+            self.les.push(e);
+            let feasible = self.feasible() == LiaResult::Feasible;
+            self.les.pop();
+            if feasible {
+                entailed = false;
+                break;
             }
         }
-        true
+        entailed
     }
 }
 
@@ -428,12 +435,12 @@ mod tests {
     #[test]
     fn entailed_equality() {
         // x ≤ y ∧ y ≤ x entails x = y.
-        let p = LiaProblem {
+        let mut p = LiaProblem {
             les: vec![le(&[(0, 1), (1, -1)], 0), le(&[(0, -1), (1, 1)], 0)],
             ..Default::default()
         };
         assert!(p.entails_eq(0, 1));
-        let q = LiaProblem {
+        let mut q = LiaProblem {
             les: vec![le(&[(0, 1), (1, -1)], 0)],
             ..Default::default()
         };

@@ -31,11 +31,13 @@ pub mod cache;
 pub mod cnf;
 pub mod encode;
 pub mod euf;
+pub mod incr;
 pub mod lia;
 pub mod node;
 pub mod sat;
 pub mod solver;
 pub mod theory;
 
-pub use cache::{canonical_query, CacheCounters, CanonicalQuery, VcCache};
+pub use cache::{canonical_query, CacheCounters, CanonicalQuery, DiskCache, VcCache};
+pub use incr::IncrContext;
 pub use solver::{SatResult, Solver, SolverStats};

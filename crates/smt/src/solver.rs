@@ -7,9 +7,9 @@ use rsc_logic::{Pred, SortLookup, SortScope};
 
 use crate::atom::{AtomData, Formula};
 use crate::bv::Blaster;
-use crate::cache::{canonical_query, VcCache};
+use crate::cache::{canonical_query_refs, VcCache};
 use crate::cnf::{tseitin, CnfStore};
-use crate::encode::Encoder;
+use crate::encode::{Encoder, EncoderState};
 use crate::sat::{Lit, SatOutcome, Var};
 use crate::theory::{self, TheoryVerdict};
 
@@ -144,10 +144,18 @@ impl Solver {
     /// (an owned [`rsc_logic::SortEnv`] or a borrowed
     /// [`rsc_logic::SortScope`] overlay).
     pub fn is_sat(&mut self, env: &dyn SortLookup, preds: &[Pred]) -> SatResult {
+        let refs: Vec<&Pred> = preds.iter().collect();
+        self.is_sat_refs(env, &refs)
+    }
+
+    /// [`Solver::is_sat`] over borrowed conjuncts, so validity checking
+    /// can pass `hyps + ¬goal` without cloning every hypothesis.
+    fn is_sat_refs(&mut self, env: &dyn SortLookup, preds: &[&Pred]) -> SatResult {
         self.stats.queries += 1;
-        let mut enc = Encoder::new(env);
+        let mut st = EncoderState::new();
+        let mut enc = Encoder::over(env, &mut st);
         let mut formulas = Vec::new();
-        for p in preds {
+        for &p in preds {
             match enc.encode_pred(p, true) {
                 Ok(f) => match f.simplify() {
                     Formula::Const(true) => {}
@@ -157,13 +165,13 @@ impl Solver {
                 Err(_) => return SatResult::Unknown,
             }
         }
-        if formulas.is_empty() && enc.defs.is_empty() {
+        if formulas.is_empty() && st.defs.is_empty() {
             return SatResult::Sat;
         }
 
         let mut cnf = CnfStore::new();
         let mut blaster = Blaster::new();
-        let atoms = enc.atoms.clone();
+        let atoms = st.atoms.clone();
         let mut atom_lits: Vec<Lit> = Vec::with_capacity(atoms.len());
         for a in &atoms {
             match a {
@@ -208,18 +216,18 @@ impl Solver {
                         })
                         .collect();
                     match theory::check(
-                        &enc.arena,
+                        &st.arena,
                         &atoms,
-                        &enc.defs,
+                        &st.defs,
                         &assign,
-                        enc.true_node,
-                        enc.false_node,
+                        st.true_node,
+                        st.false_node,
                     ) {
                         TheoryVerdict::Consistent => return SatResult::Sat,
                         TheoryVerdict::Conflict(ids) => {
                             self.stats.theory_conflicts += 1;
-                            // Greedy core minimization: a short blocking
-                            // clause prunes exponentially more models than
+                            // Core minimization: a short blocking clause
+                            // prunes exponentially more models than
                             // negating the whole assignment.
                             let restrict = |core: &[crate::atom::AtomId]| {
                                 let mut a: Vec<Option<bool>> = vec![None; assign.len()];
@@ -232,27 +240,22 @@ impl Solver {
                             let check_core = |core: &[crate::atom::AtomId]| {
                                 matches!(
                                     theory::check(
-                                        &enc.arena,
+                                        &st.arena,
                                         &atoms,
-                                        &enc.defs,
+                                        &st.defs,
                                         &restrict(core),
-                                        enc.true_node,
-                                        enc.false_node,
+                                        st.true_node,
+                                        st.false_node,
                                     ),
                                     TheoryVerdict::Conflict(_)
                                 )
                             };
-                            if check_core(&core) {
-                                let mut i = 0;
-                                while i < core.len() && core.len() > 1 {
-                                    let mut trial = core.clone();
-                                    trial.remove(i);
-                                    if check_core(&trial) {
-                                        core = trial;
-                                    } else {
-                                        i += 1;
-                                    }
-                                }
+                            // A core covering every assigned atom restricts
+                            // to the assignment itself — already known to
+                            // conflict, so skip the confirmation check.
+                            let assigned = assign.iter().filter(|a| a.is_some()).count();
+                            if core.len() >= assigned || check_core(&core) {
+                                core = theory::minimize_core(core, check_core);
                             }
                             let clause: Vec<Lit> = core
                                 .iter()
@@ -285,11 +288,12 @@ impl Solver {
     /// misses solve the canonical form and memoize an Unsat outcome.
     pub fn is_valid(&mut self, env: &dyn SortLookup, hyps: &[Pred], goal: &Pred) -> bool {
         let _sp = rsc_obs::span!("smt-query");
-        let mut preds: Vec<Pred> = hyps.to_vec();
-        preds.push(Pred::not(goal.clone()));
+        let neg_goal = Pred::not(goal.clone());
+        let mut preds: Vec<&Pred> = hyps.iter().collect();
+        preds.push(&neg_goal);
         let r = match self.cache.clone() {
             Some(cache) => {
-                let canonical = canonical_query(env, &preds);
+                let canonical = canonical_query_refs(env, &preds);
                 if cache.probe(&canonical.key) {
                     self.stats.cache_hits += 1;
                     true
@@ -306,7 +310,57 @@ impl Solver {
                     unsat
                 }
             }
-            None => self.is_sat(env, &preds) == SatResult::Unsat,
+            None => self.is_sat_refs(env, &preds) == SatResult::Unsat,
+        };
+        if r {
+            self.stats.valid += 1;
+        }
+        r
+    }
+
+    /// Like [`Solver::is_valid`], but solving inside the persistent
+    /// incremental context `ctx` instead of a fresh encoder/CNF.
+    ///
+    /// The context caches the encoding of every hypothesis and goal it
+    /// has seen under activation literals, so repeated queries over the
+    /// same constraint (the fixpoint weakening loop) re-solve only the
+    /// delta. With a [`VcCache`] attached, the canonical fingerprint is
+    /// probed first; on a miss the *original* query form is solved — the
+    /// canonical α-renamed form would defeat context reuse — and an
+    /// Unsat verdict is recorded under the canonical key. Both forms
+    /// refute the same conjunction, so the cached verdict is sound; they
+    /// can differ only on round-capped (`Unknown`) queries, which the
+    /// cache never stores.
+    pub fn is_valid_ctx(
+        &mut self,
+        ctx: &mut crate::incr::IncrContext,
+        env: &dyn SortLookup,
+        hyps: &[Pred],
+        goal: &Pred,
+    ) -> bool {
+        let _sp = rsc_obs::span!("smt-query");
+        let r = match self.cache.clone() {
+            Some(cache) => {
+                let neg_goal = Pred::not(goal.clone());
+                let mut preds: Vec<&Pred> = hyps.iter().collect();
+                preds.push(&neg_goal);
+                let canonical = canonical_query_refs(env, &preds);
+                if cache.probe(&canonical.key) {
+                    self.stats.cache_hits += 1;
+                    true
+                } else {
+                    self.stats.cache_misses += 1;
+                    let unsat = ctx.query(env, hyps, goal, &mut self.stats, self.max_rounds)
+                        == SatResult::Unsat;
+                    if unsat {
+                        cache.record_unsat(canonical.key);
+                    }
+                    unsat
+                }
+            }
+            None => {
+                ctx.query(env, hyps, goal, &mut self.stats, self.max_rounds) == SatResult::Unsat
+            }
         };
         if r {
             self.stats.valid += 1;

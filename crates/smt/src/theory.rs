@@ -21,6 +21,47 @@ pub enum TheoryVerdict {
 
 const MAX_NO_ROUNDS: usize = 6;
 
+/// Shrinks a conflicting atom core to a 1-minimal one with binary
+/// chunking: try dropping left-to-right chunks of halving size, ending
+/// with the single-atom pass that guarantees 1-minimality (the final
+/// level is exactly the greedy scan). `check(core)` must return whether
+/// the assignment restricted to `core` is still theory-inconsistent.
+///
+/// The typical conflict involves a handful of atoms inside a large
+/// assigned set, and every probe is a full theory check — chunking
+/// reaches the kernel in `O(k log n)` checks instead of the greedy
+/// scan's `O(n)`. Both solving paths (fresh [`crate::Solver::is_sat`]
+/// and the incremental context) must minimize through this one function:
+/// the minimized core picks the blocking clause, and the paths only stay
+/// trajectory-identical because they shrink cores identically.
+pub fn minimize_core(
+    mut core: Vec<AtomId>,
+    mut check: impl FnMut(&[AtomId]) -> bool,
+) -> Vec<AtomId> {
+    let mut chunk = (core.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < core.len() && core.len() > 1 {
+            let end = (i + chunk).min(core.len());
+            if end - i == core.len() {
+                break; // never try the empty core
+            }
+            let mut trial = Vec::with_capacity(core.len() - (end - i));
+            trial.extend_from_slice(&core[..i]);
+            trial.extend_from_slice(&core[end..]);
+            if check(&trial) {
+                core = trial;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            return core;
+        }
+        chunk /= 2;
+    }
+}
+
 /// Derives variable values implied by single-variable linear equalities,
 /// propagating until a fixpoint (e.g. `x - 5 = 0` gives `x = 5`, which may
 /// determine further equations).
@@ -70,33 +111,101 @@ pub fn check(
     true_node: NodeId,
     false_node: NodeId,
 ) -> TheoryVerdict {
-    let involved: Vec<AtomId> = atoms
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| assign[*i].is_some() && !matches!(a, AtomData::BvEq(..)))
-        .map(|(i, _)| AtomId(i as u32))
-        .collect();
+    check_scoped(
+        arena, atoms, defs, assign, true_node, false_node, None, None,
+    )
+}
+
+/// [`check`] with an optional node scope. A persistent incremental
+/// context shares one arena across many queries; passing the subterm
+/// closure of the current query as `scope` restricts the two
+/// heuristic arena sweeps (nonlinear constant evaluation and
+/// Nelson–Oppen candidate collection) to the query's own terms, so an
+/// unrelated query's nodes can neither consume the bounded probe budget
+/// nor surface in its conflicts. `None` sweeps the whole arena — the
+/// fresh-per-query path, where the arena *is* the query's closure.
+///
+/// `assigned_hint`, when given, must list (in ascending id order) a
+/// superset of the atoms with `assign[i].is_some()`; the involved-atom
+/// sets are then derived from it instead of scanning the whole atom
+/// table. A persistent context's table holds every atom it ever encoded,
+/// and core minimization re-checks restricted assignments many times per
+/// conflict, so the full-table scans are quadratic-ish on the hot path.
+#[allow(clippy::too_many_arguments)]
+pub fn check_scoped(
+    arena: &Arena,
+    atoms: &[AtomData],
+    defs: &[NLinExp],
+    assign: &[Option<bool>],
+    true_node: NodeId,
+    false_node: NodeId,
+    scope: Option<&[NodeId]>,
+    assigned_hint: Option<&[AtomId]>,
+) -> TheoryVerdict {
+    let app_nodes = |arena: &Arena| -> Vec<NodeId> {
+        match scope {
+            Some(ids) => ids
+                .iter()
+                .copied()
+                .filter(|&id| matches!(arena.node(id), Node::App(..)))
+                .collect(),
+            None => arena
+                .iter()
+                .filter(|(_, n)| matches!(n, Node::App(..)))
+                .map(|(id, _)| id)
+                .collect(),
+        }
+    };
+    let sweep: Vec<NodeId> = app_nodes(arena);
+    // Both filters preserve ascending id order, so deriving them from the
+    // (ascending) hint yields exactly what the full-table scan would.
+    let involved: Vec<AtomId> = match assigned_hint {
+        Some(ids) => ids
+            .iter()
+            .copied()
+            .filter(|id| {
+                assign[id.0 as usize].is_some()
+                    && !matches!(atoms[id.0 as usize], AtomData::BvEq(..))
+            })
+            .collect(),
+        None => atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| assign[*i].is_some() && !matches!(a, AtomData::BvEq(..)))
+            .map(|(i, _)| AtomId(i as u32))
+            .collect(),
+    };
     // A smaller core for EUF-phase conflicts: only equality-bearing atoms.
-    let euf_core: Vec<AtomId> = atoms
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| {
-            assign[*i].is_some()
-                && matches!(
-                    a,
-                    AtomData::EufEq(..) | AtomData::BoolNode(..) | AtomData::IntEq(_, Some(_))
-                )
-        })
-        .map(|(i, _)| AtomId(i as u32))
-        .collect();
+    let is_euf_core = |a: &AtomData| {
+        matches!(
+            a,
+            AtomData::EufEq(..) | AtomData::BoolNode(..) | AtomData::IntEq(_, Some(_))
+        )
+    };
+    let euf_core: Vec<AtomId> = match assigned_hint {
+        Some(ids) => ids
+            .iter()
+            .copied()
+            .filter(|id| assign[id.0 as usize].is_some() && is_euf_core(&atoms[id.0 as usize]))
+            .collect(),
+        None => atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| assign[*i].is_some() && is_euf_core(a))
+            .map(|(i, _)| AtomId(i as u32))
+            .collect(),
+    };
 
     let mut extra_merges: Vec<(NodeId, NodeId)> = Vec::new();
 
     for _round in 0..MAX_NO_ROUNDS {
         // --- EUF phase -----------------------------------------------------
         let mut euf = Euf::new(arena);
-        for (i, a) in atoms.iter().enumerate() {
-            let Some(pol) = assign[i] else { continue };
+        for &AtomId(i) in &involved {
+            let a = &atoms[i as usize];
+            let Some(pol) = assign[i as usize] else {
+                continue;
+            };
             match a {
                 AtomData::EufEq(x, y) => {
                     if pol {
@@ -121,7 +230,7 @@ pub fn check(
         for &(x, y) in &extra_merges {
             euf.merge(x, y);
         }
-        if euf.close() == EufResult::Conflict {
+        if euf.close_over(&sweep, scope) == EufResult::Conflict {
             return TheoryVerdict::Conflict(if extra_merges.is_empty() {
                 euf_core.clone()
             } else {
@@ -146,8 +255,11 @@ pub fn check(
             let e = translate(&mut euf, d);
             prob.eqs.push(e);
         }
-        for (i, a) in atoms.iter().enumerate() {
-            let Some(pol) = assign[i] else { continue };
+        for &AtomId(i) in &involved {
+            let a = &atoms[i as usize];
+            let Some(pol) = assign[i as usize] else {
+                continue;
+            };
             match a {
                 AtomData::LinLe(l) => {
                     let e = translate(&mut euf, l);
@@ -177,8 +289,8 @@ pub fn check(
         // arguments are determined — e.g. `(z.w+2)*(z.h+2)` with
         // `z.w = 3 ∧ z.h = 7` becomes 45.
         let consts = derive_constants(&prob.eqs);
-        for (id, n) in arena.iter() {
-            if let Node::App(f, args, _) = n {
+        for &id in &sweep {
+            if let Node::App(f, args, _) = arena.node(id) {
                 let op = f.as_str();
                 if !matches!(op, "mul" | "div" | "mod") || args.len() != 2 {
                     continue;
@@ -225,8 +337,8 @@ pub fn check(
         // Candidate nodes: integer-sorted nodes in argument position of an
         // uninterpreted application (only these can trigger new congruences).
         let mut candidates: Vec<NodeId> = Vec::new();
-        for (_, n) in arena.iter() {
-            if let Node::App(_, args, _) = n {
+        for &id in &sweep {
+            if let Node::App(_, args, _) = arena.node(id) {
                 for &a in args {
                     if arena.sort(a) == Sort::Int {
                         let rep = euf.find(a);
@@ -237,6 +349,20 @@ pub fn check(
                 }
             }
         }
+        // A probe `x = y?` can only be entailed when both variables occur
+        // in some row — an unconstrained variable always admits a strict
+        // separation. Skipped probes still count against the budget, so
+        // the probe sequence (and thus the verdict) is exactly the one
+        // the unfiltered loop would produce, minus the doomed solves.
+        let mut bounded: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for e in prob
+            .les
+            .iter()
+            .chain(prob.eqs.iter())
+            .chain(prob.diseqs.iter())
+        {
+            bounded.extend(e.coeffs.keys().copied());
+        }
         let mut found: Option<(NodeId, NodeId)> = None;
         let mut probes = 0usize;
         'outer: for i in 0..candidates.len() {
@@ -246,7 +372,7 @@ pub fn check(
                 }
                 probes += 1;
                 let (x, y) = (candidates[i], candidates[j]);
-                if prob.entails_eq(x.0, y.0) {
+                if bounded.contains(&x.0) && bounded.contains(&y.0) && prob.entails_eq(x.0, y.0) {
                     found = Some((x, y));
                     break 'outer;
                 }

@@ -19,7 +19,7 @@
 
 use proptest::prelude::*;
 use rsc_logic::{BinOp, CmpOp, FunSig, Pred, Sort, SortEnv, Sym, Term};
-use rsc_smt::{SatResult, Solver, VcCache};
+use rsc_smt::{IncrContext, SatResult, Solver, VcCache};
 
 // ------------------------------------------------------------ generator ---
 
@@ -354,6 +354,57 @@ proptest! {
                 ),
                 "cached Unsat answer has a finite countermodel"
             );
+        }
+    }
+
+    /// Incremental equivalence: one persistent [`IncrContext`] answering a
+    /// whole *sequence* of queries — sharing its arena, atom table, SAT
+    /// instance, learnt clauses and blocking clauses across them — must
+    /// agree with a fresh solver on every query. Divergence is tolerated
+    /// only when a side hit the DPLL(T) round cap (an `Unknown`, i.e.
+    /// "not proven", never an unsound claim). Valid claims additionally
+    /// must survive exhaustive finite search, so a context poisoned by an
+    /// earlier query (a retained clause that is not theory-valid, a stale
+    /// activation literal) cannot slip through as a spurious proof.
+    #[test]
+    fn incremental_context_agrees_with_fresh_solver(
+        queries in prop::collection::vec(
+            (prop::collection::vec(pred(), 0..3), pred()),
+            1..5,
+        ),
+    ) {
+        let e = env();
+        let mut ctx = IncrContext::new();
+        let mut incr = Solver::new();
+        for (hyps, goal) in &queries {
+            let mut fresh = Solver::new();
+            let fresh_v = fresh.is_valid(&e, hyps, goal);
+            let incr_v = incr.is_valid_ctx(&mut ctx, &e, hyps, goal);
+            let incr_stats = incr.stats.take();
+            let capped = fresh.stats.sat_rounds >= fresh.max_rounds() as u64
+                || incr_stats.sat_rounds >= incr.max_rounds() as u64;
+            if !capped {
+                prop_assert_eq!(
+                    fresh_v,
+                    incr_v,
+                    "incremental context diverged from fresh solver on {} under {:?}",
+                    goal,
+                    hyps.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+            }
+            if incr_v {
+                let refutation: Vec<Pred> = hyps
+                    .iter()
+                    .cloned()
+                    .chain([Pred::not(goal.clone())])
+                    .collect();
+                prop_assert!(
+                    !exists_finite_model(&refutation),
+                    "incremental context claimed valid but a finite countermodel exists for {} under {:?}",
+                    goal,
+                    hyps.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+            }
         }
     }
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate cold-check solver performance against a committed baseline.
+
+Usage:
+    python3 scripts/check_solver_perf.py BASELINE.json CURRENT.json [--max-regress 0.20]
+
+Both files are BENCH_cold.json shapes (see crates/bench/src/bin/bench_cold.rs).
+The gate compares the `solve` phase time of every benchmark present in both
+files and fails when the *geomean* ratio current/baseline exceeds
+1 + max-regress (default: a 20% regression). Per-benchmark noise is expected
+on shared CI runners; the geomean over the 7-program corpus is stable enough
+to catch real solver-path regressions without flaking on one noisy sample.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def solve_us(bench: dict) -> int | None:
+    for p in bench.get("phases", []):
+        if p.get("name") == "solve":
+            return p.get("total_us")
+    return None
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        us = solve_us(b)
+        if us:
+            out[b["name"]] = us
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.20,
+        help="maximum tolerated geomean slowdown (0.20 = 20%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("check_solver_perf: no common benchmarks between files", file=sys.stderr)
+        return 2
+
+    ratios = []
+    for name in common:
+        r = cur[name] / base[name]
+        ratios.append(r)
+        print(
+            f"check_solver_perf: {name:14s} "
+            f"base={base[name] / 1000:8.1f}ms cur={cur[name] / 1000:8.1f}ms "
+            f"ratio={r:5.2f}"
+        )
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    limit = 1.0 + args.max_regress
+    verdict = "PASS" if geomean <= limit else "FAIL"
+    print(
+        f"check_solver_perf: geomean ratio {geomean:.3f} "
+        f"(limit {limit:.2f}) over {len(common)} benchmarks: {verdict}"
+    )
+    return 0 if geomean <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

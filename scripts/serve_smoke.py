@@ -23,6 +23,11 @@ Legs (default: legacy + lsp):
   rate, check-latency percentiles, and cumulative per-phase
   milliseconds covering the span taxonomy). Every check response must
   also carry a per-phase ``timing_ms`` object.
+* ``disk-cache``  — the persistent ``--vc-cache DIR`` round-trip: cold
+  batch-check the corpus into a fresh directory, let the process exit,
+  then re-check with a new process against the warm directory. The warm
+  run must reuse every bundle from disk, record **zero** ``smt-query``
+  spans, and produce byte-identical verdicts and stats.
 * ``multi-file`` — URIs connected by ``import``: a non-exported body
   edit in the exporting document skips the importer's re-check
   entirely (one publish, ``importers_skipped`` counted), while an
@@ -318,6 +323,66 @@ def metrics_leg(binary):
           f"phases={len(phases)})")
 
 
+def disk_cache_leg(binary):
+    """Persistent VC cache round-trip: a cold batch check populates the
+    disk tier, the process exits, and a *new* process re-checking the
+    same corpus must serve every bundle verdict from disk — zero
+    smt-query spans, every bundle reused, identical verdicts."""
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="rsc-vcc-smoke-")
+    files = sorted(str(p) for p in (ROOT / "benchmarks").glob("*.rsc"))
+    if not files:
+        fail("disk-cache: no benchmark files found")
+
+    def batch(tag):
+        proc = subprocess.run(
+            [binary, "--vc-cache", cache_dir, "--stats-json"] + files,
+            capture_output=True, text=True, cwd=ROOT,
+        )
+        if proc.returncode != 0:
+            fail(f"disk-cache {tag}: rsc exited {proc.returncode}: "
+                 f"{proc.stderr[-500:]}")
+        return json.loads(proc.stdout)
+
+    try:
+        cold = batch("cold")
+        # Process exit above is the "kill": only the directory survives.
+        warm = batch("warm")
+
+        cold_queries = warm_queries = 0
+        for c, w in zip(cold["files"], warm["files"]):
+            name = c["file"]
+            if c["file"] != w["file"] or c["ok"] != w["ok"]:
+                fail(f"disk-cache {name}: warm verdict differs: "
+                     f"{c['ok']} vs {w['ok']}")
+            # Structural stats (constraints, κ-vars, liquid query counts)
+            # are pure functions of the program — identical either way.
+            if c["stats"] != {**w["stats"], "bundles_reused": 0}:
+                fail(f"disk-cache {name}: warm stats drifted: "
+                     f"{c['stats']} vs {w['stats']}")
+            if w["stats"]["bundles_reused"] != w["stats"]["bundles"]:
+                fail(f"disk-cache {name}: warm run did not reuse every "
+                     f"bundle: {w['stats']}")
+            cq = {p["name"]: p["count"] for p in c["phases"]}.get("smt-query", 0)
+            wq = {p["name"]: p["count"] for p in w["phases"]}.get("smt-query", 0)
+            cold_queries += cq
+            warm_queries += wq
+            print(f"serve_smoke: ok {Path(name).stem:<14} disk-cache "
+                  f"smt-queries {cq} -> {wq}, reused "
+                  f"{w['stats']['bundles_reused']}/{w['stats']['bundles']}")
+        if cold_queries == 0:
+            fail("disk-cache: cold run issued no smt queries (broken stats?)")
+        if warm_queries != 0:
+            fail(f"disk-cache: warm run still issued {warm_queries} smt "
+                 "queries; disk tier is not serving verdicts")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    print(f"serve_smoke: disk-cache leg PASS "
+          f"(smt-queries {cold_queries} cold -> 0 warm)")
+
+
 def multi_file_leg(binary):
     """URIs over one workspace: a non-exported edit skips the importer
     entirely; a signature edit re-checks it; same-named private helpers
@@ -466,8 +531,8 @@ def main():
     while i < len(args):
         if args[i] == "--leg":
             if i + 1 >= len(args):
-                fail("--leg expects a value "
-                     "(legacy | lsp | cache-bound | multi-file | metrics)")
+                fail("--leg expects a value (legacy | lsp | cache-bound "
+                     "| multi-file | metrics | disk-cache)")
             legs.append(args[i + 1])
             i += 2
         else:
@@ -489,6 +554,8 @@ def main():
             metrics_leg(binary)
         elif leg == "multi-file":
             multi_file_leg(binary)
+        elif leg == "disk-cache":
+            disk_cache_leg(binary)
         else:
             fail(f"unknown leg {leg!r}")
     print("serve_smoke: PASS")

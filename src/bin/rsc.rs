@@ -61,6 +61,8 @@ fn main() {
     let mut want_jobs = false;
     let mut want_cache_cap = false;
     let mut want_profile = false;
+    let mut want_vc_cache_dir = false;
+    let mut vc_cache_dir: Option<String> = None;
     let mut serve = false;
     let mut watch = false;
     let mut recursive = false;
@@ -82,6 +84,11 @@ fn main() {
             profile_path = Some(arg);
             continue;
         }
+        if want_vc_cache_dir {
+            want_vc_cache_dir = false;
+            vc_cache_dir = Some(arg);
+            continue;
+        }
         match arg.as_str() {
             "serve" => serve = true,
             "--watch" | "-w" => watch = true,
@@ -90,8 +97,10 @@ fn main() {
             "--no-prelude-qualifiers" => opts.prelude_qualifiers = false,
             "--no-mined-qualifiers" => opts.mine_qualifiers = false,
             "--no-vc-cache" => opts.vc_cache = false,
+            "--no-incremental-smt" => opts.incremental_smt = false,
             "--jobs" | "-j" => want_jobs = true,
             "--cache-cap" => want_cache_cap = true,
+            "--vc-cache" => want_vc_cache_dir = true,
             "--profile" => want_profile = true,
             "--stats-json" => stats_json = true,
             "--quiet" | "-q" => quiet = true,
@@ -106,11 +115,14 @@ fn main() {
                     Some(n) => opts.cache_capacity = parse_cache_cap(n),
                     None => match other.strip_prefix("--profile=") {
                         Some(p) => profile_path = Some(p.to_string()),
-                        None => {
-                            eprintln!("rsc: unknown flag {other}");
-                            print_usage();
-                            std::process::exit(2);
-                        }
+                        None => match other.strip_prefix("--vc-cache=") {
+                            Some(d) => vc_cache_dir = Some(d.to_string()),
+                            None => {
+                                eprintln!("rsc: unknown flag {other}");
+                                print_usage();
+                                std::process::exit(2);
+                            }
+                        },
                     },
                 },
             },
@@ -131,6 +143,23 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
+    if want_vc_cache_dir {
+        eprintln!("rsc: --vc-cache expects a directory");
+        print_usage();
+        std::process::exit(2);
+    }
+    // The flag wins; RSC_VC_CACHE is the no-flag spelling for wrappers.
+    if vc_cache_dir.is_none() {
+        if let Ok(d) = std::env::var("RSC_VC_CACHE") {
+            if !d.is_empty() {
+                vc_cache_dir = Some(d);
+            }
+        }
+    }
+    let with_disk = |ws: Workspace| match &vc_cache_dir {
+        Some(dir) => ws.persisting_to(dir),
+        None => ws,
+    };
     if serve {
         if watch || !args_files.is_empty() {
             eprintln!("rsc: serve takes no files (send load requests on stdin)");
@@ -142,7 +171,9 @@ fn main() {
         }
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        if let Err(e) = Serve::run(opts, stdin.lock(), stdout.lock()) {
+        if let Err(e) =
+            Serve::run_over(with_disk(Workspace::new(opts)), stdin.lock(), stdout.lock())
+        {
             eprintln!("rsc: serve I/O error: {e}");
             std::process::exit(2);
         }
@@ -154,7 +185,13 @@ fn main() {
             eprintln!("rsc: --watch expects at least one file");
             std::process::exit(2);
         }
-        run_watch(&files, opts, quiet, profile_path.as_deref());
+        run_watch(
+            &files,
+            opts,
+            quiet,
+            profile_path.as_deref(),
+            vc_cache_dir.as_deref(),
+        );
         return;
     }
     if files.is_empty() {
@@ -166,7 +203,13 @@ fn main() {
             eprintln!("rsc: --stats-json is not supported with --recursive");
             std::process::exit(2);
         }
-        run_recursive(&files, opts, quiet, profile_path.as_deref());
+        run_recursive(
+            &files,
+            opts,
+            quiet,
+            profile_path.as_deref(),
+            vc_cache_dir.as_deref(),
+        );
     }
 
     // Observability surfaces: both flags flip the same collector on;
@@ -180,7 +223,7 @@ fn main() {
 
     // One workspace for the whole batch: each root is checked as its
     // import closure, and overlapping closures share the VC cache.
-    let mut ws = Workspace::new(opts);
+    let mut ws = with_disk(Workspace::new(opts));
     let mut failed = false;
     let mut all_spans: Vec<rsc_obs::SpanRecord> = Vec::new();
     let mut json_files: Vec<String> = Vec::new();
@@ -382,7 +425,13 @@ fn rendered(report: &DocReport) -> String {
 /// canonical VC, so cross-thread sharing is sound). Per-file output is
 /// buffered and printed in input order, byte-identical to the serial
 /// loop's lines.
-fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool, profile: Option<&str>) -> ! {
+fn run_recursive(
+    files: &[String],
+    opts: CheckerOptions,
+    quiet: bool,
+    profile: Option<&str>,
+    vc_cache_dir: Option<&str>,
+) -> ! {
     if profile.is_some() {
         rsc_obs::set_enabled(true);
         rsc_obs::drain();
@@ -398,6 +447,7 @@ fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool, profile: O
         .map(|file| {
             let file = file.clone();
             let cache = Arc::clone(&cache);
+            let disk_dir = vc_cache_dir.map(str::to_string);
             // Returns (output text, verified, I/O error).
             move || -> (String, bool, bool) {
                 let src = match std::fs::read_to_string(&file) {
@@ -408,6 +458,9 @@ fn run_recursive(files: &[String], opts: CheckerOptions, quiet: bool, profile: O
                 };
                 let t = std::time::Instant::now();
                 let mut ws = Workspace::with_cache(inner, cache);
+                if let Some(dir) = disk_dir {
+                    ws = ws.persisting_to(dir);
+                }
                 let report = ws.check_one(&file, src);
                 let elapsed = t.elapsed();
                 let result = &report.outcome.result;
@@ -689,7 +742,13 @@ fn report_watch(report: &DocReport, quiet: bool) {
 /// interval: `RSC_WATCH_POLL_MS` (default 150). For scripted runs,
 /// `RSC_WATCH_MAX_CHECKS` bounds the number of document checks before
 /// exiting (the exit code then reflects each document's last check).
-fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool, profile: Option<&str>) {
+fn run_watch(
+    files: &[String],
+    opts: CheckerOptions,
+    quiet: bool,
+    profile: Option<&str>,
+    vc_cache_dir: Option<&str>,
+) {
     let poll = std::env::var("RSC_WATCH_POLL_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -716,6 +775,9 @@ fn run_watch(files: &[String], opts: CheckerOptions, quiet: bool, profile: Optio
     };
 
     let mut ws = Workspace::new(opts);
+    if let Some(dir) = vc_cache_dir {
+        ws = ws.persisting_to(dir);
+    }
     let mut checks = 0u64;
     let mut verdicts: BTreeMap<String, bool> = BTreeMap::new();
     let exit = |verdicts: &BTreeMap<String, bool>,
@@ -831,7 +893,8 @@ fn parse_cache_cap(s: &str) -> usize {
 fn print_usage() {
     eprintln!(
         "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
-         [--no-mined-qualifiers] [--no-vc-cache] [--jobs N] [--quiet] <file.rsc | dir>...\n\
+         [--no-mined-qualifiers] [--no-vc-cache] [--no-incremental-smt] \
+         [--vc-cache DIR] [--jobs N] [--quiet] <file.rsc | dir>...\n\
          \u{20}      rsc serve            read NDJSON requests on stdin (load/edit/check,\n\
          \u{20}                           LSP didOpen/didChange), respond per line\n\
          \u{20}      rsc --watch <file>...  incremental re-check on every mtime change\n\
@@ -852,6 +915,12 @@ fn print_usage() {
          \u{20}         (default: RSC_JOBS env var, else available cores, max 8)\n\
          --cache-cap N  bound the VC cache to ~N entries (LRU eviction;\n\
          \u{20}         default: RSC_CACHE_CAP env var, else unbounded)\n\
+         --vc-cache DIR  persist solver verdicts to DIR across runs\n\
+         \u{20}         (RSC_VC_CACHE env var; a warm re-check of unchanged\n\
+         \u{20}         code reuses every bundle and solves 0 VCs)\n\
+         --no-incremental-smt  solve each fixpoint query in a fresh SMT\n\
+         \u{20}         context instead of per-constraint persistent ones\n\
+         \u{20}         (ablation/debug; diagnostics are identical)\n\
          --profile FILE  write a Chrome trace-event profile of every phase\n\
          \u{20}         (open in Perfetto or chrome://tracing)\n\
          --stats-json  print a machine-readable per-phase/per-bundle report\n\
