@@ -1,0 +1,989 @@
+//! Abstract entailment over [`rsc_logic`] predicates: the discharge
+//! decision procedure of the pre-solve tier.
+//!
+//! [`FactEnv::assume`] folds a hypothesis conjunction into per-atom
+//! abstract values (atoms are variables and `len(x)` applications);
+//! [`FactEnv::entails`] then decides whether a goal predicate holds in
+//! every concrete state the abstract one describes.
+//!
+//! **Soundness contract (discharge-only).** A discharge must be
+//! re-derivable by the SMT solver from the *same* hypotheses, so this
+//! module deliberately stays inside the solver's provable fragment:
+//!
+//! * interval facts come only from linear constraints (the solver's
+//!   Fourier–Motzkin core with per-row integer tightening re-derives
+//!   every interval bound produced here);
+//! * `div`/`mod` and variable·variable products are uninterpreted at
+//!   the SMT layer, so they are *not linearizable* here — the congruence
+//!   domain never feeds an entailment answer (it powers lints only, see
+//!   `crate::lint`);
+//! * nullness facts mirror ground EUF equalities exactly: `x = nullv`
+//!   and `x ≠ nullv` are tracked per union-find class, and no fact ever
+//!   assumes `nullv ≠ undefv` (EUF cannot refute their equality);
+//! * hypotheses with many integer disequalities are rejected outright
+//!   ([`MAX_INT_DISEQS`]): the solver's disequality case-split cap can
+//!   make it give up on conjunctions a relational domain would still
+//!   decide, and a discharge the solver cannot replay is a bug.
+//!
+//! Anything the module cannot track is ignored on the assumption side
+//! (weaker hypotheses can only make entailment harder) and unprovable on
+//! the goal side — both conservative directions.
+
+use std::collections::HashMap;
+
+use rsc_logic::{BinOp, CmpOp, Pred, Sort, Sym, Term};
+
+use crate::domain::Interval;
+
+/// Hypothesis sets with more integer disequalities than this are never
+/// discharged: `rsc_smt`'s Fourier–Motzkin disequality splitting is
+/// capped (it answers `Feasible`, i.e. *unproven*, beyond 14 splits),
+/// and a discharge must never outrun the solver.
+pub const MAX_INT_DISEQS: usize = 12;
+
+/// A numeric atom the interval component tracks.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Atom {
+    /// A program variable.
+    Var(Sym),
+    /// `len(x)`.
+    Len(Sym),
+}
+
+/// A linear combination `Σ cᵢ·atomᵢ + konst` (i128 to dodge overflow).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Lin {
+    coeffs: Vec<(Atom, i128)>,
+    konst: i128,
+}
+
+impl Lin {
+    fn konst(c: i128) -> Lin {
+        Lin {
+            coeffs: Vec::new(),
+            konst: c,
+        }
+    }
+
+    fn atom(a: Atom) -> Lin {
+        Lin {
+            coeffs: vec![(a, 1)],
+            konst: 0,
+        }
+    }
+
+    fn add_term(&mut self, a: Atom, c: i128) {
+        if let Some(e) = self.coeffs.iter_mut().find(|(b, _)| *b == a) {
+            e.1 += c;
+        } else {
+            self.coeffs.push((a, c));
+        }
+        self.coeffs.retain(|(_, c)| *c != 0);
+    }
+
+    fn add(mut self, other: &Lin) -> Lin {
+        for (a, c) in &other.coeffs {
+            self.add_term(a.clone(), *c);
+        }
+        self.konst += other.konst;
+        self
+    }
+
+    fn scale(mut self, k: i128) -> Lin {
+        if k == 0 {
+            return Lin::konst(0);
+        }
+        for e in &mut self.coeffs {
+            e.1 *= k;
+        }
+        self.konst *= k;
+        self
+    }
+}
+
+/// Per-variable nullness knowledge: whether the class is known equal /
+/// known disequal to `nullv` and `undefv` respectively.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct NullFacts {
+    eq_null: Option<bool>,
+    eq_undef: Option<bool>,
+}
+
+impl NullFacts {
+    /// Merges EUF-equal classes; `None` on contradiction.
+    fn merge(self, other: NullFacts) -> Option<NullFacts> {
+        let m = |a: Option<bool>, b: Option<bool>| match (a, b) {
+            (Some(x), Some(y)) if x != y => Err(()),
+            (Some(x), _) | (_, Some(x)) => Ok(Some(x)),
+            _ => Ok(None),
+        };
+        Some(NullFacts {
+            eq_null: m(self.eq_null, other.eq_null).ok()?,
+            eq_undef: m(self.eq_undef, other.eq_undef).ok()?,
+        })
+    }
+}
+
+/// The abstract state of one obligation's hypotheses.
+#[derive(Clone, Debug)]
+pub struct FactEnv {
+    sorts: HashMap<Sym, Sort>,
+    itvs: HashMap<Atom, Interval>,
+    truths: HashMap<Sym, bool>,
+    nulls: HashMap<Sym, NullFacts>,
+    /// Union-find over reference variables (ground EUF equalities).
+    parents: HashMap<Sym, Sym>,
+    /// Unit-coefficient equality substitutions `x ↦ Σ cᵢ·atomᵢ + k`,
+    /// mirroring the solver's Gaussian elimination step. Acyclic by
+    /// construction: a recorded right-hand side is always fully
+    /// expanded, so it never mentions an already-substituted variable.
+    substs: HashMap<Sym, Lin>,
+    /// Assumed inequality rows, each normalized to `l ≤ 0` and fully
+    /// expanded. Used for row subsumption: a goal `g ≤ 0` holds when
+    /// `g − r` is interval-bounded by 0 for some row `r` (a Farkas
+    /// combination Fourier–Motzkin re-derives).
+    rows: Vec<Lin>,
+    bottom: bool,
+    int_diseqs: usize,
+}
+
+impl FactEnv {
+    /// A ⊤ environment knowing only the binder sorts.
+    pub fn new(binders: &[(Sym, Sort)]) -> FactEnv {
+        FactEnv {
+            sorts: binders.iter().cloned().collect(),
+            itvs: HashMap::new(),
+            truths: HashMap::new(),
+            nulls: HashMap::new(),
+            parents: HashMap::new(),
+            substs: HashMap::new(),
+            rows: Vec::new(),
+            bottom: false,
+            int_diseqs: 0,
+        }
+    }
+
+    /// True when the hypotheses were found contradictory (the program
+    /// point is unreachable; every goal is entailed).
+    pub fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    /// The number of integer disequality hypotheses seen so far.
+    pub fn int_diseqs(&self) -> usize {
+        self.int_diseqs
+    }
+
+    fn root(&mut self, x: &Sym) -> Sym {
+        let mut r = x.clone();
+        while let Some(p) = self.parents.get(&r) {
+            if p == &r {
+                break;
+            }
+            r = p.clone();
+        }
+        // Path compression.
+        let mut cur = x.clone();
+        while let Some(p) = self.parents.get(&cur).cloned() {
+            if p == r {
+                break;
+            }
+            self.parents.insert(cur.clone(), r.clone());
+            cur = p;
+        }
+        r
+    }
+
+    fn union(&mut self, x: &Sym, y: &Sym) {
+        let rx = self.root(x);
+        let ry = self.root(y);
+        if rx == ry {
+            return;
+        }
+        let fx = self.nulls.remove(&rx).unwrap_or_default();
+        let fy = self.nulls.remove(&ry).unwrap_or_default();
+        match fx.merge(fy) {
+            Some(f) => {
+                self.nulls.insert(ry.clone(), f);
+            }
+            None => {
+                self.bottom = true;
+                return;
+            }
+        }
+        // Congruence over `len`: merged classes share one length.
+        let lx = self.itvs.remove(&Atom::Len(rx.clone()));
+        if let Some(lx) = lx {
+            let e = self
+                .itvs
+                .entry(Atom::Len(ry.clone()))
+                .or_insert(Interval::TOP);
+            *e = e.meet(&lx);
+            if e.is_empty() {
+                self.bottom = true;
+            }
+        }
+        self.parents.insert(rx, ry);
+    }
+
+    fn sort_of(&self, t: &Term) -> Option<Sort> {
+        match t {
+            Term::Var(x) => self.sorts.get(x).copied(),
+            Term::IntLit(_) | Term::Neg(_) => Some(Sort::Int),
+            Term::BoolLit(_) => Some(Sort::Bool),
+            Term::StrLit(_) => Some(Sort::Str),
+            Term::BvLit(_) => Some(Sort::Bv32),
+            Term::App(f, args) if f.as_str() == "len" && args.len() == 1 => Some(Sort::Int),
+            Term::App(f, args) if is_null_const(f, args) => Some(Sort::Ref),
+            Term::Bin(BinOp::BvAnd | BinOp::BvOr, ..) => Some(Sort::Bv32),
+            Term::Bin(..) => Some(Sort::Int),
+            _ => None,
+        }
+    }
+
+    /// Linearizes an integer term over tracked atoms. `None` = contains
+    /// something the solver leaves uninterpreted (or untracked).
+    fn lin(&mut self, t: &Term) -> Option<Lin> {
+        match t {
+            Term::IntLit(n) => Some(Lin::konst(*n as i128)),
+            Term::Var(x) if self.sorts.get(x) == Some(&Sort::Int) => {
+                Some(Lin::atom(Atom::Var(x.clone())))
+            }
+            Term::Neg(a) => Some(self.lin(a)?.scale(-1)),
+            Term::App(f, args) if f.as_str() == "len" && args.len() == 1 => match &args[0] {
+                Term::Var(x) if self.sorts.get(x) == Some(&Sort::Ref) => {
+                    let r = self.root(x);
+                    Some(Lin::atom(Atom::Len(r)))
+                }
+                _ => None,
+            },
+            Term::Bin(op, a, b) => {
+                let la = self.lin(a)?;
+                let lb = self.lin(b)?;
+                match op {
+                    BinOp::Add => Some(la.add(&lb)),
+                    BinOp::Sub => Some(la.add(&lb.scale(-1))),
+                    BinOp::Mul => {
+                        if la.coeffs.is_empty() {
+                            Some(lb.scale(la.konst))
+                        } else if lb.coeffs.is_empty() {
+                            Some(la.scale(lb.konst))
+                        } else {
+                            None // nonlinear: uninterpreted at the SMT layer
+                        }
+                    }
+                    // `div`/`mod` are uninterpreted unless both sides are
+                    // constants, in which case `Term::bin` already folded.
+                    BinOp::Div | BinOp::Mod | BinOp::BvAnd | BinOp::BvOr => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn itv_of(&self, a: &Atom) -> Interval {
+        self.itvs.get(a).copied().unwrap_or(Interval::TOP)
+    }
+
+    /// Rewrites a combination through the equality substitutions until
+    /// no substituted variable remains. Terminates because the
+    /// substitution graph is acyclic; the iteration cap is a backstop.
+    fn expand(&self, mut l: Lin) -> Lin {
+        for _ in 0..64 {
+            let Some(pos) = l
+                .coeffs
+                .iter()
+                .position(|(a, _)| matches!(a, Atom::Var(x) if self.substs.contains_key(x)))
+            else {
+                return l;
+            };
+            let (atom, c) = l.coeffs.remove(pos);
+            let Atom::Var(x) = atom else { unreachable!() };
+            let rhs = self.substs[&x].clone();
+            l = l.add(&rhs.scale(c));
+        }
+        l
+    }
+
+    /// Records `l ≤ 0` as a known row and refines atom intervals from
+    /// it. `l` must already be expanded.
+    fn assume_le_row(&mut self, l: Lin) {
+        if !l.coeffs.is_empty() && !self.rows.contains(&l) {
+            self.rows.push(l.clone());
+        }
+        self.refine_le(&l);
+    }
+
+    /// Records a unit-coefficient equality `d = 0` as a substitution
+    /// (the solver's Gaussian elimination step). `d` must be expanded.
+    fn record_subst(&mut self, d: &Lin) {
+        let Some((atom, c)) = d
+            .coeffs
+            .iter()
+            .find(|(a, c)| {
+                (*c == 1 || *c == -1) && matches!(a, Atom::Var(x) if !self.substs.contains_key(x))
+            })
+            .cloned()
+        else {
+            return;
+        };
+        let Atom::Var(x) = atom else { return };
+        // c·x + rest = 0  ⇒  x = rest·(−1/c).
+        let mut rest = d.clone();
+        rest.coeffs.retain(|(a, _)| *a != Atom::Var(x.clone()));
+        let rhs = rest.scale(-c);
+        self.substs.insert(x, rhs);
+    }
+
+    /// Interval bounds of a linear combination.
+    fn eval(&self, l: &Lin) -> (Option<i128>, Option<i128>) {
+        let mut lo = Some(l.konst);
+        let mut hi = Some(l.konst);
+        for (a, c) in &l.coeffs {
+            let itv = self.itv_of(a);
+            let (alo, ahi) = if *c >= 0 {
+                (itv.lo, itv.hi)
+            } else {
+                (itv.hi, itv.lo)
+            };
+            lo = match (lo, alo) {
+                (Some(acc), Some(b)) => Some(acc + c * b as i128),
+                _ => None,
+            };
+            hi = match (hi, ahi) {
+                (Some(acc), Some(b)) => Some(acc + c * b as i128),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+
+    /// Assumes `l ≤ 0`, refining every atom's interval.
+    ///
+    /// Rounding discipline: the solver's Fourier–Motzkin core only
+    /// applies gcd-tightening per *row* (`tighten_le`), and its
+    /// fill-in-driven elimination order decides which derived rows
+    /// exist — an integer cut the interval view can see (divide a
+    /// multi-variable row's residual bound by a non-unit coefficient
+    /// and floor) is not guaranteed to be derived by any particular
+    /// elimination order, so flooring here would discharge obligations
+    /// the solver cannot replay. We therefore floor only when the
+    /// division is exact (the bound is rational-FM-derivable as is) or
+    /// the row has a single variable (the solver tightens input rows
+    /// with the identical `⌊b/c⌋`); otherwise the fractional bound is
+    /// relaxed outward to the enclosing integer, which every rational
+    /// derivation also admits.
+    fn refine_le(&mut self, l: &Lin) {
+        if l.coeffs.is_empty() {
+            if l.konst > 0 {
+                self.bottom = true;
+            }
+            return;
+        }
+        let single_var = l.coeffs.len() == 1;
+        for i in 0..l.coeffs.len() {
+            let (atom, c) = l.coeffs[i].clone();
+            // c·x ≤ -konst - Σ_{j≠i} min(c_j·x_j)
+            let mut bound = Some(-l.konst);
+            for (j, (a, cj)) in l.coeffs.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let itv = self.itv_of(a);
+                let contrib = if *cj >= 0 { itv.lo } else { itv.hi };
+                bound = match (bound, contrib) {
+                    (Some(b), Some(v)) => Some(b - cj * v as i128),
+                    _ => None,
+                };
+            }
+            let Some(b) = bound else { continue };
+            let exact = b.rem_euclid(c.abs()) == 0;
+            let refined = if c > 0 {
+                let q = b.div_euclid(c);
+                Interval {
+                    lo: None,
+                    // Non-exact multi-var division: relax to ⌈b/c⌉.
+                    hi: to_i64(if exact || single_var { q } else { q + 1 }),
+                }
+            } else {
+                // c < 0: x ≥ ⌈b/c⌉ = -⌊b/(-c)⌋; non-exact multi-var
+                // division relaxes to ⌊b/c⌋ = -⌊b/(-c)⌋ - 1.
+                let q = -b.div_euclid(-c);
+                Interval {
+                    lo: to_i64(if exact || single_var { q } else { q - 1 }),
+                    hi: None,
+                }
+            };
+            if refined.lo.is_none() && refined.hi.is_none() {
+                continue;
+            }
+            let e = self.itvs.entry(atom).or_insert(Interval::TOP);
+            *e = e.meet(&refined);
+            if e.is_empty() {
+                self.bottom = true;
+                return;
+            }
+        }
+    }
+
+    fn assume_int_cmp(&mut self, op: CmpOp, a: &Term, b: &Term) {
+        let Some(la) = self.lin(a) else { return };
+        let Some(lb) = self.lin(b) else { return };
+        let d = self.expand(la.add(&lb.clone().scale(-1)));
+        match op {
+            CmpOp::Le => self.assume_le_row(d),
+            CmpOp::Lt => self.assume_le_row(d.add(&Lin::konst(1))),
+            CmpOp::Ge => self.assume_le_row(d.scale(-1)),
+            CmpOp::Gt => self.assume_le_row(d.scale(-1).add(&Lin::konst(1))),
+            CmpOp::Eq => {
+                self.assume_le_row(d.clone());
+                self.assume_le_row(d.clone().scale(-1));
+                self.record_subst(&d);
+            }
+            CmpOp::Ne => {
+                self.int_diseqs += 1;
+                // Endpoint shaving: x ≠ k with x ∈ [k, h] tightens to
+                // [k+1, h] (one disequality split for the solver).
+                if d.coeffs.len() == 1 {
+                    let (atom, c) = d.coeffs[0].clone();
+                    if (c == 1 || c == -1) && d.konst % c == 0 {
+                        let k = to_i64(-d.konst / c);
+                        if let Some(k) = k {
+                            let e = self.itvs.entry(atom).or_insert(Interval::TOP);
+                            if e.lo == Some(k) {
+                                e.lo = k.checked_add(1);
+                            } else if e.hi == Some(k) {
+                                e.hi = k.checked_sub(1);
+                            }
+                            if e.is_empty() {
+                                self.bottom = true;
+                            }
+                        }
+                    } else if self.eval(&d) == (Some(0), Some(0)) {
+                        self.bottom = true;
+                    }
+                } else if self.eval(&d) == (Some(0), Some(0)) {
+                    self.bottom = true;
+                }
+            }
+        }
+    }
+
+    fn assume_ref_cmp(&mut self, op: CmpOp, a: &Term, b: &Term) {
+        let null_kind = |t: &Term| match t {
+            Term::App(f, args) if is_null_const(f, args) => Some(f.as_str() == "nullv"),
+            _ => None,
+        };
+        match (a, b, op) {
+            (Term::Var(x), Term::Var(y), CmpOp::Eq) => self.union(x, y),
+            (Term::Var(x), t, _) | (t, Term::Var(x), _) if null_kind(t).is_some() => {
+                let is_null = null_kind(t).unwrap();
+                let eq = op == CmpOp::Eq;
+                let r = self.root(x);
+                let f = self.nulls.entry(r).or_default();
+                let slot = if is_null {
+                    &mut f.eq_null
+                } else {
+                    &mut f.eq_undef
+                };
+                match slot {
+                    Some(prev) if *prev != eq => self.bottom = true,
+                    _ => *slot = Some(eq),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds one hypothesis into the environment. Unknown shapes are
+    /// ignored (conservative: fewer facts, harder entailment).
+    pub fn assume(&mut self, p: &Pred) {
+        if self.bottom {
+            return;
+        }
+        match p {
+            Pred::True | Pred::KVar(..) => {}
+            Pred::False => self.bottom = true,
+            Pred::And(ps) => {
+                for q in ps {
+                    self.assume(q);
+                }
+            }
+            Pred::Or(ps) => {
+                if ps.is_empty() {
+                    self.bottom = true;
+                    return;
+                }
+                // Join of the per-branch refinements (propositional case
+                // split, which the SAT layer performs completely).
+                let mut branches: Vec<FactEnv> = Vec::with_capacity(ps.len());
+                for q in ps {
+                    let mut b = self.clone();
+                    b.assume(q);
+                    branches.push(b);
+                }
+                let live: Vec<&FactEnv> = branches.iter().filter(|b| !b.bottom).collect();
+                let diseqs = branches.iter().map(|b| b.int_diseqs).max().unwrap_or(0);
+                match live.split_first() {
+                    None => self.bottom = true,
+                    Some((first, rest)) => {
+                        let mut joined = (*first).clone();
+                        for b in rest {
+                            joined.join_with(b);
+                        }
+                        *self = joined;
+                    }
+                }
+                self.int_diseqs = self.int_diseqs.max(diseqs);
+            }
+            Pred::Not(q) => match &**q {
+                Pred::Cmp(op, a, b) => self.assume(&Pred::Cmp(op.negate(), a.clone(), b.clone())),
+                Pred::TermPred(Term::Var(x)) if self.sorts.get(x) == Some(&Sort::Bool) => {
+                    self.set_truth(x.clone(), false)
+                }
+                Pred::Not(r) => self.assume(r),
+                Pred::Or(ps) => {
+                    for q in ps {
+                        self.assume(&Pred::not(q.clone()));
+                    }
+                }
+                _ => {}
+            },
+            Pred::Cmp(op, a, b) => {
+                match (self.sort_of(a), self.sort_of(b)) {
+                    (Some(Sort::Int), Some(Sort::Int)) => self.assume_int_cmp(*op, a, b),
+                    (Some(Sort::Ref), Some(Sort::Ref)) if matches!(op, CmpOp::Eq | CmpOp::Ne) => {
+                        self.assume_ref_cmp(*op, a, b)
+                    }
+                    (Some(Sort::Bool), Some(Sort::Bool)) => {
+                        // b = true / b ≠ false etc. on a variable.
+                        if let (Term::Var(x), Term::BoolLit(c)) | (Term::BoolLit(c), Term::Var(x)) =
+                            (a, b)
+                        {
+                            let val = match op {
+                                CmpOp::Eq => *c,
+                                CmpOp::Ne => !*c,
+                                _ => return,
+                            };
+                            self.set_truth(x.clone(), val);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Pred::TermPred(t) => match t {
+                Term::Var(x) if self.sorts.get(x) == Some(&Sort::Bool) => {
+                    self.set_truth(x.clone(), true)
+                }
+                Term::BoolLit(false) => self.bottom = true,
+                _ => {}
+            },
+            Pred::Imp(..) | Pred::Iff(..) | Pred::App(..) => {}
+        }
+    }
+
+    fn set_truth(&mut self, x: Sym, v: bool) {
+        match self.truths.get(&x) {
+            Some(prev) if *prev != v => self.bottom = true,
+            _ => {
+                self.truths.insert(x, v);
+            }
+        }
+    }
+
+    /// Joins another environment into this one (used for `Or`
+    /// hypotheses): keeps only facts both sides agree on.
+    fn join_with(&mut self, other: &FactEnv) {
+        if other.bottom {
+            return;
+        }
+        if self.bottom {
+            *self = other.clone();
+            return;
+        }
+        self.itvs = self
+            .itvs
+            .iter()
+            .filter_map(|(a, itv)| {
+                // Atoms under union-find may have different roots per
+                // branch; only keep facts whose atom exists identically.
+                other.itvs.get(a).map(|o| (a.clone(), itv.join(o)))
+            })
+            .collect();
+        self.truths = self
+            .truths
+            .iter()
+            .filter(|(x, v)| other.truths.get(*x) == Some(v))
+            .map(|(x, v)| (x.clone(), *v))
+            .collect();
+        // Nullness facts survive only when both branches agree under
+        // both branch's union-finds; conservatively keep facts attached
+        // to identical roots with identical values.
+        self.nulls = self
+            .nulls
+            .iter()
+            .filter_map(|(x, f)| {
+                let of = other.nulls.get(x)?;
+                let keep = NullFacts {
+                    eq_null: if f.eq_null == of.eq_null {
+                        f.eq_null
+                    } else {
+                        None
+                    },
+                    eq_undef: if f.eq_undef == of.eq_undef {
+                        f.eq_undef
+                    } else {
+                        None
+                    },
+                };
+                if keep == NullFacts::default() {
+                    None
+                } else {
+                    Some((x.clone(), keep))
+                }
+            })
+            .collect();
+        // Keep only the common aliasing (pairs with equal roots in both).
+        let pairs: Vec<(Sym, Sym)> = self
+            .parents
+            .iter()
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
+        let mut o = other.clone();
+        self.parents = pairs
+            .into_iter()
+            .filter(|(a, b)| o.root(a) == o.root(b))
+            .collect();
+        // Rows and substitutions survive only when both branches assumed
+        // the identical fact.
+        self.rows.retain(|r| other.rows.contains(r));
+        self.substs.retain(|x, l| other.substs.get(x) == Some(l));
+        self.int_diseqs = self.int_diseqs.max(other.int_diseqs);
+    }
+
+    /// Decides whether the hypotheses entail `goal`. `false` means
+    /// "unproven", never "refuted".
+    pub fn entails(&mut self, goal: &Pred) -> bool {
+        if self.bottom {
+            return true;
+        }
+        match goal {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::And(ps) => ps.iter().all(|p| self.entails(p)),
+            Pred::Or(ps) => ps.iter().any(|p| self.entails(p)),
+            Pred::Not(q) => match &**q {
+                Pred::Cmp(op, a, b) => self.entails(&Pred::Cmp(op.negate(), a.clone(), b.clone())),
+                Pred::TermPred(Term::Var(x)) if self.sorts.get(x) == Some(&Sort::Bool) => {
+                    self.truths.get(x) == Some(&false)
+                }
+                Pred::Not(r) => self.entails(r),
+                _ => false,
+            },
+            Pred::Cmp(op, a, b) => match (self.sort_of(a), self.sort_of(b)) {
+                (Some(Sort::Int), Some(Sort::Int)) => self.entails_int_cmp(*op, a, b),
+                (Some(Sort::Ref), Some(Sort::Ref)) => self.entails_ref_cmp(*op, a, b),
+                (Some(Sort::Bool), Some(Sort::Bool)) => {
+                    if let (Term::Var(x), Term::BoolLit(c)) | (Term::BoolLit(c), Term::Var(x)) =
+                        (a, b)
+                    {
+                        let want = match op {
+                            CmpOp::Eq => *c,
+                            CmpOp::Ne => !*c,
+                            _ => return false,
+                        };
+                        return self.truths.get(x) == Some(&want);
+                    }
+                    false
+                }
+                _ => false,
+            },
+            Pred::TermPred(t) => match t {
+                Term::Var(x) if self.sorts.get(x) == Some(&Sort::Bool) => {
+                    self.truths.get(x) == Some(&true)
+                }
+                Term::BoolLit(true) => true,
+                _ => false,
+            },
+            Pred::Imp(a, b) => {
+                // Prove by assuming the antecedent (propositionally
+                // complete at the SAT layer).
+                let mut sub = self.clone();
+                sub.assume(a);
+                sub.entails(b)
+            }
+            Pred::Iff(..) | Pred::KVar(..) | Pred::App(..) => false,
+        }
+    }
+
+    /// Proves `d ≤ 0`: directly by interval evaluation, or by
+    /// subsumption against a known row (`d − r` bounded by 0 — a
+    /// positive Farkas combination the solver's Fourier–Motzkin core
+    /// also derives).
+    fn proves_le(&mut self, d: &Lin) -> bool {
+        if matches!(self.eval(d).1, Some(h) if h <= 0) {
+            return true;
+        }
+        for i in 0..self.rows.len() {
+            let row = self.rows[i].clone();
+            let diff = self.expand(d.clone().add(&row.scale(-1)));
+            if matches!(self.eval(&diff).1, Some(h) if h <= 0) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn entails_int_cmp(&mut self, op: CmpOp, a: &Term, b: &Term) -> bool {
+        let Some(la) = self.lin(a) else { return false };
+        let Some(lb) = self.lin(b) else { return false };
+        let d = self.expand(la.add(&lb.scale(-1)));
+        match op {
+            CmpOp::Le => self.proves_le(&d),
+            CmpOp::Lt => self.proves_le(&d.clone().add(&Lin::konst(1))),
+            CmpOp::Ge => self.proves_le(&d.clone().scale(-1)),
+            CmpOp::Gt => self.proves_le(&d.clone().scale(-1).add(&Lin::konst(1))),
+            CmpOp::Eq => self.proves_le(&d.clone()) && self.proves_le(&d.scale(-1)),
+            CmpOp::Ne => {
+                self.proves_le(&d.clone().add(&Lin::konst(1)))
+                    || self.proves_le(&d.scale(-1).add(&Lin::konst(1)))
+            }
+        }
+    }
+
+    fn entails_ref_cmp(&mut self, op: CmpOp, a: &Term, b: &Term) -> bool {
+        let null_kind = |t: &Term| match t {
+            Term::App(f, args) if is_null_const(f, args) => Some(f.as_str() == "nullv"),
+            _ => None,
+        };
+        match (a, b) {
+            (Term::Var(x), Term::Var(y)) => match op {
+                CmpOp::Eq => self.root(x) == self.root(y),
+                CmpOp::Ne => {
+                    // x = c, y ≠ c for the same null constant c.
+                    let rx = self.root(x);
+                    let ry = self.root(y);
+                    let fx = self.nulls.get(&rx).copied().unwrap_or_default();
+                    let fy = self.nulls.get(&ry).copied().unwrap_or_default();
+                    matches!((fx.eq_null, fy.eq_null), (Some(true), Some(false)))
+                        || matches!((fx.eq_null, fy.eq_null), (Some(false), Some(true)))
+                        || matches!((fx.eq_undef, fy.eq_undef), (Some(true), Some(false)))
+                        || matches!((fx.eq_undef, fy.eq_undef), (Some(false), Some(true)))
+                }
+                _ => false,
+            },
+            (Term::Var(x), t) | (t, Term::Var(x)) if null_kind(t).is_some() => {
+                let is_null = null_kind(t).unwrap();
+                let r = self.root(x);
+                let f = self.nulls.get(&r).copied().unwrap_or_default();
+                let known = if is_null { f.eq_null } else { f.eq_undef };
+                match op {
+                    CmpOp::Eq => known == Some(true),
+                    CmpOp::Ne => known == Some(false),
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+fn is_null_const(f: &Sym, args: &[Term]) -> bool {
+    args.is_empty() && matches!(f.as_str(), "nullv" | "undefv")
+}
+
+fn to_i64(v: i128) -> Option<i64> {
+    i64::try_from(v).ok()
+}
+
+/// The discharge decision: do `hyps` abstractly entail `goal`, within
+/// the solver-replayable fragment? Runs the hypothesis conjunction to a
+/// local fixpoint (relational chains like `x = y ∧ 0 ≤ x` need a second
+/// pass to reach `y`), then asks for the goal.
+pub fn entailed_by(binders: &[(Sym, Sort)], hyps: &[Pred], goal: &Pred) -> bool {
+    let mut env = FactEnv::new(binders);
+    // Up to three passes over the hypotheses: assume-order independence
+    // for short chains, deterministic by construction.
+    for _ in 0..3 {
+        let before = (
+            env.itvs.clone(),
+            env.rows.len(),
+            env.substs.len(),
+            env.truths.len(),
+            env.nulls.len(),
+            env.bottom,
+        );
+        env.int_diseqs = 0;
+        for h in hyps {
+            env.assume(h);
+        }
+        if env.int_diseqs > MAX_INT_DISEQS {
+            return false;
+        }
+        if env.bottom {
+            break;
+        }
+        let after = (
+            env.itvs.clone(),
+            env.rows.len(),
+            env.substs.len(),
+            env.truths.len(),
+            env.nulls.len(),
+            env.bottom,
+        );
+        if after == before {
+            break;
+        }
+    }
+    env.entails(goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_logic::Term as T;
+
+    fn int_binders() -> Vec<(Sym, Sort)> {
+        vec![
+            (Sym::from("x"), Sort::Int),
+            (Sym::from("y"), Sort::Int),
+            (Sym::from("v"), Sort::Int),
+        ]
+    }
+
+    #[test]
+    fn interval_discharge_basics() {
+        let b = int_binders();
+        // x = 0 ∧ v = x + 1 ⊨ 0 < v
+        let hyps = vec![
+            Pred::cmp(CmpOp::Eq, T::var("x"), T::int(0)),
+            Pred::cmp(CmpOp::Eq, T::vv(), T::add(T::var("x"), T::int(1))),
+        ];
+        assert!(entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Lt, T::int(0), T::vv())
+        ));
+        assert!(!entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Lt, T::int(1), T::vv())
+        ));
+    }
+
+    #[test]
+    fn tightening_matches_integer_division() {
+        let b = int_binders();
+        // 2x ≤ 7 ⊨ x ≤ 3 (integer tightening).
+        let hyps = vec![Pred::cmp(
+            CmpOp::Le,
+            T::mul(T::int(2), T::var("x")),
+            T::int(7),
+        )];
+        assert!(entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Le, T::var("x"), T::int(3))
+        ));
+    }
+
+    #[test]
+    fn nonlinear_and_mod_never_discharge() {
+        let b = int_binders();
+        // x·y = 4 proves nothing here (uninterpreted at the SMT layer).
+        let hyps = vec![Pred::cmp(
+            CmpOp::Eq,
+            T::mul(T::var("x"), T::var("y")),
+            T::int(4),
+        )];
+        assert!(!entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Ne, T::mul(T::var("x"), T::var("y")), T::int(5)),
+        ));
+        // x mod 2 = 0 must not feed entailment either.
+        let hyps = vec![Pred::cmp(
+            CmpOp::Eq,
+            T::bin(rsc_logic::BinOp::Mod, T::var("x"), T::int(2)),
+            T::int(0),
+        )];
+        assert!(!entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Ne, T::var("x"), T::int(3))
+        ));
+    }
+
+    #[test]
+    fn contradictory_hypotheses_entail_everything() {
+        let b = int_binders();
+        let hyps = vec![
+            Pred::cmp(CmpOp::Lt, T::var("x"), T::int(0)),
+            Pred::cmp(CmpOp::Gt, T::var("x"), T::int(0)),
+        ];
+        assert!(entailed_by(&b, &hyps, &Pred::False));
+    }
+
+    #[test]
+    fn nullness_through_equalities() {
+        let b = vec![(Sym::from("p"), Sort::Ref), (Sym::from("v"), Sort::Ref)];
+        let hyps = vec![
+            Pred::cmp(CmpOp::Ne, T::var("p"), T::app("nullv", vec![])),
+            Pred::cmp(CmpOp::Eq, T::vv(), T::var("p")),
+        ];
+        assert!(entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Ne, T::vv(), T::app("nullv", vec![])),
+        ));
+        // EUF cannot refute nullv = undefv, so neither do we.
+        assert!(!entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Ne, T::vv(), T::app("undefv", vec![])),
+        ));
+    }
+
+    #[test]
+    fn len_atoms_flow_through_axioms() {
+        let b = vec![
+            (Sym::from("a"), Sort::Ref),
+            (Sym::from("i"), Sort::Int),
+            (Sym::from("v"), Sort::Int),
+        ];
+        // 0 ≤ len(a) ∧ i < len(a) ∧ 0 ≤ i ∧ v = i ⊨ 0 ≤ v ∧ v < len(a)
+        let len_a = T::len_of(T::var("a"));
+        let hyps = vec![
+            Pred::cmp(CmpOp::Le, T::int(0), len_a.clone()),
+            Pred::cmp(CmpOp::Lt, T::var("i"), len_a.clone()),
+            Pred::cmp(CmpOp::Le, T::int(0), T::var("i")),
+            Pred::cmp(CmpOp::Eq, T::vv(), T::var("i")),
+        ];
+        assert!(entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Le, T::int(0), T::vv())
+        ));
+        assert!(entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Lt, T::vv(), len_a),
+        ));
+    }
+
+    #[test]
+    fn too_many_disequalities_bail_out() {
+        let b = int_binders();
+        let mut hyps = vec![Pred::cmp(CmpOp::Eq, T::vv(), T::int(0))];
+        for i in 0..(MAX_INT_DISEQS as i64 + 1) {
+            hyps.push(Pred::cmp(CmpOp::Ne, T::var("x"), T::int(100 + i)));
+        }
+        // Entailed by intervals alone, but the disequality load could
+        // push the solver past its case-split cap — so refuse.
+        assert!(!entailed_by(
+            &b,
+            &hyps,
+            &Pred::cmp(CmpOp::Le, T::int(0), T::vv())
+        ));
+    }
+}

@@ -24,6 +24,8 @@ struct Row {
     total_us: u128,
     constraints: usize,
     bundles: usize,
+    smt_queries: u64,
+    discharged: u64,
     phases: Vec<rsc_obs::Phase>,
 }
 
@@ -63,6 +65,8 @@ fn main() {
             total_us,
             constraints: result.stats.constraints,
             bundles: result.stats.bundles,
+            smt_queries: result.stats.smt_queries,
+            discharged: result.stats.obligations_discharged,
             phases: profile.phase_totals(),
         });
     }
@@ -73,13 +77,15 @@ fn main() {
     for col in COLUMNS {
         print!(" {col:>14}");
     }
+    print!(" {:>9} {:>11}", "queries", "discharged");
     println!();
-    println!("{}", "-".repeat(25 + 15 * COLUMNS.len()));
+    println!("{}", "-".repeat(47 + 15 * COLUMNS.len()));
     for r in &rows {
         print!("{:<15} {:>9.1}", r.name, r.total_us as f64 / 1000.0);
         for col in COLUMNS {
             print!(" {:>14.1}", phase_us(&r.phases, col) as f64 / 1000.0);
         }
+        print!(" {:>9} {:>11}", r.smt_queries, r.discharged);
         println!();
     }
 
@@ -101,11 +107,14 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"total_us\": {}, \"constraints\": {}, \
-             \"bundles\": {},\n     \"phases\": [{}]}}{}",
+             \"bundles\": {}, \"smt_queries\": {}, \"discharged\": {},\n     \
+             \"phases\": [{}]}}{}",
             r.name,
             r.total_us,
             r.constraints,
             r.bundles,
+            r.smt_queries,
+            r.discharged,
             phases,
             if i + 1 < rows.len() { "," } else { "" },
         );

@@ -49,6 +49,17 @@ pub struct CheckerOptions {
     /// from scratch. Verdict- and diagnostic-preserving; off is the
     /// ablation/debug path (`--no-incremental-smt` / `RSC_INCR_SMT=0`).
     pub incremental_smt: bool,
+    /// Run the abstract-interpretation pre-pass (`rsc_absint`) before
+    /// each SMT validity query, statically discharging obligations whose
+    /// goal is entailed by the interval/nullness facts. The pre-pass may
+    /// only *discharge*, never report: every skipped query is re-derivable
+    /// by the solver, so diagnostics are byte-identical with it off
+    /// (`--no-absint` is the ablation path).
+    pub absint: bool,
+    /// Run the dataflow lint pass (`L0001`–`L0004`) and surface findings
+    /// as warning diagnostics in [`CheckResult::lints`]. Lints never
+    /// affect the error stream or the check verdict.
+    pub lints: bool,
 }
 
 impl Default for CheckerOptions {
@@ -61,6 +72,8 @@ impl Default for CheckerOptions {
             vc_cache: true,
             cache_capacity: 0,
             incremental_smt: true,
+            absint: true,
+            lints: true,
         }
     }
 }
@@ -141,6 +154,12 @@ pub struct CheckStats {
     /// VC-cache entries evicted during this run (non-zero only when a
     /// cache capacity is configured).
     pub cache_evictions: u64,
+    /// Obligations discharged statically by the abstract-interpretation
+    /// pre-pass instead of being sent to the SMT solver (always 0 when
+    /// the pre-pass is disabled). `smt_queries` counts only the queries
+    /// actually issued, so `smt_queries + obligations_discharged` is the
+    /// pre-pass-off query count.
+    pub obligations_discharged: u64,
 }
 
 impl CheckStats {
@@ -184,6 +203,12 @@ pub struct BundleReport {
     /// it was (last) solved — a pure function of the bundle's canonical
     /// problem, so it is also correct for `cached` bundles.
     pub smt_queries: u64,
+    /// Obligations the abstract-interpretation pre-pass discharged
+    /// without an SMT query when the bundle was (last) solved. Like
+    /// `smt_queries`, a pure function of the canonical bundle problem
+    /// (and the pre-pass setting), so it is retained for `cached`
+    /// bundles.
+    pub discharged: u64,
     /// Wall-clock nanoseconds spent solving this bundle when it was
     /// (last) actually solved (retained, like the counters, for `cached`
     /// bundles). Measurement only: timing never influences verdicts,
@@ -202,6 +227,7 @@ impl BundleReport {
             failures: self.failures.iter().map(|(i, _)| *i).collect(),
             smt: self.smt,
             smt_queries: self.smt_queries,
+            discharged: self.discharged,
             solve_ns: self.solve_ns,
         }
     }
@@ -220,6 +246,8 @@ pub struct RetainedBundle {
     pub smt: SolverStats,
     /// Liquid-level validity queries from when it was last solved.
     pub smt_queries: u64,
+    /// Pre-pass-discharged obligations from when it was last solved.
+    pub discharged: u64,
     /// Wall-clock solve time from when it was last solved.
     pub solve_ns: u64,
 }
@@ -229,6 +257,12 @@ pub struct RetainedBundle {
 pub struct CheckResult {
     /// Verification errors (empty = the program is safe).
     pub diagnostics: Vec<Diagnostic>,
+    /// Lint warnings from the dataflow lint pass (`L0001`–`L0004`),
+    /// kept separate from `diagnostics` so the error stream — and with
+    /// it every golden fixture and byte-identity invariant — is
+    /// unaffected by whether linting is enabled. Warnings never make
+    /// [`CheckResult::ok`] false.
+    pub lints: Vec<Diagnostic>,
     /// Statistics.
     pub stats: CheckStats,
     /// Per-bundle solver statistics (empty when checking aborted before
@@ -331,6 +365,7 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
             diags.push(Diagnostic::error(e.message, e.span));
             return CheckResult {
                 diagnostics: diags,
+                lints: Vec::new(),
                 stats: CheckStats::default(),
                 bundle_reports: Vec::new(),
             };
@@ -342,6 +377,7 @@ pub fn check_program(src: &str, opts: CheckerOptions) -> CheckResult {
             diags.push(Diagnostic::error(e.message, e.span));
             return CheckResult {
                 diagnostics: diags,
+                lints: Vec::new(),
                 stats: CheckStats::default(),
                 bundle_reports: Vec::new(),
             };
@@ -361,6 +397,7 @@ pub fn check_program_ast(prog: &rsc_syntax::Program, opts: CheckerOptions) -> Ch
         Err(e) => {
             return CheckResult {
                 diagnostics: vec![Diagnostic::error(e.message, e.span)],
+                lints: Vec::new(),
                 stats: CheckStats::default(),
                 bundle_reports: Vec::new(),
             };
@@ -421,7 +458,15 @@ pub fn generate_artifacts(
         next_unit: 1,
         vc_cache: cache,
     };
-    checker.generate(ir, cache_before)
+    let mut art = checker.generate(ir, cache_before);
+    if opts.lints {
+        let _sp = rsc_obs::span!("absint");
+        art.lints = rsc_absint::lint_program(ir)
+            .into_iter()
+            .map(|l| Diagnostic::warning(l.code, l.message, l.span))
+            .collect();
+    }
+    art
 }
 
 /// The generation phase's output: partitioned bundles plus everything
@@ -435,6 +480,11 @@ pub struct CheckArtifacts {
     /// Diagnostics produced during generation (parse-independent resolve
     /// errors etc.), merged ahead of solve failures.
     pub gen_diags: Vec<Diagnostic>,
+    /// Lint warnings from the dataflow pass over the IR (empty when
+    /// `opts.lints` is off). Computed during generation — lints depend
+    /// only on the IR, never on solver verdicts — and passed through to
+    /// [`CheckResult::lints`] untouched by the solve step.
+    pub lints: Vec<Diagnostic>,
     /// κ-variables allocated across the whole set.
     pub kvars: usize,
     /// Constraints generated across the whole set.
@@ -462,6 +512,7 @@ impl CheckArtifacts {
         CheckArtifacts {
             bundles: Vec::new(),
             gen_diags,
+            lints: Vec::new(),
             kvars: 0,
             constraints: 0,
             global_fp: 0,
@@ -491,6 +542,7 @@ pub fn solve_artifacts(
     let CheckArtifacts {
         bundles,
         gen_diags: mut diags,
+        lints,
         kvars: total_kvars,
         constraints: total_constraints,
         global_fp,
@@ -515,6 +567,7 @@ pub fn solve_artifacts(
     let use_cache = opts.vc_cache;
     let solve_opts = rsc_liquid::SolveOptions {
         incremental: opts.effective_incremental(),
+        absint: opts.absint,
     };
     let to_solve: Vec<usize> = (0..bundles.len())
         .filter(|i| retained[*i].is_none())
@@ -566,6 +619,7 @@ pub fn solve_artifacts(
     }
     let mut failures: Vec<(usize, Blame)> = Vec::new();
     let mut smt_queries = 0u64;
+    let mut discharged = 0u64;
     let mut bundles_reused = 0usize;
     let mut bundle_reports = Vec::with_capacity(bundles.len());
     for (i, b) in bundles.iter().enumerate() {
@@ -594,6 +648,7 @@ pub fn solve_artifacts(
                     cached: true,
                     failures,
                     smt_queries: r.smt_queries,
+                    discharged: r.discharged,
                     solve_ns: r.solve_ns,
                 }
             }
@@ -605,11 +660,13 @@ pub fn solve_artifacts(
                 cached: false,
                 failures: result.failures.clone(),
                 smt_queries: result.smt_queries,
+                discharged: result.discharged,
                 solve_ns: *solve_ns,
             },
             (None, None) => unreachable!("bundle neither retained nor solved"),
         };
         smt_queries += report.smt_queries;
+        discharged += report.discharged;
         for (local, blame) in &report.failures {
             failures.push((b.members[*local], blame.clone()));
         }
@@ -629,9 +686,11 @@ pub fn solve_artifacts(
         cache_misses: counters.misses - cache_before.misses,
         bundles_reused,
         cache_evictions: counters.evictions - cache_before.evictions,
+        obligations_discharged: discharged,
     };
     CheckResult {
         diagnostics: diags,
+        lints,
         stats,
         bundle_reports,
     }
@@ -718,6 +777,7 @@ impl Checker {
         CheckArtifacts {
             bundles,
             gen_diags: self.diags,
+            lints: Vec::new(),
             kvars: total_kvars,
             constraints: total_constraints,
             global_fp,

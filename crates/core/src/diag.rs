@@ -24,6 +24,8 @@ use rsc_syntax::{LineIndex, Span};
 pub enum Severity {
     /// A verification failure (the program is rejected).
     Error,
+    /// A lint finding (the program is still accepted).
+    Warning,
     /// An informational note.
     Note,
 }
@@ -54,6 +56,21 @@ impl Diagnostic {
         Diagnostic {
             severity: Severity::Error,
             code: None,
+            message: message.into(),
+            span,
+            secondary: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning diagnostic with a stable lint code (`L0001`-style).
+    /// Warnings never affect the check verdict — [`crate::CheckResult`]
+    /// keeps them in a separate `lints` list so the error stream stays
+    /// byte-identical whether linting is on or off.
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code: Some(code),
             message: message.into(),
             span,
             secondary: Vec::new(),
@@ -96,6 +113,7 @@ impl Diagnostic {
     pub fn render_with(&self, file: &str, src: &str, idx: &LineIndex) -> String {
         let sev = match self.severity {
             Severity::Error => "error",
+            Severity::Warning => "warning",
             Severity::Note => "note",
         };
         let code = self.code.map(|c| format!("[{c}]")).unwrap_or_default();
@@ -157,6 +175,7 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let sev = match self.severity {
             Severity::Error => "error",
+            Severity::Warning => "warning",
             Severity::Note => "note",
         };
         match self.code {

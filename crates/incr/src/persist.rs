@@ -28,12 +28,12 @@
 //!
 //! # Format and crash tolerance
 //!
-//! After a `rsc-bundle-cache v1 {version:016x}\n` header the file is a
+//! After a `rsc-bundle-cache v2 {version:016x}\n` header the file is a
 //! sequence of fixed-layout little-endian records:
 //!
 //! ```text
 //! u128 fingerprint
-//! u64  smt_queries, u64 solve_ns
+//! u64  smt_queries, u64 discharged, u64 solve_ns
 //! u64×6 solver counters (queries, valid, sat_rounds,
 //!        theory_conflicts, cache_hits, cache_misses)
 //! u32  failure count, then that many u32 bundle-local indices
@@ -50,7 +50,7 @@ use std::sync::Mutex;
 use rsc_core::RetainedBundle;
 use rsc_smt::SolverStats;
 
-const MAGIC: &str = "rsc-bundle-cache v1";
+const MAGIC: &str = "rsc-bundle-cache v2";
 
 /// The bundle-verdict disk tier: a fingerprint-keyed, append-only store
 /// of [`RetainedBundle`]s for one cache version. See the module docs.
@@ -153,6 +153,7 @@ impl BundleStore {
 fn write_record(buf: &mut Vec<u8>, fp: u128, b: &RetainedBundle) {
     buf.extend_from_slice(&fp.to_le_bytes());
     buf.extend_from_slice(&b.smt_queries.to_le_bytes());
+    buf.extend_from_slice(&b.discharged.to_le_bytes());
     buf.extend_from_slice(&b.solve_ns.to_le_bytes());
     for c in [
         b.smt.queries,
@@ -172,24 +173,25 @@ fn write_record(buf: &mut Vec<u8>, fp: u128, b: &RetainedBundle) {
 
 /// Parses one record off the front of `bytes`; `None` on a torn tail.
 fn read_record(bytes: &[u8]) -> Option<(u128, RetainedBundle, &[u8])> {
-    // Fixed part: 16 (fp) + 8 + 8 + 6×8 (counters) + 4 (count).
-    const FIXED: usize = 16 + 8 + 8 + 48 + 4;
+    // Fixed part: 16 (fp) + 8 + 8 + 8 + 6×8 (counters) + 4 (count).
+    const FIXED: usize = 16 + 8 + 8 + 8 + 48 + 4;
     if bytes.len() < FIXED {
         return None;
     }
     let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
     let fp = u128::from_le_bytes(bytes[0..16].try_into().unwrap());
     let smt_queries = u64_at(16);
-    let solve_ns = u64_at(24);
+    let discharged = u64_at(24);
+    let solve_ns = u64_at(32);
     let smt = SolverStats {
-        queries: u64_at(32),
-        valid: u64_at(40),
-        sat_rounds: u64_at(48),
-        theory_conflicts: u64_at(56),
-        cache_hits: u64_at(64),
-        cache_misses: u64_at(72),
+        queries: u64_at(40),
+        valid: u64_at(48),
+        sat_rounds: u64_at(56),
+        theory_conflicts: u64_at(64),
+        cache_hits: u64_at(72),
+        cache_misses: u64_at(80),
     };
-    let count = u32::from_le_bytes(bytes[80..84].try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(bytes[88..92].try_into().unwrap()) as usize;
     let end = FIXED + 4 * count;
     if bytes.len() < end {
         return None;
@@ -204,6 +206,7 @@ fn read_record(bytes: &[u8]) -> Option<(u128, RetainedBundle, &[u8])> {
         failures,
         smt,
         smt_queries,
+        discharged,
         solve_ns,
     };
     Some((fp, bundle, &bytes[end..]))
@@ -231,6 +234,7 @@ mod tests {
                 cache_misses: fp + 5,
             },
             smt_queries: fp * 10,
+            discharged: fp * 7,
             solve_ns: fp * 100,
         }
     }

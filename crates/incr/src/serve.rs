@@ -168,6 +168,12 @@ impl Serve {
             if !r.outcome.result.ok() {
                 self.registry.add("checks_failed_total", 1);
             }
+            self.registry.add(
+                "obligations_discharged_total",
+                r.outcome.result.stats.obligations_discharged,
+            );
+            self.registry
+                .add("lints_total", r.outcome.result.lints.len() as u64);
             self.registry.observe_us("check_latency", incr.total_micros);
         }
         (reports, timing_json(&profile.phase_totals()))
@@ -737,6 +743,7 @@ fn lsp_range(report: &DocReport, idxs: &[LineIndex], span: rsc_syntax::Span) -> 
 fn lsp_diagnostic(d: &Diagnostic, report: &DocReport, idxs: &[LineIndex]) -> Json {
     let severity = match d.severity {
         rsc_core::Severity::Error => 1.0,
+        rsc_core::Severity::Warning => 2.0,
         rsc_core::Severity::Note => 3.0,
     };
     // Demangle module-qualified names: the user must never see
@@ -883,33 +890,31 @@ fn check_response(cmd: &str, key: &str, reports: &[DocReport], timing: Json) -> 
     let report = &reports[0];
     let outcome = &report.outcome;
     let multi_file = report.merged.files.len() > 1;
-    let diags: Vec<Json> = outcome
-        .result
-        .diagnostics
-        .iter()
-        .map(|d| {
-            let (fi, local) = report.merged.localize(d);
-            let severity = match local.severity {
-                rsc_core::Severity::Error => "error",
-                rsc_core::Severity::Note => "note",
-            };
-            let mut fields = vec![
-                ("severity".into(), Json::str(severity)),
-                ("line".into(), Json::num(local.span.line as f64)),
-                ("message".into(), Json::str(local.message.clone())),
-            ];
-            if let Some(code) = local.code {
-                fields.insert(1, ("code".into(), Json::str(code)));
-            }
-            if multi_file {
-                fields.push((
-                    "file".into(),
-                    Json::str(report.merged.files[fi].name.clone()),
-                ));
-            }
-            Json::Obj(fields)
-        })
-        .collect();
+    let render_diag = |d: &Diagnostic| {
+        let (fi, local) = report.merged.localize(d);
+        let severity = match local.severity {
+            rsc_core::Severity::Error => "error",
+            rsc_core::Severity::Warning => "warning",
+            rsc_core::Severity::Note => "note",
+        };
+        let mut fields = vec![
+            ("severity".into(), Json::str(severity)),
+            ("line".into(), Json::num(local.span.line as f64)),
+            ("message".into(), Json::str(local.message.clone())),
+        ];
+        if let Some(code) = local.code {
+            fields.insert(1, ("code".into(), Json::str(code)));
+        }
+        if multi_file {
+            fields.push((
+                "file".into(),
+                Json::str(report.merged.files[fi].name.clone()),
+            ));
+        }
+        Json::Obj(fields)
+    };
+    let diags: Vec<Json> = outcome.result.diagnostics.iter().map(render_diag).collect();
+    let lints: Vec<Json> = outcome.result.lints.iter().map(render_diag).collect();
     // Unit names over a qualified merged program carry module prefixes;
     // strip them — user-visible output never shows mangled names.
     let dirty_units: Vec<String> = outcome
@@ -924,6 +929,7 @@ fn check_response(cmd: &str, key: &str, reports: &[DocReport], timing: Json) -> 
         ("path".into(), Json::str(key)),
         ("verified".into(), Json::Bool(outcome.result.ok())),
         ("diagnostics".into(), Json::Arr(diags)),
+        ("lints".into(), Json::Arr(lints)),
         ("bundles".into(), Json::num(outcome.incr.bundles as f64)),
         ("reused".into(), Json::num(outcome.incr.reused as f64)),
         ("solved".into(), Json::num(outcome.incr.solved as f64)),

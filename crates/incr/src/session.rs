@@ -340,6 +340,7 @@ impl CheckSession {
         SessionOutcome {
             result: CheckResult {
                 diagnostics: vec![Diagnostic::error(message, span)],
+                lints: Vec::new(),
                 stats: CheckStats::default(),
                 bundle_reports: Vec::new(),
             },

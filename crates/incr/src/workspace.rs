@@ -604,12 +604,20 @@ pub struct DocReport {
 impl DocReport {
     /// Diagnostics grouped by owning file index, one (possibly empty)
     /// entry per closure file in merge order — publishers use the empty
-    /// entries to clear stale diagnostics.
+    /// entries to clear stale diagnostics. Errors come first within a
+    /// file, then lint warnings, so consumers that only look at leading
+    /// entries see failures before style findings.
     pub fn diags_by_file(&self) -> Vec<(usize, Vec<&Diagnostic>)> {
         let mut groups: Vec<(usize, Vec<&Diagnostic>)> = (0..self.merged.files.len())
             .map(|i| (i, Vec::new()))
             .collect();
-        for d in &self.outcome.result.diagnostics {
+        for d in self
+            .outcome
+            .result
+            .diagnostics
+            .iter()
+            .chain(&self.outcome.result.lints)
+        {
             let fi = if d.span.is_dummy() {
                 self.merged.root
             } else {
@@ -920,6 +928,7 @@ impl Workspace {
                     outcome: SessionOutcome {
                         result: CheckResult {
                             diagnostics: vec![diag],
+                            lints: Vec::new(),
                             stats: CheckStats::default(),
                             bundle_reports: Vec::new(),
                         },

@@ -26,8 +26,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cfg;
 pub mod ir;
 pub mod transform;
 
+pub use cfg::{Block, BlockId, Cfg, Edge, Stmt, Terminator};
 pub use ir::{Body, IrClass, IrCtor, IrExpr, IrFun, IrMethod, IrProgram, LoopPhi, Phi};
 pub use transform::{transform_program, Ssa, SsaEnv, SsaError};

@@ -10,6 +10,12 @@ files and fails when the *geomean* ratio current/baseline exceeds
 1 + max-regress (default: a 20% regression). Per-benchmark noise is expected
 on shared CI runners; the geomean over the 7-program corpus is stable enough
 to catch real solver-path regressions without flaking on one noisy sample.
+
+It also gates the `smt_queries` count per benchmark: unlike wall time,
+query counts are fully deterministic, so any single benchmark issuing more
+than 1 + max-query-regress (default 10%) times its baseline queries fails —
+that is the absint pre-pass (or the solver's query strategy) losing ground,
+not runner noise.
 """
 
 import argparse
@@ -25,15 +31,18 @@ def solve_us(bench: dict) -> int | None:
     return None
 
 
-def load(path: str) -> dict:
+def load(path: str) -> tuple[dict, dict]:
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    times, queries = {}, {}
     for b in data.get("benchmarks", []):
         us = solve_us(b)
         if us:
-            out[b["name"]] = us
-    return out
+            times[b["name"]] = us
+        q = b.get("smt_queries")
+        if q is not None:
+            queries[b["name"]] = q
+    return times, queries
 
 
 def main() -> int:
@@ -46,10 +55,16 @@ def main() -> int:
         default=0.20,
         help="maximum tolerated geomean slowdown (0.20 = 20%%)",
     )
+    ap.add_argument(
+        "--max-query-regress",
+        type=float,
+        default=0.10,
+        help="maximum tolerated per-benchmark smt_queries growth (0.10 = 10%%)",
+    )
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base, base_q = load(args.baseline)
+    cur, cur_q = load(args.current)
     common = sorted(set(base) & set(cur))
     if not common:
         print("check_solver_perf: no common benchmarks between files", file=sys.stderr)
@@ -66,12 +81,34 @@ def main() -> int:
         )
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     limit = 1.0 + args.max_regress
-    verdict = "PASS" if geomean <= limit else "FAIL"
+    time_ok = geomean <= limit
     print(
         f"check_solver_perf: geomean ratio {geomean:.3f} "
-        f"(limit {limit:.2f}) over {len(common)} benchmarks: {verdict}"
+        f"(limit {limit:.2f}) over {len(common)} benchmarks: "
+        f"{'PASS' if time_ok else 'FAIL'}"
     )
-    return 0 if geomean <= limit else 1
+
+    # Query-count gate: deterministic, so per-benchmark with no geomean
+    # smoothing. Old baselines without smt_queries skip the gate.
+    queries_ok = True
+    q_limit = 1.0 + args.max_query_regress
+    for name in sorted(set(base_q) & set(cur_q)):
+        if base_q[name] == 0:
+            continue
+        r = cur_q[name] / base_q[name]
+        ok = r <= q_limit
+        queries_ok = queries_ok and ok
+        print(
+            f"check_solver_perf: {name:14s} "
+            f"queries base={base_q[name]:6d} cur={cur_q[name]:6d} "
+            f"ratio={r:5.2f}{'' if ok else '  FAIL'}"
+        )
+    if not queries_ok:
+        print(
+            f"check_solver_perf: smt_queries grew past the {q_limit:.2f}x "
+            f"per-benchmark limit"
+        )
+    return 0 if time_ok and queries_ok else 1
 
 
 if __name__ == "__main__":

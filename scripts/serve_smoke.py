@@ -140,8 +140,8 @@ def legacy_leg(binary):
             if not v["diagnostics"]:
                 fail(f"{name}: rejection without diagnostics: {v}")
             for d in v["diagnostics"]:
-                if not d.get("code", "").startswith("R"):
-                    fail(f"{name}: diagnostic without obligation code: {d}")
+                if not d.get("code", "").startswith(("R", "L")):
+                    fail(f"{name}: diagnostic without obligation/lint code: {d}")
             if v["bundles"] > 1 and v["reused"] == 0:
                 fail(f"{name}: broken edit reused nothing: {v}")
         elif kind == "clean-edit":
@@ -155,9 +155,15 @@ def legacy_leg(binary):
     print("serve_smoke: legacy leg PASS")
 
 
+def lsp_errors(params):
+    """Severity-1 diagnostics (refinement errors); severity 2 is the
+    dataflow lint layer, which may publish on clean text too."""
+    return [d for d in params["diagnostics"] if d.get("severity") == 1]
+
+
 def assert_lsp_diagnostics(name, params):
-    """Every published diagnostic must carry a non-dummy LSP range and an
-    obligation-kind code."""
+    """Every published diagnostic must carry a non-dummy LSP range and
+    either an obligation code (severity 1) or a lint code (severity 2)."""
     for d in params["diagnostics"]:
         rng = d.get("range")
         if not rng:
@@ -168,8 +174,13 @@ def assert_lsp_diagnostics(name, params):
                 fail(f"{name}: position missing line/character: {d}")
         if (end["line"], end["character"]) <= (start["line"], start["character"]):
             fail(f"{name}: dummy/empty diagnostic range: {d}")
-        if not d.get("code", "").startswith("R"):
-            fail(f"{name}: diagnostic without an R-code: {d}")
+        code = d.get("code", "")
+        if d.get("severity") == 1 and not code.startswith("R"):
+            fail(f"{name}: error diagnostic without an R-code: {d}")
+        if d.get("severity") == 2 and not code.startswith("L"):
+            fail(f"{name}: warning diagnostic without an L-code: {d}")
+        if not code.startswith(("R", "L")):
+            fail(f"{name}: diagnostic without a code: {d}")
         if d.get("source") != "rsc":
             fail(f"{name}: diagnostic source is not 'rsc': {d}")
 
@@ -215,10 +226,11 @@ def lsp_leg(binary):
             fail(f"{name}/{kind}: wrong uri: {v}")
         rsc = v.get("rsc", {})
         if kind in ("clean-open", "clean-change"):
-            if params["diagnostics"] or rsc.get("verified") is not True:
-                fail(f"{name}: clean text published diagnostics: {v}")
+            if lsp_errors(params) or rsc.get("verified") is not True:
+                fail(f"{name}: clean text published error diagnostics: {v}")
+            assert_lsp_diagnostics(name, params)
         else:
-            if not params["diagnostics"] or rsc.get("verified") is not False:
+            if not lsp_errors(params) or rsc.get("verified") is not False:
                 fail(f"{name}: seeded bug published no diagnostics: {v}")
             assert_lsp_diagnostics(name, params)
             if rsc.get("bundles", 0) > 1 and rsc.get("reused", 0) == 0:

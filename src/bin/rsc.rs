@@ -98,6 +98,9 @@ fn main() {
             "--no-mined-qualifiers" => opts.mine_qualifiers = false,
             "--no-vc-cache" => opts.vc_cache = false,
             "--no-incremental-smt" => opts.incremental_smt = false,
+            "--no-absint" => opts.absint = false,
+            "--lints" => opts.lints = true,
+            "--no-lints" => opts.lints = false,
             "--jobs" | "-j" => want_jobs = true,
             "--cache-cap" => want_cache_cap = true,
             "--vc-cache" => want_vc_cache_dir = true,
@@ -252,6 +255,7 @@ fn main() {
                 // Keep stdout machine-readable; humans read stderr.
                 eprint!("{}", rendered(&report));
             }
+            eprint!("{}", rendered_lints(&report));
         } else if result.ok() {
             if !quiet {
                 let files_note = if closure > 1 {
@@ -278,6 +282,9 @@ fn main() {
                 elapsed
             );
             print_rendered(&report);
+        }
+        if !stats_json {
+            print!("{}", rendered_lints(&report));
         }
         if profile_path.is_some() {
             all_spans.extend(profile.spans);
@@ -322,12 +329,15 @@ fn stats_json_entry(
         write!(
             bundles,
             "{{\"index\":{i},\"constraints\":{},\"kvars\":{},\"cached\":{},\
-             \"failures\":{},\"smt_queries\":{},\"solve_us\":{}}}",
+             \"failures\":{},\"smt_queries\":{},\"cache_hits\":{},\
+             \"discharged_static\":{},\"solve_us\":{}}}",
             b.constraints,
             b.kvars,
             b.cached,
             b.failures.len(),
             b.smt_queries,
+            b.smt.cache_hits,
+            b.discharged,
             b.solve_ns / 1_000,
         )
         .unwrap();
@@ -349,7 +359,8 @@ fn stats_json_entry(
     format!(
         "{{\"file\":{},\"ok\":{},\"files_in_closure\":{},\
          \"stats\":{{\"constraints\":{},\"kvars\":{},\"smt_queries\":{},\
-         \"bundles\":{},\"bundles_reused\":{},\"diagnostics\":{}}},\
+         \"obligations_discharged\":{},\"bundles\":{},\"bundles_reused\":{},\
+         \"diagnostics\":{},\"lints\":{}}},\
          \"bundles\":[{bundles}],\"phases\":[{phases}],\
          \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
          \"time_us\":{}}}",
@@ -359,9 +370,11 @@ fn stats_json_entry(
         stats.constraints,
         stats.kvars,
         stats.smt_queries,
+        stats.obligations_discharged,
         stats.bundles,
         stats.bundles_reused,
         result.diagnostics.len(),
+        result.lints.len(),
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
@@ -412,6 +425,25 @@ fn rendered(report: &DocReport) -> String {
         .collect();
     let mut out = String::new();
     for d in &report.outcome.result.diagnostics {
+        let (fi, local) = report.merged.localize(d);
+        let f = &report.merged.files[fi];
+        out.push_str(&local.render_with(&f.name, &f.text, &idxs[fi]));
+    }
+    out
+}
+
+/// Renders a report's lint warnings rustc-style (empty string when the
+/// lint pass is off or found nothing). Printed after the verdict line —
+/// lints never change the verdict or the exit code.
+fn rendered_lints(report: &DocReport) -> String {
+    let idxs: Vec<LineIndex> = report
+        .merged
+        .files
+        .iter()
+        .map(|f| LineIndex::new(&f.text))
+        .collect();
+    let mut out = String::new();
+    for d in &report.outcome.result.lints {
         let (fi, local) = report.merged.localize(d);
         let f = &report.merged.files[fi];
         out.push_str(&local.render_with(&f.name, &f.text, &idxs[fi]));
@@ -484,6 +516,7 @@ fn run_recursive(
                             elapsed
                         );
                     }
+                    out.push_str(&rendered_lints(&report));
                     (out, true, false)
                 } else {
                     let mut out = format!(
@@ -492,6 +525,7 @@ fn run_recursive(
                         elapsed
                     );
                     out.push_str(&rendered(&report));
+                    out.push_str(&rendered_lints(&report));
                     (out, false, false)
                 }
             }
@@ -735,6 +769,15 @@ fn report_watch(report: &DocReport, quiet: bool) {
             }
         }
     }
+    let multi = report.merged.files.len() > 1;
+    for d in &report.outcome.result.lints {
+        let (fi, local) = report.merged.localize(d);
+        if multi {
+            println!("  [{}] {local}", report.merged.files[fi].name);
+        } else {
+            println!("  {local}");
+        }
+    }
 }
 
 /// Re-checks the watched roots through one persistent workspace
@@ -894,7 +937,8 @@ fn print_usage() {
     eprintln!(
         "usage: rsc [--no-path-sensitivity] [--no-prelude-qualifiers] \
          [--no-mined-qualifiers] [--no-vc-cache] [--no-incremental-smt] \
-         [--vc-cache DIR] [--jobs N] [--quiet] <file.rsc | dir>...\n\
+         [--no-absint] [--no-lints] [--vc-cache DIR] [--jobs N] [--quiet] \
+         <file.rsc | dir>...\n\
          \u{20}      rsc serve            read NDJSON requests on stdin (load/edit/check,\n\
          \u{20}                           LSP didOpen/didChange), respond per line\n\
          \u{20}      rsc --watch <file>...  incremental re-check on every mtime change\n\
@@ -921,6 +965,12 @@ fn print_usage() {
          --no-incremental-smt  solve each fixpoint query in a fresh SMT\n\
          \u{20}         context instead of per-constraint persistent ones\n\
          \u{20}         (ablation/debug; diagnostics are identical)\n\
+         --no-absint  skip the abstract-interpretation pre-pass that\n\
+         \u{20}         discharges obligations before SMT (ablation;\n\
+         \u{20}         diagnostics are identical, more queries are issued)\n\
+         --no-lints  suppress the dataflow lint warnings (L0001-L0004:\n\
+         \u{20}         unreachable branch, tautological guard, dead\n\
+         \u{20}         refinement, constant index out of bounds)\n\
          --profile FILE  write a Chrome trace-event profile of every phase\n\
          \u{20}         (open in Perfetto or chrome://tracing)\n\
          --stats-json  print a machine-readable per-phase/per-bundle report\n\

@@ -11,6 +11,11 @@
 //! and keeps its code — but deterministically and in milliseconds,
 //! so a drift shows up in `cargo test` before anyone re-runs the
 //! fuzzer.
+//!
+//! Files may additionally (or instead) pin dataflow lints with
+//! `// expect-lint: L000x` headers: every named lint code must appear
+//! in the check's warning stream. A file with only `expect-lint`
+//! headers is a lint regression — it may verify cleanly.
 
 use std::collections::BTreeSet;
 
@@ -20,11 +25,12 @@ fn corpus_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_regressions")
 }
 
-/// Every corpus file is rejected, and some diagnostic carries the code
-/// its `// expect:` header pins.
+/// Every corpus file is rejected with the code its `// expect:` header
+/// pins, and carries every lint its `// expect-lint:` headers pin.
 #[test]
 fn every_corpus_regression_is_rejected_with_its_expected_code() {
     let mut codes_seen = BTreeSet::new();
+    let mut lint_codes_seen = BTreeSet::new();
     let mut files = 0;
     for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir exists") {
         let path = entry.expect("readable dir entry").path();
@@ -32,32 +38,75 @@ fn every_corpus_regression_is_rejected_with_its_expected_code() {
             continue;
         }
         let src = std::fs::read_to_string(&path).expect("readable corpus file");
-        let expected = src
+        let expected: Option<String> = src
             .lines()
             .find_map(|l| l.trim().strip_prefix("// expect:"))
-            .map(str::trim)
-            .unwrap_or_else(|| panic!("{}: missing `// expect: R00xx` header", path.display()))
-            .to_string();
-
-        let result = check_program(&src, CheckerOptions::default());
+            .map(|c| c.trim().to_string());
+        let expected_lints: Vec<String> = src
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("// expect-lint:"))
+            .map(|c| c.trim().to_string())
+            .collect();
         assert!(
-            !result.ok(),
-            "{}: verified, but must be rejected with {expected}",
+            expected.is_some() || !expected_lints.is_empty(),
+            "{}: missing `// expect: R00xx` or `// expect-lint: L000x` header",
             path.display()
         );
-        let rendered: Vec<String> = result.diagnostics.iter().map(|d| d.to_string()).collect();
-        assert!(
-            rendered.iter().any(|d| d.contains(&expected)),
-            "{}: no {expected} diagnostic among:\n{}",
-            path.display(),
-            rendered.join("\n")
-        );
-        codes_seen.insert(expected);
+
+        let result = check_program(&src, CheckerOptions::default());
+        if let Some(expected) = &expected {
+            assert!(
+                !result.ok(),
+                "{}: verified, but must be rejected with {expected}",
+                path.display()
+            );
+            let rendered: Vec<String> = result.diagnostics.iter().map(|d| d.to_string()).collect();
+            assert!(
+                rendered.iter().any(|d| d.contains(expected)),
+                "{}: no {expected} diagnostic among:\n{}",
+                path.display(),
+                rendered.join("\n")
+            );
+            codes_seen.insert(expected.clone());
+        } else {
+            assert!(
+                result.ok(),
+                "{}: lint-only regression was rejected:\n{}",
+                path.display(),
+                result
+                    .diagnostics
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+        for code in &expected_lints {
+            assert!(
+                result.lints.iter().any(|l| l.code == Some(code.as_str())),
+                "{}: no {code} lint among:\n{}",
+                path.display(),
+                result
+                    .lints
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            lint_codes_seen.insert(code.clone());
+        }
         files += 1;
     }
     assert!(files >= 13, "expected >= 13 corpus files, found {files}");
     // One file per reachable obligation kind, at minimum.
     for code in (1..=13).map(|n| format!("R{n:04}")) {
         assert!(codes_seen.contains(&code), "no corpus file pins {code}");
+    }
+    // And one per lint code.
+    for code in (1..=4).map(|n| format!("L{n:04}")) {
+        assert!(
+            lint_codes_seen.contains(&code),
+            "no corpus file pins {code}"
+        );
     }
 }

@@ -1,0 +1,6 @@
+// expect-lint: L0001
+function f(x: number): number {
+    var y = 3;
+    if (y < 1) { return 0 - 1; }
+    return x;
+}

@@ -1,0 +1,6 @@
+// expect-lint: L0002
+function g(x: number): number {
+    var y = 4;
+    if (0 <= y) { return 1; }
+    return 0;
+}

@@ -1,0 +1,5 @@
+// expect-lint: L0003
+function h(): number {
+    var n: {v: number | 0 <= v} = 5;
+    return n;
+}

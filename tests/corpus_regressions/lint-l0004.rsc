@@ -1,0 +1,6 @@
+// expect: R0008
+// expect-lint: L0004
+function k(): number {
+    var a = [1, 2, 3];
+    return a[5];
+}

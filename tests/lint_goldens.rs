@@ -1,0 +1,157 @@
+//! One fixture per dataflow lint code: each program trips exactly the
+//! lint it names, with a non-dummy source range, and the full compact
+//! rendering of the lint stream is pinned against a golden snapshot in
+//! `tests/golden/lint-<code>.diag`.
+//!
+//! The suite also pins the lint layer's two contracts: lints are
+//! warnings that never affect the verdict, and disabling the lint pass
+//! (`lints: false`) changes no error-diagnostic byte.
+//!
+//! Regenerate the fixtures with `UPDATE_GOLDEN=1 cargo test -q
+//! lint_fixtures` after an intentional lint-message change.
+
+use rsc_core::{check_program, CheckerOptions, Severity};
+
+/// (code, golden slug, program, expect_errors). Every lint code the
+/// dataflow pass can emit is covered. `expect_errors` marks fixtures
+/// the refinement checker also rejects (a provable constant
+/// out-of-bounds read is both an R0008 error and an L0004 lint).
+fn cases() -> Vec<(&'static str, &'static str, &'static str, bool)> {
+    vec![
+        (
+            "L0001",
+            "l0001",
+            "function f(x: number): number {\n    var y = 3;\n    \
+             if (y < 1) { return 0 - 1; }\n    return x;\n}\n",
+            false,
+        ),
+        (
+            "L0002",
+            "l0002",
+            "function g(x: number): number {\n    var y = 4;\n    \
+             if (0 <= y) { return 1; }\n    return 0;\n}\n",
+            false,
+        ),
+        (
+            "L0003",
+            "l0003",
+            "function h(): number {\n    var n: {v: number | 0 <= v} = 5;\n    \
+             return n;\n}\n",
+            false,
+        ),
+        (
+            "L0004",
+            "l0004",
+            "function k(): number {\n    var a = [1, 2, 3];\n    return a[5];\n}\n",
+            true,
+        ),
+    ]
+}
+
+#[test]
+fn lint_fixtures() {
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    for (code, slug, src, expect_errors) in cases() {
+        let r = check_program(src, CheckerOptions::default());
+        assert_eq!(
+            !r.ok(),
+            expect_errors,
+            "{slug}: unexpected verdict (errors: {:?})",
+            r.diagnostics
+        );
+        assert!(
+            r.lints.iter().any(|l| l.code == Some(code)),
+            "{slug}: no {code} lint — got:\n{}",
+            r.lints
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        for l in &r.lints {
+            assert_eq!(
+                l.severity,
+                Severity::Warning,
+                "{slug}: lint is not a warning"
+            );
+            assert!(
+                l.span.hi > l.span.lo && l.span.line > 0,
+                "{slug}: lint has a dummy range: {l}"
+            );
+        }
+        let mut rendered: String = r
+            .lints
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        rendered.push('\n');
+        let golden_path = golden_dir.join(format!("lint-{slug}.diag"));
+        if update {
+            std::fs::write(&golden_path, &rendered).expect("write golden fixture");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "{slug}: lints drifted from tests/golden/lint-{slug}.diag"
+        );
+    }
+}
+
+/// Disabling the lint pass empties `lints` and changes no error byte;
+/// disabling the absint pre-pass keeps every lint (the lint layer does
+/// not depend on the discharge tier).
+#[test]
+fn lints_are_severable_from_errors() {
+    for (_, slug, src, _) in cases() {
+        let on = check_program(src, CheckerOptions::default());
+        let off = check_program(
+            src,
+            CheckerOptions {
+                lints: false,
+                ..CheckerOptions::default()
+            },
+        );
+        assert!(off.lints.is_empty(), "{slug}: lints survived lints: false");
+        let render = |r: &rsc_core::CheckResult| {
+            r.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            render(&on),
+            render(&off),
+            "{slug}: disabling lints changed the error stream"
+        );
+        let no_absint = check_program(
+            src,
+            CheckerOptions {
+                absint: false,
+                ..CheckerOptions::default()
+            },
+        );
+        let lint_line = |r: &rsc_core::CheckResult| {
+            r.lints
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            lint_line(&on),
+            lint_line(&no_absint),
+            "{slug}: --no-absint changed the lint stream"
+        );
+    }
+}
